@@ -1,0 +1,142 @@
+package repro
+
+// One benchmark per experiment (E1..E12, the repository's "tables and
+// figures" — the paper is analytical, so each experiment validates a
+// theorem or comparison claim; see DESIGN.md §4), plus micro-benchmarks of
+// the core data paths with message-count metrics. The experiment
+// benchmarks run the same code as cmd/experiments at reduced scale.
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/order"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+	"repro/internal/runtime"
+	"repro/internal/stream"
+)
+
+var sinkTable bench.Table
+
+func benchExperiment(b *testing.B, id string) {
+	e, ok := bench.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	sc := bench.Quick()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkTable = e.Run(sc)
+	}
+}
+
+func BenchmarkE1MaxProtocolMessages(b *testing.B) { benchExperiment(b, "E1") }
+func BenchmarkE2MaxProtocolTail(b *testing.B)     { benchExperiment(b, "E2") }
+func BenchmarkE3SequentialMaxima(b *testing.B)    { benchExperiment(b, "E3") }
+func BenchmarkE4RatioVsDelta(b *testing.B)        { benchExperiment(b, "E4") }
+func BenchmarkE5RatioVsK(b *testing.B)            { benchExperiment(b, "E5") }
+func BenchmarkE6RatioVsN(b *testing.B)            { benchExperiment(b, "E6") }
+func BenchmarkE7SimilarInputs(b *testing.B)       { benchExperiment(b, "E7") }
+func BenchmarkE8Adversarial(b *testing.B)         { benchExperiment(b, "E8") }
+func BenchmarkE9Correctness(b *testing.B)         { benchExperiment(b, "E9") }
+func BenchmarkE10ZipfBursty(b *testing.B)         { benchExperiment(b, "E10") }
+func BenchmarkE11PhaseBreakdown(b *testing.B)     { benchExperiment(b, "E11") }
+func BenchmarkE12Ablations(b *testing.B)          { benchExperiment(b, "E12") }
+func BenchmarkE13OrderedMonitoring(b *testing.B)  { benchExperiment(b, "E13") }
+func BenchmarkE14SeriesOverTime(b *testing.B)     { benchExperiment(b, "E14") }
+func BenchmarkE15OptSensitivity(b *testing.B)     { benchExperiment(b, "E15") }
+func BenchmarkE16LoadBalance(b *testing.B)        { benchExperiment(b, "E16") }
+func BenchmarkE17BitVolume(b *testing.B)          { benchExperiment(b, "E17") }
+
+// BenchmarkMaximumProtocol measures one Algorithm 2 execution and reports
+// the average number of node messages next to the wall-clock cost.
+func BenchmarkMaximumProtocol(b *testing.B) {
+	for _, n := range []int{64, 1024, 16384} {
+		b.Run(bench.F("n=%d", n), func(b *testing.B) {
+			root := rng.New(uint64(n), 0xbe)
+			perm := root.Perm(n)
+			parts := make([]protocol.Participant, n)
+			for i := range parts {
+				parts[i] = protocol.Participant{ID: i, Key: order.Key(perm[i] + 1), RNG: root.Split(uint64(i))}
+			}
+			var c comm.Counter
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				protocol.Maximum(parts, n, &c, nil, 0)
+			}
+			b.ReportMetric(float64(c.Get(comm.Up))/float64(b.N), "up-msgs/op")
+		})
+	}
+}
+
+// BenchmarkMonitorStep measures one Observe call of the sequential engine
+// on a calm workload (mostly the violation-free fast path).
+func BenchmarkMonitorStep(b *testing.B) {
+	for _, n := range []int{32, 256, 2048} {
+		b.Run(bench.F("n=%d", n), func(b *testing.B) {
+			m := core.New(core.Config{N: n, K: 4, Seed: 1})
+			src := stream.NewRandomWalk(stream.WalkConfig{N: n, Lo: 0, Hi: 1 << 24, MaxStep: 8, Seed: 2})
+			vals := make([]int64, n)
+			src.Step(vals)
+			m.Observe(vals)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				src.Step(vals)
+				m.Observe(vals)
+			}
+			b.ReportMetric(float64(m.Counts().Total())/float64(b.N), "msgs/step")
+		})
+	}
+}
+
+// BenchmarkMonitorStepHot measures Observe under constant violations (IID
+// redraw workload): the protocol-heavy slow path.
+func BenchmarkMonitorStepHot(b *testing.B) {
+	const n = 256
+	m := core.New(core.Config{N: n, K: 4, Seed: 3})
+	src := stream.NewIID(stream.IIDConfig{N: n, Seed: 4, Dist: stream.Uniform, Lo: 0, Hi: 1 << 24})
+	vals := make([]int64, n)
+	src.Step(vals)
+	m.Observe(vals)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.Step(vals)
+		m.Observe(vals)
+	}
+	b.ReportMetric(float64(m.Counts().Total())/float64(b.N), "msgs/step")
+}
+
+// BenchmarkRuntimeStep measures one Observe of the goroutine-per-node
+// engine, including all channel round trips.
+func BenchmarkRuntimeStep(b *testing.B) {
+	const n = 64
+	rt := runtime.New(runtime.Config{N: n, K: 4, Seed: 5})
+	defer rt.Close()
+	src := stream.NewRandomWalk(stream.WalkConfig{N: n, Lo: 0, Hi: 1 << 24, MaxStep: 8, Seed: 6})
+	vals := make([]int64, n)
+	src.Step(vals)
+	rt.Observe(vals)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.Step(vals)
+		rt.Observe(vals)
+	}
+}
+
+// BenchmarkOracle measures the reference top-k computation used by the
+// correctness checks.
+func BenchmarkOracle(b *testing.B) {
+	const n = 1024
+	src := stream.NewIID(stream.IIDConfig{N: n, Seed: 7, Dist: stream.Uniform, Lo: 0, Hi: 1 << 24})
+	vals := make([]int64, n)
+	src.Step(vals)
+	m := core.New(core.Config{N: n, K: 8, Seed: 8})
+	keys := make([]order.Key, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.EncodeAll(vals, keys)
+	}
+}

@@ -1,0 +1,14 @@
+// Package repro is a from-scratch Go reproduction of
+//
+//	Mäcker, Malatyali, Meyer auf der Heide:
+//	"Online Top-k-Position Monitoring of Distributed Data Streams"
+//	(IPDPS 2015, arXiv:1410.7912).
+//
+// The public API lives in the repro/topk package. Internal packages hold
+// the model substrates (communication accounting, filters, ordered keys,
+// protocols, stream generators, baselines, the two execution engines, and
+// the experiment harness); see DESIGN.md for the full inventory and
+// EXPERIMENTS.md for the paper-vs-measured record. The benchmarks in this
+// directory regenerate every experiment at reduced scale; cmd/experiments
+// runs them at full scale.
+package repro

@@ -1,0 +1,193 @@
+package baseline
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/order"
+	"repro/internal/rng"
+	"repro/internal/stream"
+)
+
+// keysFromValues applies the shared injection.
+func keysFromValues(vals [][]int64) [][]order.Key {
+	codec := order.NewCodec(len(vals[0]))
+	keys := make([][]order.Key, len(vals))
+	for t, row := range vals {
+		keys[t] = make([]order.Key, len(row))
+		for i, v := range row {
+			keys[t][i] = codec.Encode(v, i)
+		}
+	}
+	return keys
+}
+
+func TestOptConstantInputSingleSegment(t *testing.T) {
+	vals := make([][]int64, 50)
+	for i := range vals {
+		vals[i] = []int64{10, 20, 30, 40}
+	}
+	res := OptFromValues(vals, 2)
+	if res.Segments != 1 {
+		t.Fatalf("constant input needs 1 segment, got %d", res.Segments)
+	}
+	if len(res.Starts) != 1 || res.Starts[0] != 0 {
+		t.Fatalf("starts: %v", res.Starts)
+	}
+}
+
+func TestOptTopChangeForcesSegment(t *testing.T) {
+	// Top-1 alternates between nodes 0 and 1 every step: a new segment is
+	// unavoidable at every step.
+	const steps = 10
+	vals := make([][]int64, steps)
+	for s := range vals {
+		if s%2 == 0 {
+			vals[s] = []int64{100, 50}
+		} else {
+			vals[s] = []int64{50, 100}
+		}
+	}
+	res := OptFromValues(vals, 1)
+	if res.Segments != steps {
+		t.Fatalf("alternating top-1 needs %d segments, got %d", steps, res.Segments)
+	}
+}
+
+func TestOptCrossingWithoutSetChange(t *testing.T) {
+	// The top-k SET never changes, but the k-th/(k+1)-st values cross in
+	// time: T+ dips below a later T−, forcing a cut even with a constant
+	// set. Window [t0,t1] with top {0}: node 0 dips to 60 at t=1, node 1
+	// rises to 70 at t=2 — no single boundary separates them over the
+	// whole window.
+	vals := [][]int64{
+		{100, 50},
+		{60, 50},
+		{100, 70},
+		{100, 70},
+	}
+	res := OptFromValues(vals, 1)
+	if res.Segments != 2 {
+		t.Fatalf("temporal crossing should force 2 segments, got %d", res.Segments)
+	}
+}
+
+func TestOptKEqualsN(t *testing.T) {
+	vals := make([][]int64, 20)
+	for s := range vals {
+		vals[s] = []int64{int64(s), int64(100 - s), int64(3 * s)}
+	}
+	res := OptFromValues(vals, 3)
+	if res.Segments != 1 {
+		t.Fatalf("k=n is always one segment, got %d", res.Segments)
+	}
+}
+
+func TestOptCostModels(t *testing.T) {
+	r := OptResult{Segments: 5}
+	if r.FilterUpdates() != 5 {
+		t.Fatalf("FilterUpdates: %d", r.FilterUpdates())
+	}
+	if r.RealisticMessages(3) != 25 {
+		t.Fatalf("RealisticMessages: %d", r.RealisticMessages(3))
+	}
+}
+
+func TestOptPanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { Opt(nil, 1) },
+		func() { Opt([][]order.Key{{1, 2}}, 0) },
+		func() { Opt([][]order.Key{{1, 2}}, 3) },
+		func() { OptFromValues(nil, 1) },
+		func() { OptExact(nil, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestOptGreedyMatchesExactDP(t *testing.T) {
+	// Property: greedy furthest-extension equals the exact DP optimum on
+	// random small instances, for all k.
+	r := rng.New(4242, 0)
+	check := func(nRaw, tRaw, kRaw uint8) bool {
+		n := int(nRaw%5) + 2
+		steps := int(tRaw%15) + 1
+		k := int(kRaw)%n + 1
+		vals := make([][]int64, steps)
+		cur := make([]int64, n)
+		for i := range cur {
+			cur[i] = r.Int63n(100)
+		}
+		for s := range vals {
+			vals[s] = make([]int64, n)
+			for i := range cur {
+				cur[i] += r.Int63n(21) - 10
+			}
+			copy(vals[s], cur)
+		}
+		keys := keysFromValues(vals)
+		return Opt(keys, k).Segments == OptExact(keys, k)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptSegmentsMonotoneInVolatility(t *testing.T) {
+	// More volatile walks need at least as many segments, statistically.
+	mk := func(step int64) int {
+		src := stream.NewRandomWalk(stream.WalkConfig{N: 8, Lo: 0, Hi: 10000, MaxStep: step, Seed: 99})
+		return OptFromValues(stream.Collect(src, 300), 2).Segments
+	}
+	calm, wild := mk(5), mk(2000)
+	if calm > wild {
+		t.Fatalf("calm walk (%d segments) should need <= wild walk (%d)", calm, wild)
+	}
+	if wild < 5 {
+		t.Fatalf("wild walk should need several segments: %d", wild)
+	}
+}
+
+func TestOptStartsAreSorted(t *testing.T) {
+	src := stream.NewIID(stream.IIDConfig{N: 6, Seed: 5, Dist: stream.Uniform, Lo: 0, Hi: 1000})
+	res := OptFromValues(stream.Collect(src, 100), 2)
+	for i := 1; i < len(res.Starts); i++ {
+		if res.Starts[i] <= res.Starts[i-1] {
+			t.Fatalf("starts not increasing: %v", res.Starts)
+		}
+	}
+	if len(res.Starts) != res.Segments {
+		t.Fatalf("starts/segments mismatch: %d vs %d", len(res.Starts), res.Segments)
+	}
+}
+
+func TestOptSegmentsFeasible(t *testing.T) {
+	// Each greedy segment must itself satisfy the window condition.
+	src := stream.NewBursty(stream.BurstyConfig{N: 7, Seed: 6, Lo: 0, Hi: 1 << 16, Noise: 10, BurstProb: 0.1, BurstMax: 10000})
+	vals := stream.Collect(src, 200)
+	keys := keysFromValues(vals)
+	res := Opt(keys, 3)
+	for si, start := range res.Starts {
+		end := len(keys)
+		if si+1 < len(res.Starts) {
+			end = res.Starts[si+1]
+		}
+		inTop := topSet(keys[start], 3)
+		tPlus, tMinus := order.PosInf, order.NegInf
+		for t0 := start; t0 < end; t0++ {
+			p, m := sideExtrema(keys[t0], inTop)
+			tPlus = order.Min(tPlus, p)
+			tMinus = order.Max(tMinus, m)
+		}
+		if tPlus < tMinus {
+			t.Fatalf("segment %d [%d,%d) infeasible", si, start, end)
+		}
+	}
+}

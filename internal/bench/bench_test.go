@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsRunAtQuickScale(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tbl := e.Run(Quick())
+			if tbl.ID != e.ID {
+				t.Fatalf("table id %q for experiment %q", tbl.ID, e.ID)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatal("experiment produced no rows")
+			}
+			out := tbl.Render()
+			if !strings.Contains(out, e.ID) || !strings.Contains(out, "claim:") {
+				t.Fatalf("rendering incomplete:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("E4"); !ok {
+		t.Fatal("E4 should exist")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Fatal("E99 should not exist")
+	}
+}
+
+func TestTableAddRowPanicsOnMismatch(t *testing.T) {
+	tbl := Table{ID: "X", Columns: []string{"a", "b"}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tbl.AddRow("only-one")
+}
+
+func TestTableRenderAlignment(t *testing.T) {
+	tbl := Table{ID: "T", Title: "demo", Claim: "c", Columns: []string{"col", "value"}}
+	tbl.AddRow("short", "1")
+	tbl.AddRow("a-much-longer-cell", "22")
+	tbl.Note("note %d", 42)
+	out := tbl.Render()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 7 { // header, claim, columns, rule, 2 rows, note
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "note: note 42") {
+		t.Fatalf("note missing:\n%s", out)
+	}
+}
+
+func TestE1BoundHolds(t *testing.T) {
+	tbl := E1MaxProtocolMessages(Quick())
+	// Every row's mean must be below the theorem bound (columns 1 and 3).
+	for _, row := range tbl.Rows {
+		mean := parseFloat(t, row[1])
+		bound := parseFloat(t, row[3])
+		if mean > bound {
+			t.Fatalf("mean %v exceeds bound %v in row %v", mean, bound, row)
+		}
+		if row[5] != "0" {
+			t.Fatalf("protocol returned wrong results: %v", row)
+		}
+	}
+}
+
+func TestE4RatioGrowsWithDelta(t *testing.T) {
+	tbl := E4RatioVsDelta(Quick())
+	first := parseFloat(t, tbl.Rows[0][5])
+	last := parseFloat(t, tbl.Rows[len(tbl.Rows)-1][5])
+	if last <= first {
+		t.Fatalf("ratio should grow with delta: first=%v last=%v", first, last)
+	}
+}
+
+func TestE9AllZeroErrors(t *testing.T) {
+	tbl := E9Correctness(Quick())
+	for _, row := range tbl.Rows {
+		if row[2] != "0" || row[3] != "0" || row[4] != "yes" {
+			t.Fatalf("correctness row failed: %v", row)
+		}
+	}
+}
+
+func parseFloat(t *testing.T, s string) float64 {
+	t.Helper()
+	var v float64
+	if _, err := fmt.Sscanf(s, "%f", &v); err != nil {
+		t.Fatalf("cannot parse %q: %v", s, err)
+	}
+	return v
+}

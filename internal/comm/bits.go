@@ -1,0 +1,54 @@
+package comm
+
+import "math/bits"
+
+// The paper's model (§2) allows a message at time t to carry at most
+// O(log n + log max_i v_i) bits: a node id plus one value. The helpers
+// here translate recorded events into bit costs so experiments can report
+// bit volumes next to message counts. They deliberately use the
+// information-theoretic minimum widths (no framing overhead), which makes
+// the bit numbers lower bounds for any real encoding.
+
+// ValueBits returns the bits needed for a signed payload value: magnitude
+// bits plus one sign bit.
+func ValueBits(v int64) int {
+	if v < 0 {
+		// Careful with MinInt64: negate in unsigned space.
+		return bits.Len64(uint64(-(v + 1))) + 1
+	}
+	return bits.Len64(uint64(v)) + 1
+}
+
+// IDBits returns the bits needed to address one of n nodes.
+func IDBits(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// EventBits estimates the bit cost of one recorded event under the
+// model's message format: an Up message carries the sender id and its
+// value; Down and Bcast messages carry a value (filter bound or midpoint)
+// — the receivers of a broadcast are implicit.
+func EventBits(e Event, n int) int {
+	switch e.Kind {
+	case Up:
+		return IDBits(n) + ValueBits(e.Payload)
+	case Down, Bcast:
+		return ValueBits(e.Payload)
+	default:
+		return ValueBits(e.Payload)
+	}
+}
+
+// TraceBits sums EventBits over every retained event of a trace. The
+// trace must not have dropped events for the total to be meaningful;
+// callers should size the trace capacity accordingly and check Dropped.
+func TraceBits(t *Trace, n int) int64 {
+	var total int64
+	for _, e := range t.Events() {
+		total += int64(EventBits(e, n))
+	}
+	return total
+}

@@ -1,0 +1,82 @@
+package comm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueBits(t *testing.T) {
+	cases := map[int64]int{
+		0:    1, // sign bit only
+		1:    2,
+		7:    4,
+		8:    5,
+		-1:   1, // len64(0)+1
+		-8:   4,
+		1023: 11,
+	}
+	for v, want := range cases {
+		if got := ValueBits(v); got != want {
+			t.Fatalf("ValueBits(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestValueBitsExtremes(t *testing.T) {
+	if got := ValueBits(math.MaxInt64); got != 64 {
+		t.Fatalf("MaxInt64: %d", got)
+	}
+	if got := ValueBits(math.MinInt64); got != 64 {
+		t.Fatalf("MinInt64: %d", got)
+	}
+}
+
+func TestValueBitsSymmetryProperty(t *testing.T) {
+	// |ValueBits(v) - ValueBits(-v)| <= 1 for all v (two's complement
+	// asymmetry only).
+	check := func(v int64) bool {
+		if v == math.MinInt64 {
+			return true
+		}
+		d := ValueBits(v) - ValueBits(-v)
+		return d >= -1 && d <= 1
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIDBits(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 1, 3: 2, 4: 2, 5: 3, 1024: 10, 1025: 11}
+	for n, want := range cases {
+		if got := IDBits(n); got != want {
+			t.Fatalf("IDBits(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestEventBits(t *testing.T) {
+	n := 16 // 4 id bits
+	up := Event{Kind: Up, From: 3, Payload: 7}
+	if got := EventBits(up, n); got != 4+4 {
+		t.Fatalf("up bits: %d", got)
+	}
+	bc := Event{Kind: Bcast, Payload: 7}
+	if got := EventBits(bc, n); got != 4 {
+		t.Fatalf("bcast bits: %d", got)
+	}
+	dn := Event{Kind: Down, To: 2, Payload: 0}
+	if got := EventBits(dn, n); got != 1 {
+		t.Fatalf("down bits: %d", got)
+	}
+}
+
+func TestTraceBits(t *testing.T) {
+	tr := NewTrace(10)
+	tr.Append(Event{Kind: Up, From: 1, Payload: 7}) // 4 + 4 with n=16
+	tr.Append(Event{Kind: Bcast, Payload: 1023})    // 11
+	if got := TraceBits(tr, 16); got != 8+11 {
+		t.Fatalf("trace bits: %d", got)
+	}
+}

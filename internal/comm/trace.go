@@ -1,0 +1,126 @@
+package comm
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Event is one communication event retained by a Trace. From/To use node
+// ids, with Coordinator as the coordinator pseudo-id and Everyone as the
+// broadcast destination.
+type Event struct {
+	Step    int64 // simulation time step the event occurred in
+	Kind    Kind
+	From    int
+	To      int
+	Payload int64 // protocol-specific payload (usually an order.Key)
+	Note    string
+}
+
+// Pseudo node ids used in Event.From / Event.To.
+const (
+	Coordinator = -1
+	Everyone    = -2
+)
+
+// String renders the event for debugging output.
+func (e Event) String() string {
+	name := func(id int) string {
+		switch id {
+		case Coordinator:
+			return "coord"
+		case Everyone:
+			return "*"
+		default:
+			return fmt.Sprintf("node%d", id)
+		}
+	}
+	s := fmt.Sprintf("t=%d %s %s->%s payload=%d", e.Step, e.Kind, name(e.From), name(e.To), e.Payload)
+	if e.Note != "" {
+		s += " (" + e.Note + ")"
+	}
+	return s
+}
+
+// Trace is a bounded in-memory log of communication events. When the
+// capacity is exceeded the oldest events are dropped (ring buffer), so a
+// long simulation can keep a trace attached without unbounded growth.
+// A nil *Trace is valid and records nothing, which lets hot paths guard
+// with a single nil check.
+type Trace struct {
+	mu      sync.Mutex
+	cap     int
+	events  []Event
+	start   int // index of the oldest event within events
+	dropped int64
+}
+
+// NewTrace creates a trace retaining at most capacity events. It panics
+// for non-positive capacities.
+func NewTrace(capacity int) *Trace {
+	if capacity <= 0 {
+		panic("comm: trace capacity must be positive")
+	}
+	return &Trace{cap: capacity}
+}
+
+// Append records an event. Safe for concurrent use; nil receiver is a no-op.
+func (t *Trace) Append(e Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.events) < t.cap {
+		t.events = append(t.events, e)
+		return
+	}
+	t.events[t.start] = e
+	t.start = (t.start + 1) % t.cap
+	t.dropped++
+}
+
+// Events returns the retained events in chronological order.
+func (t *Trace) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, len(t.events))
+	for i := 0; i < len(t.events); i++ {
+		out = append(out, t.events[(t.start+i)%len(t.events)])
+	}
+	return out
+}
+
+// Dropped returns how many events were evicted due to the capacity bound.
+func (t *Trace) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Len returns the number of retained events.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// String renders the whole retained trace, one event per line.
+func (t *Trace) String() string {
+	var b strings.Builder
+	for _, e := range t.Events() {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

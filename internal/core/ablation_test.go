@@ -1,0 +1,39 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/stream"
+)
+
+func TestMonitorGatherAblationExact(t *testing.T) {
+	m := New(Config{N: 10, K: 3, Seed: 51, UseGather: true})
+	src := stream.NewRandomWalk(stream.WalkConfig{N: 10, Lo: 0, Hi: 50000, MaxStep: 300, Seed: 52})
+	runChecked(t, m, src, 250)
+}
+
+func TestMonitorGatherAblationCostsMore(t *testing.T) {
+	// With M(n) = n instead of O(log n), the same workload must cost more
+	// at scale. Use an IID workload so protocols run constantly.
+	const n, steps = 64, 150
+	run := func(gather bool) int64 {
+		m := New(Config{N: n, K: 2, Seed: 53, UseGather: gather})
+		src := stream.NewIID(stream.IIDConfig{N: n, Seed: 54, Dist: stream.Uniform, Lo: 0, Hi: 1 << 24})
+		vals := make([]int64, n)
+		for s := 0; s < steps; s++ {
+			src.Step(vals)
+			m.Observe(vals)
+		}
+		return m.Ledger().Total().Total()
+	}
+	sampled, gathered := run(false), run(true)
+	if gathered <= sampled {
+		t.Fatalf("gather-all (%d msgs) should cost more than sampled protocol (%d msgs)", gathered, sampled)
+	}
+}
+
+func TestMonitorGatherAblationKEqualsN(t *testing.T) {
+	m := New(Config{N: 4, K: 4, Seed: 55, UseGather: true})
+	src := stream.NewIID(stream.IIDConfig{N: 4, Seed: 56, Dist: stream.Uniform, Lo: 0, Hi: 1000})
+	runChecked(t, m, src, 50)
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/order"
+)
+
+// decodeWorkload turns fuzzer bytes into a small monitoring instance:
+// the first bytes pick n and k, the rest become observation deltas.
+func decodeWorkload(data []byte) (n, k int, matrix [][]int64) {
+	if len(data) < 3 {
+		return 0, 0, nil
+	}
+	n = int(data[0]%8) + 1
+	k = int(data[1])%n + 1
+	cur := make([]int64, n)
+	for i := range cur {
+		cur[i] = int64(i * 3)
+	}
+	rest := data[2:]
+	steps := len(rest)/n + 1
+	matrix = make([][]int64, 0, steps)
+	for off := 0; off < len(rest); off += n {
+		row := make([]int64, n)
+		for i := 0; i < n; i++ {
+			idx := off + i
+			if idx < len(rest) {
+				// Deltas in [-64, 63], scaled to create occasional jumps.
+				d := int64(int8(rest[idx]))
+				if d%7 == 0 {
+					d *= 100
+				}
+				cur[i] += d
+			}
+			row[i] = cur[i]
+		}
+		matrix = append(matrix, row)
+	}
+	return n, k, matrix
+}
+
+func fuzzOracle(vals []int64, k int) []int {
+	codec := order.NewCodec(len(vals))
+	keys := make([]order.Key, len(vals))
+	for i, v := range vals {
+		keys[i] = codec.Encode(v, i)
+	}
+	ids := make([]int, len(vals))
+	for i := range ids {
+		ids[i] = i
+	}
+	sort.Slice(ids, func(a, b int) bool { return keys[ids[a]] > keys[ids[b]] })
+	top := append([]int(nil), ids[:k]...)
+	sort.Ints(top)
+	return top
+}
+
+// FuzzMonitorObserve feeds arbitrary byte-derived workloads through the
+// monitor and cross-checks every report against the oracle plus the
+// Lemma 2.2 filter invariant. Run with `go test -fuzz=FuzzMonitorObserve`;
+// the seed corpus also runs under plain `go test`.
+func FuzzMonitorObserve(f *testing.F) {
+	f.Add([]byte{4, 2, 1, 2, 3, 4, 250, 6, 7, 8, 9, 10, 110, 12})
+	f.Add([]byte{1, 1, 0})
+	f.Add([]byte{8, 8, 255, 0, 255, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{3, 2, 7, 14, 21, 28, 35, 42, 49, 56, 63, 70})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n, k, matrix := decodeWorkload(data)
+		if n == 0 || len(matrix) == 0 {
+			t.Skip()
+		}
+		m := New(Config{N: n, K: k, Seed: 99})
+		keys := make([]order.Key, n)
+		for s, vals := range matrix {
+			got := m.Observe(vals)
+			if want := fuzzOracle(vals, k); !equalInts(got, want) {
+				t.Fatalf("step %d (n=%d k=%d): got %v want %v vals %v", s, n, k, got, want, vals)
+			}
+			m.EncodeAll(vals, keys)
+			if err := m.Filters().Validate(keys); err != nil {
+				t.Fatalf("step %d: %v", s, err)
+			}
+		}
+	})
+}
+
+// FuzzOrderedMonitorObserve does the same for the ordered variant,
+// checking the full rank order.
+func FuzzOrderedMonitorObserve(f *testing.F) {
+	f.Add([]byte{4, 2, 1, 2, 3, 4, 250, 6, 7, 8, 9, 10, 110, 12})
+	f.Add([]byte{5, 4, 9, 9, 9, 9, 9, 1, 1, 1, 1, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n, k, matrix := decodeWorkload(data)
+		if n == 0 || len(matrix) == 0 {
+			t.Skip()
+		}
+		om := NewOrdered(Config{N: n, K: k, Seed: 199})
+		for s, vals := range matrix {
+			got := om.Observe(vals)
+			want := orderedOracle(om, vals)
+			if !equalInts(got, want) {
+				t.Fatalf("step %d (n=%d k=%d): ranks %v want %v vals %v", s, n, k, got, want, vals)
+			}
+		}
+	})
+}

@@ -1,0 +1,342 @@
+// Package core implements the paper's primary contribution: the
+// filter-based online algorithm for Top-k-Position Monitoring
+// (Algorithm 1). A Monitor plays both roles of the model — the coordinator
+// state machine and the per-node filter checks — against observation
+// vectors supplied one time step at a time, and accounts every message the
+// model would charge.
+//
+// The flow per time step follows the paper exactly:
+//
+//  1. Every node checks its filter locally. Nodes that were in top-k at the
+//     previous step and now violate run MINIMUMPROTOCOL(k) among
+//     themselves; violating outsiders run MAXIMUMPROTOCOL(n-k).
+//  2. If anything was communicated, FILTERVIOLATIONHANDLER completes the
+//     picture: if no outsider communicated, it runs MAXIMUMPROTOCOL over
+//     all outsiders; otherwise it runs MINIMUMPROTOCOL over all top-k
+//     nodes. It then lowers T+ / raises T− with the learned extrema.
+//  3. If T+ < T− the top-k set may have changed and FILTERRESET recomputes
+//     the top k+1 values from scratch (k+1 maximum-protocol executions)
+//     and reinstalls midpoint filters. Otherwise the handler broadcasts a
+//     new midpoint of [T−, T+] and the filters tighten around it.
+//
+// The monitor reports the top-k node ids after every step; the sequence of
+// reports is exact at all times (the protocols are Las Vegas), which the
+// simulation oracle asserts step by step in tests.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/filter"
+	"repro/internal/order"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+)
+
+// Config parameterizes a Monitor.
+type Config struct {
+	// N is the number of nodes, K the size of the monitored top set
+	// (1 <= K <= N).
+	N, K int
+	// Seed drives all protocol randomness; runs are reproducible given it.
+	Seed uint64
+	// DistinctValues asserts that the caller guarantees pairwise distinct
+	// observations at every time step (the paper's model assumption). When
+	// false (the default), the monitor applies the order-preserving
+	// injection key = v*n + (n-1-i), breaking ties by smaller node id.
+	DistinctValues bool
+	// UseGather replaces every MAXIMUMPROTOCOL / MINIMUMPROTOCOL execution
+	// with the naive gather-all protocol (M(n) = n instead of O(log n)).
+	// The filter logic is unchanged. This isolates the contribution of the
+	// randomized protocol in the ablation experiment E12.
+	UseGather bool
+	// Trace, when non-nil, captures communication events for debugging.
+	Trace *comm.Trace
+}
+
+// Stats exposes counters describing a monitor's execution so far.
+type Stats struct {
+	Steps          int64 // observation steps processed
+	ViolationSteps int64 // steps in which at least one filter was violated
+	HandlerCalls   int64 // FILTERVIOLATIONHANDLER executions
+	Resets         int64 // FILTERRESET executions (including initialization)
+	// TopChanges counts steps whose reported set differed from the
+	// previous step's, including the initial transition from the empty
+	// pre-observation state to the first report.
+	TopChanges int64
+}
+
+// Monitor runs Algorithm 1. Create with New; it is not safe for concurrent
+// use (the goroutine-per-node engine lives in internal/runtime).
+type Monitor struct {
+	cfg   Config
+	codec order.Codec
+	fs    *filter.Set
+	led   *comm.Ledger
+
+	rngs []*rng.RNG  // per-node protocol randomness
+	keys []order.Key // node-local current keys (scratch, rewritten per step)
+
+	tPlus  order.Key // T+(t0, t): min over top-k values since last reset
+	tMinus order.Key // T−(t0, t): max over outside values since last reset
+
+	step  int64
+	init  bool
+	stats Stats
+}
+
+// New validates the configuration and returns a monitor. The first
+// Observe call performs the paper's time-0 FILTERRESET initialization.
+func New(cfg Config) *Monitor {
+	if cfg.N <= 0 {
+		panic("core: monitor needs N > 0")
+	}
+	if cfg.K < 1 || cfg.K > cfg.N {
+		panic("core: monitor needs 1 <= K <= N")
+	}
+	m := &Monitor{
+		cfg:   cfg,
+		codec: order.NewCodec(cfg.N),
+		fs:    filter.NewSet(cfg.N, cfg.K),
+		led:   &comm.Ledger{},
+		rngs:  make([]*rng.RNG, cfg.N),
+		keys:  make([]order.Key, cfg.N),
+	}
+	root := rng.New(cfg.Seed, 0xc02e)
+	for i := range m.rngs {
+		m.rngs[i] = root.Split(uint64(i))
+	}
+	return m
+}
+
+// N returns the node count.
+func (m *Monitor) N() int { return m.cfg.N }
+
+// K returns the monitored top set size.
+func (m *Monitor) K() int { return m.cfg.K }
+
+// Ledger returns the monitor's message ledger (total and per-phase counts).
+func (m *Monitor) Ledger() *comm.Ledger { return m.led }
+
+// Counts returns the monitor's total message counts. It is the accessor
+// the sim.Algorithm interface expects; the per-phase breakdown remains
+// available through Ledger.
+func (m *Monitor) Counts() comm.Counts { return m.led.Total() }
+
+// Stats returns execution counters.
+func (m *Monitor) Stats() Stats { return m.stats }
+
+// Filters exposes the current filter assignment for invariant checking.
+func (m *Monitor) Filters() *filter.Set { return m.fs }
+
+// Top returns the currently reported top-k node ids in ascending order.
+func (m *Monitor) Top() []int { return m.fs.Top() }
+
+// EncodeAll maps a raw observation vector into the monitor's key domain,
+// applying the tie-break injection unless DistinctValues is set. The
+// correctness oracle uses it to rank nodes exactly as the monitor does.
+func (m *Monitor) EncodeAll(vals []int64, keys []order.Key) {
+	if len(vals) != m.cfg.N || len(keys) != m.cfg.N {
+		panic("core: EncodeAll length mismatch")
+	}
+	for i, v := range vals {
+		if m.cfg.DistinctValues {
+			keys[i] = order.Key(v)
+		} else {
+			keys[i] = m.codec.Encode(v, i)
+		}
+	}
+}
+
+// Observe processes one time step of observations (vals[i] is node i's new
+// value) and returns the top-k node ids in ascending order. The returned
+// slice is freshly allocated.
+func (m *Monitor) Observe(vals []int64) []int {
+	if len(vals) != m.cfg.N {
+		panic(fmt.Sprintf("core: observed %d values for %d nodes", len(vals), m.cfg.N))
+	}
+	m.EncodeAll(vals, m.keys)
+	m.step++
+	m.stats.Steps++
+
+	prevTop := m.fs.Top()
+
+	if !m.init {
+		m.filterReset()
+		m.init = true
+	} else {
+		m.handleStep()
+	}
+
+	top := m.fs.Top()
+	if !equalInts(prevTop, top) {
+		m.stats.TopChanges++
+	}
+	return top
+}
+
+// handleStep performs Algorithm 1 lines 2-14 for one time step.
+func (m *Monitor) handleStep() {
+	// Node-local filter checks (line 3). With k == n all filters are
+	// [−∞, +∞] and this loop never fires.
+	var violTop, violOut []protocol.Participant
+	for id := 0; id < m.cfg.N; id++ {
+		if violated, _ := m.fs.Interval(id).Violates(m.keys[id]); !violated {
+			continue
+		}
+		p := protocol.Participant{ID: id, Key: m.keys[id], RNG: m.rngs[id]}
+		if m.fs.InTop(id) {
+			violTop = append(violTop, p)
+		} else {
+			violOut = append(violOut, p)
+		}
+	}
+	if len(violTop) == 0 && len(violOut) == 0 {
+		return
+	}
+	m.stats.ViolationSteps++
+	rec := m.led.InPhase(comm.PhaseViolation)
+
+	// Lines 4-8: violating former top-k nodes determine their minimum;
+	// violating outsiders determine their maximum. Population bounds are k
+	// and n-k respectively, which the nodes know from the last broadcast.
+	var minRes, maxRes protocol.Result
+	if len(violTop) > 0 {
+		minRes = m.minProto(violTop, m.cfg.K, rec)
+	}
+	if len(violOut) > 0 {
+		maxRes = m.maxProto(violOut, m.cfg.N-m.cfg.K, rec)
+	}
+	m.violationHandler(minRes, maxRes)
+}
+
+// violationHandler is FILTERVIOLATIONHANDLER (Algorithm 1 lines 15-35).
+func (m *Monitor) violationHandler(minRes, maxRes protocol.Result) {
+	m.stats.HandlerCalls++
+	rec := m.led.InPhase(comm.PhaseHandler)
+
+	if !maxRes.OK {
+		// Line 23: learn the maximum over all current outsiders.
+		maxRes = m.maxProto(m.side(false), m.cfg.N-m.cfg.K, rec)
+	} else {
+		// Line 25: learn the minimum over all current top-k nodes. The
+		// paper runs this even when the violation phase already produced a
+		// minimum over the violating subset.
+		minRes = m.minProto(m.side(true), m.cfg.K, rec)
+	}
+
+	// Lines 27-28: tighten the running extrema. With k == n the outside
+	// side is empty and maxRes stays !OK, but that configuration never
+	// violates, so reaching here implies both results are valid.
+	if minRes.OK {
+		m.tPlus = order.Min(m.tPlus, minRes.Key)
+	}
+	if maxRes.OK {
+		m.tMinus = order.Max(m.tMinus, maxRes.Key)
+	}
+
+	if m.tPlus < m.tMinus {
+		m.filterReset() // line 30
+		return
+	}
+	// Lines 32-33: broadcast the midpoint of [T−, T+]; nodes re-anchor
+	// their filters around it.
+	mid := order.Midpoint(m.tMinus, m.tPlus)
+	rec.Record(comm.Bcast, 1)
+	m.cfg.Trace.Append(comm.Event{Step: m.step, Kind: comm.Bcast, From: comm.Coordinator, To: comm.Everyone, Payload: int64(mid), Note: "midpoint"})
+	m.fs.AssignMidpoint(mid)
+}
+
+// filterReset is FILTERRESET (Algorithm 1 lines 36-42): determine the k+1
+// largest values via repeated MAXIMUMPROTOCOL executions with population
+// bound n, then install fresh midpoint filters.
+func (m *Monitor) filterReset() {
+	m.stats.Resets++
+	rec := m.led.InPhase(comm.PhaseReset)
+
+	all := make([]protocol.Participant, m.cfg.N)
+	for id := 0; id < m.cfg.N; id++ {
+		all[id] = protocol.Participant{ID: id, Key: m.keys[id], RNG: m.rngs[id]}
+	}
+	want := m.cfg.K + 1
+	if want > m.cfg.N {
+		want = m.cfg.N // k == n: there is no (k+1)-st value
+	}
+	ranked := protocol.TopExtractWith(all, want, func(ps []protocol.Participant) protocol.Result {
+		return m.maxProto(ps, m.cfg.N, rec)
+	})
+
+	top := make([]int, m.cfg.K)
+	for i := 0; i < m.cfg.K; i++ {
+		top[i] = ranked[i].ID
+	}
+	m.fs.SetMembership(top)
+
+	if m.cfg.K == m.cfg.N {
+		// Degenerate case: every node is in the top set; filters are
+		// unconstrained and the monitor never communicates again.
+		m.tPlus = ranked[len(ranked)-1].Key
+		m.tMinus = order.NegInf
+		m.fs.AssignMidpoint(0) // installs [−∞, +∞] for k == n
+		return
+	}
+
+	kth := ranked[m.cfg.K-1].Key
+	kPlus1 := ranked[m.cfg.K].Key
+	m.tPlus, m.tMinus = kth, kPlus1
+	mid := order.Midpoint(kPlus1, kth)
+	// Line 41: one broadcast lets every node derive its new filter (nodes
+	// in the announced top set take [M, +∞], everyone else [−∞, M]).
+	rec.Record(comm.Bcast, 1)
+	m.cfg.Trace.Append(comm.Event{Step: m.step, Kind: comm.Bcast, From: comm.Coordinator, To: comm.Everyone, Payload: int64(mid), Note: "filter reset"})
+	m.fs.AssignMidpoint(mid)
+}
+
+// maxProto dispatches the maximum protocol per the UseGather ablation flag.
+func (m *Monitor) maxProto(parts []protocol.Participant, bound int, rec comm.Recorder) protocol.Result {
+	if m.cfg.UseGather {
+		return protocol.GatherAll(parts, rec, m.cfg.Trace, m.step)
+	}
+	return protocol.Maximum(parts, bound, rec, m.cfg.Trace, m.step)
+}
+
+// minProto dispatches the minimum protocol per the UseGather ablation flag.
+func (m *Monitor) minProto(parts []protocol.Participant, bound int, rec comm.Recorder) protocol.Result {
+	if m.cfg.UseGather {
+		return protocol.GatherAllMin(parts, rec, m.cfg.Trace, m.step)
+	}
+	return protocol.Minimum(parts, bound, rec, m.cfg.Trace, m.step)
+}
+
+// side collects the current participants of one side: top-k members when
+// top is true, outsiders otherwise.
+func (m *Monitor) side(top bool) []protocol.Participant {
+	var out []protocol.Participant
+	for id := 0; id < m.cfg.N; id++ {
+		if m.fs.InTop(id) == top {
+			out = append(out, protocol.Participant{ID: id, Key: m.keys[id], RNG: m.rngs[id]})
+		}
+	}
+	return out
+}
+
+// Keys exposes the key vector of the last observed step (for invariant
+// checks in tests).
+func (m *Monitor) Keys() []order.Key {
+	out := make([]order.Key, len(m.keys))
+	copy(out, m.keys)
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/comm"
+	"repro/internal/filter"
+	"repro/internal/order"
+)
+
+// OrderedMonitor implements the extension the paper sketches as future
+// work in §5: keep the coordinator informed not only of the top-k *set*
+// but of the *ranking* of those k nodes by value. The paper conjectures
+// that combining the neighbor-midpoint strategy of Lam et al. with its
+// maximum protocol yields a competitive algorithm for this variant; this
+// implementation realizes exactly that combination:
+//
+//   - The k-boundary (who is in the top set) is maintained by Algorithm 1
+//     unchanged: one midpoint M separates the sides, violations run the
+//     min/max protocols, T+/T− drive midpoint updates and resets.
+//   - Within the top band, every member additionally carries an
+//     order-filter: the interval between the midpoints to its ranking
+//     neighbors' last-reported values (the Lam et al. strategy restricted
+//     to k nodes). A member whose value leaves its order-filter reports
+//     it; the coordinator re-sorts its estimates, reassigns the midpoint
+//     intervals, and lets the cascade settle — all within one model time
+//     step, as the model permits.
+//
+// Rank reports are exact at every step: order-filters guarantee the
+// estimated ranking equals the true ranking of the band (same argument as
+// for the dominance tracker), and membership exactness is Algorithm 1's.
+type OrderedMonitor struct {
+	inner *Monitor
+
+	// Order-tracking state for the current top band.
+	est     map[int]order.Key // member id -> last reported key
+	ordLo   map[int]order.Key // member id -> order-filter bounds
+	ordHi   map[int]order.Key
+	ordered []int // member ids, rank 1 first
+}
+
+// NewOrdered creates an ordered top-k monitor. The Config is interpreted
+// exactly as for New.
+func NewOrdered(cfg Config) *OrderedMonitor {
+	return &OrderedMonitor{
+		inner: New(cfg),
+		est:   make(map[int]order.Key),
+		ordLo: make(map[int]order.Key),
+		ordHi: make(map[int]order.Key),
+	}
+}
+
+// N returns the node count.
+func (om *OrderedMonitor) N() int { return om.inner.N() }
+
+// K returns the monitored top set size.
+func (om *OrderedMonitor) K() int { return om.inner.K() }
+
+// Counts returns the total message counts (boundary plus order layers).
+func (om *OrderedMonitor) Counts() comm.Counts { return om.inner.Counts() }
+
+// Ledger exposes the message ledger. Order-layer traffic is attributed to
+// the handler phase (it is coordinator-driven repair work).
+func (om *OrderedMonitor) Ledger() *comm.Ledger { return om.inner.Ledger() }
+
+// Stats returns the boundary layer's execution counters.
+func (om *OrderedMonitor) Stats() Stats { return om.inner.Stats() }
+
+// Top returns the current top-k ids ordered by rank (largest value
+// first). The slice is freshly allocated.
+func (om *OrderedMonitor) Top() []int {
+	return append([]int(nil), om.ordered...)
+}
+
+// Observe processes one time step and returns the top-k ids ordered by
+// rank, largest first.
+func (om *OrderedMonitor) Observe(vals []int64) []int {
+	resetsBefore := om.inner.Stats().Resets
+	om.inner.Observe(vals)
+
+	members := om.inner.fs.Top()
+	keys := om.inner.keys
+
+	if om.inner.Stats().Resets != resetsBefore || len(om.ordered) == 0 {
+		// Membership may have changed (or this is the first step): the
+		// FILTERRESET extractions already revealed every member's value
+		// to the coordinator, so rebuilding the order layer costs nothing
+		// beyond what Algorithm 1 paid.
+		om.rebuild(members, keys)
+		return om.Top()
+	}
+
+	// Membership unchanged: settle the order-filter cascade within the
+	// band. Values are fixed during the inter-step protocol, each member
+	// reports at most once (after reporting, its estimate equals its
+	// current key, which its own midpoint interval always contains), so
+	// the loop terminates after at most k iterations.
+	rec := om.inner.led.InPhase(comm.PhaseHandler)
+	for {
+		changed := false
+		for _, id := range om.ordered {
+			k := keys[id]
+			if k < om.ordLo[id] || k > om.ordHi[id] {
+				om.est[id] = k
+				rec.Record(comm.Up, 1)
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		om.assignOrderFilters(rec)
+	}
+	return om.Top()
+}
+
+// rebuild reinitializes the order layer from current keys after a
+// membership change. The estimates come from the reset's protocol
+// results, so no additional messages are charged for learning them;
+// installing the fresh order-filters rides on the reset broadcast.
+func (om *OrderedMonitor) rebuild(members []int, keys []order.Key) {
+	clear(om.est)
+	clear(om.ordLo)
+	clear(om.ordHi)
+	om.ordered = om.ordered[:0]
+	for _, id := range members {
+		om.est[id] = keys[id]
+		om.ordered = append(om.ordered, id)
+	}
+	om.sortByEst()
+	om.setFilterBounds()
+}
+
+// assignOrderFilters re-sorts the band by estimate and reassigns midpoint
+// intervals, charging one Down message per member whose interval changed.
+func (om *OrderedMonitor) assignOrderFilters(rec comm.Recorder) {
+	om.sortByEst()
+	oldLo := make(map[int]order.Key, len(om.ordered))
+	oldHi := make(map[int]order.Key, len(om.ordered))
+	for id, v := range om.ordLo {
+		oldLo[id] = v
+	}
+	for id, v := range om.ordHi {
+		oldHi[id] = v
+	}
+	om.setFilterBounds()
+	for _, id := range om.ordered {
+		if om.ordLo[id] != oldLo[id] || om.ordHi[id] != oldHi[id] {
+			rec.Record(comm.Down, 1)
+		}
+	}
+}
+
+// sortByEst orders the band by estimated key, descending (rank 1 first).
+func (om *OrderedMonitor) sortByEst() {
+	sort.Slice(om.ordered, func(a, b int) bool {
+		return om.est[om.ordered[a]] > om.est[om.ordered[b]]
+	})
+}
+
+// setFilterBounds installs the neighbor-midpoint intervals for the
+// current ranking. The bottom member's lower bound and the top member's
+// upper bound are unbounded: the k-boundary of Algorithm 1 already fences
+// the band from the outside.
+func (om *OrderedMonitor) setFilterBounds() {
+	for pos, id := range om.ordered {
+		lo, hi := order.NegInf, order.PosInf
+		if pos > 0 {
+			above := om.ordered[pos-1]
+			hi = order.Midpoint(om.est[id], om.est[above])
+		}
+		if pos < len(om.ordered)-1 {
+			below := om.ordered[pos+1]
+			lo = order.Midpoint(om.est[below], om.est[id])
+		}
+		om.ordLo[id], om.ordHi[id] = lo, hi
+	}
+}
+
+// OrderFilter exposes a member's current order-filter for invariant
+// checks in tests. ok is false for non-members.
+func (om *OrderedMonitor) OrderFilter(id int) (iv filter.Interval, ok bool) {
+	lo, okLo := om.ordLo[id]
+	hi, okHi := om.ordHi[id]
+	if !okLo || !okHi {
+		return filter.Interval{}, false
+	}
+	return filter.Interval{Lo: lo, Hi: hi}, true
+}

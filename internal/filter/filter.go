@@ -1,0 +1,204 @@
+// Package filter implements the filter formalism of the paper's §2.2: each
+// node is assigned an interval (its filter) such that, as long as every
+// node's observation stays inside its interval, the set of top-k positions
+// cannot change and no communication is necessary.
+//
+// Lemma 2.2 characterizes valid filter assignments: every top-k node's
+// lower bound must be at or above every non-top-k node's upper bound. The
+// Validate function checks exactly that characterization and is used as a
+// per-step invariant in the monitor's tests.
+package filter
+
+import (
+	"fmt"
+
+	"repro/internal/order"
+)
+
+// Interval is an inclusive interval [Lo, Hi] over the key domain, with
+// order.NegInf / order.PosInf playing the roles of −∞ / +∞.
+type Interval struct {
+	Lo, Hi order.Key
+}
+
+// Full returns the unconstrained interval [−∞, +∞].
+func Full() Interval { return Interval{Lo: order.NegInf, Hi: order.PosInf} }
+
+// AtLeast returns [m, +∞], the filter shape the monitor assigns to top-k
+// nodes.
+func AtLeast(m order.Key) Interval { return Interval{Lo: m, Hi: order.PosInf} }
+
+// AtMost returns [−∞, m], the filter shape for non-top-k nodes.
+func AtMost(m order.Key) Interval { return Interval{Lo: order.NegInf, Hi: m} }
+
+// Point returns the degenerate filter [k, k] (used by the point-filter
+// ablation baseline, where any change is a violation).
+func Point(k order.Key) Interval { return Interval{Lo: k, Hi: k} }
+
+// Contains reports whether key k lies in the interval.
+func (iv Interval) Contains(k order.Key) bool { return iv.Lo <= k && k <= iv.Hi }
+
+// Empty reports whether the interval contains no keys.
+func (iv Interval) Empty() bool { return iv.Lo > iv.Hi }
+
+// Violates reports whether observing key k breaks the filter, together
+// with the side that broke: below is true when k < Lo, false when k > Hi.
+// When the filter holds, the boolean violation flag is false.
+func (iv Interval) Violates(k order.Key) (violated, below bool) {
+	switch {
+	case k < iv.Lo:
+		return true, true
+	case k > iv.Hi:
+		return true, false
+	default:
+		return false, false
+	}
+}
+
+// String renders the interval with ∞ glyphs for the sentinels.
+func (iv Interval) String() string {
+	lo, hi := "-inf", "+inf"
+	if iv.Lo != order.NegInf {
+		lo = fmt.Sprintf("%d", iv.Lo)
+	}
+	if iv.Hi != order.PosInf {
+		hi = fmt.Sprintf("%d", iv.Hi)
+	}
+	return fmt.Sprintf("[%s, %s]", lo, hi)
+}
+
+// Set is a filter assignment for n nodes plus the top-k membership the
+// assignment encodes. It is the coordinator-side bookkeeping structure.
+type Set struct {
+	ivs   []Interval
+	inTop []bool
+	k     int
+}
+
+// NewSet creates a filter set for n nodes with all filters [−∞, +∞] and an
+// empty top-k set of nominal size k. It panics unless 1 <= k <= n.
+func NewSet(n, k int) *Set {
+	if n <= 0 {
+		panic("filter: set needs n > 0")
+	}
+	if k < 1 || k > n {
+		panic("filter: set needs 1 <= k <= n")
+	}
+	s := &Set{ivs: make([]Interval, n), inTop: make([]bool, n), k: k}
+	for i := range s.ivs {
+		s.ivs[i] = Full()
+	}
+	return s
+}
+
+// N returns the number of nodes.
+func (s *Set) N() int { return len(s.ivs) }
+
+// K returns the nominal top-k size.
+func (s *Set) K() int { return s.k }
+
+// Interval returns node id's current filter.
+func (s *Set) Interval(id int) Interval { return s.ivs[id] }
+
+// SetInterval assigns node id's filter.
+func (s *Set) SetInterval(id int, iv Interval) {
+	if iv.Empty() {
+		panic("filter: assigning empty interval")
+	}
+	s.ivs[id] = iv
+}
+
+// InTop reports whether node id is recorded as a top-k member.
+func (s *Set) InTop(id int) bool { return s.inTop[id] }
+
+// SetMembership replaces the top-k membership with exactly the ids in top.
+// It panics if len(top) != k or an id repeats.
+func (s *Set) SetMembership(top []int) {
+	if len(top) != s.k {
+		panic(fmt.Sprintf("filter: membership size %d, want k=%d", len(top), s.k))
+	}
+	for i := range s.inTop {
+		s.inTop[i] = false
+	}
+	for _, id := range top {
+		if id < 0 || id >= len(s.inTop) {
+			panic("filter: membership id out of range")
+		}
+		if s.inTop[id] {
+			panic("filter: duplicate membership id")
+		}
+		s.inTop[id] = true
+	}
+}
+
+// Top returns the current top-k ids in ascending order.
+func (s *Set) Top() []int {
+	out := make([]int, 0, s.k)
+	for id, in := range s.inTop {
+		if in {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// AssignMidpoint installs the canonical assignment of Algorithm 1 around
+// midpoint m: [m, +∞] for current top-k members, [−∞, m] for the rest.
+// With k == n there is no outside node, so every filter becomes [−∞, +∞]
+// and the monitor never communicates again — the degenerate case discussed
+// in DESIGN.md.
+func (s *Set) AssignMidpoint(m order.Key) {
+	if s.k == len(s.ivs) {
+		for i := range s.ivs {
+			s.ivs[i] = Full()
+		}
+		return
+	}
+	for i := range s.ivs {
+		if s.inTop[i] {
+			s.ivs[i] = AtLeast(m)
+		} else {
+			s.ivs[i] = AtMost(m)
+		}
+	}
+}
+
+// Validate checks the Lemma 2.2 characterization against the given current
+// keys: (1) every key lies in its node's filter, and (2) the smallest lower
+// bound among top-k filters is at least the largest upper bound among
+// non-top-k filters. It returns a descriptive error on the first violation
+// found, or nil if the assignment is a valid set of filters.
+func (s *Set) Validate(keys []order.Key) error {
+	if len(keys) != len(s.ivs) {
+		return fmt.Errorf("filter: %d keys for %d nodes", len(keys), len(s.ivs))
+	}
+	minTopLo := order.PosInf
+	maxOutHi := order.NegInf
+	for id, iv := range s.ivs {
+		if !iv.Contains(keys[id]) {
+			return fmt.Errorf("filter: node %d key %d outside filter %s", id, keys[id], iv)
+		}
+		if s.inTop[id] {
+			minTopLo = order.Min(minTopLo, iv.Lo)
+		} else {
+			maxOutHi = order.Max(maxOutHi, iv.Hi)
+		}
+	}
+	// With no outside nodes (k == n) the separation condition is vacuous.
+	if maxOutHi != order.NegInf && minTopLo < maxOutHi {
+		return fmt.Errorf("filter: separation violated: min top lower bound %d < max outside upper bound %d", minTopLo, maxOutHi)
+	}
+	return nil
+}
+
+// CountTop returns how many nodes are currently marked as top-k members.
+// A consistent set always returns exactly K(); the monitor asserts this.
+func (s *Set) CountTop() int {
+	c := 0
+	for _, in := range s.inTop {
+		if in {
+			c++
+		}
+	}
+	return c
+}

@@ -1,0 +1,84 @@
+package protocol
+
+import (
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/order"
+)
+
+func TestGatherAllMinCorrectAndCounted(t *testing.T) {
+	parts := makeParts(17, 100, 21)
+	var c comm.Counter
+	res := GatherAllMin(parts, &c, nil, 0)
+	if want := trueMin(parts); !res.OK || res.ID != want.ID || res.Key != want.Key {
+		t.Fatalf("gather-min wrong: %+v want %+v", res, want)
+	}
+	if c.Get(comm.Up) != 17 || c.Get(comm.Bcast) != 1 {
+		t.Fatalf("gather-min counts: %v", c.Snapshot())
+	}
+}
+
+func TestGatherAllMinEmpty(t *testing.T) {
+	if res := GatherAllMin(nil, comm.Discard, nil, 0); res.OK {
+		t.Fatal("empty gather-min should not be OK")
+	}
+}
+
+func TestTopExtractWithGatherMatchesSampled(t *testing.T) {
+	// Both extraction strategies must produce the same ranking; only the
+	// message bill differs.
+	parts := makeParts(15, 0, 22)
+	sampled := TopExtract(parts, 6, 15, comm.Discard, nil, 0)
+
+	var gc comm.Counter
+	gathered := TopExtractWith(makeParts(15, 0, 22), 6, func(ps []Participant) Result {
+		return GatherAll(ps, &gc, nil, 0)
+	})
+	if len(sampled) != len(gathered) {
+		t.Fatalf("lengths differ: %d vs %d", len(sampled), len(gathered))
+	}
+	for i := range sampled {
+		if sampled[i].ID != gathered[i].ID || sampled[i].Key != gathered[i].Key {
+			t.Fatalf("rank %d differs: %+v vs %+v", i, sampled[i], gathered[i])
+		}
+	}
+	// Gather extraction sends every remaining participant each time:
+	// 15 + 14 + 13 + 12 + 11 + 10 = 75 up messages.
+	if gc.Get(comm.Up) != 75 {
+		t.Fatalf("gather extraction up messages: %d", gc.Get(comm.Up))
+	}
+}
+
+func TestTopExtractWithStopsWhenExhausted(t *testing.T) {
+	res := TopExtractWith(makeParts(3, 0, 23), 10, func(ps []Participant) Result {
+		return GatherAll(ps, comm.Discard, nil, 0)
+	})
+	if len(res) != 3 {
+		t.Fatalf("extracted %d, want 3", len(res))
+	}
+}
+
+func TestMinimumWithLooseBound(t *testing.T) {
+	parts := makeParts(9, -50, 24)
+	var c comm.Counter
+	res := Minimum(parts, 64, &c, nil, 0)
+	if want := trueMin(parts); res.ID != want.ID {
+		t.Fatalf("minimum with loose bound wrong: %+v", res)
+	}
+	if c.Get(comm.Bcast) != int64(Rounds(64)) {
+		t.Fatalf("broadcast rounds should follow the bound: %v", c.Snapshot())
+	}
+}
+
+func TestMinimumSentinelKeys(t *testing.T) {
+	// Keys far into the negative range must survive the negation trick.
+	parts := []Participant{
+		{ID: 0, Key: order.Key(-1 << 40), RNG: makeParts(1, 0, 25)[0].RNG},
+		{ID: 1, Key: order.Key(-1 << 50), RNG: makeParts(1, 0, 26)[0].RNG},
+	}
+	res := Minimum(parts, 2, comm.Discard, nil, 0)
+	if res.ID != 1 {
+		t.Fatalf("extreme negative minimum wrong: %+v", res)
+	}
+}

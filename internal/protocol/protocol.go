@@ -1,0 +1,309 @@
+// Package protocol implements the distributed maximum/minimum computation
+// of the paper's §4 (Algorithm 2, MAXIMUMPROTOCOL) together with the
+// baseline protocols used in experiments: gather-everything, the
+// sequential-probe scheme underlying the Ω(log n) lower bound of Theorem
+// 4.3, and a shout-echo style domain binary search from the related work.
+//
+// Algorithm 2 proceeds in rounds r = 0..ceil(log2 N). In round r every
+// still-active node whose key exceeds the best value broadcast so far
+// sends its key to the coordinator with probability min(1, 2^r/N) and
+// deactivates itself afterwards; nodes whose key is below the broadcast
+// best silently deactivate. The final round has sending probability 1, so
+// the protocol is Las Vegas: the result is always the true maximum and
+// only the message count is random. Theorem 4.2 bounds the expected number
+// of node-to-coordinator messages by 2·log2(N) + 1.
+//
+// The node-side per-round behaviour lives in Sampler so that the
+// sequential engine (this package's Maximum) and the goroutine-per-node
+// runtime (internal/runtime) share one implementation and can be checked
+// for message-count equivalence under identical seeds.
+package protocol
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/comm"
+	"repro/internal/order"
+	"repro/internal/rng"
+)
+
+// Participant describes one node taking part in a protocol execution at a
+// fixed time instant: its id, its current key, and its private generator
+// for the Bernoulli trials the paper's node model provides.
+type Participant struct {
+	ID  int
+	Key order.Key
+	RNG *rng.RNG
+}
+
+// Result is the outcome of one protocol execution.
+type Result struct {
+	// OK is false when the participant set was empty; the remaining fields
+	// are then meaningless.
+	OK bool
+	// ID and Key identify the winning node and its value.
+	ID  int
+	Key order.Key
+	// Rounds is the number of broadcast rounds executed.
+	Rounds int
+}
+
+// Rounds returns the number of sampling rounds Algorithm 2 executes for an
+// upper bound of n participants: ceil(log2 n) + 1 (rounds 0..ceil(log2 n)).
+// It panics for n <= 0.
+func Rounds(n int) int {
+	return ceilLog2(n) + 1
+}
+
+func ceilLog2(n int) int {
+	if n <= 0 {
+		panic("protocol: population bound must be positive")
+	}
+	if n == 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// Sampler is the node-local state of one MAXIMUMPROTOCOL execution. A
+// fresh Sampler is active; Round advances it by one protocol round.
+type Sampler struct {
+	key    order.Key
+	bound  uint64
+	active bool
+}
+
+// NewSampler creates the node-side state for a protocol execution with the
+// given local key and population upper bound N (the protocol parameter).
+func NewSampler(key order.Key, bound int) Sampler {
+	if bound <= 0 {
+		panic("protocol: sampler bound must be positive")
+	}
+	return Sampler{key: key, bound: uint64(bound), active: true}
+}
+
+// Active reports whether the node still participates.
+func (s *Sampler) Active() bool { return s.active }
+
+// Round processes round r given the best key broadcast by the coordinator
+// so far (order.NegInf before the first round). It returns true when the
+// node sends its key this round. Nodes that observe a broadcast best above
+// their own key deactivate without sending (Algorithm 2 lines 8-10); nodes
+// that send deactivate immediately afterwards (line 14).
+func (s *Sampler) Round(best order.Key, r uint, rg *rng.RNG) bool {
+	if !s.active {
+		return false
+	}
+	if best > s.key {
+		s.active = false
+		return false
+	}
+	if rg.BernoulliPow2(r, s.bound) {
+		s.active = false
+		return true
+	}
+	return false
+}
+
+// Maximum executes Algorithm 2 over the given participants with population
+// upper bound N >= len(parts), recording one Up message per node send and
+// one Bcast per round on rec. step tags optional trace events with the
+// simulation time. The empty participant set yields Result{OK: false} and
+// no messages.
+func Maximum(parts []Participant, bound int, rec comm.Recorder, tr *comm.Trace, step int64) Result {
+	return run(parts, bound, rec, tr, step, false)
+}
+
+// Minimum is the order-dual of Maximum: it executes Algorithm 2 on negated
+// keys, returning the participant holding the smallest key.
+func Minimum(parts []Participant, bound int, rec comm.Recorder, tr *comm.Trace, step int64) Result {
+	return run(parts, bound, rec, tr, step, true)
+}
+
+func run(parts []Participant, bound int, rec comm.Recorder, tr *comm.Trace, step int64, negate bool) Result {
+	if len(parts) == 0 {
+		return Result{OK: false, ID: -1, Key: order.NegInf}
+	}
+	if bound < len(parts) {
+		panic(fmt.Sprintf("protocol: bound %d below participant count %d", bound, len(parts)))
+	}
+	key := func(p Participant) order.Key {
+		if negate {
+			return order.Neg(p.Key)
+		}
+		return p.Key
+	}
+	samplers := make([]Sampler, len(parts))
+	for i, p := range parts {
+		samplers[i] = NewSampler(key(p), bound)
+	}
+	best := order.NegInf
+	bestIdx := -1
+	rounds := Rounds(bound)
+	for r := 0; r < rounds; r++ {
+		// Decisions within a round are independent and compare against the
+		// best value broadcast at the END of the previous round (the
+		// paper's max_{r-1}); the running best therefore only advances at
+		// the round boundary.
+		roundBest := best
+		for i, p := range parts {
+			if samplers[i].Round(roundBest, uint(r), p.RNG) {
+				rec.Record(comm.Up, 1)
+				tr.Append(comm.Event{Step: step, Kind: comm.Up, From: p.ID, To: comm.Coordinator, Payload: int64(p.Key), Note: "proto send"})
+				if k := key(p); k > best {
+					best = k
+					bestIdx = i
+				}
+			}
+		}
+		rec.Record(comm.Bcast, 1)
+		tr.Append(comm.Event{Step: step, Kind: comm.Bcast, From: comm.Coordinator, To: comm.Everyone, Payload: int64(best), Note: "proto round"})
+	}
+	// The final round samples with probability 1, so every participant not
+	// dominated earlier has sent; bestIdx is the true extremum.
+	winner := parts[bestIdx]
+	return Result{OK: true, ID: winner.ID, Key: winner.Key, Rounds: rounds}
+}
+
+// Extractor computes the maximum over a participant set; Maximum and
+// GatherAll (suitably curried) both fit.
+type Extractor func(parts []Participant) Result
+
+// TopExtract repeatedly applies Maximum to find the `count` largest keys in
+// descending order, excluding prior winners, exactly as FILTERRESET does
+// (Algorithm 1 lines 37-39). Each application uses the same population
+// bound. If fewer than count participants exist, all of them are returned.
+func TopExtract(parts []Participant, count, bound int, rec comm.Recorder, tr *comm.Trace, step int64) []Result {
+	return TopExtractWith(parts, count, func(ps []Participant) Result {
+		return Maximum(ps, bound, rec, tr, step)
+	})
+}
+
+// TopExtractWith is TopExtract parameterized over the maximum protocol, for
+// the gather-all ablation.
+func TopExtractWith(parts []Participant, count int, extract Extractor) []Result {
+	if count < 0 {
+		panic("protocol: negative extraction count")
+	}
+	remaining := append([]Participant(nil), parts...)
+	out := make([]Result, 0, count)
+	for len(out) < count && len(remaining) > 0 {
+		res := extract(remaining)
+		out = append(out, res)
+		for i, p := range remaining {
+			if p.ID == res.ID {
+				remaining = append(remaining[:i], remaining[i+1:]...)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// GatherAll is the naive protocol: every participant sends its key once and
+// the coordinator takes the maximum locally. It uses exactly len(parts) Up
+// messages plus one broadcast to announce the query, and serves as the
+// trivially correct baseline.
+func GatherAll(parts []Participant, rec comm.Recorder, tr *comm.Trace, step int64) Result {
+	if len(parts) == 0 {
+		return Result{OK: false, ID: -1, Key: order.NegInf}
+	}
+	rec.Record(comm.Bcast, 1)
+	tr.Append(comm.Event{Step: step, Kind: comm.Bcast, From: comm.Coordinator, To: comm.Everyone, Note: "gather"})
+	best := parts[0]
+	for _, p := range parts {
+		rec.Record(comm.Up, 1)
+		if p.Key > best.Key {
+			best = p
+		}
+	}
+	return Result{OK: true, ID: best.ID, Key: best.Key, Rounds: 1}
+}
+
+// GatherAllMin is the order-dual of GatherAll: every participant sends and
+// the coordinator takes the minimum.
+func GatherAllMin(parts []Participant, rec comm.Recorder, tr *comm.Trace, step int64) Result {
+	if len(parts) == 0 {
+		return Result{OK: false, ID: -1, Key: order.NegInf}
+	}
+	rec.Record(comm.Bcast, 1)
+	tr.Append(comm.Event{Step: step, Kind: comm.Bcast, From: comm.Coordinator, To: comm.Everyone, Note: "gather-min"})
+	best := parts[0]
+	for _, p := range parts {
+		rec.Record(comm.Up, 1)
+		if p.Key < best.Key {
+			best = p
+		}
+	}
+	return Result{OK: true, ID: best.ID, Key: best.Key, Rounds: 1}
+}
+
+// SequentialMaxima models the optimal deterministic probing scheme from the
+// proof of Theorem 4.3: the coordinator visits nodes in the given order and
+// a node replies only when its key exceeds the running maximum (the
+// coordinator keeps nodes informed of the running maximum for free in this
+// accounting, matching the proof's "skipping nodes that cannot deliver new
+// information"). The number of Up messages is therefore the number of
+// left-to-right maxima of the key sequence, whose expectation on a random
+// permutation is the harmonic number H_n = Θ(log n) — the quantity the
+// lower bound is built from.
+func SequentialMaxima(parts []Participant, rec comm.Recorder, tr *comm.Trace, step int64) Result {
+	if len(parts) == 0 {
+		return Result{OK: false, ID: -1, Key: order.NegInf}
+	}
+	best := parts[0]
+	first := true
+	for _, p := range parts {
+		if first || p.Key > best.Key {
+			rec.Record(comm.Up, 1)
+			tr.Append(comm.Event{Step: step, Kind: comm.Up, From: p.ID, To: comm.Coordinator, Payload: int64(p.Key), Note: "seq maxima"})
+			best = p
+			first = false
+		}
+	}
+	return Result{OK: true, ID: best.ID, Key: best.Key, Rounds: len(parts)}
+}
+
+// DomainSearch finds the maximum by shout-echo style binary search over the
+// key domain [lo, hi]: the coordinator broadcasts a threshold, every node
+// above it replies, and the search narrows until a single node remains.
+// This is the style of selection protocol from the shout-echo literature
+// the paper contrasts with ([13, 14]); it minimizes rounds, not messages,
+// and serves as an ablation baseline. Keys must lie within [lo, hi].
+func DomainSearch(parts []Participant, lo, hi order.Key, rec comm.Recorder, tr *comm.Trace, step int64) Result {
+	if len(parts) == 0 {
+		return Result{OK: false, ID: -1, Key: order.NegInf}
+	}
+	if lo > hi {
+		panic("protocol: DomainSearch with inverted domain")
+	}
+	rounds := 0
+	// Invariant: the maximum key lies in [lo, hi] and above is the set of
+	// nodes known to be > lo (candidates for the maximum).
+	for lo < hi {
+		mid := order.Midpoint(lo, hi)
+		rounds++
+		rec.Record(comm.Bcast, 1)
+		tr.Append(comm.Event{Step: step, Kind: comm.Bcast, From: comm.Coordinator, To: comm.Everyone, Payload: int64(mid), Note: "domain search"})
+		any := false
+		for _, p := range parts {
+			if p.Key > mid {
+				rec.Record(comm.Up, 1)
+				any = true
+			}
+		}
+		if any {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	// lo == hi == the maximum key; find its holder locally.
+	for _, p := range parts {
+		if p.Key == lo {
+			return Result{OK: true, ID: p.ID, Key: p.Key, Rounds: rounds}
+		}
+	}
+	panic("protocol: DomainSearch domain did not contain all keys")
+}

@@ -1,0 +1,117 @@
+package runtime
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stream"
+)
+
+// TestOrderedEquivalenceWithSequential pins the ordered concurrent engine
+// against core.OrderedMonitor: identical rankings and identical message
+// counts at every step, per workload family.
+func TestOrderedEquivalenceWithSequential(t *testing.T) {
+	cases := []struct {
+		name string
+		n, k int
+		src  func(n int) stream.Source
+	}{
+		{"walk", 10, 3, func(n int) stream.Source {
+			return stream.NewRandomWalk(stream.WalkConfig{N: n, Lo: 0, Hi: 100000, MaxStep: 600, Seed: 31})
+		}},
+		{"iid", 8, 2, func(n int) stream.Source {
+			return stream.NewIID(stream.IIDConfig{N: n, Seed: 32, Dist: stream.Uniform, Lo: 0, Hi: 1 << 18})
+		}},
+		{"twoband-churn", 12, 4, func(n int) stream.Source {
+			return stream.NewTwoBand(stream.TwoBandConfig{N: n, K: 4, Seed: 33, Gap: 1 << 16, BandWidth: 1 << 10, MaxStep: 1 << 8, SwapEvery: 40})
+		}},
+		{"rotation", 6, 2, func(n int) stream.Source {
+			return stream.NewRotation(stream.RotationConfig{N: n, Period: 3, Base: 10, Peak: 5000})
+		}},
+		{"k-equals-n", 5, 5, func(n int) stream.Source {
+			return stream.NewRandomWalk(stream.WalkConfig{N: n, Lo: 0, Hi: 10000, MaxStep: 400, Seed: 34})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			const seed, steps = 71, 250
+			seq := core.NewOrdered(core.Config{N: tc.n, K: tc.k, Seed: seed})
+			conc := NewOrdered(Config{N: tc.n, K: tc.k, Seed: seed})
+			defer conc.Close()
+			srcA, srcB := tc.src(tc.n), tc.src(tc.n)
+			va, vb := make([]int64, tc.n), make([]int64, tc.n)
+			for s := 0; s < steps; s++ {
+				srcA.Step(va)
+				srcB.Step(vb)
+				a, b := seq.Observe(va), conc.Observe(vb)
+				if !equal(a, b) {
+					t.Fatalf("step %d: rankings differ: seq=%v conc=%v", s, a, b)
+				}
+				if seq.Counts() != conc.Counts() {
+					t.Fatalf("step %d: counts differ: seq=%v conc=%v", s, seq.Counts(), conc.Counts())
+				}
+			}
+		})
+	}
+}
+
+func TestOrderedRuntimeExactRanks(t *testing.T) {
+	const n, k = 9, 3
+	ot := NewOrdered(Config{N: n, K: k, Seed: 35})
+	defer ot.Close()
+	src := stream.NewBursty(stream.BurstyConfig{N: n, Seed: 36, Lo: 0, Hi: 1 << 20, Noise: 5, BurstProb: 0.05, BurstMax: 1 << 16})
+	vals := make([]int64, n)
+	for s := 0; s < 250; s++ {
+		src.Step(vals)
+		got := ot.Observe(vals)
+		if len(got) != k {
+			t.Fatalf("step %d: rank count %d", s, len(got))
+		}
+		// Verify descending rank order under (value, smaller-id-wins).
+		for i := 1; i < len(got); i++ {
+			hi, lo := got[i-1], got[i]
+			if vals[hi] < vals[lo] || (vals[hi] == vals[lo] && hi > lo) {
+				t.Fatalf("step %d: rank inversion %v (vals %v)", s, got, vals)
+			}
+		}
+		// Membership must match the set oracle.
+		want := oracleTop(vals, k)
+		set := map[int]bool{}
+		for _, id := range got {
+			set[id] = true
+		}
+		for _, id := range want {
+			if !set[id] {
+				t.Fatalf("step %d: membership wrong: %v vs %v", s, got, want)
+			}
+		}
+	}
+}
+
+func TestOrderedRuntimeTopIsCopy(t *testing.T) {
+	ot := NewOrdered(Config{N: 4, K: 2, Seed: 37})
+	defer ot.Close()
+	ot.Observe([]int64{4, 3, 2, 1})
+	top := ot.Top()
+	top[0] = 99
+	if ot.Top()[0] == 99 {
+		t.Fatal("Top must return a copy")
+	}
+}
+
+func TestOrderedRuntimeLedgerConsistent(t *testing.T) {
+	ot := NewOrdered(Config{N: 8, K: 3, Seed: 38})
+	defer ot.Close()
+	src := stream.NewTwoBand(stream.TwoBandConfig{N: 8, K: 3, Seed: 39, Gap: 1 << 14, BandWidth: 1 << 9, MaxStep: 1 << 7})
+	vals := make([]int64, 8)
+	for s := 0; s < 100; s++ {
+		src.Step(vals)
+		ot.Observe(vals)
+	}
+	if ot.Counts() != ot.Ledger().Total() {
+		t.Fatal("Counts and Ledger disagree")
+	}
+	if ot.Counts().Down == 0 {
+		t.Fatal("band churn should have reassigned order bounds (Down > 0)")
+	}
+}

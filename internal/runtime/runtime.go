@@ -1,0 +1,466 @@
+// Package runtime executes Algorithm 1 on a concurrent engine: one
+// goroutine per node plus a coordinator, communicating exclusively over
+// channels. It demonstrates the distributed fidelity of the reproduction —
+// nodes hold only their own state (current key, filter, membership flag,
+// private RNG) and everything the coordinator learns about values arrives
+// in counted messages.
+//
+// # Synchrony and the control plane
+//
+// The paper's model is synchronous: observations happen in lockstep and an
+// arbitrary protocol may run between two observations, with round
+// boundaries being common knowledge. The engine realizes that assumption
+// with an uncounted control plane: command delivery, round barriers and
+// per-round acknowledgements are channel plumbing that carries no value
+// information a real synchronized deployment would not already have.
+// Counted messages — node value reports (Up) and coordinator broadcasts
+// (Bcast) — are recorded exactly as in the sequential engine
+// (internal/core), and the equivalence test in this package asserts that
+// both engines produce bit-identical message counts and reports under the
+// same seed.
+package runtime
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/comm"
+	"repro/internal/filter"
+	"repro/internal/order"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+)
+
+// Config mirrors core.Config for the concurrent engine.
+type Config struct {
+	N, K           int
+	Seed           uint64
+	DistinctValues bool
+}
+
+type cmdKind int
+
+const (
+	cObserve cmdKind = iota
+	cRound
+	cWinner
+	cMidpoint
+	cResetBegin
+	cOrderCheck  // ordered variant: report if the order filter broke
+	cOrderBounds // ordered variant: install new order-filter bounds
+)
+
+// protoTag identifies which cohort participates in a protocol round.
+type protoTag int
+
+const (
+	tagViolMin protoTag = iota // violating former top-k nodes, minimum
+	tagViolMax                 // violating outsiders, maximum
+	tagHandMin                 // all top-k nodes, minimum
+	tagHandMax                 // all outsiders, maximum
+	tagReset                   // all not-yet-extracted nodes, maximum
+)
+
+func (t protoTag) minimum() bool { return t == tagViolMin || t == tagHandMin }
+
+type command struct {
+	kind  cmdKind
+	value int64     // cObserve: the node's new observation
+	tag   protoTag  // cRound
+	round int       // cRound
+	best  order.Key // cRound: best-so-far in the sampler's comparison domain
+	bound int       // cRound: population bound N of the protocol
+	exec  int       // cRound/cWinner: extraction index within a reset
+	win   int       // cWinner: winning node id
+	isTop bool      // cWinner: winner belongs to the new top-k
+	mid   order.Key // cMidpoint
+	full  bool      // cMidpoint: k == n, install [-inf, +inf]
+}
+
+type reply struct {
+	id   int
+	sent bool      // true: a counted Up message carrying key
+	key  order.Key // valid when sent
+	// observation control flags (cObserve only)
+	violated bool
+	wasTop   bool
+}
+
+// node is the goroutine-local state of one distributed node.
+type node struct {
+	id       int
+	distinct bool
+	codec    order.Codec
+	rng      *rng.RNG
+
+	key       order.Key
+	iv        filter.Interval
+	ordIv     filter.Interval // order filter (ordered variant only)
+	inTop     bool
+	violated  bool
+	wasTop    bool
+	extracted bool
+	sampler   protocol.Sampler
+
+	cmd chan command
+	out chan<- reply
+}
+
+func (nd *node) run() {
+	for c := range nd.cmd {
+		switch c.kind {
+		case cObserve:
+			if nd.distinct {
+				nd.key = order.Key(c.value)
+			} else {
+				nd.key = nd.codec.Encode(c.value, nd.id)
+			}
+			v, _ := nd.iv.Violates(nd.key)
+			nd.violated = v
+			nd.wasTop = nd.inTop
+			nd.out <- reply{id: nd.id, violated: v, wasTop: nd.inTop}
+
+		case cResetBegin:
+			nd.extracted = false
+			nd.inTop = false
+			nd.out <- reply{id: nd.id}
+
+		case cRound:
+			if !nd.participates(c.tag) {
+				nd.out <- reply{id: nd.id}
+				continue
+			}
+			if c.round == 0 {
+				k := nd.key
+				if c.tag.minimum() {
+					k = order.Neg(k)
+				}
+				nd.sampler = protocol.NewSampler(k, c.bound)
+			}
+			if nd.sampler.Round(c.best, uint(c.round), nd.rng) {
+				nd.out <- reply{id: nd.id, sent: true, key: nd.key}
+			} else {
+				nd.out <- reply{id: nd.id}
+			}
+
+		case cWinner:
+			if c.win == nd.id {
+				nd.extracted = true
+				if c.isTop {
+					nd.inTop = true
+				}
+			}
+			nd.out <- reply{id: nd.id}
+
+		case cOrderCheck:
+			if v, _ := nd.ordIv.Violates(nd.key); v {
+				nd.out <- reply{id: nd.id, sent: true, key: nd.key}
+			} else {
+				nd.out <- reply{id: nd.id}
+			}
+
+		case cOrderBounds:
+			// best carries the lower bound, mid the upper bound.
+			nd.ordIv = filter.Interval{Lo: c.best, Hi: c.mid}
+			nd.out <- reply{id: nd.id}
+
+		case cMidpoint:
+			switch {
+			case c.full:
+				nd.iv = filter.Full()
+			case nd.inTop:
+				nd.iv = filter.AtLeast(c.mid)
+			default:
+				nd.iv = filter.AtMost(c.mid)
+			}
+			nd.out <- reply{id: nd.id}
+
+		default:
+			panic(fmt.Sprintf("runtime: unknown command kind %d", c.kind))
+		}
+	}
+}
+
+func (nd *node) participates(tag protoTag) bool {
+	switch tag {
+	case tagViolMin:
+		return nd.violated && nd.wasTop
+	case tagViolMax:
+		return nd.violated && !nd.wasTop
+	case tagHandMin:
+		return nd.inTop
+	case tagHandMax:
+		return !nd.inTop
+	case tagReset:
+		return !nd.extracted
+	default:
+		panic(fmt.Sprintf("runtime: unknown protocol tag %d", tag))
+	}
+}
+
+// Runtime is the concurrent monitor. It satisfies sim.Algorithm. It is not
+// safe for concurrent Observe calls (steps are globally ordered in the
+// model); internal node parallelism is managed by the coordinator.
+type Runtime struct {
+	cfg   Config
+	led   comm.Ledger
+	nodes []*node
+	in    chan reply
+	wg    sync.WaitGroup
+
+	inTop  []bool // coordinator's view of the membership
+	tPlus  order.Key
+	tMinus order.Key
+	init   bool
+	closed bool
+
+	// Ordered-variant bookkeeping.
+	resets   int64             // reset executions, including initialization
+	lastKeys map[int]order.Key // keys revealed by the latest reset's extractions
+}
+
+// New starts the node goroutines and returns the runtime. Callers must
+// Close it to release the goroutines.
+func New(cfg Config) *Runtime {
+	if cfg.N <= 0 {
+		panic("runtime: need N > 0")
+	}
+	if cfg.K < 1 || cfg.K > cfg.N {
+		panic("runtime: need 1 <= K <= N")
+	}
+	rt := &Runtime{
+		cfg:      cfg,
+		nodes:    make([]*node, cfg.N),
+		in:       make(chan reply, cfg.N),
+		inTop:    make([]bool, cfg.N),
+		lastKeys: make(map[int]order.Key),
+	}
+	codec := order.NewCodec(cfg.N)
+	// The RNG stream layout matches core.New exactly; engine equivalence
+	// depends on it.
+	root := rng.New(cfg.Seed, 0xc02e)
+	for i := 0; i < cfg.N; i++ {
+		nd := &node{
+			id:       i,
+			distinct: cfg.DistinctValues,
+			codec:    codec,
+			rng:      root.Split(uint64(i)),
+			iv:       filter.Full(),
+			ordIv:    filter.Full(),
+			cmd:      make(chan command, 1),
+			out:      rt.in,
+		}
+		rt.nodes[i] = nd
+		rt.wg.Add(1)
+		go func() {
+			defer rt.wg.Done()
+			nd.run()
+		}()
+	}
+	return rt
+}
+
+// Close shuts down all node goroutines. Idempotent.
+func (rt *Runtime) Close() {
+	if rt.closed {
+		return
+	}
+	rt.closed = true
+	for _, nd := range rt.nodes {
+		close(nd.cmd)
+	}
+	rt.wg.Wait()
+}
+
+// Counts returns the total message counts charged so far.
+func (rt *Runtime) Counts() comm.Counts { return rt.led.Total() }
+
+// Ledger exposes the per-phase breakdown.
+func (rt *Runtime) Ledger() *comm.Ledger { return &rt.led }
+
+// Top returns the current top-k ids ascending.
+func (rt *Runtime) Top() []int {
+	out := make([]int, 0, rt.cfg.K)
+	for id, in := range rt.inTop {
+		if in {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// broadcast sends the command to every node and collects one reply per
+// node. The fan-out/fan-in is control plane; only explicitly recorded
+// events cost messages.
+func (rt *Runtime) broadcast(c command) []reply {
+	for _, nd := range rt.nodes {
+		nd.cmd <- c
+	}
+	replies := make([]reply, rt.cfg.N)
+	for i := 0; i < rt.cfg.N; i++ {
+		r := <-rt.in
+		replies[r.id] = r
+	}
+	return replies
+}
+
+// unicast sends a command to a single node and awaits its reply. Like
+// broadcast, the plumbing is control plane; cost is recorded explicitly
+// by callers.
+func (rt *Runtime) unicast(id int, c command) reply {
+	rt.nodes[id].cmd <- c
+	return <-rt.in
+}
+
+// observeCmd delivers per-node observations (sensing is local and free).
+func (rt *Runtime) observeCmd(vals []int64) []reply {
+	for i, nd := range rt.nodes {
+		nd.cmd <- command{kind: cObserve, value: vals[i]}
+	}
+	replies := make([]reply, rt.cfg.N)
+	for i := 0; i < rt.cfg.N; i++ {
+		r := <-rt.in
+		replies[r.id] = r
+	}
+	return replies
+}
+
+// execProtocol runs one Algorithm 2 execution over the cohort selected by
+// tag, with the given population bound, recording Up per node send and
+// Bcast per round. It returns the winner (in the tag's extremal sense) and
+// whether anyone sent.
+func (rt *Runtime) execProtocol(tag protoTag, bound, exec int, rec comm.Recorder) (winID int, winKey order.Key, any bool) {
+	rounds := protocol.Rounds(bound)
+	best := order.NegInf // in the sampler's comparison domain
+	winID = -1
+	for r := 0; r < rounds; r++ {
+		replies := rt.broadcast(command{kind: cRound, tag: tag, round: r, best: best, bound: bound, exec: exec})
+		for _, rp := range replies {
+			if !rp.sent {
+				continue
+			}
+			rec.Record(comm.Up, 1)
+			any = true
+			cmp := rp.key
+			if tag.minimum() {
+				cmp = order.Neg(cmp)
+			}
+			if cmp > best {
+				best = cmp
+				winID = rp.id
+				winKey = rp.key
+			}
+		}
+		rec.Record(comm.Bcast, 1)
+	}
+	return winID, winKey, any
+}
+
+// Observe processes one time step and returns the reported top-k ids
+// ascending. It panics after Close.
+func (rt *Runtime) Observe(vals []int64) []int {
+	if rt.closed {
+		panic("runtime: Observe after Close")
+	}
+	if len(vals) != rt.cfg.N {
+		panic(fmt.Sprintf("runtime: observed %d values for %d nodes", len(vals), rt.cfg.N))
+	}
+	replies := rt.observeCmd(vals)
+
+	if !rt.init {
+		rt.reset()
+		rt.init = true
+		return rt.Top()
+	}
+
+	anyTopViol, anyOutViol := false, false
+	for _, r := range replies {
+		if r.violated {
+			if r.wasTop {
+				anyTopViol = true
+			} else {
+				anyOutViol = true
+			}
+		}
+	}
+	if !anyTopViol && !anyOutViol {
+		return rt.Top()
+	}
+
+	// Violation phase: cohorts of violators run their protocols
+	// (Algorithm 1 lines 4-8). The coordinator's knowledge of which
+	// protocol communicated comes from the counted sends themselves.
+	vrec := rt.led.InPhase(comm.PhaseViolation)
+	var minKey, maxKey order.Key
+	minOK, maxOK := false, false
+	if anyTopViol {
+		_, minKey, minOK = rt.execProtocol(tagViolMin, rt.cfg.K, 0, vrec)
+	}
+	if anyOutViol {
+		_, maxKey, maxOK = rt.execProtocol(tagViolMax, rt.cfg.N-rt.cfg.K, 0, vrec)
+	}
+
+	// FILTERVIOLATIONHANDLER (lines 15-34).
+	hrec := rt.led.InPhase(comm.PhaseHandler)
+	if !maxOK {
+		_, maxKey, maxOK = rt.execProtocol(tagHandMax, rt.cfg.N-rt.cfg.K, 0, hrec)
+	} else {
+		_, minKey, minOK = rt.execProtocol(tagHandMin, rt.cfg.K, 0, hrec)
+	}
+	if minOK {
+		rt.tPlus = order.Min(rt.tPlus, minKey)
+	}
+	if maxOK {
+		rt.tMinus = order.Max(rt.tMinus, maxKey)
+	}
+
+	if rt.tPlus < rt.tMinus {
+		rt.reset()
+		return rt.Top()
+	}
+	mid := order.Midpoint(rt.tMinus, rt.tPlus)
+	hrec.Record(comm.Bcast, 1)
+	rt.broadcast(command{kind: cMidpoint, mid: mid})
+	return rt.Top()
+}
+
+// reset is FILTERRESET: k+1 maximum extractions with population bound n,
+// then fresh midpoint filters.
+func (rt *Runtime) reset() {
+	rt.resets++
+	clear(rt.lastKeys)
+	rec := rt.led.InPhase(comm.PhaseReset)
+	rt.broadcast(command{kind: cResetBegin})
+	for i := range rt.inTop {
+		rt.inTop[i] = false
+	}
+	want := rt.cfg.K + 1
+	if want > rt.cfg.N {
+		want = rt.cfg.N
+	}
+	keys := make([]order.Key, 0, want)
+	for j := 0; j < want; j++ {
+		id, key, any := rt.execProtocol(tagReset, rt.cfg.N, j, rec)
+		if !any {
+			panic("runtime: reset extraction found no participant")
+		}
+		isTop := j < rt.cfg.K
+		rt.broadcast(command{kind: cWinner, win: id, exec: j, isTop: isTop})
+		if isTop {
+			rt.inTop[id] = true
+		}
+		rt.lastKeys[id] = key
+		keys = append(keys, key)
+	}
+	if rt.cfg.K == rt.cfg.N {
+		rt.tPlus = keys[len(keys)-1]
+		rt.tMinus = order.NegInf
+		rt.broadcast(command{kind: cMidpoint, full: true})
+		return
+	}
+	kth, kPlus1 := keys[rt.cfg.K-1], keys[rt.cfg.K]
+	rt.tPlus, rt.tMinus = kth, kPlus1
+	mid := order.Midpoint(kPlus1, kth)
+	rec.Record(comm.Bcast, 1)
+	rt.broadcast(command{kind: cMidpoint, mid: mid})
+}

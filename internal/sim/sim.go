@@ -1,0 +1,190 @@
+// Package sim drives any online top-k monitoring algorithm over a
+// workload, collecting message metrics, verifying exactness against a
+// locally computed oracle every step, and optionally computing the offline
+// OPT segmentation for competitive-ratio reporting. It is the substrate
+// every experiment and benchmark in the repository runs on.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/baseline"
+	"repro/internal/comm"
+	"repro/internal/order"
+	"repro/internal/stream"
+)
+
+// Algorithm is the common shape of all online monitors in this repository:
+// core.Monitor and every baseline satisfy it structurally.
+type Algorithm interface {
+	// Observe consumes one step of observations and returns the reported
+	// top-k node ids in ascending order.
+	Observe(vals []int64) []int
+	// Counts returns the total messages charged so far.
+	Counts() comm.Counts
+}
+
+// Config parameterizes a run.
+type Config struct {
+	// Steps is the number of observation steps to simulate (> 0).
+	Steps int
+	// K is the top-set size used by the oracle and OPT (must match the
+	// algorithm's configuration).
+	K int
+	// CheckEvery verifies the report against the oracle every so many
+	// steps; 1 checks always, 0 disables checking (for pure benchmarks).
+	CheckEvery int
+	// ComputeOpt additionally records the full observation matrix and
+	// computes the offline OPT segmentation for the competitive ratio.
+	ComputeOpt bool
+	// RecordSeries retains the cumulative message count after every step
+	// (for message-over-time figures).
+	RecordSeries bool
+}
+
+// Report summarizes one run.
+type Report struct {
+	Steps      int
+	K          int
+	Messages   comm.Counts
+	Errors     int // oracle mismatches observed (always 0 for correct algorithms)
+	TopChanges int // steps where the reported set differed from the previous step
+
+	// MsgsPerStep is Messages.Total() / Steps.
+	MsgsPerStep float64
+
+	// OptSegments and CompetitiveRatio are filled when Config.ComputeOpt
+	// is set: the ratio is Messages.Total() / max(1, OptSegments), i.e.
+	// online messages per OPT filter update — the quantity Theorem 3.3
+	// bounds by O((log ∆ + k)·M(n)).
+	OptSegments      int
+	CompetitiveRatio float64
+
+	// Series holds the cumulative total message count after each step when
+	// Config.RecordSeries is set.
+	Series []int64
+}
+
+// Run simulates the algorithm over src for cfg.Steps steps.
+func Run(alg Algorithm, src stream.Source, cfg Config) Report {
+	if cfg.Steps <= 0 {
+		panic("sim: need Steps > 0")
+	}
+	n := src.N()
+	if cfg.K < 1 || cfg.K > n {
+		panic("sim: need 1 <= K <= N")
+	}
+	rep := Report{Steps: cfg.Steps, K: cfg.K}
+	vals := make([]int64, n)
+	var matrix [][]int64
+	if cfg.ComputeOpt {
+		matrix = make([][]int64, 0, cfg.Steps)
+	}
+	var prevTop []int
+	for s := 0; s < cfg.Steps; s++ {
+		src.Step(vals)
+		top := alg.Observe(vals)
+		if cfg.CheckEvery > 0 && s%cfg.CheckEvery == 0 {
+			if want := Oracle(vals, cfg.K); !equalInts(top, want) {
+				rep.Errors++
+			}
+		}
+		if prevTop != nil && !equalInts(prevTop, top) {
+			rep.TopChanges++
+		}
+		prevTop = top
+		if cfg.ComputeOpt {
+			row := make([]int64, n)
+			copy(row, vals)
+			matrix = append(matrix, row)
+		}
+		if cfg.RecordSeries {
+			rep.Series = append(rep.Series, alg.Counts().Total())
+		}
+	}
+	rep.Messages = alg.Counts()
+	rep.MsgsPerStep = float64(rep.Messages.Total()) / float64(cfg.Steps)
+	if cfg.ComputeOpt {
+		opt := baseline.OptFromValues(matrix, cfg.K)
+		rep.OptSegments = opt.Segments
+		denom := opt.Segments
+		if denom < 1 {
+			denom = 1
+		}
+		rep.CompetitiveRatio = float64(rep.Messages.Total()) / float64(denom)
+	}
+	return rep
+}
+
+// Oracle computes the exact top-k ids (ascending) for one observation
+// vector under the shared tie-break injection (equal values: smaller id
+// wins), which is the ranking every algorithm in the repository uses.
+func Oracle(vals []int64, k int) []int {
+	codec := order.NewCodec(len(vals))
+	keys := make([]order.Key, len(vals))
+	for i, v := range vals {
+		keys[i] = codec.Encode(v, i)
+	}
+	ids := make([]int, len(vals))
+	for i := range ids {
+		ids[i] = i
+	}
+	sort.Slice(ids, func(a, b int) bool { return keys[ids[a]] > keys[ids[b]] })
+	top := append([]int(nil), ids[:k]...)
+	sort.Ints(top)
+	return top
+}
+
+// MeasureDelta computes the paper's ∆ for a recorded workload: the maximum
+// over time of the gap between the k-th and (k+1)-st largest keys
+// (0 when k == n). Experiment E4 reports it next to the measured ratios.
+func MeasureDelta(matrix [][]int64, k int) int64 {
+	if len(matrix) == 0 {
+		panic("sim: MeasureDelta on empty matrix")
+	}
+	n := len(matrix[0])
+	if k < 1 || k > n {
+		panic("sim: MeasureDelta needs 1 <= k <= n")
+	}
+	if k == n {
+		return 0
+	}
+	codec := order.NewCodec(n)
+	var maxGap int64
+	keys := make([]order.Key, n)
+	for _, row := range matrix {
+		for i, v := range row {
+			keys[i] = codec.Encode(v, i)
+		}
+		sorted := append([]order.Key(nil), keys...)
+		sort.Slice(sorted, func(a, b int) bool { return sorted[a] > sorted[b] })
+		gap := int64(sorted[k-1] - sorted[k])
+		if gap > maxGap {
+			maxGap = gap
+		}
+	}
+	return maxGap
+}
+
+// Describe renders a one-line summary of a report for logs and CLIs.
+func Describe(name string, r Report) string {
+	s := fmt.Sprintf("%-14s steps=%d msgs=%d (%.2f/step) up=%d down=%d bcast=%d changes=%d errors=%d",
+		name, r.Steps, r.Messages.Total(), r.MsgsPerStep, r.Messages.Up, r.Messages.Down, r.Messages.Bcast, r.TopChanges, r.Errors)
+	if r.OptSegments > 0 {
+		s += fmt.Sprintf(" opt=%d ratio=%.1f", r.OptSegments, r.CompetitiveRatio)
+	}
+	return s
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

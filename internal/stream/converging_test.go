@@ -1,0 +1,128 @@
+package stream
+
+import "testing"
+
+func TestConvergingBandsNeverCross(t *testing.T) {
+	c := NewConverging(ConvergingConfig{N: 10, K: 3, Seed: 1, Gap: 100000, MinGap: 50, HalvingSteps: 5, Jitter: 10})
+	vals := make([]int64, 10)
+	for s := 0; s < 3*c.CycleLen(); s++ {
+		c.Step(vals)
+		minTop, maxBot := vals[0], vals[3]
+		for i := 0; i < 3; i++ {
+			if vals[i] < minTop {
+				minTop = vals[i]
+			}
+		}
+		for i := 3; i < 10; i++ {
+			if vals[i] > maxBot {
+				maxBot = vals[i]
+			}
+		}
+		if minTop <= maxBot {
+			t.Fatalf("step %d: bands crossed (minTop=%d maxBot=%d)", s, minTop, maxBot)
+		}
+	}
+}
+
+func TestConvergingReachesExtremes(t *testing.T) {
+	c := NewConverging(ConvergingConfig{N: 4, K: 2, Seed: 2, Gap: 1 << 14, MinGap: 100, HalvingSteps: 3, Jitter: 0})
+	vals := make([]int64, 4)
+	minSep, maxSep := int64(1)<<62, int64(0)
+	for s := 0; s < c.CycleLen()+1; s++ {
+		c.Step(vals)
+		sep := vals[0] - vals[2] // band separation (no jitter)
+		if sep < minSep {
+			minSep = sep
+		}
+		if sep > maxSep {
+			maxSep = sep
+		}
+	}
+	if minSep > 200 {
+		t.Fatalf("never converged: min separation %d", minSep)
+	}
+	if maxSep < 1<<14 {
+		t.Fatalf("never reached full gap: max separation %d", maxSep)
+	}
+}
+
+func TestConvergingGeometricLadder(t *testing.T) {
+	c := NewConverging(ConvergingConfig{N: 2, K: 1, Seed: 3, Gap: 1 << 10, MinGap: 4, HalvingSteps: 2, Jitter: 0})
+	if c.Levels() != 8 { // 1024 -> 512 -> ... -> 8 (> 4): 8 levels above MinGap
+		t.Fatalf("levels: %d", c.Levels())
+	}
+	vals := make([]int64, 2)
+	var seps []int64
+	for s := 0; s < c.CycleLen(); s++ {
+		c.Step(vals)
+		seps = append(seps, vals[0]-vals[1])
+	}
+	// First HalvingSteps steps at Gap, next at Gap/2, etc.
+	if seps[0] != 1<<10 || seps[1] != 1<<10 {
+		t.Fatalf("level 0: %v", seps[:4])
+	}
+	if seps[2] != 1<<9 {
+		t.Fatalf("level 1: %d", seps[2])
+	}
+	// Each level exactly halves the previous one on the descent.
+	for l := 1; l < c.Levels(); l++ {
+		if seps[2*l] != seps[2*(l-1)]/2 {
+			t.Fatalf("descent level %d: %d vs %d", l, seps[2*l], seps[2*(l-1)])
+		}
+	}
+	// Ascent mirrors the descent.
+	for s := 0; s < c.CycleLen()/2; s++ {
+		if seps[s] != seps[c.CycleLen()-1-s] {
+			t.Fatalf("cycle not symmetric at %d: %d vs %d", s, seps[s], seps[c.CycleLen()-1-s])
+		}
+	}
+}
+
+func TestConvergingPeriodicity(t *testing.T) {
+	c := NewConverging(ConvergingConfig{N: 2, K: 1, Seed: 3, Gap: 1000, MinGap: 10, HalvingSteps: 4, Jitter: 0})
+	period := c.CycleLen()
+	vals := make([]int64, 2)
+	var seps []int64
+	for s := 0; s < 3*period; s++ {
+		c.Step(vals)
+		seps = append(seps, vals[0]-vals[1])
+	}
+	for s := 0; s < 2*period; s++ {
+		if seps[s] != seps[s+period] {
+			t.Fatalf("separation not periodic at %d: %d vs %d", s, seps[s], seps[s+period])
+		}
+	}
+}
+
+func TestConvergingPositiveValues(t *testing.T) {
+	c := NewConverging(ConvergingConfig{N: 6, K: 2, Seed: 4, Gap: 5000, MinGap: 60, HalvingSteps: 4, Jitter: 20})
+	vals := make([]int64, 6)
+	for s := 0; s < 2*c.CycleLen(); s++ {
+		c.Step(vals)
+		for i, v := range vals {
+			if v < 0 {
+				t.Fatalf("step %d node %d negative value %d", s, i, v)
+			}
+		}
+	}
+}
+
+func TestConvergingPanics(t *testing.T) {
+	cases := []ConvergingConfig{
+		{N: 2, K: 2, Gap: 100, MinGap: 10, HalvingSteps: 10},           // K >= N
+		{N: 3, K: 1, Gap: 100, MinGap: 10, HalvingSteps: 0},            // halving steps
+		{N: 3, K: 1, Gap: 100, MinGap: 5, HalvingSteps: 10, Jitter: 3}, // min gap vs jitter
+		{N: 3, K: 1, Gap: 5, MinGap: 10, HalvingSteps: 10},             // gap < min gap
+		{N: 3, K: 1, Gap: 100, MinGap: 10, HalvingSteps: 10, Jitter: -1},
+	}
+	for i, cfg := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			NewConverging(cfg)
+		}()
+	}
+}

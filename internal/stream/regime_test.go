@@ -1,0 +1,100 @@
+package stream
+
+import "testing"
+
+func TestRegimeBounds(t *testing.T) {
+	g := NewRegime(RegimeConfig{N: 8, Seed: 1, Lo: 0, Hi: 10000, CalmStep: 2, WildStep: 500, SwitchProb: 0.05})
+	vals := make([]int64, 8)
+	for s := 0; s < 1000; s++ {
+		g.Step(vals)
+		for i, v := range vals {
+			if v < 0 || v > 10000 {
+				t.Fatalf("step %d node %d out of range: %d", s, i, v)
+			}
+		}
+	}
+}
+
+func TestRegimeSwitches(t *testing.T) {
+	g := NewRegime(RegimeConfig{N: 2, Seed: 2, Lo: 0, Hi: 1 << 30, CalmStep: 1, WildStep: 1000, SwitchProb: 0.1})
+	vals := make([]int64, 2)
+	sawWild, sawCalm := false, false
+	for s := 0; s < 500; s++ {
+		g.Step(vals)
+		if g.Wild() {
+			sawWild = true
+		} else {
+			sawCalm = true
+		}
+	}
+	if !sawWild || !sawCalm {
+		t.Fatalf("chain did not visit both regimes: wild=%v calm=%v", sawWild, sawCalm)
+	}
+}
+
+func TestRegimeVolatilityDiffers(t *testing.T) {
+	g := NewRegime(RegimeConfig{N: 4, Seed: 3, Lo: 0, Hi: 1 << 40, CalmStep: 1, WildStep: 10000, SwitchProb: 0.02})
+	prev := make([]int64, 4)
+	cur := make([]int64, 4)
+	g.Step(prev)
+	var calmMoves, wildMoves, calmSteps, wildSteps float64
+	for s := 0; s < 3000; s++ {
+		g.Step(cur)
+		var move float64
+		for i := range cur {
+			d := cur[i] - prev[i]
+			if d < 0 {
+				d = -d
+			}
+			move += float64(d)
+		}
+		if g.Wild() {
+			wildMoves += move
+			wildSteps++
+		} else {
+			calmMoves += move
+			calmSteps++
+		}
+		copy(prev, cur)
+	}
+	if calmSteps == 0 || wildSteps == 0 {
+		t.Skip("chain stayed in one regime for this seed")
+	}
+	if wildMoves/wildSteps < 100*(calmMoves/calmSteps) {
+		t.Fatalf("wild regime not wilder: calm=%.1f wild=%.1f", calmMoves/calmSteps, wildMoves/wildSteps)
+	}
+}
+
+func TestRegimeDeterministic(t *testing.T) {
+	cfg := RegimeConfig{N: 4, Seed: 4, Lo: 0, Hi: 1000, CalmStep: 1, WildStep: 50, SwitchProb: 0.1}
+	a, b := NewRegime(cfg), NewRegime(cfg)
+	va, vb := make([]int64, 4), make([]int64, 4)
+	for s := 0; s < 200; s++ {
+		a.Step(va)
+		b.Step(vb)
+		for i := range va {
+			if va[i] != vb[i] {
+				t.Fatalf("diverged at step %d", s)
+			}
+		}
+	}
+}
+
+func TestRegimePanics(t *testing.T) {
+	cases := []RegimeConfig{
+		{N: 0, Lo: 0, Hi: 1},
+		{N: 1, Lo: 2, Hi: 1},
+		{N: 1, Lo: 0, Hi: 1, CalmStep: 5, WildStep: 2},
+		{N: 1, Lo: 0, Hi: 1, SwitchProb: 1.5},
+	}
+	for i, cfg := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			NewRegime(cfg)
+		}()
+	}
+}

@@ -1,0 +1,93 @@
+package stream
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFromSpecAllPresets(t *testing.T) {
+	for _, name := range Names() {
+		src, err := FromSpec(Spec{Name: name, N: 16, K: 2, Steps: 100, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if src.N() != 16 {
+			t.Fatalf("%s: N=%d", name, src.N())
+		}
+		vals := make([]int64, 16)
+		for s := 0; s < 50; s++ {
+			src.Step(vals)
+		}
+	}
+}
+
+func TestFromSpecDefaults(t *testing.T) {
+	// K and Steps default sensibly.
+	src, err := FromSpec(Spec{Name: "twoband", N: 32, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]int64, 32)
+	src.Step(vals)
+
+	// Tiny n still gets K >= 1.
+	if _, err := FromSpec(Spec{Name: "walk", N: 2, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromSpecErrors(t *testing.T) {
+	cases := []Spec{
+		{Name: "walk", N: 0},
+		{Name: "walk", N: 4, K: 5},
+		{Name: "nope", N: 4},
+		{Name: "twoband", N: 4, K: 4}, // band presets need K < N
+		{Name: "converging", N: 4, K: 4},
+	}
+	for i, s := range cases {
+		if _, err := FromSpec(s); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+	_, err := FromSpec(Spec{Name: "bogus", N: 4})
+	if err == nil || !strings.Contains(err.Error(), "valid:") {
+		t.Fatalf("unknown-name error should list presets: %v", err)
+	}
+}
+
+func TestNamesStable(t *testing.T) {
+	a, b := Names(), Names()
+	if len(a) < 6 {
+		t.Fatalf("too few presets: %v", a)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Names() not stable")
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i] <= a[i-1] {
+			t.Fatalf("Names() not sorted: %v", a)
+		}
+	}
+}
+
+func TestFromSpecDeterministic(t *testing.T) {
+	for _, name := range Names() {
+		s1, err1 := FromSpec(Spec{Name: name, N: 8, K: 2, Steps: 100, Seed: 9})
+		s2, err2 := FromSpec(Spec{Name: name, N: 8, K: 2, Steps: 100, Seed: 9})
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		a, b := make([]int64, 8), make([]int64, 8)
+		for step := 0; step < 60; step++ {
+			s1.Step(a)
+			s2.Step(b)
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("%s: diverged at step %d node %d", name, step, i)
+				}
+			}
+		}
+	}
+}

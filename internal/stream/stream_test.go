@@ -1,0 +1,353 @@
+package stream
+
+import (
+	"testing"
+)
+
+func TestRandomWalkBounds(t *testing.T) {
+	w := NewRandomWalk(WalkConfig{N: 10, Lo: 0, Hi: 100, MaxStep: 5, Seed: 1})
+	vals := make([]int64, 10)
+	for s := 0; s < 500; s++ {
+		w.Step(vals)
+		for i, v := range vals {
+			if v < 0 || v > 100 {
+				t.Fatalf("step %d node %d out of range: %d", s, i, v)
+			}
+		}
+	}
+}
+
+func TestRandomWalkStepSize(t *testing.T) {
+	w := NewRandomWalk(WalkConfig{N: 4, Lo: -1000, Hi: 1000, MaxStep: 3, Seed: 2})
+	prev := make([]int64, 4)
+	cur := make([]int64, 4)
+	w.Step(prev)
+	for s := 0; s < 200; s++ {
+		w.Step(cur)
+		for i := range cur {
+			d := cur[i] - prev[i]
+			if d < -3 || d > 3 {
+				t.Fatalf("step %d node %d moved by %d > MaxStep", s, i, d)
+			}
+		}
+		copy(prev, cur)
+	}
+}
+
+func TestRandomWalkDeterministic(t *testing.T) {
+	cfg := WalkConfig{N: 5, Lo: 0, Hi: 50, MaxStep: 2, Seed: 7}
+	a, b := NewRandomWalk(cfg), NewRandomWalk(cfg)
+	va, vb := make([]int64, 5), make([]int64, 5)
+	for s := 0; s < 100; s++ {
+		a.Step(va)
+		b.Step(vb)
+		for i := range va {
+			if va[i] != vb[i] {
+				t.Fatalf("walks diverged at step %d node %d", s, i)
+			}
+		}
+	}
+}
+
+func TestRandomWalkSpread(t *testing.T) {
+	w := NewRandomWalk(WalkConfig{N: 100, Lo: 0, Hi: 1000, MaxStep: 0, Seed: 3, SpreadLo: 400, SpreadHi: 600})
+	vals := make([]int64, 100)
+	w.Step(vals)
+	for i, v := range vals {
+		if v < 400 || v > 600 {
+			t.Fatalf("node %d initial value %d outside spread", i, v)
+		}
+	}
+}
+
+func TestRandomWalkPanics(t *testing.T) {
+	cases := []WalkConfig{
+		{N: 0, Lo: 0, Hi: 1},
+		{N: 1, Lo: 5, Hi: 4},
+		{N: 1, Lo: 0, Hi: 1, MaxStep: -1},
+	}
+	for i, cfg := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			NewRandomWalk(cfg)
+		}()
+	}
+}
+
+func TestStepBufferLengthChecked(t *testing.T) {
+	w := NewRandomWalk(WalkConfig{N: 3, Lo: 0, Hi: 10, MaxStep: 1, Seed: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong buffer length")
+		}
+	}()
+	w.Step(make([]int64, 2))
+}
+
+func TestIIDUniformRange(t *testing.T) {
+	g := NewIID(IIDConfig{N: 20, Seed: 1, Dist: Uniform, Lo: 10, Hi: 20})
+	vals := make([]int64, 20)
+	for s := 0; s < 200; s++ {
+		g.Step(vals)
+		for i, v := range vals {
+			if v < 10 || v > 20 {
+				t.Fatalf("node %d value %d out of range", i, v)
+			}
+		}
+	}
+}
+
+func TestIIDGaussianClamped(t *testing.T) {
+	g := NewIID(IIDConfig{N: 10, Seed: 2, Dist: Gaussian, Lo: 0, Hi: 100, Mean: 50, Std: 100})
+	vals := make([]int64, 10)
+	for s := 0; s < 100; s++ {
+		g.Step(vals)
+		for _, v := range vals {
+			if v < 0 || v > 100 {
+				t.Fatalf("gaussian value %d escaped clamp", v)
+			}
+		}
+	}
+}
+
+func TestIIDZipfHeavyTail(t *testing.T) {
+	g := NewIID(IIDConfig{N: 1000, Seed: 3, Dist: Zipf, Lo: 1, Hi: 1 << 20, S: 1.2})
+	vals := make([]int64, 1000)
+	g.Step(vals)
+	small, large := 0, 0
+	for _, v := range vals {
+		if v < 1 || v > 1<<20 {
+			t.Fatalf("zipf value %d out of range", v)
+		}
+		if v <= 16 {
+			small++
+		}
+		if v >= 1<<16 {
+			large++
+		}
+	}
+	if small == 0 || large == 0 {
+		t.Fatalf("zipf marginal not heavy tailed: small=%d large=%d", small, large)
+	}
+	if small <= large {
+		t.Fatalf("zipf should favor small values: small=%d large=%d", small, large)
+	}
+}
+
+func TestIIDPanics(t *testing.T) {
+	cases := []IIDConfig{
+		{N: 0, Lo: 0, Hi: 1},
+		{N: 1, Lo: 2, Hi: 1},
+		{N: 1, Lo: 0, Hi: 1, Dist: Zipf, S: 0},
+	}
+	for i, cfg := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			NewIID(cfg)
+		}()
+	}
+}
+
+func TestBurstyMostlyQuiet(t *testing.T) {
+	b := NewBursty(BurstyConfig{N: 10, Seed: 4, Lo: 0, Hi: 1 << 20, Noise: 1, BurstProb: 0.01, BurstMax: 10000})
+	prev := make([]int64, 10)
+	cur := make([]int64, 10)
+	b.Step(prev)
+	bigJumps, total := 0, 0
+	for s := 0; s < 1000; s++ {
+		b.Step(cur)
+		for i := range cur {
+			d := cur[i] - prev[i]
+			if d < 0 {
+				d = -d
+			}
+			if d > 1 {
+				bigJumps++
+			}
+			total++
+		}
+		copy(prev, cur)
+	}
+	frac := float64(bigJumps) / float64(total)
+	if frac > 0.03 {
+		t.Fatalf("too many bursts: %v", frac)
+	}
+	if bigJumps == 0 {
+		t.Fatal("expected at least one burst in 10000 node-steps at p=0.01")
+	}
+}
+
+func TestBurstyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBursty(BurstyConfig{N: 1, Lo: 0, Hi: 1, BurstProb: 1.5})
+}
+
+func TestRotationMovesPeak(t *testing.T) {
+	r := NewRotation(RotationConfig{N: 4, Period: 2, Base: 10, Peak: 100})
+	vals := make([]int64, 4)
+	wantPeaks := []int{0, 0, 1, 1, 2, 2, 3, 3, 0, 0}
+	for s, want := range wantPeaks {
+		r.Step(vals)
+		peak := -1
+		for i, v := range vals {
+			switch v {
+			case 100:
+				if peak >= 0 {
+					t.Fatalf("step %d: two peaks", s)
+				}
+				peak = i
+			case 10:
+			default:
+				t.Fatalf("step %d: unexpected value %d", s, v)
+			}
+		}
+		if peak != want {
+			t.Fatalf("step %d: peak at %d, want %d", s, peak, want)
+		}
+	}
+}
+
+func TestRotationPanics(t *testing.T) {
+	cases := []RotationConfig{
+		{N: 0, Period: 1, Base: 0, Peak: 1},
+		{N: 1, Period: 0, Base: 0, Peak: 1},
+		{N: 1, Period: 1, Base: 5, Peak: 5},
+	}
+	for i, cfg := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			NewRotation(cfg)
+		}()
+	}
+}
+
+func TestTwoBandSeparation(t *testing.T) {
+	tb := NewTwoBand(TwoBandConfig{N: 10, K: 3, Seed: 5, Gap: 1000, BandWidth: 100, MaxStep: 10})
+	vals := make([]int64, 10)
+	for s := 0; s < 300; s++ {
+		tb.Step(vals)
+		// Without swaps, nodes 0..2 must always be strictly above nodes 3..9.
+		minTop, maxBot := vals[0], vals[3]
+		for i := 0; i < 3; i++ {
+			if vals[i] < minTop {
+				minTop = vals[i]
+			}
+		}
+		for i := 3; i < 10; i++ {
+			if vals[i] > maxBot {
+				maxBot = vals[i]
+			}
+		}
+		if minTop <= maxBot {
+			t.Fatalf("step %d: bands overlap (minTop=%d maxBot=%d)", s, minTop, maxBot)
+		}
+	}
+}
+
+func TestTwoBandSwapChangesMembership(t *testing.T) {
+	tb := NewTwoBand(TwoBandConfig{N: 6, K: 2, Seed: 6, Gap: 1000, BandWidth: 10, MaxStep: 1, SwapEvery: 50})
+	vals := make([]int64, 6)
+	topAt := func() map[int]bool {
+		set := make(map[int]bool)
+		// top-2 nodes by value
+		a, b := -1, -1
+		for i, v := range vals {
+			if a < 0 || v > vals[a] {
+				a, b = i, a
+			} else if b < 0 || v > vals[b] {
+				b = i
+			}
+		}
+		set[a], set[b] = true, true
+		return set
+	}
+	tb.Step(vals)
+	initial := topAt()
+	changed := false
+	for s := 0; s < 200; s++ {
+		tb.Step(vals)
+		now := topAt()
+		for k := range now {
+			if !initial[k] {
+				changed = true
+			}
+		}
+	}
+	if !changed {
+		t.Fatal("SwapEvery should change top-k membership over 200 steps")
+	}
+}
+
+func TestTwoBandPanics(t *testing.T) {
+	cases := []TwoBandConfig{
+		{N: 5, K: 0, Gap: 100, BandWidth: 1},
+		{N: 5, K: 6, Gap: 100, BandWidth: 1},
+		{N: 5, K: 2, Gap: 10, BandWidth: 10}, // gap too small
+	}
+	for i, cfg := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			NewTwoBand(cfg)
+		}()
+	}
+}
+
+func TestConst(t *testing.T) {
+	c := NewConst(ConstConfig{N: 3, Values: []int64{5, 1, 9}})
+	vals := make([]int64, 3)
+	for s := 0; s < 10; s++ {
+		c.Step(vals)
+		if vals[0] != 5 || vals[1] != 1 || vals[2] != 9 {
+			t.Fatalf("const changed: %v", vals)
+		}
+	}
+}
+
+func TestConstPanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { NewConst(ConstConfig{N: 0}) },
+		func() { NewConst(ConstConfig{N: 2, Values: []int64{1}}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCollect(t *testing.T) {
+	c := NewConst(ConstConfig{N: 2, Values: []int64{3, 4}})
+	m := Collect(c, 5)
+	if len(m) != 5 {
+		t.Fatalf("rows: %d", len(m))
+	}
+	for _, row := range m {
+		if row[0] != 3 || row[1] != 4 {
+			t.Fatalf("row wrong: %v", row)
+		}
+	}
+}

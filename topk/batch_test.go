@@ -1,0 +1,78 @@
+package topk
+
+import (
+	"testing"
+
+	"repro/internal/stream"
+)
+
+func TestRunTraceBasics(t *testing.T) {
+	matrix := [][]int64{
+		{1, 4, 2, 3},
+		{1, 4, 2, 3},
+		{9, 4, 2, 3}, // node 0 takes over
+	}
+	res, err := RunTrace(Config{K: 2, Seed: 5}, matrix) // Nodes inferred
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tops) != 3 {
+		t.Fatalf("tops: %v", res.Tops)
+	}
+	if got := res.Tops[0]; got[0] != 1 || got[1] != 3 {
+		t.Fatalf("step 0 top: %v", got)
+	}
+	if got := res.Tops[2]; got[0] != 0 || got[1] != 1 {
+		t.Fatalf("step 2 top: %v", got)
+	}
+	if res.TopChanges != 1 {
+		t.Fatalf("top changes: %d", res.TopChanges)
+	}
+	if res.Counts.Total() == 0 {
+		t.Fatal("no communication counted")
+	}
+}
+
+func TestRunTraceVerifiedAgainstOracle(t *testing.T) {
+	src := stream.NewBursty(stream.BurstyConfig{N: 9, Seed: 6, Lo: 0, Hi: 1 << 20, Noise: 3, BurstProb: 0.05, BurstMax: 1 << 16})
+	matrix := stream.Collect(src, 200)
+	res, err := RunTrace(Config{Nodes: 9, K: 3, Seed: 7}, matrix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, row := range matrix {
+		want, err := Oracle(row, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := res.Tops[s]
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("step %d: got %v want %v", s, got, want)
+			}
+		}
+	}
+}
+
+func TestRunTraceErrors(t *testing.T) {
+	if _, err := RunTrace(Config{K: 1}, nil); err == nil {
+		t.Fatal("empty trace should error")
+	}
+	if _, err := RunTrace(Config{Nodes: 2, K: 3}, [][]int64{{1, 2}}); err == nil {
+		t.Fatal("bad k should error")
+	}
+	if _, err := RunTrace(Config{Nodes: 3, K: 1}, [][]int64{{1, 2}}); err == nil {
+		t.Fatal("width mismatch should error")
+	}
+}
+
+func TestRunTraceConcurrentEngine(t *testing.T) {
+	matrix := [][]int64{{5, 1}, {5, 1}, {1, 5}}
+	res, err := RunTrace(Config{K: 1, Seed: 8, Concurrent: true}, matrix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tops[0][0] != 0 || res.Tops[2][0] != 1 {
+		t.Fatalf("tops: %v", res.Tops)
+	}
+}

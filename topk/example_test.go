@@ -1,0 +1,69 @@
+package topk_test
+
+import (
+	"fmt"
+
+	"repro/topk"
+)
+
+// ExampleMonitor shows the minimal monitoring loop: create a monitor, feed
+// one observation vector per time step, read the top-k set.
+func ExampleMonitor() {
+	mon, err := topk.New(topk.Config{Nodes: 4, K: 2, Seed: 42})
+	if err != nil {
+		panic(err)
+	}
+	steps := [][]int64{
+		{10, 40, 20, 30}, // nodes 1 and 3 lead
+		{11, 41, 21, 31}, // small changes: no communication needed
+		{12, 42, 22, 32},
+		{90, 42, 22, 32}, // node 0 takes over
+	}
+	for _, vals := range steps {
+		top, err := mon.Observe(vals)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println(top)
+	}
+	// Output:
+	// [1 3]
+	// [1 3]
+	// [1 3]
+	// [0 1]
+}
+
+// ExampleOracle demonstrates the offline helper with deterministic
+// tie-breaking (equal values: smaller node id wins).
+func ExampleOracle() {
+	top, err := topk.Oracle([]int64{7, 7, 3, 9}, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(top)
+	// Output:
+	// [0 3]
+}
+
+// ExampleOrderedMonitor tracks the exact ranking of the top-k (the
+// paper's §5 extension): ids are reported largest-value-first.
+func ExampleOrderedMonitor() {
+	mon, err := topk.NewOrdered(topk.Config{Nodes: 4, K: 3, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	ranking, err := mon.Observe([]int64{10, 40, 20, 30})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(ranking)
+	// Nodes 1 and 3 swap ranks; the board follows exactly.
+	ranking, err = mon.Observe([]int64{10, 29, 20, 30})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(ranking)
+	// Output:
+	// [1 3 2]
+	// [3 1 2]
+}

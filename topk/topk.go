@@ -1,0 +1,221 @@
+// Package topk is the public API of this repository: continuous,
+// communication-efficient monitoring of the k nodes holding the largest
+// values among n distributed data streams, after
+//
+//	Mäcker, Malatyali, Meyer auf der Heide:
+//	"Online Top-k-Position Monitoring of Distributed Data Streams"
+//	(IPDPS 2015, arXiv:1410.7912).
+//
+// A Monitor plays the coordinator-plus-nodes system of the paper against
+// observation vectors supplied one time step at a time. After every
+// Observe call the reported top-k set is exact — the protocols inside are
+// Las Vegas, randomness affects only the amount of communication — and the
+// Counts method exposes how many model messages (node→coordinator unicast,
+// coordinator→node unicast, broadcast) the system has exchanged so far.
+//
+// On "similar" inputs, where values change slowly, communication is orders
+// of magnitude below forwarding every observation: the coordinator assigns
+// every node a filter interval and nodes stay silent while their values
+// remain inside it. Against an offline optimum that sets filters
+// clairvoyantly, the algorithm is O((log ∆ + k)·log n)-competitive in
+// expectation, where ∆ bounds the gap between the k-th and (k+1)-st
+// largest values.
+//
+// Two execution engines are available: a fast deterministic sequential
+// engine (default) and a goroutine-per-node engine that exchanges channel
+// messages, useful for demonstrations of the distributed structure. Both
+// produce identical reports and identical message counts for the same
+// seed.
+package topk
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/runtime"
+	"repro/internal/sim"
+)
+
+// Counts reports exchanged messages by kind. Every kind has unit cost in
+// the model; a broadcast counts once no matter how many nodes receive it.
+type Counts struct {
+	// Up counts node-to-coordinator messages.
+	Up int64
+	// Down counts coordinator-to-single-node messages.
+	Down int64
+	// Broadcast counts coordinator broadcasts.
+	Broadcast int64
+}
+
+// Total returns the overall message count.
+func (c Counts) Total() int64 { return c.Up + c.Down + c.Broadcast }
+
+// PhaseCounts breaks the total down by the phase of the algorithm that
+// caused the communication.
+type PhaseCounts struct {
+	// Violation covers the protocols started by filter-violating nodes.
+	Violation Counts
+	// Handler covers the coordinator's violation handler including
+	// midpoint broadcasts.
+	Handler Counts
+	// Reset covers full filter resets (including initialization).
+	Reset Counts
+}
+
+// Stats exposes behavioural counters of a run.
+type Stats struct {
+	// Steps is the number of Observe calls so far.
+	Steps int64
+	// ViolationSteps counts steps with at least one filter violation.
+	ViolationSteps int64
+	// Resets counts full filter recomputations (including the initial one).
+	Resets int64
+	// TopChanges counts steps whose reported set differed from the
+	// previous step's.
+	TopChanges int64
+}
+
+// Config parameterizes a Monitor.
+type Config struct {
+	// Nodes is the number of distributed streams (n >= 1).
+	Nodes int
+	// K is the size of the monitored top set (1 <= K <= Nodes).
+	K int
+	// Seed drives the protocol randomness. Two monitors with equal
+	// configuration and seed behave identically message for message.
+	Seed uint64
+	// DistinctValues promises that every observation vector has pairwise
+	// distinct values (the paper's model assumption). When false (the
+	// default) the monitor breaks ties deterministically by smaller node
+	// id via an order-preserving key injection.
+	DistinctValues bool
+	// Concurrent selects the goroutine-per-node engine. Monitors with
+	// Concurrent set must be Closed to release their goroutines.
+	Concurrent bool
+}
+
+// Monitor continuously tracks the top-k positions. Create one with New.
+// A Monitor is not safe for concurrent use: the model's time steps are
+// globally ordered.
+type Monitor struct {
+	cfg  Config
+	seq  *core.Monitor
+	conc *runtime.Runtime
+}
+
+// New validates cfg and creates a Monitor.
+func New(cfg Config) (*Monitor, error) {
+	if cfg.Nodes <= 0 {
+		return nil, errors.New("topk: Nodes must be positive")
+	}
+	if cfg.K < 1 || cfg.K > cfg.Nodes {
+		return nil, fmt.Errorf("topk: K must satisfy 1 <= K <= Nodes, got K=%d Nodes=%d", cfg.K, cfg.Nodes)
+	}
+	m := &Monitor{cfg: cfg}
+	if cfg.Concurrent {
+		m.conc = runtime.New(runtime.Config{N: cfg.Nodes, K: cfg.K, Seed: cfg.Seed, DistinctValues: cfg.DistinctValues})
+	} else {
+		m.seq = core.New(core.Config{N: cfg.Nodes, K: cfg.K, Seed: cfg.Seed, DistinctValues: cfg.DistinctValues})
+	}
+	return m, nil
+}
+
+// Observe feeds one time step of observations (vals[i] is node i's new
+// value, len(vals) == Nodes) and returns the node ids currently holding
+// the K largest values, in ascending id order. The returned slice is
+// freshly allocated. It returns an error for a wrong-length input or a
+// closed monitor.
+func (m *Monitor) Observe(vals []int64) ([]int, error) {
+	if len(vals) != m.cfg.Nodes {
+		return nil, fmt.Errorf("topk: observed %d values for %d nodes", len(vals), m.cfg.Nodes)
+	}
+	if m.seq == nil && m.conc == nil {
+		return nil, errors.New("topk: monitor is closed")
+	}
+	if m.seq != nil {
+		return m.seq.Observe(vals), nil
+	}
+	return m.conc.Observe(vals), nil
+}
+
+// Top returns the most recently reported top-k ids without consuming a
+// step. Before the first Observe it returns an empty slice.
+func (m *Monitor) Top() []int {
+	switch {
+	case m.seq != nil:
+		return m.seq.Top()
+	case m.conc != nil:
+		return m.conc.Top()
+	default:
+		return nil
+	}
+}
+
+// Counts returns the total messages exchanged so far.
+func (m *Monitor) Counts() Counts {
+	var c comm.Counts
+	switch {
+	case m.seq != nil:
+		c = m.seq.Counts()
+	case m.conc != nil:
+		c = m.conc.Counts()
+	}
+	return Counts{Up: c.Up, Down: c.Down, Broadcast: c.Bcast}
+}
+
+// Phases returns the per-phase message breakdown.
+func (m *Monitor) Phases() PhaseCounts {
+	var led *comm.Ledger
+	switch {
+	case m.seq != nil:
+		led = m.seq.Ledger()
+	case m.conc != nil:
+		led = m.conc.Ledger()
+	default:
+		return PhaseCounts{}
+	}
+	conv := func(c comm.Counts) Counts { return Counts{Up: c.Up, Down: c.Down, Broadcast: c.Bcast} }
+	return PhaseCounts{
+		Violation: conv(led.PhaseCounts(comm.PhaseViolation)),
+		Handler:   conv(led.PhaseCounts(comm.PhaseHandler)),
+		Reset:     conv(led.PhaseCounts(comm.PhaseReset)),
+	}
+}
+
+// Stats returns behavioural counters. The concurrent engine tracks only
+// message counts; its Stats reports zero values except Steps, which both
+// engines track through Observe.
+func (m *Monitor) Stats() Stats {
+	if m.seq != nil {
+		s := m.seq.Stats()
+		return Stats{Steps: s.Steps, ViolationSteps: s.ViolationSteps, Resets: s.Resets, TopChanges: s.TopChanges}
+	}
+	return Stats{}
+}
+
+// Close releases the goroutines of a concurrent monitor. It is a no-op
+// for the sequential engine and idempotent everywhere. The monitor cannot
+// observe after Close.
+func (m *Monitor) Close() {
+	if m.conc != nil {
+		m.conc.Close()
+		m.conc = nil
+	}
+	m.seq = nil
+}
+
+// Oracle computes the exact top-k ids (ascending) of a single observation
+// vector with the same deterministic tie-break the Monitor uses (equal
+// values: smaller id wins). It is a convenience for verification and for
+// batch use; it involves no communication model.
+func Oracle(vals []int64, k int) ([]int, error) {
+	if len(vals) == 0 {
+		return nil, errors.New("topk: empty observation vector")
+	}
+	if k < 1 || k > len(vals) {
+		return nil, fmt.Errorf("topk: k must satisfy 1 <= k <= %d, got %d", len(vals), k)
+	}
+	return sim.Oracle(vals, k), nil
+}
