@@ -82,6 +82,7 @@ func BenchmarkMonitorStep(b *testing.B) {
 			vals := make([]int64, n)
 			src.Step(vals)
 			m.Observe(vals)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				src.Step(vals)
@@ -90,6 +91,49 @@ func BenchmarkMonitorStep(b *testing.B) {
 			b.ReportMetric(float64(m.Counts().Total())/float64(b.N), "msgs/step")
 		})
 	}
+}
+
+// BenchmarkMonitorDelta compares sparse and dense ingestion of the same
+// workload — a random walk where 1% of n nodes move per step — on the
+// sequential engine. The delta path is the headline: O(#changed) work and
+// 0 allocs/op on violation-free steps.
+func BenchmarkMonitorDelta(b *testing.B) {
+	const n = 2048
+	const changed = n / 100
+	newSrc := func() *stream.SparseWalk {
+		return stream.NewSparseWalk(stream.SparseWalkConfig{
+			N: n, Lo: 0, Hi: 1 << 24, MaxStep: 8, Changed: changed, Seed: 9,
+		})
+	}
+	b.Run("delta", func(b *testing.B) {
+		m := core.New(core.Config{N: n, K: 4, Seed: 10})
+		src := newSrc()
+		ids := make([]int, n)
+		vals := make([]int64, n)
+		c := src.StepDelta(ids, vals)
+		m.ObserveDelta(ids[:c], vals[:c])
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c := src.StepDelta(ids, vals)
+			m.ObserveDelta(ids[:c], vals[:c])
+		}
+		b.ReportMetric(float64(m.Counts().Total())/float64(b.N), "msgs/step")
+	})
+	b.Run("dense", func(b *testing.B) {
+		m := core.New(core.Config{N: n, K: 4, Seed: 10})
+		src := newSrc()
+		vals := make([]int64, n)
+		src.Step(vals)
+		m.Observe(vals)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			src.Step(vals)
+			m.Observe(vals)
+		}
+		b.ReportMetric(float64(m.Counts().Total())/float64(b.N), "msgs/step")
+	})
 }
 
 // BenchmarkMonitorStepHot measures Observe under constant violations (IID
@@ -101,6 +145,7 @@ func BenchmarkMonitorStepHot(b *testing.B) {
 	vals := make([]int64, n)
 	src.Step(vals)
 	m.Observe(vals)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		src.Step(vals)
@@ -119,6 +164,7 @@ func BenchmarkRuntimeStep(b *testing.B) {
 	vals := make([]int64, n)
 	src.Step(vals)
 	rt.Observe(vals)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		src.Step(vals)

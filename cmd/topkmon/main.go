@@ -35,7 +35,7 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "random seed for workload and protocols")
 		workload = flag.String("workload", "walk", "one of: "+strings.Join(stream.Names(), " | "))
 		traceIn  = flag.String("trace", "", "CSV trace file to replay instead of a synthetic workload")
-		engine   = flag.String("engine", "seq", "seq (sequential) | conc (goroutine per node)")
+		engine   = flag.String("engine", "seq", "seq (sequential) | conc (sharded concurrent)")
 		opt      = flag.Bool("opt", false, "compute offline OPT segments and the competitive ratio")
 		compare  = flag.Bool("compare", false, "also run all baseline algorithms on the same workload")
 		ordered  = flag.Bool("ordered", false, "monitor the exact ranking of the top-k (§5 extension)")

@@ -1,4 +1,4 @@
-// Distributed: run the monitor on the goroutine-per-node engine, where
+// Distributed: run the monitor on the sharded concurrent engine, where
 // every node is a separate goroutine holding only its own state and all
 // value information flows through channels — the closest executable
 // analogue of the paper's system model.

@@ -86,6 +86,56 @@ func FuzzMonitorObserve(f *testing.F) {
 	})
 }
 
+// FuzzDeltaDenseEquivalence drives two monitors over the same byte-derived
+// workload — one through dense Observe, one through a fuzzer-chosen
+// interleaving of Observe and ObserveDelta — and requires identical
+// reports, message counts, and stats at every step. Each step's
+// interleaving choice is read back out of the input bytes, so the fuzzer
+// explores sparse/dense switch points (including runs of consecutive
+// sparse steps) together with value patterns.
+func FuzzDeltaDenseEquivalence(f *testing.F) {
+	f.Add([]byte{4, 2, 1, 2, 3, 4, 250, 6, 7, 8, 9, 10, 110, 12})
+	f.Add([]byte{1, 1, 0})
+	f.Add([]byte{6, 3, 255, 0, 255, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n, k, matrix := decodeWorkload(data)
+		if n == 0 || len(matrix) == 0 {
+			t.Skip()
+		}
+		ref := New(Config{N: n, K: k, Seed: 99})
+		sut := New(Config{N: n, K: k, Seed: 99})
+		prev := make([]int64, n) // both monitors' nodes start at 0
+		ids := make([]int, 0, n)
+		vals := make([]int64, 0, n)
+		for s, row := range matrix {
+			refTop := ref.Observe(row)
+			var sutTop []int
+			if data[(2+s)%len(data)]&1 == 0 { // fuzzer-driven interleaving choice
+				ids, vals = ids[:0], vals[:0]
+				for i, v := range row {
+					if v != prev[i] {
+						ids = append(ids, i)
+						vals = append(vals, v)
+					}
+				}
+				sutTop = sut.ObserveDelta(ids, vals)
+			} else {
+				sutTop = sut.Observe(row)
+			}
+			copy(prev, row)
+			if !equalInts(refTop, sutTop) {
+				t.Fatalf("step %d (n=%d k=%d): dense %v sparse %v", s, n, k, refTop, sutTop)
+			}
+			if ref.Counts() != sut.Counts() {
+				t.Fatalf("step %d: counts diverged: %v vs %v", s, ref.Counts(), sut.Counts())
+			}
+			if ref.Stats() != sut.Stats() {
+				t.Fatalf("step %d: stats diverged: %+v vs %+v", s, ref.Stats(), sut.Stats())
+			}
+		}
+	})
+}
+
 // FuzzOrderedMonitorObserve does the same for the ordered variant,
 // checking the full rank order.
 func FuzzOrderedMonitorObserve(f *testing.F) {

@@ -68,7 +68,13 @@ type Stats struct {
 }
 
 // Monitor runs Algorithm 1. Create with New; it is not safe for concurrent
-// use (the goroutine-per-node engine lives in internal/runtime).
+// use (the concurrent engine lives in internal/runtime).
+//
+// The monitor is allocation-free in steady state: every per-step buffer —
+// violator cohorts, protocol participants, sampler state, extraction
+// results — is owned by the monitor and reused, and the filter set keeps
+// the reported top-k slice cached. A violation-free step via ObserveDelta
+// costs O(#changed nodes) and zero heap allocations.
 type Monitor struct {
 	cfg   Config
 	codec order.Codec
@@ -76,7 +82,7 @@ type Monitor struct {
 	led   *comm.Ledger
 
 	rngs []*rng.RNG  // per-node protocol randomness
-	keys []order.Key // node-local current keys (scratch, rewritten per step)
+	keys []order.Key // node-local current keys (rewritten as deltas arrive)
 
 	tPlus  order.Key // T+(t0, t): min over top-k values since last reset
 	tMinus order.Key // T−(t0, t): max over outside values since last reset
@@ -84,10 +90,27 @@ type Monitor struct {
 	step  int64
 	init  bool
 	stats Stats
+
+	// Pre-built phase recorders (constructing one per step would box an
+	// interface value on the heap).
+	recViol  comm.Recorder
+	recHand  comm.Recorder
+	recReset comm.Recorder
+
+	// Reusable scratch buffers; see the type comment.
+	allIDs     []int                  // 0..n-1, the dense delta
+	violTop    []protocol.Participant // violating former top-k nodes
+	violOut    []protocol.Participant // violating outsiders
+	parts      []protocol.Participant // side() / filterReset participant scratch
+	rankedIDs  []int                  // filterReset extraction order
+	rankedKeys []order.Key
+	pscratch   protocol.Scratch
 }
 
 // New validates the configuration and returns a monitor. The first
-// Observe call performs the paper's time-0 FILTERRESET initialization.
+// Observe or ObserveDelta call performs the paper's time-0 FILTERRESET
+// initialization; until a node's first delta arrives it is treated as
+// holding the value 0.
 func New(cfg Config) *Monitor {
 	if cfg.N <= 0 {
 		panic("core: monitor needs N > 0")
@@ -96,18 +119,33 @@ func New(cfg Config) *Monitor {
 		panic("core: monitor needs 1 <= K <= N")
 	}
 	m := &Monitor{
-		cfg:   cfg,
-		codec: order.NewCodec(cfg.N),
-		fs:    filter.NewSet(cfg.N, cfg.K),
-		led:   &comm.Ledger{},
-		rngs:  make([]*rng.RNG, cfg.N),
-		keys:  make([]order.Key, cfg.N),
+		cfg:    cfg,
+		codec:  order.NewCodec(cfg.N),
+		fs:     filter.NewSet(cfg.N, cfg.K),
+		led:    &comm.Ledger{},
+		rngs:   make([]*rng.RNG, cfg.N),
+		keys:   make([]order.Key, cfg.N),
+		allIDs: make([]int, cfg.N),
 	}
+	m.recViol = m.led.InPhase(comm.PhaseViolation)
+	m.recHand = m.led.InPhase(comm.PhaseHandler)
+	m.recReset = m.led.InPhase(comm.PhaseReset)
 	root := rng.New(cfg.Seed, 0xc02e)
 	for i := range m.rngs {
 		m.rngs[i] = root.Split(uint64(i))
+		m.allIDs[i] = i
+		m.keys[i] = m.encode(0, i)
 	}
 	return m
+}
+
+// encode maps one observation into the key domain per the DistinctValues
+// mode.
+func (m *Monitor) encode(v int64, id int) order.Key {
+	if m.cfg.DistinctValues {
+		return order.Key(v)
+	}
+	return m.codec.Encode(v, id)
 }
 
 // N returns the node count.
@@ -131,7 +169,14 @@ func (m *Monitor) Stats() Stats { return m.stats }
 func (m *Monitor) Filters() *filter.Set { return m.fs }
 
 // Top returns the currently reported top-k node ids in ascending order.
+// The returned slice is a read-only view owned by the monitor; it is
+// invalidated by the next observation that changes the top set. Use
+// AppendTop to copy.
 func (m *Monitor) Top() []int { return m.fs.Top() }
+
+// AppendTop appends the currently reported top-k ids (ascending) to dst
+// and returns the extended slice.
+func (m *Monitor) AppendTop(dst []int) []int { return m.fs.AppendTop(dst) }
 
 // EncodeAll maps a raw observation vector into the monitor's key domain,
 // applying the tie-break injection unless DistinctValues is set. The
@@ -141,72 +186,100 @@ func (m *Monitor) EncodeAll(vals []int64, keys []order.Key) {
 		panic("core: EncodeAll length mismatch")
 	}
 	for i, v := range vals {
-		if m.cfg.DistinctValues {
-			keys[i] = order.Key(v)
-		} else {
-			keys[i] = m.codec.Encode(v, i)
-		}
+		keys[i] = m.encode(v, i)
 	}
 }
 
 // Observe processes one time step of observations (vals[i] is node i's new
 // value) and returns the top-k node ids in ascending order. The returned
-// slice is freshly allocated.
+// slice is a read-only view owned by the monitor, valid until the next
+// step that changes the top set; use AppendTop to copy. Observe is the
+// dense form of ObserveDelta: every node is treated as touched.
 func (m *Monitor) Observe(vals []int64) []int {
 	if len(vals) != m.cfg.N {
 		panic(fmt.Sprintf("core: observed %d values for %d nodes", len(vals), m.cfg.N))
 	}
-	m.EncodeAll(vals, m.keys)
+	return m.ObserveDelta(m.allIDs, vals)
+}
+
+// ObserveDelta processes one time step in which only the nodes listed in
+// ids changed their values: vals[j] is node ids[j]'s new observation, and
+// every other node repeats its previous value. ids must be strictly
+// increasing; both slices may be empty (a step where nothing changed) and
+// are not retained. The step costs O(len(ids)) plus any protocol work and
+// performs no heap allocation when no filter is violated.
+//
+// Sparse and dense ingestion are interchangeable: feeding the same logical
+// value sequence through any mix of Observe and ObserveDelta yields
+// identical reports and identical message counts, because a node whose
+// value did not change can never newly violate its filter (the monitor
+// maintains the invariant that after every step each node's value lies
+// inside its assigned filter).
+func (m *Monitor) ObserveDelta(ids []int, vals []int64) []int {
+	if len(ids) != len(vals) {
+		panic(fmt.Sprintf("core: delta has %d ids but %d values", len(ids), len(vals)))
+	}
+	// Validate fully before mutating any key, so a panic on bad input
+	// leaves the monitor untouched (matching the runtime engine).
+	prev := -1
+	for _, id := range ids {
+		if id <= prev || id >= m.cfg.N {
+			panic(fmt.Sprintf("core: delta ids must be strictly increasing in [0, %d), got %d after %d", m.cfg.N, id, prev))
+		}
+		prev = id
+	}
+	for j, id := range ids {
+		m.keys[id] = m.encode(vals[j], id)
+	}
 	m.step++
 	m.stats.Steps++
 
-	prevTop := m.fs.Top()
-
+	prevGen := m.fs.Generation()
 	if !m.init {
 		m.filterReset()
 		m.init = true
 	} else {
-		m.handleStep()
+		m.handleStep(ids)
 	}
-
-	top := m.fs.Top()
-	if !equalInts(prevTop, top) {
+	if m.fs.Generation() != prevGen {
 		m.stats.TopChanges++
 	}
-	return top
+	return m.fs.Top()
 }
 
-// handleStep performs Algorithm 1 lines 2-14 for one time step.
-func (m *Monitor) handleStep() {
-	// Node-local filter checks (line 3). With k == n all filters are
-	// [−∞, +∞] and this loop never fires.
-	var violTop, violOut []protocol.Participant
-	for id := 0; id < m.cfg.N; id++ {
+// handleStep performs Algorithm 1 lines 2-14 for one time step in which
+// exactly the nodes in ids changed.
+func (m *Monitor) handleStep(ids []int) {
+	// Node-local filter checks (line 3), restricted to the touched nodes:
+	// an untouched node's value lies inside its filter by the per-step
+	// invariant. With k == n all filters are [−∞, +∞] and this loop never
+	// fires.
+	m.violTop, m.violOut = m.violTop[:0], m.violOut[:0]
+	for _, id := range ids {
 		if violated, _ := m.fs.Interval(id).Violates(m.keys[id]); !violated {
 			continue
 		}
 		p := protocol.Participant{ID: id, Key: m.keys[id], RNG: m.rngs[id]}
 		if m.fs.InTop(id) {
-			violTop = append(violTop, p)
+			m.violTop = append(m.violTop, p)
 		} else {
-			violOut = append(violOut, p)
+			m.violOut = append(m.violOut, p)
 		}
 	}
-	if len(violTop) == 0 && len(violOut) == 0 {
+	if len(m.violTop) == 0 && len(m.violOut) == 0 {
 		return
 	}
 	m.stats.ViolationSteps++
-	rec := m.led.InPhase(comm.PhaseViolation)
 
 	// Lines 4-8: violating former top-k nodes determine their minimum;
 	// violating outsiders determine their maximum. Population bounds are k
 	// and n-k respectively, which the nodes know from the last broadcast.
 	var minRes, maxRes protocol.Result
-	if len(violTop) > 0 {
-		minRes = m.minProto(violTop, m.cfg.K, rec)
+	if len(m.violTop) > 0 {
+		minRes = m.minProto(m.violTop, m.cfg.K, m.recViol)
 	}
-	if len(violOut) > 0 {
-		maxRes = m.maxProto(violOut, m.cfg.N-m.cfg.K, rec)
+	if len(m.violOut) > 0 {
+		maxRes = m.maxProto(m.violOut, m.cfg.N-m.cfg.K, m.recViol)
 	}
 	m.violationHandler(minRes, maxRes)
 }
@@ -214,7 +287,7 @@ func (m *Monitor) handleStep() {
 // violationHandler is FILTERVIOLATIONHANDLER (Algorithm 1 lines 15-35).
 func (m *Monitor) violationHandler(minRes, maxRes protocol.Result) {
 	m.stats.HandlerCalls++
-	rec := m.led.InPhase(comm.PhaseHandler)
+	rec := m.recHand
 
 	if !maxRes.OK {
 		// Line 23: learn the maximum over all current outsiders.
@@ -250,40 +323,54 @@ func (m *Monitor) violationHandler(minRes, maxRes protocol.Result) {
 
 // filterReset is FILTERRESET (Algorithm 1 lines 36-42): determine the k+1
 // largest values via repeated MAXIMUMPROTOCOL executions with population
-// bound n, then install fresh midpoint filters.
+// bound n, then install fresh midpoint filters. All extraction state lives
+// in reusable monitor-owned buffers.
 func (m *Monitor) filterReset() {
 	m.stats.Resets++
-	rec := m.led.InPhase(comm.PhaseReset)
+	rec := m.recReset
 
-	all := make([]protocol.Participant, m.cfg.N)
+	m.parts = m.parts[:0]
 	for id := 0; id < m.cfg.N; id++ {
-		all[id] = protocol.Participant{ID: id, Key: m.keys[id], RNG: m.rngs[id]}
+		m.parts = append(m.parts, protocol.Participant{ID: id, Key: m.keys[id], RNG: m.rngs[id]})
 	}
 	want := m.cfg.K + 1
 	if want > m.cfg.N {
 		want = m.cfg.N // k == n: there is no (k+1)-st value
 	}
-	ranked := protocol.TopExtractWith(all, want, func(ps []protocol.Participant) protocol.Result {
-		return m.maxProto(ps, m.cfg.N, rec)
-	})
-
-	top := make([]int, m.cfg.K)
-	for i := 0; i < m.cfg.K; i++ {
-		top[i] = ranked[i].ID
+	// Repeated extraction as in protocol.TopExtract, with the winner
+	// shift-removed from a reused buffer. Removal must preserve the
+	// id-ascending participant order: with duplicate keys (possible in
+	// DistinctValues mode when the caller's distinctness promise is not
+	// yet established, e.g. before every node has observed) the protocol
+	// breaks ties by iteration order, and the concurrent engine always
+	// iterates non-extracted nodes id-ascending.
+	m.rankedIDs, m.rankedKeys = m.rankedIDs[:0], m.rankedKeys[:0]
+	remaining := m.parts
+	for e := 0; e < want; e++ {
+		res := m.maxProto(remaining, m.cfg.N, rec)
+		m.rankedIDs = append(m.rankedIDs, res.ID)
+		m.rankedKeys = append(m.rankedKeys, res.Key)
+		for i := range remaining {
+			if remaining[i].ID == res.ID {
+				remaining = append(remaining[:i], remaining[i+1:]...)
+				break
+			}
+		}
 	}
-	m.fs.SetMembership(top)
+
+	m.fs.SetMembership(m.rankedIDs[:m.cfg.K]) // SetMembership does not retain its input
 
 	if m.cfg.K == m.cfg.N {
 		// Degenerate case: every node is in the top set; filters are
 		// unconstrained and the monitor never communicates again.
-		m.tPlus = ranked[len(ranked)-1].Key
+		m.tPlus = m.rankedKeys[len(m.rankedKeys)-1]
 		m.tMinus = order.NegInf
 		m.fs.AssignMidpoint(0) // installs [−∞, +∞] for k == n
 		return
 	}
 
-	kth := ranked[m.cfg.K-1].Key
-	kPlus1 := ranked[m.cfg.K].Key
+	kth := m.rankedKeys[m.cfg.K-1]
+	kPlus1 := m.rankedKeys[m.cfg.K]
 	m.tPlus, m.tMinus = kth, kPlus1
 	mid := order.Midpoint(kPlus1, kth)
 	// Line 41: one broadcast lets every node derive its new filter (nodes
@@ -298,7 +385,7 @@ func (m *Monitor) maxProto(parts []protocol.Participant, bound int, rec comm.Rec
 	if m.cfg.UseGather {
 		return protocol.GatherAll(parts, rec, m.cfg.Trace, m.step)
 	}
-	return protocol.Maximum(parts, bound, rec, m.cfg.Trace, m.step)
+	return m.pscratch.Maximum(parts, bound, rec, m.cfg.Trace, m.step)
 }
 
 // minProto dispatches the minimum protocol per the UseGather ablation flag.
@@ -306,19 +393,20 @@ func (m *Monitor) minProto(parts []protocol.Participant, bound int, rec comm.Rec
 	if m.cfg.UseGather {
 		return protocol.GatherAllMin(parts, rec, m.cfg.Trace, m.step)
 	}
-	return protocol.Minimum(parts, bound, rec, m.cfg.Trace, m.step)
+	return m.pscratch.Minimum(parts, bound, rec, m.cfg.Trace, m.step)
 }
 
-// side collects the current participants of one side: top-k members when
-// top is true, outsiders otherwise.
+// side collects the current participants of one side into a reused buffer:
+// top-k members when top is true, outsiders otherwise. The buffer is valid
+// until the next side or filterReset call.
 func (m *Monitor) side(top bool) []protocol.Participant {
-	var out []protocol.Participant
+	m.parts = m.parts[:0]
 	for id := 0; id < m.cfg.N; id++ {
 		if m.fs.InTop(id) == top {
-			out = append(out, protocol.Participant{ID: id, Key: m.keys[id], RNG: m.rngs[id]})
+			m.parts = append(m.parts, protocol.Participant{ID: id, Key: m.keys[id], RNG: m.rngs[id]})
 		}
 	}
-	return out
+	return m.parts
 }
 
 // Keys exposes the key vector of the last observed step (for invariant

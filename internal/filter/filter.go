@@ -11,6 +11,7 @@ package filter
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/order"
 )
@@ -69,9 +70,17 @@ func (iv Interval) String() string {
 
 // Set is a filter assignment for n nodes plus the top-k membership the
 // assignment encodes. It is the coordinator-side bookkeeping structure.
+//
+// The membership is kept in two synchronized representations: a per-node
+// boolean (for O(1) InTop checks) and a sorted id slice maintained
+// incrementally by SetMembership so that Top never has to scan or allocate
+// on the hot path.
 type Set struct {
 	ivs   []Interval
 	inTop []bool
+	top   []int // current membership, ascending; alias returned by Top
+	tmp   []int // scratch for SetMembership (swapped with top)
+	gen   uint64
 	k     int
 }
 
@@ -84,7 +93,13 @@ func NewSet(n, k int) *Set {
 	if k < 1 || k > n {
 		panic("filter: set needs 1 <= k <= n")
 	}
-	s := &Set{ivs: make([]Interval, n), inTop: make([]bool, n), k: k}
+	s := &Set{
+		ivs:   make([]Interval, n),
+		inTop: make([]bool, n),
+		top:   make([]int, 0, k),
+		tmp:   make([]int, 0, k),
+		k:     k,
+	}
 	for i := range s.ivs {
 		s.ivs[i] = Full()
 	}
@@ -111,35 +126,63 @@ func (s *Set) SetInterval(id int, iv Interval) {
 // InTop reports whether node id is recorded as a top-k member.
 func (s *Set) InTop(id int) bool { return s.inTop[id] }
 
-// SetMembership replaces the top-k membership with exactly the ids in top.
-// It panics if len(top) != k or an id repeats.
+// SetMembership replaces the top-k membership with exactly the ids in top
+// (in any order). It panics if len(top) != k, an id repeats, or an id is
+// out of range. The input slice is not retained. The set's generation
+// counter advances only when the membership actually changes, so callers
+// can detect top-k changes without copying or comparing id slices.
 func (s *Set) SetMembership(top []int) {
 	if len(top) != s.k {
 		panic(fmt.Sprintf("filter: membership size %d, want k=%d", len(top), s.k))
 	}
-	for i := range s.inTop {
-		s.inTop[i] = false
-	}
-	for _, id := range top {
+	s.tmp = append(s.tmp[:0], top...)
+	sort.Ints(s.tmp)
+	for i, id := range s.tmp {
 		if id < 0 || id >= len(s.inTop) {
 			panic("filter: membership id out of range")
 		}
-		if s.inTop[id] {
+		if i > 0 && id == s.tmp[i-1] {
 			panic("filter: duplicate membership id")
 		}
+	}
+	if intsEqual(s.tmp, s.top) {
+		return // unchanged; inTop flags and generation stay as they are
+	}
+	for _, id := range s.top {
+		s.inTop[id] = false
+	}
+	for _, id := range s.tmp {
 		s.inTop[id] = true
 	}
+	s.top, s.tmp = s.tmp, s.top
+	s.gen++
 }
 
-// Top returns the current top-k ids in ascending order.
-func (s *Set) Top() []int {
-	out := make([]int, 0, s.k)
-	for id, in := range s.inTop {
-		if in {
-			out = append(out, id)
+// Top returns the current top-k ids in ascending order. The returned slice
+// is a read-only view owned by the set and is invalidated by the next
+// SetMembership call; use AppendTop for a copy that survives.
+func (s *Set) Top() []int { return s.top }
+
+// AppendTop appends the current top-k ids (ascending) to dst and returns
+// the extended slice. With a dst of capacity >= K it performs no
+// allocation.
+func (s *Set) AppendTop(dst []int) []int { return append(dst, s.top...) }
+
+// Generation returns a counter that advances exactly when SetMembership
+// installs a membership different from the previous one. A fresh set
+// starts at generation 0 with an empty membership.
+func (s *Set) Generation() uint64 { return s.gen }
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
 		}
 	}
-	return out
+	return true
 }
 
 // AssignMidpoint installs the canonical assignment of Algorithm 1 around

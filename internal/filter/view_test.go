@@ -1,0 +1,82 @@
+package filter
+
+import "testing"
+
+// TestTopViewAndAppendTop pins the caching contract: Top returns the same
+// ascending membership without allocating, and AppendTop copies.
+func TestTopViewAndAppendTop(t *testing.T) {
+	s := NewSet(10, 3)
+	s.SetMembership([]int{7, 2, 5})
+	want := []int{2, 5, 7}
+	got := s.Top()
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("Top() = %v, want %v", got, want)
+	}
+	cp := s.AppendTop(nil)
+	s.SetMembership([]int{0, 1, 2})
+	if cp[0] != 2 || cp[1] != 5 || cp[2] != 7 {
+		t.Fatalf("AppendTop copy mutated by SetMembership: %v", cp)
+	}
+	if avg := testing.AllocsPerRun(100, func() { _ = s.Top() }); avg != 0 {
+		t.Fatalf("Top allocates %.2f, want 0", avg)
+	}
+	buf := make([]int, 0, 3)
+	if avg := testing.AllocsPerRun(100, func() { buf = s.AppendTop(buf[:0]) }); avg != 0 {
+		t.Fatalf("AppendTop into sized buffer allocates %.2f, want 0", avg)
+	}
+}
+
+// TestGeneration pins that the generation counter advances exactly on
+// membership changes.
+func TestGeneration(t *testing.T) {
+	s := NewSet(8, 2)
+	if s.Generation() != 0 {
+		t.Fatalf("fresh set generation = %d, want 0", s.Generation())
+	}
+	s.SetMembership([]int{3, 1})
+	g1 := s.Generation()
+	if g1 == 0 {
+		t.Fatal("first SetMembership did not advance the generation")
+	}
+	s.SetMembership([]int{1, 3}) // same membership, different order
+	if s.Generation() != g1 {
+		t.Fatal("identical membership advanced the generation")
+	}
+	if !s.InTop(1) || !s.InTop(3) || s.InTop(0) {
+		t.Fatal("membership flags wrong after no-op SetMembership")
+	}
+	s.SetMembership([]int{1, 4})
+	if s.Generation() != g1+1 {
+		t.Fatalf("membership change advanced generation to %d, want %d", s.Generation(), g1+1)
+	}
+	if s.InTop(3) || !s.InTop(4) {
+		t.Fatal("membership flags not updated")
+	}
+	top := s.Top()
+	if len(top) != 2 || top[0] != 1 || top[1] != 4 {
+		t.Fatalf("Top() = %v, want [1 4]", top)
+	}
+	if s.CountTop() != 2 {
+		t.Fatalf("CountTop = %d", s.CountTop())
+	}
+}
+
+// TestSetMembershipZeroAlloc pins that replacing the membership does not
+// allocate once the internal buffers exist.
+func TestSetMembershipZeroAlloc(t *testing.T) {
+	s := NewSet(32, 4)
+	a, b := []int{0, 1, 2, 3}, []int{4, 5, 6, 7}
+	s.SetMembership(a)
+	s.SetMembership(b)
+	flip := false
+	if avg := testing.AllocsPerRun(200, func() {
+		if flip {
+			s.SetMembership(a)
+		} else {
+			s.SetMembership(b)
+		}
+		flip = !flip
+	}); avg != 0 {
+		t.Fatalf("SetMembership allocates %.2f, want 0", avg)
+	}
+}

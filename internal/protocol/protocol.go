@@ -14,7 +14,7 @@
 // of node-to-coordinator messages by 2·log2(N) + 1.
 //
 // The node-side per-round behaviour lives in Sampler so that the
-// sequential engine (this package's Maximum) and the goroutine-per-node
+// sequential engine (this package's Maximum) and the sharded concurrent
 // runtime (internal/runtime) share one implementation and can be checked
 // for message-count equivalence under identical seeds.
 package protocol
@@ -106,22 +106,40 @@ func (s *Sampler) Round(best order.Key, r uint, rg *rng.RNG) bool {
 	return false
 }
 
+// Scratch holds reusable per-execution buffers so that a protocol run on a
+// hot path performs no heap allocation. The zero value is ready to use; a
+// Scratch may be reused across executions but not shared concurrently.
+type Scratch struct {
+	samplers []Sampler
+}
+
 // Maximum executes Algorithm 2 over the given participants with population
 // upper bound N >= len(parts), recording one Up message per node send and
 // one Bcast per round on rec. step tags optional trace events with the
 // simulation time. The empty participant set yields Result{OK: false} and
 // no messages.
 func Maximum(parts []Participant, bound int, rec comm.Recorder, tr *comm.Trace, step int64) Result {
-	return run(parts, bound, rec, tr, step, false)
+	return run(parts, bound, rec, tr, step, false, nil)
 }
 
 // Minimum is the order-dual of Maximum: it executes Algorithm 2 on negated
 // keys, returning the participant holding the smallest key.
 func Minimum(parts []Participant, bound int, rec comm.Recorder, tr *comm.Trace, step int64) Result {
-	return run(parts, bound, rec, tr, step, true)
+	return run(parts, bound, rec, tr, step, true, nil)
 }
 
-func run(parts []Participant, bound int, rec comm.Recorder, tr *comm.Trace, step int64, negate bool) Result {
+// Maximum is Maximum using s's buffers: allocation-free once the buffers
+// have grown to the largest participant count seen.
+func (s *Scratch) Maximum(parts []Participant, bound int, rec comm.Recorder, tr *comm.Trace, step int64) Result {
+	return run(parts, bound, rec, tr, step, false, s)
+}
+
+// Minimum is Minimum using s's buffers.
+func (s *Scratch) Minimum(parts []Participant, bound int, rec comm.Recorder, tr *comm.Trace, step int64) Result {
+	return run(parts, bound, rec, tr, step, true, s)
+}
+
+func run(parts []Participant, bound int, rec comm.Recorder, tr *comm.Trace, step int64, negate bool, s *Scratch) Result {
 	if len(parts) == 0 {
 		return Result{OK: false, ID: -1, Key: order.NegInf}
 	}
@@ -134,7 +152,15 @@ func run(parts []Participant, bound int, rec comm.Recorder, tr *comm.Trace, step
 		}
 		return p.Key
 	}
-	samplers := make([]Sampler, len(parts))
+	var samplers []Sampler
+	if s != nil {
+		if cap(s.samplers) < len(parts) {
+			s.samplers = make([]Sampler, len(parts))
+		}
+		samplers = s.samplers[:len(parts)]
+	} else {
+		samplers = make([]Sampler, len(parts))
+	}
 	for i, p := range parts {
 		samplers[i] = NewSampler(key(p), bound)
 	}

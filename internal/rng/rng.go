@@ -7,7 +7,7 @@
 // simulation can hand every node its own generator and remain reproducible
 // regardless of scheduling order. This property is essential for the
 // equivalence tests between the sequential simulator and the
-// goroutine-per-node runtime.
+// sharded concurrent runtime.
 //
 // The package deliberately does not use math/rand: the paper's protocols
 // require Bernoulli trials with success probability 2^r/N for possibly

@@ -8,7 +8,7 @@ import (
 )
 
 // OrderedRuntime runs the ordered top-k monitor (the paper's §5 extension,
-// see core.OrderedMonitor) on the goroutine-per-node engine. The set layer
+// see core.OrderedMonitor) on the sharded concurrent engine. The set layer
 // is the unchanged Runtime; the order layer adds a second, node-local
 // filter — the interval between the midpoints to the node's ranking
 // neighbors' last reports — and a coordinator-driven cascade that settles
@@ -93,9 +93,9 @@ func (ot *OrderedRuntime) cascade() {
 	for {
 		changed := false
 		for _, id := range ot.ordered {
-			rp := ot.rt.unicast(id, command{kind: cOrderCheck})
-			if rp.sent {
-				ot.est[id] = rp.key
+			rp := ot.rt.unicast(id, shardCmd{kind: cOrderCheck})
+			if len(rp.sends) > 0 {
+				ot.est[id] = rp.sends[0].key
 				rec.Record(comm.Up, 1)
 				changed = true
 			}
@@ -137,7 +137,7 @@ func (ot *OrderedRuntime) installBounds(rec comm.Recorder, force bool) {
 			if changed {
 				rec.Record(comm.Down, 1)
 			}
-			ot.rt.unicast(id, command{kind: cOrderBounds, best: lo, mid: hi})
+			ot.rt.unicast(id, shardCmd{kind: cOrderBounds, lo: lo, mid: hi})
 		}
 	}
 }

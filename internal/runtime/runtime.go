@@ -1,9 +1,9 @@
-// Package runtime executes Algorithm 1 on a concurrent engine: one
-// goroutine per node plus a coordinator, communicating exclusively over
-// channels. It demonstrates the distributed fidelity of the reproduction —
-// nodes hold only their own state (current key, filter, membership flag,
-// private RNG) and everything the coordinator learns about values arrives
-// in counted messages.
+// Package runtime executes Algorithm 1 on a concurrent engine: shard
+// goroutines hosting the distributed nodes plus a coordinator,
+// communicating exclusively over channels. It demonstrates the distributed
+// fidelity of the reproduction — nodes hold only their own state (current
+// key, filter, membership flag, private RNG) and everything the
+// coordinator learns about values arrives in counted messages.
 //
 // # Synchrony and the control plane
 //
@@ -18,10 +18,23 @@
 // (internal/core), and the equivalence test in this package asserts that
 // both engines produce bit-identical message counts and reports under the
 // same seed.
+//
+// # Sharding
+//
+// Nodes are partitioned into contiguous shards, one goroutine each, and
+// the coordinator exchanges one batched command/reply pair per shard per
+// protocol round instead of one per node. A round therefore costs
+// O(shards) channel operations rather than O(n), which is what makes the
+// engine usable at large n. Batching is pure control-plane mechanics: each
+// node still takes exactly the decisions it would take with a private
+// channel (its RNG is consulted identically), so message counts are
+// unaffected by the shard layout.
 package runtime
 
 import (
 	"fmt"
+	gort "runtime"
+	"sort"
 	"sync"
 
 	"repro/internal/comm"
@@ -36,12 +49,17 @@ type Config struct {
 	N, K           int
 	Seed           uint64
 	DistinctValues bool
+	// Shards is the number of node-hosting goroutines. 0 selects
+	// min(N, GOMAXPROCS). The shard layout does not affect reports or
+	// message counts, only scheduling.
+	Shards int
 }
 
 type cmdKind int
 
 const (
-	cObserve cmdKind = iota
+	cObserve      cmdKind = iota // dense observation vector
+	cObserveDelta                // sparse observation: only listed ids changed
 	cRound
 	cWinner
 	cMidpoint
@@ -63,130 +81,61 @@ const (
 
 func (t protoTag) minimum() bool { return t == tagViolMin || t == tagHandMin }
 
-type command struct {
+// shardCmd is one batched command delivered to a shard. It applies to all
+// of the shard's nodes unless target selects a single node.
+type shardCmd struct {
 	kind  cmdKind
-	value int64     // cObserve: the node's new observation
+	step  int64     // cObserve*/cRound: current observation step
+	vals  []int64   // cObserve: the full dense observation vector
+	ids   []int     // cObserveDelta: strictly increasing changed node ids
+	dvals []int64   // cObserveDelta: values parallel to ids
 	tag   protoTag  // cRound
 	round int       // cRound
 	best  order.Key // cRound: best-so-far in the sampler's comparison domain
 	bound int       // cRound: population bound N of the protocol
-	exec  int       // cRound/cWinner: extraction index within a reset
-	win   int       // cWinner: winning node id
+	tgt   int       // cWinner/cOrderCheck/cOrderBounds: target node id
 	isTop bool      // cWinner: winner belongs to the new top-k
-	mid   order.Key // cMidpoint
+	mid   order.Key // cMidpoint; cOrderBounds upper bound
+	lo    order.Key // cOrderBounds lower bound
 	full  bool      // cMidpoint: k == n, install [-inf, +inf]
 }
 
-type reply struct {
-	id   int
-	sent bool      // true: a counted Up message carrying key
-	key  order.Key // valid when sent
-	// observation control flags (cObserve only)
-	violated bool
-	wasTop   bool
+// send is one counted node→coordinator message within a batched reply.
+type send struct {
+	id  int
+	key order.Key
 }
 
-// node is the goroutine-local state of one distributed node.
-type node struct {
-	id       int
-	distinct bool
-	codec    order.Codec
-	rng      *rng.RNG
+// shardReply is a shard's batched answer to one command. sends aliases the
+// shard's reusable buffer: the coordinator must consume it before issuing
+// the next command to that shard (which it always does — commands are
+// strictly round-trip).
+type shardReply struct {
+	shard            int
+	topViol, outViol bool
+	sends            []send
+}
 
+// node is the per-node distributed state, hosted by its shard's goroutine.
+type node struct {
+	id        int
+	rng       *rng.RNG
 	key       order.Key
 	iv        filter.Interval
 	ordIv     filter.Interval // order filter (ordered variant only)
 	inTop     bool
-	violated  bool
-	wasTop    bool
+	wasTop    bool  // membership at the time of the last violation
+	violStep  int64 // observation step of the last filter violation
 	extracted bool
 	sampler   protocol.Sampler
-
-	cmd chan command
-	out chan<- reply
 }
 
-func (nd *node) run() {
-	for c := range nd.cmd {
-		switch c.kind {
-		case cObserve:
-			if nd.distinct {
-				nd.key = order.Key(c.value)
-			} else {
-				nd.key = nd.codec.Encode(c.value, nd.id)
-			}
-			v, _ := nd.iv.Violates(nd.key)
-			nd.violated = v
-			nd.wasTop = nd.inTop
-			nd.out <- reply{id: nd.id, violated: v, wasTop: nd.inTop}
-
-		case cResetBegin:
-			nd.extracted = false
-			nd.inTop = false
-			nd.out <- reply{id: nd.id}
-
-		case cRound:
-			if !nd.participates(c.tag) {
-				nd.out <- reply{id: nd.id}
-				continue
-			}
-			if c.round == 0 {
-				k := nd.key
-				if c.tag.minimum() {
-					k = order.Neg(k)
-				}
-				nd.sampler = protocol.NewSampler(k, c.bound)
-			}
-			if nd.sampler.Round(c.best, uint(c.round), nd.rng) {
-				nd.out <- reply{id: nd.id, sent: true, key: nd.key}
-			} else {
-				nd.out <- reply{id: nd.id}
-			}
-
-		case cWinner:
-			if c.win == nd.id {
-				nd.extracted = true
-				if c.isTop {
-					nd.inTop = true
-				}
-			}
-			nd.out <- reply{id: nd.id}
-
-		case cOrderCheck:
-			if v, _ := nd.ordIv.Violates(nd.key); v {
-				nd.out <- reply{id: nd.id, sent: true, key: nd.key}
-			} else {
-				nd.out <- reply{id: nd.id}
-			}
-
-		case cOrderBounds:
-			// best carries the lower bound, mid the upper bound.
-			nd.ordIv = filter.Interval{Lo: c.best, Hi: c.mid}
-			nd.out <- reply{id: nd.id}
-
-		case cMidpoint:
-			switch {
-			case c.full:
-				nd.iv = filter.Full()
-			case nd.inTop:
-				nd.iv = filter.AtLeast(c.mid)
-			default:
-				nd.iv = filter.AtMost(c.mid)
-			}
-			nd.out <- reply{id: nd.id}
-
-		default:
-			panic(fmt.Sprintf("runtime: unknown command kind %d", c.kind))
-		}
-	}
-}
-
-func (nd *node) participates(tag protoTag) bool {
+func (nd *node) participates(tag protoTag, step int64) bool {
 	switch tag {
 	case tagViolMin:
-		return nd.violated && nd.wasTop
+		return nd.violStep == step && nd.wasTop
 	case tagViolMax:
-		return nd.violated && !nd.wasTop
+		return nd.violStep == step && !nd.wasTop
 	case tagHandMin:
 		return nd.inTop
 	case tagHandMax:
@@ -198,19 +147,138 @@ func (nd *node) participates(tag protoTag) bool {
 	}
 }
 
+// shard hosts a contiguous range of nodes [lo, hi) on one goroutine.
+type shard struct {
+	idx      int
+	lo, hi   int
+	nodes    []node
+	distinct bool
+	codec    order.Codec
+	cmd      chan shardCmd
+	out      chan<- shardReply
+	buf      []send // reusable sends buffer, aliased by replies
+}
+
+func (sh *shard) observeNode(nd *node, v int64, step int64, rp *shardReply) {
+	if sh.distinct {
+		nd.key = order.Key(v)
+	} else {
+		nd.key = sh.codec.Encode(v, nd.id)
+	}
+	if violated, _ := nd.iv.Violates(nd.key); violated {
+		nd.violStep = step
+		nd.wasTop = nd.inTop
+		if nd.inTop {
+			rp.topViol = true
+		} else {
+			rp.outViol = true
+		}
+	}
+}
+
+func (sh *shard) run() {
+	for c := range sh.cmd {
+		rp := shardReply{shard: sh.idx}
+		sh.buf = sh.buf[:0]
+		switch c.kind {
+		case cObserve:
+			for i := range sh.nodes {
+				nd := &sh.nodes[i]
+				sh.observeNode(nd, c.vals[nd.id], c.step, &rp)
+			}
+
+		case cObserveDelta:
+			// Only the shard's slice of the (sorted) changed ids is
+			// touched; untouched nodes keep their key and cannot newly
+			// violate (per-step filter invariant).
+			start := sort.SearchInts(c.ids, sh.lo)
+			for j := start; j < len(c.ids) && c.ids[j] < sh.hi; j++ {
+				nd := &sh.nodes[c.ids[j]-sh.lo]
+				sh.observeNode(nd, c.dvals[j], c.step, &rp)
+			}
+
+		case cResetBegin:
+			for i := range sh.nodes {
+				sh.nodes[i].extracted = false
+				sh.nodes[i].inTop = false
+			}
+
+		case cRound:
+			for i := range sh.nodes {
+				nd := &sh.nodes[i]
+				if !nd.participates(c.tag, c.step) {
+					continue
+				}
+				if c.round == 0 {
+					k := nd.key
+					if c.tag.minimum() {
+						k = order.Neg(k)
+					}
+					nd.sampler = protocol.NewSampler(k, c.bound)
+				}
+				if nd.sampler.Round(c.best, uint(c.round), nd.rng) {
+					sh.buf = append(sh.buf, send{id: nd.id, key: nd.key})
+				}
+			}
+			rp.sends = sh.buf
+
+		case cWinner:
+			nd := &sh.nodes[c.tgt-sh.lo]
+			nd.extracted = true
+			if c.isTop {
+				nd.inTop = true
+			}
+
+		case cMidpoint:
+			for i := range sh.nodes {
+				nd := &sh.nodes[i]
+				switch {
+				case c.full:
+					nd.iv = filter.Full()
+				case nd.inTop:
+					nd.iv = filter.AtLeast(c.mid)
+				default:
+					nd.iv = filter.AtMost(c.mid)
+				}
+			}
+
+		case cOrderCheck:
+			nd := &sh.nodes[c.tgt-sh.lo]
+			if violated, _ := nd.ordIv.Violates(nd.key); violated {
+				sh.buf = append(sh.buf, send{id: nd.id, key: nd.key})
+				rp.sends = sh.buf
+			}
+
+		case cOrderBounds:
+			sh.nodes[c.tgt-sh.lo].ordIv = filter.Interval{Lo: c.lo, Hi: c.mid}
+
+		default:
+			panic(fmt.Sprintf("runtime: unknown command kind %d", c.kind))
+		}
+		sh.out <- rp
+	}
+}
+
 // Runtime is the concurrent monitor. It satisfies sim.Algorithm. It is not
 // safe for concurrent Observe calls (steps are globally ordered in the
 // model); internal node parallelism is managed by the coordinator.
 type Runtime struct {
-	cfg   Config
-	led   comm.Ledger
-	nodes []*node
-	in    chan reply
-	wg    sync.WaitGroup
+	cfg       Config
+	led       comm.Ledger
+	nodes     []node
+	shards    []*shard
+	shardSize int
+	in        chan shardReply
+	wg        sync.WaitGroup
+
+	replies []shardReply // reusable per-round reply table, indexed by shard
+	touched []int        // reusable scratch: shard indices hit by a delta
 
 	inTop  []bool // coordinator's view of the membership
+	top    []int  // cached reported top-k ids, ascending
 	tPlus  order.Key
 	tMinus order.Key
+	step   int64
 	init   bool
 	closed bool
 
@@ -219,8 +287,9 @@ type Runtime struct {
 	lastKeys map[int]order.Key // keys revealed by the latest reset's extractions
 }
 
-// New starts the node goroutines and returns the runtime. Callers must
-// Close it to release the goroutines.
+// New starts the shard goroutines and returns the runtime. Callers must
+// Close it to release the goroutines. As in the sequential engine, nodes
+// are treated as holding the value 0 until their first observation.
 func New(cfg Config) *Runtime {
 	if cfg.N <= 0 {
 		panic("runtime: need N > 0")
@@ -228,46 +297,78 @@ func New(cfg Config) *Runtime {
 	if cfg.K < 1 || cfg.K > cfg.N {
 		panic("runtime: need 1 <= K <= N")
 	}
+	nshards := cfg.Shards
+	if nshards <= 0 {
+		nshards = gort.GOMAXPROCS(0)
+	}
+	if nshards > cfg.N {
+		nshards = cfg.N
+	}
+	shardSize := (cfg.N + nshards - 1) / nshards
+	nshards = (cfg.N + shardSize - 1) / shardSize
+
 	rt := &Runtime{
-		cfg:      cfg,
-		nodes:    make([]*node, cfg.N),
-		in:       make(chan reply, cfg.N),
-		inTop:    make([]bool, cfg.N),
-		lastKeys: make(map[int]order.Key),
+		cfg:       cfg,
+		nodes:     make([]node, cfg.N),
+		shardSize: shardSize,
+		in:        make(chan shardReply, nshards),
+		replies:   make([]shardReply, nshards),
+		inTop:     make([]bool, cfg.N),
+		top:       make([]int, 0, cfg.K),
+		lastKeys:  make(map[int]order.Key),
 	}
 	codec := order.NewCodec(cfg.N)
 	// The RNG stream layout matches core.New exactly; engine equivalence
 	// depends on it.
 	root := rng.New(cfg.Seed, 0xc02e)
 	for i := 0; i < cfg.N; i++ {
-		nd := &node{
+		key := order.Key(0)
+		if !cfg.DistinctValues {
+			key = codec.Encode(0, i)
+		}
+		rt.nodes[i] = node{
 			id:       i,
-			distinct: cfg.DistinctValues,
-			codec:    codec,
 			rng:      root.Split(uint64(i)),
+			key:      key,
 			iv:       filter.Full(),
 			ordIv:    filter.Full(),
-			cmd:      make(chan command, 1),
+			violStep: -1,
+		}
+	}
+	for s := 0; s < nshards; s++ {
+		lo := s * shardSize
+		hi := lo + shardSize
+		if hi > cfg.N {
+			hi = cfg.N
+		}
+		sh := &shard{
+			idx:      s,
+			lo:       lo,
+			hi:       hi,
+			nodes:    rt.nodes[lo:hi:hi],
+			distinct: cfg.DistinctValues,
+			codec:    codec,
+			cmd:      make(chan shardCmd, 1),
 			out:      rt.in,
 		}
-		rt.nodes[i] = nd
+		rt.shards = append(rt.shards, sh)
 		rt.wg.Add(1)
 		go func() {
 			defer rt.wg.Done()
-			nd.run()
+			sh.run()
 		}()
 	}
 	return rt
 }
 
-// Close shuts down all node goroutines. Idempotent.
+// Close shuts down all shard goroutines. Idempotent.
 func (rt *Runtime) Close() {
 	if rt.closed {
 		return
 	}
 	rt.closed = true
-	for _, nd := range rt.nodes {
-		close(nd.cmd)
+	for _, sh := range rt.shards {
+		close(sh.cmd)
 	}
 	rt.wg.Wait()
 }
@@ -278,77 +379,60 @@ func (rt *Runtime) Counts() comm.Counts { return rt.led.Total() }
 // Ledger exposes the per-phase breakdown.
 func (rt *Runtime) Ledger() *comm.Ledger { return &rt.led }
 
-// Top returns the current top-k ids ascending.
-func (rt *Runtime) Top() []int {
-	out := make([]int, 0, rt.cfg.K)
-	for id, in := range rt.inTop {
-		if in {
-			out = append(out, id)
-		}
+// Top returns the current top-k ids ascending. The returned slice is a
+// read-only view owned by the runtime, invalidated by the next reset; use
+// AppendTop to copy.
+func (rt *Runtime) Top() []int { return rt.top }
+
+// AppendTop appends the current top-k ids (ascending) to dst and returns
+// the extended slice.
+func (rt *Runtime) AppendTop(dst []int) []int { return append(dst, rt.top...) }
+
+// broadcast sends the command to every shard and collects one batched
+// reply per shard into the reusable reply table. The fan-out/fan-in is
+// control plane; only explicitly recorded events cost messages.
+func (rt *Runtime) broadcast(c shardCmd) []shardReply {
+	for _, sh := range rt.shards {
+		sh.cmd <- c
 	}
-	return out
+	for range rt.shards {
+		rp := <-rt.in
+		rt.replies[rp.shard] = rp
+	}
+	return rt.replies
 }
 
-// broadcast sends the command to every node and collects one reply per
-// node. The fan-out/fan-in is control plane; only explicitly recorded
-// events cost messages.
-func (rt *Runtime) broadcast(c command) []reply {
-	for _, nd := range rt.nodes {
-		nd.cmd <- c
-	}
-	replies := make([]reply, rt.cfg.N)
-	for i := 0; i < rt.cfg.N; i++ {
-		r := <-rt.in
-		replies[r.id] = r
-	}
-	return replies
-}
-
-// unicast sends a command to a single node and awaits its reply. Like
-// broadcast, the plumbing is control plane; cost is recorded explicitly
-// by callers.
-func (rt *Runtime) unicast(id int, c command) reply {
-	rt.nodes[id].cmd <- c
+// unicast routes a single-node command to the shard owning that node and
+// awaits its reply. Like broadcast, the plumbing is control plane.
+func (rt *Runtime) unicast(id int, c shardCmd) shardReply {
+	c.tgt = id
+	rt.shards[id/rt.shardSize].cmd <- c
 	return <-rt.in
-}
-
-// observeCmd delivers per-node observations (sensing is local and free).
-func (rt *Runtime) observeCmd(vals []int64) []reply {
-	for i, nd := range rt.nodes {
-		nd.cmd <- command{kind: cObserve, value: vals[i]}
-	}
-	replies := make([]reply, rt.cfg.N)
-	for i := 0; i < rt.cfg.N; i++ {
-		r := <-rt.in
-		replies[r.id] = r
-	}
-	return replies
 }
 
 // execProtocol runs one Algorithm 2 execution over the cohort selected by
 // tag, with the given population bound, recording Up per node send and
 // Bcast per round. It returns the winner (in the tag's extremal sense) and
 // whether anyone sent.
-func (rt *Runtime) execProtocol(tag protoTag, bound, exec int, rec comm.Recorder) (winID int, winKey order.Key, any bool) {
+func (rt *Runtime) execProtocol(tag protoTag, bound int, rec comm.Recorder) (winID int, winKey order.Key, any bool) {
 	rounds := protocol.Rounds(bound)
 	best := order.NegInf // in the sampler's comparison domain
 	winID = -1
 	for r := 0; r < rounds; r++ {
-		replies := rt.broadcast(command{kind: cRound, tag: tag, round: r, best: best, bound: bound, exec: exec})
-		for _, rp := range replies {
-			if !rp.sent {
-				continue
-			}
-			rec.Record(comm.Up, 1)
-			any = true
-			cmp := rp.key
-			if tag.minimum() {
-				cmp = order.Neg(cmp)
-			}
-			if cmp > best {
-				best = cmp
-				winID = rp.id
-				winKey = rp.key
+		replies := rt.broadcast(shardCmd{kind: cRound, tag: tag, round: r, best: best, bound: bound, step: rt.step})
+		for i := range replies {
+			for _, sd := range replies[i].sends {
+				rec.Record(comm.Up, 1)
+				any = true
+				cmp := sd.key
+				if tag.minimum() {
+					cmp = order.Neg(cmp)
+				}
+				if cmp > best {
+					best = cmp
+					winID = sd.id
+					winKey = sd.key
+				}
 			}
 		}
 		rec.Record(comm.Bcast, 1)
@@ -356,8 +440,8 @@ func (rt *Runtime) execProtocol(tag protoTag, bound, exec int, rec comm.Recorder
 	return winID, winKey, any
 }
 
-// Observe processes one time step and returns the reported top-k ids
-// ascending. It panics after Close.
+// Observe processes one dense time step and returns the reported top-k ids
+// ascending (a read-only view, as with Top). It panics after Close.
 func (rt *Runtime) Observe(vals []int64) []int {
 	if rt.closed {
 		panic("runtime: Observe after Close")
@@ -365,26 +449,67 @@ func (rt *Runtime) Observe(vals []int64) []int {
 	if len(vals) != rt.cfg.N {
 		panic(fmt.Sprintf("runtime: observed %d values for %d nodes", len(vals), rt.cfg.N))
 	}
-	replies := rt.observeCmd(vals)
+	rt.step++
+	anyTop, anyOut := false, false
+	for _, sh := range rt.shards {
+		sh.cmd <- shardCmd{kind: cObserve, vals: vals, step: rt.step}
+	}
+	for range rt.shards {
+		rp := <-rt.in
+		anyTop = anyTop || rp.topViol
+		anyOut = anyOut || rp.outViol
+	}
+	return rt.finishStep(anyTop, anyOut)
+}
 
+// ObserveDelta processes one sparse time step: vals[j] is node ids[j]'s
+// new value and every other node repeats its previous value. ids must be
+// strictly increasing. Only shards owning a touched node exchange
+// observation commands, so a violation-free sparse step costs channel
+// traffic proportional to the number of touched shards. Semantics match
+// core.Monitor.ObserveDelta exactly.
+func (rt *Runtime) ObserveDelta(ids []int, vals []int64) []int {
+	if rt.closed {
+		panic("runtime: ObserveDelta after Close")
+	}
+	if len(ids) != len(vals) {
+		panic(fmt.Sprintf("runtime: delta has %d ids but %d values", len(ids), len(vals)))
+	}
+	prev := -1
+	rt.touched = rt.touched[:0]
+	for _, id := range ids {
+		if id <= prev || id >= rt.cfg.N {
+			panic(fmt.Sprintf("runtime: delta ids must be strictly increasing in [0, %d), got %d after %d", rt.cfg.N, id, prev))
+		}
+		prev = id
+		if si := id / rt.shardSize; len(rt.touched) == 0 || rt.touched[len(rt.touched)-1] != si {
+			rt.touched = append(rt.touched, si)
+		}
+	}
+	rt.step++
+	c := shardCmd{kind: cObserveDelta, ids: ids, dvals: vals, step: rt.step}
+	for _, si := range rt.touched {
+		rt.shards[si].cmd <- c
+	}
+	anyTop, anyOut := false, false
+	for range rt.touched {
+		rp := <-rt.in
+		anyTop = anyTop || rp.topViol
+		anyOut = anyOut || rp.outViol
+	}
+	return rt.finishStep(anyTop, anyOut)
+}
+
+// finishStep runs the coordinator side of Algorithm 1 after the node-local
+// filter checks of one step.
+func (rt *Runtime) finishStep(anyTopViol, anyOutViol bool) []int {
 	if !rt.init {
 		rt.reset()
 		rt.init = true
-		return rt.Top()
-	}
-
-	anyTopViol, anyOutViol := false, false
-	for _, r := range replies {
-		if r.violated {
-			if r.wasTop {
-				anyTopViol = true
-			} else {
-				anyOutViol = true
-			}
-		}
+		return rt.top
 	}
 	if !anyTopViol && !anyOutViol {
-		return rt.Top()
+		return rt.top
 	}
 
 	// Violation phase: cohorts of violators run their protocols
@@ -394,18 +519,18 @@ func (rt *Runtime) Observe(vals []int64) []int {
 	var minKey, maxKey order.Key
 	minOK, maxOK := false, false
 	if anyTopViol {
-		_, minKey, minOK = rt.execProtocol(tagViolMin, rt.cfg.K, 0, vrec)
+		_, minKey, minOK = rt.execProtocol(tagViolMin, rt.cfg.K, vrec)
 	}
 	if anyOutViol {
-		_, maxKey, maxOK = rt.execProtocol(tagViolMax, rt.cfg.N-rt.cfg.K, 0, vrec)
+		_, maxKey, maxOK = rt.execProtocol(tagViolMax, rt.cfg.N-rt.cfg.K, vrec)
 	}
 
 	// FILTERVIOLATIONHANDLER (lines 15-34).
 	hrec := rt.led.InPhase(comm.PhaseHandler)
 	if !maxOK {
-		_, maxKey, maxOK = rt.execProtocol(tagHandMax, rt.cfg.N-rt.cfg.K, 0, hrec)
+		_, maxKey, maxOK = rt.execProtocol(tagHandMax, rt.cfg.N-rt.cfg.K, hrec)
 	} else {
-		_, minKey, minOK = rt.execProtocol(tagHandMin, rt.cfg.K, 0, hrec)
+		_, minKey, minOK = rt.execProtocol(tagHandMin, rt.cfg.K, hrec)
 	}
 	if minOK {
 		rt.tPlus = order.Min(rt.tPlus, minKey)
@@ -416,12 +541,12 @@ func (rt *Runtime) Observe(vals []int64) []int {
 
 	if rt.tPlus < rt.tMinus {
 		rt.reset()
-		return rt.Top()
+		return rt.top
 	}
 	mid := order.Midpoint(rt.tMinus, rt.tPlus)
 	hrec.Record(comm.Bcast, 1)
-	rt.broadcast(command{kind: cMidpoint, mid: mid})
-	return rt.Top()
+	rt.broadcast(shardCmd{kind: cMidpoint, mid: mid})
+	return rt.top
 }
 
 // reset is FILTERRESET: k+1 maximum extractions with population bound n,
@@ -430,7 +555,7 @@ func (rt *Runtime) reset() {
 	rt.resets++
 	clear(rt.lastKeys)
 	rec := rt.led.InPhase(comm.PhaseReset)
-	rt.broadcast(command{kind: cResetBegin})
+	rt.broadcast(shardCmd{kind: cResetBegin})
 	for i := range rt.inTop {
 		rt.inTop[i] = false
 	}
@@ -440,27 +565,33 @@ func (rt *Runtime) reset() {
 	}
 	keys := make([]order.Key, 0, want)
 	for j := 0; j < want; j++ {
-		id, key, any := rt.execProtocol(tagReset, rt.cfg.N, j, rec)
+		id, key, any := rt.execProtocol(tagReset, rt.cfg.N, rec)
 		if !any {
 			panic("runtime: reset extraction found no participant")
 		}
 		isTop := j < rt.cfg.K
-		rt.broadcast(command{kind: cWinner, win: id, exec: j, isTop: isTop})
+		rt.unicast(id, shardCmd{kind: cWinner, isTop: isTop})
 		if isTop {
 			rt.inTop[id] = true
 		}
 		rt.lastKeys[id] = key
 		keys = append(keys, key)
 	}
+	rt.top = rt.top[:0]
+	for id, in := range rt.inTop {
+		if in {
+			rt.top = append(rt.top, id)
+		}
+	}
 	if rt.cfg.K == rt.cfg.N {
 		rt.tPlus = keys[len(keys)-1]
 		rt.tMinus = order.NegInf
-		rt.broadcast(command{kind: cMidpoint, full: true})
+		rt.broadcast(shardCmd{kind: cMidpoint, full: true})
 		return
 	}
 	kth, kPlus1 := keys[rt.cfg.K-1], keys[rt.cfg.K]
 	rt.tPlus, rt.tMinus = kth, kPlus1
 	mid := order.Midpoint(kPlus1, kth)
 	rec.Record(comm.Bcast, 1)
-	rt.broadcast(command{kind: cMidpoint, mid: mid})
+	rt.broadcast(shardCmd{kind: cMidpoint, mid: mid})
 }

@@ -68,42 +68,85 @@ type Report struct {
 
 // Run simulates the algorithm over src for cfg.Steps steps.
 func Run(alg Algorithm, src stream.Source, cfg Config) Report {
+	n := src.N()
+	vals := make([]int64, n)
+	return runLoop(n, cfg, alg.Counts, func() ([]int, []int64) {
+		src.Step(vals)
+		return alg.Observe(vals), vals
+	})
+}
+
+// DeltaAlgorithm is an online monitor with a sparse ingestion path:
+// core.Monitor and runtime.Runtime satisfy it structurally.
+type DeltaAlgorithm interface {
+	// ObserveDelta consumes one step in which only the listed nodes
+	// (strictly increasing ids) changed and returns the reported top-k
+	// node ids in ascending order.
+	ObserveDelta(ids []int, vals []int64) []int
+	// Counts returns the total messages charged so far.
+	Counts() comm.Counts
+}
+
+// RunDelta simulates a sparse-ingestion algorithm over a delta-emitting
+// source for cfg.Steps steps. It maintains the dense observation vector on
+// the side (nodes start at value 0, matching the monitors' convention) and
+// verifies the sparse path's reports against the same oracle Run uses on
+// the dense state — the end-to-end check that sparse and dense ingestion
+// report identically.
+func RunDelta(alg DeltaAlgorithm, src stream.DeltaSource, cfg Config) Report {
+	n := src.N()
+	ids := make([]int, n)
+	vals := make([]int64, n)
+	dense := make([]int64, n)
+	return runLoop(n, cfg, alg.Counts, func() ([]int, []int64) {
+		c := src.StepDelta(ids, vals)
+		for j := 0; j < c; j++ {
+			dense[ids[j]] = vals[j]
+		}
+		return alg.ObserveDelta(ids[:c], vals[:c]), dense
+	})
+}
+
+// runLoop is the shared per-step and report-finalization bookkeeping of
+// Run and RunDelta. step advances the workload and the algorithm by one
+// time step, returning the report and the dense observation vector the
+// oracle and OPT should see (the vector may be reused across steps).
+func runLoop(n int, cfg Config, counts func() comm.Counts, step func() ([]int, []int64)) Report {
 	if cfg.Steps <= 0 {
 		panic("sim: need Steps > 0")
 	}
-	n := src.N()
 	if cfg.K < 1 || cfg.K > n {
 		panic("sim: need 1 <= K <= N")
 	}
 	rep := Report{Steps: cfg.Steps, K: cfg.K}
-	vals := make([]int64, n)
 	var matrix [][]int64
 	if cfg.ComputeOpt {
 		matrix = make([][]int64, 0, cfg.Steps)
 	}
 	var prevTop []int
 	for s := 0; s < cfg.Steps; s++ {
-		src.Step(vals)
-		top := alg.Observe(vals)
+		top, dense := step()
 		if cfg.CheckEvery > 0 && s%cfg.CheckEvery == 0 {
-			if want := Oracle(vals, cfg.K); !equalInts(top, want) {
+			if want := Oracle(dense, cfg.K); !equalInts(top, want) {
 				rep.Errors++
 			}
 		}
+		// Copy the report: engines may return a view into internal state
+		// that the next step overwrites.
 		if prevTop != nil && !equalInts(prevTop, top) {
 			rep.TopChanges++
 		}
-		prevTop = top
+		prevTop = append(prevTop[:0], top...)
 		if cfg.ComputeOpt {
 			row := make([]int64, n)
-			copy(row, vals)
+			copy(row, dense)
 			matrix = append(matrix, row)
 		}
 		if cfg.RecordSeries {
-			rep.Series = append(rep.Series, alg.Counts().Total())
+			rep.Series = append(rep.Series, counts().Total())
 		}
 	}
-	rep.Messages = alg.Counts()
+	rep.Messages = counts()
 	rep.MsgsPerStep = float64(rep.Messages.Total()) / float64(cfg.Steps)
 	if cfg.ComputeOpt {
 		opt := baseline.OptFromValues(matrix, cfg.K)

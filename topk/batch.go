@@ -39,8 +39,9 @@ func RunTrace(cfg Config, matrix [][]int64) (BatchResult, error) {
 		if prev != nil && !equalIDs(prev, top) {
 			res.TopChanges++
 		}
-		prev = top
-		res.Tops = append(res.Tops, top)
+		// Observe returns a view into monitor state; retain a copy.
+		res.Tops = append(res.Tops, append([]int(nil), top...))
+		prev = res.Tops[len(res.Tops)-1]
 	}
 	res.Counts = mon.Counts()
 	return res, nil

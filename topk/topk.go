@@ -21,11 +21,25 @@
 // expectation, where ∆ bounds the gap between the k-th and (k+1)-st
 // largest values.
 //
+// # Sparse ingestion
+//
+// The computational cost mirrors the communication cost: ObserveDelta
+// ingests only the streams whose value changed this step, so a
+// violation-free step costs O(#changed nodes) and performs no heap
+// allocation — the regime a large deployment with millions of mostly-idle
+// streams lives in. Observe (the dense form) and ObserveDelta may be
+// interleaved freely and produce identical reports and identical message
+// counts for the same logical value sequence. Nodes hold the value 0
+// until their first observation.
+//
+// Both ingestion methods return a read-only view of the current top-k set
+// that remains valid until the next step; use AppendTop to retain a copy.
+//
 // Two execution engines are available: a fast deterministic sequential
-// engine (default) and a goroutine-per-node engine that exchanges channel
-// messages, useful for demonstrations of the distributed structure. Both
-// produce identical reports and identical message counts for the same
-// seed.
+// engine (default) and a sharded goroutine engine that exchanges batched
+// channel messages, useful for demonstrations of the distributed
+// structure. Both produce identical reports and identical message counts
+// for the same seed.
 package topk
 
 import (
@@ -91,7 +105,7 @@ type Config struct {
 	// default) the monitor breaks ties deterministically by smaller node
 	// id via an order-preserving key injection.
 	DistinctValues bool
-	// Concurrent selects the goroutine-per-node engine. Monitors with
+	// Concurrent selects the sharded concurrent engine. Monitors with
 	// Concurrent set must be Closed to release their goroutines.
 	Concurrent bool
 }
@@ -124,9 +138,10 @@ func New(cfg Config) (*Monitor, error) {
 
 // Observe feeds one time step of observations (vals[i] is node i's new
 // value, len(vals) == Nodes) and returns the node ids currently holding
-// the K largest values, in ascending id order. The returned slice is
-// freshly allocated. It returns an error for a wrong-length input or a
-// closed monitor.
+// the K largest values, in ascending id order. The returned slice is a
+// read-only view owned by the monitor, valid until the next step; use
+// AppendTop to retain a copy. It returns an error for a wrong-length
+// input or a closed monitor.
 func (m *Monitor) Observe(vals []int64) ([]int, error) {
 	if len(vals) != m.cfg.Nodes {
 		return nil, fmt.Errorf("topk: observed %d values for %d nodes", len(vals), m.cfg.Nodes)
@@ -140,8 +155,38 @@ func (m *Monitor) Observe(vals []int64) ([]int, error) {
 	return m.conc.Observe(vals), nil
 }
 
+// ObserveDelta feeds one time step in which only the streams listed in ids
+// changed: vals[j] is node ids[j]'s new value, every other node repeats
+// its previous value (0 before its first observation). ids must be
+// strictly increasing; both slices may be empty (a step where nothing
+// changed) and are not retained, so callers may reuse their buffers. The
+// returned slice is a read-only view, as with Observe.
+//
+// A violation-free delta step costs O(len(ids)) work and zero heap
+// allocations on the sequential engine, independent of Nodes.
+func (m *Monitor) ObserveDelta(ids []int, vals []int64) ([]int, error) {
+	if len(ids) != len(vals) {
+		return nil, fmt.Errorf("topk: delta has %d ids but %d values", len(ids), len(vals))
+	}
+	prev := -1
+	for _, id := range ids {
+		if id <= prev || id >= m.cfg.Nodes {
+			return nil, fmt.Errorf("topk: delta ids must be strictly increasing in [0, %d)", m.cfg.Nodes)
+		}
+		prev = id
+	}
+	if m.seq == nil && m.conc == nil {
+		return nil, errors.New("topk: monitor is closed")
+	}
+	if m.seq != nil {
+		return m.seq.ObserveDelta(ids, vals), nil
+	}
+	return m.conc.ObserveDelta(ids, vals), nil
+}
+
 // Top returns the most recently reported top-k ids without consuming a
-// step. Before the first Observe it returns an empty slice.
+// step, as a read-only view (see Observe). Before the first observation
+// it returns an empty slice.
 func (m *Monitor) Top() []int {
 	switch {
 	case m.seq != nil:
@@ -150,6 +195,20 @@ func (m *Monitor) Top() []int {
 		return m.conc.Top()
 	default:
 		return nil
+	}
+}
+
+// AppendTop appends the most recently reported top-k ids (ascending) to
+// dst and returns the extended slice. With a dst of capacity >= K it
+// performs no allocation.
+func (m *Monitor) AppendTop(dst []int) []int {
+	switch {
+	case m.seq != nil:
+		return m.seq.AppendTop(dst)
+	case m.conc != nil:
+		return m.conc.AppendTop(dst)
+	default:
+		return dst
 	}
 }
 
