@@ -1,6 +1,11 @@
 // Command topkmon runs the top-k-position monitor over a synthetic
-// workload or a recorded trace and prints message statistics, optionally
-// with the competitive ratio against the offline OPT.
+// workload or a recorded trace and prints message and byte statistics,
+// optionally with the competitive ratio against the offline OPT.
+//
+// Three engines are available: the sequential reference (seq), the
+// sharded goroutine engine (conc), and the networked engine (net), which
+// drives the wire protocol either over in-process loopback links or — in
+// the -serve / -join modes — over TCP between real processes.
 //
 // Examples:
 //
@@ -8,9 +13,18 @@
 //	topkmon -n 64 -k 5 -workload converging -opt
 //	topkmon -trace trace.csv -k 2 -engine conc
 //	topkmon -n 16 -k 2 -compare
+//	topkmon -n 64 -k 4 -engine net -peers 4
+//
+// Two-process demo (run the joins in separate terminals or machines; the
+// coordinator waits for all peers before streaming the workload):
+//
+//	topkmon -serve 127.0.0.1:7070 -peers 2 -n 64 -k 4 -steps 2000
+//	topkmon -join 127.0.0.1:7070
+//	topkmon -join 127.0.0.1:7070
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -18,10 +32,13 @@ import (
 	"strings"
 
 	"repro/internal/baseline"
+	"repro/internal/comm"
 	"repro/internal/core"
+	"repro/internal/netrun"
 	"repro/internal/runtime"
 	"repro/internal/sim"
 	"repro/internal/stream"
+	"repro/internal/transport"
 )
 
 func main() {
@@ -35,12 +52,20 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "random seed for workload and protocols")
 		workload = flag.String("workload", "walk", "one of: "+strings.Join(stream.Names(), " | "))
 		traceIn  = flag.String("trace", "", "CSV trace file to replay instead of a synthetic workload")
-		engine   = flag.String("engine", "seq", "seq (sequential) | conc (sharded concurrent)")
+		engine   = flag.String("engine", "seq", "seq (sequential) | conc (sharded concurrent) | net (wire protocol over loopback links)")
+		peers    = flag.Int("peers", 4, "peer count: node hosts for -engine net, expected -join connections for -serve")
+		serve    = flag.String("serve", "", "run as TCP coordinator on this address and wait for -peers joins")
+		join     = flag.String("join", "", "run as TCP node host: dial this coordinator address and serve until shutdown")
 		opt      = flag.Bool("opt", false, "compute offline OPT segments and the competitive ratio")
 		compare  = flag.Bool("compare", false, "also run all baseline algorithms on the same workload")
 		ordered  = flag.Bool("ordered", false, "monitor the exact ranking of the top-k (§5 extension)")
 	)
 	flag.Parse()
+
+	if *join != "" {
+		runJoin(*join)
+		return
+	}
 
 	matrix, err := loadMatrix(*traceIn, *workload, *n, *steps, *seed)
 	if err != nil {
@@ -49,6 +74,14 @@ func main() {
 	nn, ss := len(matrix[0]), len(matrix)
 	if *k < 1 || *k > nn {
 		log.Fatalf("k=%d out of range for n=%d", *k, nn)
+	}
+
+	if *serve != "" {
+		if *ordered {
+			log.Fatal("-ordered is not supported by the networked engine yet")
+		}
+		runServe(*serve, *peers, nn, *k, *seed, matrix)
+		return
 	}
 
 	var alg sim.Algorithm
@@ -62,12 +95,21 @@ func main() {
 		defer ot.Close()
 		alg = ot
 		name = "ordered(conc)"
+	case *ordered:
+		log.Fatal("-ordered is not supported by the networked engine yet")
 	case *engine == "seq":
 		alg = core.New(core.Config{N: nn, K: *k, Seed: *seed + 1})
 	case *engine == "conc":
 		rt := runtime.New(runtime.Config{N: nn, K: *k, Seed: *seed + 1})
 		defer rt.Close()
 		alg = rt
+	case *engine == "net":
+		if *peers < 1 || *peers > nn {
+			log.Fatalf("-peers must be in [1, n], got %d for n=%d", *peers, nn)
+		}
+		ne := netrun.NewLoopback(netrun.Config{N: nn, K: *k, Seed: *seed + 1}, *peers)
+		defer ne.Close()
+		alg = ne
 	default:
 		log.Fatalf("unknown engine %q", *engine)
 	}
@@ -93,6 +135,12 @@ func main() {
 		fmt.Printf("stats: violations=%d handlers=%d resets=%d top-changes=%d\n",
 			st.ViolationSteps, st.HandlerCalls, st.Resets, st.TopChanges)
 	}
+	if led, ok := alg.(interface{ Ledger() *comm.Ledger }); ok {
+		printLedger(led.Ledger())
+	}
+	if ne, ok := alg.(*netrun.Engine); ok {
+		printTransport(ne.TransportStats(), ne.Peers())
+	}
 
 	if *compare {
 		fmt.Println()
@@ -111,6 +159,75 @@ func main() {
 			fmt.Println(sim.Describe(b.name, r))
 		}
 	}
+}
+
+// printLedger renders the per-phase message and byte breakdown.
+func printLedger(led *comm.Ledger) {
+	fmt.Println("phase ledger:        msgs        up      down     bcast     bytes")
+	for _, p := range comm.Phases() {
+		c := led.PhaseCounts(p)
+		b := led.PhaseBytes(p)
+		fmt.Printf("  %-12s %9d %9d %9d %9d %9d\n", p, c.Total(), c.Up, c.Down, c.Bcast, b.Total())
+	}
+	c, b := led.Total(), led.TotalBytes()
+	fmt.Printf("  %-12s %9d %9d %9d %9d %9d\n", "total", c.Total(), c.Up, c.Down, c.Bcast, b.Total())
+}
+
+// printTransport renders what actually crossed the links.
+func printTransport(ts transport.LinkStats, peers int) {
+	fmt.Printf("transport (%d peers): sent %d frames / %d bytes, received %d frames / %d bytes\n",
+		peers, ts.SentFrames, ts.SentBytes, ts.RecvFrames, ts.RecvBytes)
+}
+
+// runServe is the TCP coordinator: accept the peers, drive the workload,
+// report, shut down.
+func runServe(addr string, peers, n, k int, seed uint64, matrix [][]int64) {
+	if peers < 1 || peers > n {
+		log.Fatalf("-peers must be in [1, n], got %d for n=%d", peers, n)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ln, err := transport.Listen(ctx, addr)
+	if err != nil {
+		log.Fatalf("listen %s: %v", addr, err)
+	}
+	defer ln.Close()
+	fmt.Printf("coordinator on %s: waiting for %d peers (topkmon -join %s)...\n", ln.Addr(), peers, ln.Addr())
+	links, err := ln.AcceptN(peers)
+	if err != nil {
+		log.Fatalf("accepting peers: %v", err)
+	}
+	eng, err := netrun.New(netrun.Config{N: n, K: k, Seed: seed + 1}, links)
+	if err != nil {
+		log.Fatalf("handshake: %v", err)
+	}
+	defer eng.Close()
+	fmt.Printf("all %d peers joined; streaming %d steps of n=%d k=%d\n", peers, len(matrix), n, k)
+
+	rep := sim.Run(eng, stream.NewTraceSource(matrix), sim.Config{Steps: len(matrix), K: k, CheckEvery: 1})
+	fmt.Println(sim.Describe("algorithm1(tcp)", rep))
+	if rep.Errors > 0 {
+		log.Fatalf("oracle mismatches: %d (this is a bug)", rep.Errors)
+	}
+	printLedger(eng.Ledger())
+	printTransport(eng.TransportStats(), eng.Peers())
+}
+
+// runJoin is the TCP node host: dial the coordinator and serve its node
+// range until shutdown.
+func runJoin(addr string) {
+	ctx := context.Background()
+	link, err := transport.Dial(ctx, addr)
+	if err != nil {
+		log.Fatalf("dial %s: %v", addr, err)
+	}
+	fmt.Printf("joined coordinator at %s; serving...\n", addr)
+	if err := netrun.Serve(link); err != nil {
+		log.Fatalf("serve: %v", err)
+	}
+	ts := transport.StatsOf(link)
+	fmt.Printf("shutdown: sent %d frames / %d bytes, received %d frames / %d bytes\n",
+		ts.SentFrames, ts.SentBytes, ts.RecvFrames, ts.RecvBytes)
 }
 
 // loadMatrix materializes the workload: either a CSV trace or a synthetic

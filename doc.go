@@ -6,11 +6,11 @@
 //
 // The public API lives in the repro/topk package. Internal packages hold
 // the model substrates (communication accounting, filters, ordered keys,
-// protocols, stream generators, baselines, the two execution engines, and
-// the experiment harness); see DESIGN.md for the full inventory and
-// EXPERIMENTS.md for the paper-vs-measured record. The benchmarks in this
-// directory regenerate every experiment at reduced scale; cmd/experiments
-// runs them at full scale.
+// protocols, the wire codec and transports, stream generators, baselines,
+// the three execution engines, and the experiment harness); see DESIGN.md
+// for the full inventory and EXPERIMENTS.md for the paper-vs-measured
+// record. The benchmarks in this directory regenerate every experiment at
+// reduced scale; cmd/experiments runs them at full scale.
 //
 // # Sparse ingestion and the zero-allocation hot path
 //
@@ -25,4 +25,18 @@
 // concurrent engine batches its channel traffic per shard, so a protocol
 // round costs O(shards) channel operations rather than O(n) while
 // remaining bit-identical in counts to the sequential engine.
+//
+// # Wire format and the networked engine
+//
+// The protocol has a real wire format (internal/wire: a compact varint
+// codec with one canonical encoding per message) and a transport layer
+// (internal/transport: in-process loopback pipes and length-prefixed
+// TCP). The third engine, internal/netrun, drives Algorithm 1 over those
+// links so a monitor can span processes — cmd/topkmon's -serve and -join
+// modes — while staying message-count- and byte-identical to the other
+// engines for the same seed. Every charged message has an exact encoded
+// size, so all ledgers report a bytes column (the quantity Theorem 4.2
+// bounds) next to message counts; the transport separately reports the
+// framed volume that actually crossed each link. DESIGN.md documents the
+// split.
 package repro

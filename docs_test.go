@@ -1,0 +1,110 @@
+package repro
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// requiredDocs are the architecture documents doc.go and the packages
+// refer to; the repo must never regress to promising them without
+// shipping them.
+var requiredDocs = []string{"README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md", "CHANGES.md", "PAPER.md"}
+
+func TestDocsExist(t *testing.T) {
+	for _, name := range requiredDocs {
+		st, err := os.Stat(name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if st.Size() < 200 {
+			t.Errorf("%s: suspiciously small (%d bytes)", name, st.Size())
+		}
+	}
+}
+
+// mdLink matches inline markdown links [text](target). Good enough for
+// the plain links these docs use (no reference-style links, no titles).
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestNoDeadIntraRepoLinks walks every markdown file in the repository
+// and checks that relative link targets exist on disk. External links
+// and pure fragments are skipped; a fragment on a relative link is
+// checked for the file part only.
+func TestNoDeadIntraRepoLinks(t *testing.T) {
+	var mdFiles []string
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if strings.HasPrefix(d.Name(), ".") && path != "." {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".md") {
+			mdFiles = append(mdFiles, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mdFiles) < len(requiredDocs) {
+		t.Fatalf("found only %d markdown files: %v", len(mdFiles), mdFiles)
+	}
+	for _, md := range mdFiles {
+		data, err := os.ReadFile(md)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(md), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: dead intra-repo link %q (%v)", md, m[1], err)
+			}
+		}
+	}
+}
+
+// TestDocGoReferencesResolve keeps the package documentation honest: any
+// ALL-CAPS .md file a doc.go mentions must exist at the repo root.
+func TestDocGoReferencesResolve(t *testing.T) {
+	docRef := regexp.MustCompile(`\b([A-Z][A-Z0-9_]*\.md)\b`)
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range docRef.FindAllStringSubmatch(string(data), -1) {
+			if _, statErr := os.Stat(m[1]); statErr != nil {
+				t.Errorf("%s references %s, which does not exist at the repo root", path, m[1])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"repro/internal/order"
 	"repro/internal/protocol"
 	"repro/internal/rng"
+	"repro/internal/wire"
 )
 
 // topFromKeys returns the ids of the k largest keys, ascending.
@@ -83,11 +84,12 @@ func (b *Naive) Observe(vals []int64) []int {
 		panic(fmt.Sprintf("baseline: observed %d values for %d nodes", len(vals), b.n))
 	}
 	for i, v := range vals {
+		k := b.codec.Encode(v, i)
 		if !b.init || !b.sendOnChange || v != b.prev[i] {
-			b.counter.Record(comm.Up, 1)
+			b.counter.RecordSized(comm.Up, 1, wire.SizeBid(i, int64(k)))
 		}
 		b.prev[i] = v
-		b.keys[i] = b.codec.Encode(v, i)
+		b.keys[i] = k
 	}
 	b.init = true
 	return topFromKeys(b.keys, b.k)
@@ -95,6 +97,9 @@ func (b *Naive) Observe(vals []int64) []int {
 
 // Counts returns total message counts.
 func (b *Naive) Counts() comm.Counts { return b.counter.Snapshot() }
+
+// Bytes returns total encoded message bytes.
+func (b *Naive) Bytes() comm.Bytes { return b.counter.BytesSnapshot() }
 
 // PerRound recomputes the top-k every step with k MAXIMUMPROTOCOL
 // executions (population bound n each), as sketched in the paper's §2.1.
@@ -145,6 +150,9 @@ func (b *PerRound) Observe(vals []int64) []int {
 // Counts returns total message counts.
 func (b *PerRound) Counts() comm.Counts { return b.counter.Snapshot() }
 
+// Bytes returns total encoded message bytes.
+func (b *PerRound) Bytes() comm.Bytes { return b.counter.BytesSnapshot() }
+
 // PointFilter assigns every node the degenerate filter [v, v]: any change
 // is a violation, reported with one Up message and acknowledged with one
 // Down message installing the new point filter. It is "filter-based" in
@@ -173,8 +181,8 @@ func (b *PointFilter) Observe(vals []int64) []int {
 	for i, v := range vals {
 		k := b.codec.Encode(v, i)
 		if !b.init || k != b.keys[i] {
-			b.counter.Record(comm.Up, 1)   // violation report with new value
-			b.counter.Record(comm.Down, 1) // new point filter
+			b.counter.RecordSized(comm.Up, 1, wire.SizeBid(i, int64(k)))                // violation report with new value
+			b.counter.RecordSized(comm.Down, 1, wire.SizeBounds(i, int64(k), int64(k))) // new point filter
 			b.keys[i] = k
 		}
 	}
@@ -184,6 +192,9 @@ func (b *PointFilter) Observe(vals []int64) []int {
 
 // Counts returns total message counts.
 func (b *PointFilter) Counts() comm.Counts { return b.counter.Snapshot() }
+
+// Bytes returns total encoded message bytes.
+func (b *PointFilter) Bytes() comm.Bytes { return b.counter.BytesSnapshot() }
 
 // LamMidpoint adapts the neighbor-midpoint strategy of Lam et al. (online
 // dominance tracking) to one dimension: the coordinator knows the last
@@ -225,7 +236,9 @@ func (b *LamMidpoint) Observe(vals []int64) []int {
 	if !b.init {
 		// Initialization: everyone reports once, filters installed.
 		copy(b.est, cur)
-		b.counter.Record(comm.Up, int64(b.n))
+		for i, k := range cur {
+			b.counter.RecordSized(comm.Up, 1, wire.SizeBid(i, int64(k)))
+		}
 		b.assignFilters()
 		b.init = true
 		return topFromKeys(b.est, b.k)
@@ -241,7 +254,7 @@ func (b *LamMidpoint) Observe(vals []int64) []int {
 		for i, k := range cur {
 			if k < b.lo[i] || k > b.hi[i] {
 				b.est[i] = k
-				b.counter.Record(comm.Up, 1) // report new value
+				b.counter.RecordSized(comm.Up, 1, wire.SizeBid(i, int64(k))) // report new value
 				changed = true
 			}
 		}
@@ -272,10 +285,13 @@ func (b *LamMidpoint) assignFilters() {
 		}
 		if lo != b.lo[id] || hi != b.hi[id] {
 			b.lo[id], b.hi[id] = lo, hi
-			b.counter.Record(comm.Down, 1)
+			b.counter.RecordSized(comm.Down, 1, wire.SizeBounds(id, int64(lo), int64(hi)))
 		}
 	}
 }
 
 // Counts returns total message counts.
 func (b *LamMidpoint) Counts() comm.Counts { return b.counter.Snapshot() }
+
+// Bytes returns total encoded message bytes.
+func (b *LamMidpoint) Bytes() comm.Bytes { return b.counter.BytesSnapshot() }

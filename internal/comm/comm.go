@@ -59,14 +59,40 @@ type Recorder interface {
 	Record(kind Kind, n int64)
 }
 
-// Counter accumulates message counts by kind. The zero value is ready to
-// use. All methods are safe for concurrent use, so the goroutine runtime
-// can share one counter across node goroutines.
-type Counter struct {
-	counts [numKinds]atomic.Int64
+// SizedRecorder is a Recorder that additionally tracks the encoded size
+// of the messages it counts. Counter, Ledger and the phase views all
+// implement it; use the package-level RecordSized helper to stay
+// compatible with count-only recorders.
+type SizedRecorder interface {
+	Recorder
+	// RecordSized accounts for n messages of the given kind totalling the
+	// given number of encoded payload bytes. n and bytes must be >= 0.
+	RecordSized(kind Kind, n, bytes int64)
 }
 
-// Record implements Recorder.
+// RecordSized records n messages of the given kind totalling bytes encoded
+// bytes on r, falling back to count-only recording when r does not track
+// bytes. It is the call protocol code uses so that byte accounting is
+// optional for recorder implementations.
+func RecordSized(r Recorder, kind Kind, n, bytes int64) {
+	if sr, ok := r.(SizedRecorder); ok {
+		sr.RecordSized(kind, n, bytes)
+		return
+	}
+	r.Record(kind, n)
+}
+
+// Counter accumulates message counts and encoded byte volumes by kind.
+// The zero value is ready to use. All methods are safe for concurrent
+// use, so the goroutine runtime can share one counter across node
+// goroutines.
+type Counter struct {
+	counts [numKinds]atomic.Int64
+	bytes  [numKinds]atomic.Int64
+}
+
+// Record implements Recorder. Count-only recording leaves the bytes
+// column untouched.
 func (c *Counter) Record(kind Kind, n int64) {
 	if n < 0 {
 		panic("comm: negative message count")
@@ -75,6 +101,15 @@ func (c *Counter) Record(kind Kind, n int64) {
 		panic("comm: unknown message kind")
 	}
 	c.counts[kind].Add(n)
+}
+
+// RecordSized implements SizedRecorder.
+func (c *Counter) RecordSized(kind Kind, n, bytes int64) {
+	if bytes < 0 {
+		panic("comm: negative byte count")
+	}
+	c.Record(kind, n)
+	c.bytes[kind].Add(bytes)
 }
 
 // Get returns the count for one kind.
@@ -95,6 +130,14 @@ func (c *Counter) Total() int64 {
 	return t
 }
 
+// GetBytes returns the encoded byte volume recorded for one kind.
+func (c *Counter) GetBytes(kind Kind) int64 {
+	if kind < 0 || kind >= numKinds {
+		panic("comm: unknown message kind")
+	}
+	return c.bytes[kind].Load()
+}
+
 // Snapshot returns the current counts as a plain value.
 func (c *Counter) Snapshot() Counts {
 	var s Counts
@@ -104,10 +147,20 @@ func (c *Counter) Snapshot() Counts {
 	return s
 }
 
-// Reset zeroes all counts.
+// BytesSnapshot returns the current byte volumes as a plain value.
+func (c *Counter) BytesSnapshot() Bytes {
+	var b Bytes
+	b.Up = c.GetBytes(Up)
+	b.Down = c.GetBytes(Down)
+	b.Bcast = c.GetBytes(Bcast)
+	return b
+}
+
+// Reset zeroes all counts and byte volumes.
 func (c *Counter) Reset() {
 	for i := range c.counts {
 		c.counts[i].Store(0)
+		c.bytes[i].Store(0)
 	}
 }
 
@@ -135,6 +188,34 @@ func (c Counts) Add(o Counts) Counts {
 // String renders the snapshot compactly.
 func (c Counts) String() string {
 	return fmt.Sprintf("up=%d down=%d bcast=%d total=%d", c.Up, c.Down, c.Bcast, c.Total())
+}
+
+// Bytes is the byte-volume companion of Counts: the encoded size of the
+// charged messages, by kind. The sizes come from the canonical wire
+// encodings (internal/wire), so every engine — sequential, sharded
+// concurrent, networked — reports the identical Bytes for the same seed.
+type Bytes struct {
+	Up    int64
+	Down  int64
+	Bcast int64
+}
+
+// Total returns the byte sum over all kinds.
+func (b Bytes) Total() int64 { return b.Up + b.Down + b.Bcast }
+
+// Sub returns the component-wise difference b - o.
+func (b Bytes) Sub(o Bytes) Bytes {
+	return Bytes{Up: b.Up - o.Up, Down: b.Down - o.Down, Bcast: b.Bcast - o.Bcast}
+}
+
+// Add returns the component-wise sum b + o.
+func (b Bytes) Add(o Bytes) Bytes {
+	return Bytes{Up: b.Up + o.Up, Down: b.Down + o.Down, Bcast: b.Bcast + o.Bcast}
+}
+
+// String renders the snapshot compactly.
+func (b Bytes) String() string {
+	return fmt.Sprintf("upB=%d downB=%d bcastB=%d totalB=%d", b.Up, b.Down, b.Bcast, b.Total())
 }
 
 // Phase labels a stage of Algorithm 1 for cost-breakdown accounting
@@ -183,6 +264,9 @@ type Ledger struct {
 // InPhase for attributed recording; bare Record still updates the total.
 func (l *Ledger) Record(kind Kind, n int64) { l.total.Record(kind, n) }
 
+// RecordSized implements SizedRecorder, attributing to no particular phase.
+func (l *Ledger) RecordSized(kind Kind, n, bytes int64) { l.total.RecordSized(kind, n, bytes) }
+
 // InPhase returns a Recorder that attributes messages to the given phase
 // while also updating the ledger total.
 func (l *Ledger) InPhase(p Phase) Recorder {
@@ -195,12 +279,23 @@ func (l *Ledger) InPhase(p Phase) Recorder {
 // Total returns the ledger's overall counter snapshot.
 func (l *Ledger) Total() Counts { return l.total.Snapshot() }
 
+// TotalBytes returns the ledger's overall byte-volume snapshot.
+func (l *Ledger) TotalBytes() Bytes { return l.total.BytesSnapshot() }
+
 // PhaseCounts returns the snapshot attributed to phase p.
 func (l *Ledger) PhaseCounts(p Phase) Counts {
 	if p < 0 || p >= numPhases {
 		panic("comm: unknown phase")
 	}
 	return l.phases[p].Snapshot()
+}
+
+// PhaseBytes returns the byte-volume snapshot attributed to phase p.
+func (l *Ledger) PhaseBytes(p Phase) Bytes {
+	if p < 0 || p >= numPhases {
+		panic("comm: unknown phase")
+	}
+	return l.phases[p].BytesSnapshot()
 }
 
 // Reset zeroes the ledger.
@@ -221,6 +316,11 @@ func (r phaseRecorder) Record(kind Kind, n int64) {
 	r.ledger.phases[r.phase].Record(kind, n)
 }
 
+func (r phaseRecorder) RecordSized(kind Kind, n, bytes int64) {
+	r.ledger.total.RecordSized(kind, n, bytes)
+	r.ledger.phases[r.phase].RecordSized(kind, n, bytes)
+}
+
 // Discard is a Recorder that drops all events. It is handy for protocol
 // executions whose cost must not be charged (e.g. oracle computations).
 var Discard Recorder = discard{}
@@ -228,6 +328,8 @@ var Discard Recorder = discard{}
 type discard struct{}
 
 func (discard) Record(Kind, int64) {}
+
+func (discard) RecordSized(Kind, int64, int64) {}
 
 // Tee returns a Recorder that forwards every event to all of rs.
 func Tee(rs ...Recorder) Recorder { return tee(rs) }
@@ -237,5 +339,11 @@ type tee []Recorder
 func (t tee) Record(kind Kind, n int64) {
 	for _, r := range t {
 		r.Record(kind, n)
+	}
+}
+
+func (t tee) RecordSized(kind Kind, n, bytes int64) {
+	for _, r := range t {
+		RecordSized(r, kind, n, bytes)
 	}
 }

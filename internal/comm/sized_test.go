@@ -1,0 +1,61 @@
+package comm
+
+import "testing"
+
+func TestCounterBytes(t *testing.T) {
+	var c Counter
+	c.RecordSized(Up, 2, 10)
+	c.RecordSized(Bcast, 1, 3)
+	c.Record(Up, 1) // count-only: bytes unchanged
+	if got := c.Snapshot(); got.Up != 3 || got.Bcast != 1 {
+		t.Fatalf("counts %+v", got)
+	}
+	b := c.BytesSnapshot()
+	if b.Up != 10 || b.Bcast != 3 || b.Down != 0 || b.Total() != 13 {
+		t.Fatalf("bytes %+v", b)
+	}
+	c.Reset()
+	if b := c.BytesSnapshot(); b.Total() != 0 {
+		t.Fatalf("bytes after reset %+v", b)
+	}
+}
+
+func TestLedgerBytesByPhase(t *testing.T) {
+	var l Ledger
+	l.InPhase(PhaseViolation).(SizedRecorder).RecordSized(Up, 1, 7)
+	RecordSized(l.InPhase(PhaseReset), Bcast, 1, 5)
+	if got := l.TotalBytes(); got.Up != 7 || got.Bcast != 5 {
+		t.Fatalf("total bytes %+v", got)
+	}
+	if got := l.PhaseBytes(PhaseViolation); got.Up != 7 || got.Total() != 7 {
+		t.Fatalf("violation bytes %+v", got)
+	}
+	if got := l.PhaseBytes(PhaseReset); got.Bcast != 5 || got.Total() != 5 {
+		t.Fatalf("reset bytes %+v", got)
+	}
+	if got := l.PhaseBytes(PhaseHandler); got.Total() != 0 {
+		t.Fatalf("handler bytes %+v", got)
+	}
+}
+
+// TestRecordSizedFallback exercises the degradation path for recorders
+// that only count messages.
+func TestRecordSizedFallback(t *testing.T) {
+	calls := 0
+	r := countOnly{n: &calls}
+	RecordSized(r, Up, 2, 100)
+	if calls != 2 {
+		t.Fatalf("fallback recorded %d", calls)
+	}
+	// Discard and Tee must accept sized events without panicking.
+	RecordSized(Discard, Down, 1, 1)
+	var a, b Counter
+	RecordSized(Tee(&a, &b, r), Up, 1, 9)
+	if a.GetBytes(Up) != 9 || b.GetBytes(Up) != 9 || calls != 3 {
+		t.Fatalf("tee bytes %d/%d calls %d", a.GetBytes(Up), b.GetBytes(Up), calls)
+	}
+}
+
+type countOnly struct{ n *int }
+
+func (c countOnly) Record(_ Kind, n int64) { *c.n += int(n) }

@@ -32,6 +32,7 @@ import (
 	"repro/internal/order"
 	"repro/internal/protocol"
 	"repro/internal/rng"
+	"repro/internal/wire"
 )
 
 // Config parameterizes a Monitor.
@@ -161,6 +162,10 @@ func (m *Monitor) Ledger() *comm.Ledger { return m.led }
 // the sim.Algorithm interface expects; the per-phase breakdown remains
 // available through Ledger.
 func (m *Monitor) Counts() comm.Counts { return m.led.Total() }
+
+// Bytes returns the total encoded size of the charged messages (the
+// sim.ByteCounter accessor).
+func (m *Monitor) Bytes() comm.Bytes { return m.led.TotalBytes() }
 
 // Stats returns execution counters.
 func (m *Monitor) Stats() Stats { return m.stats }
@@ -316,7 +321,7 @@ func (m *Monitor) violationHandler(minRes, maxRes protocol.Result) {
 	// Lines 32-33: broadcast the midpoint of [T−, T+]; nodes re-anchor
 	// their filters around it.
 	mid := order.Midpoint(m.tMinus, m.tPlus)
-	rec.Record(comm.Bcast, 1)
+	comm.RecordSized(rec, comm.Bcast, 1, wire.SizeMidpoint(int64(mid)))
 	m.cfg.Trace.Append(comm.Event{Step: m.step, Kind: comm.Bcast, From: comm.Coordinator, To: comm.Everyone, Payload: int64(mid), Note: "midpoint"})
 	m.fs.AssignMidpoint(mid)
 }
@@ -375,7 +380,7 @@ func (m *Monitor) filterReset() {
 	mid := order.Midpoint(kPlus1, kth)
 	// Line 41: one broadcast lets every node derive its new filter (nodes
 	// in the announced top set take [M, +∞], everyone else [−∞, M]).
-	rec.Record(comm.Bcast, 1)
+	comm.RecordSized(rec, comm.Bcast, 1, wire.SizeMidpoint(int64(mid)))
 	m.cfg.Trace.Append(comm.Event{Step: m.step, Kind: comm.Bcast, From: comm.Coordinator, To: comm.Everyone, Payload: int64(mid), Note: "filter reset"})
 	m.fs.AssignMidpoint(mid)
 }

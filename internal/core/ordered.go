@@ -6,6 +6,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/filter"
 	"repro/internal/order"
+	"repro/internal/wire"
 )
 
 // OrderedMonitor implements the extension the paper sketches as future
@@ -59,6 +60,9 @@ func (om *OrderedMonitor) K() int { return om.inner.K() }
 // Counts returns the total message counts (boundary plus order layers).
 func (om *OrderedMonitor) Counts() comm.Counts { return om.inner.Counts() }
 
+// Bytes returns the total encoded size of the charged messages.
+func (om *OrderedMonitor) Bytes() comm.Bytes { return om.inner.Bytes() }
+
 // Ledger exposes the message ledger. Order-layer traffic is attributed to
 // the handler phase (it is coordinator-driven repair work).
 func (om *OrderedMonitor) Ledger() *comm.Ledger { return om.inner.Ledger() }
@@ -102,7 +106,7 @@ func (om *OrderedMonitor) Observe(vals []int64) []int {
 			k := keys[id]
 			if k < om.ordLo[id] || k > om.ordHi[id] {
 				om.est[id] = k
-				rec.Record(comm.Up, 1)
+				comm.RecordSized(rec, comm.Up, 1, wire.SizeBid(id, int64(k)))
 				changed = true
 			}
 		}
@@ -146,7 +150,7 @@ func (om *OrderedMonitor) assignOrderFilters(rec comm.Recorder) {
 	om.setFilterBounds()
 	for _, id := range om.ordered {
 		if om.ordLo[id] != oldLo[id] || om.ordHi[id] != oldHi[id] {
-			rec.Record(comm.Down, 1)
+			comm.RecordSized(rec, comm.Down, 1, wire.SizeBounds(id, int64(om.ordLo[id]), int64(om.ordHi[id])))
 		}
 	}
 }

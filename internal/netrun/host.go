@@ -1,0 +1,278 @@
+package netrun
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/filter"
+	"repro/internal/order"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// hnode is the distributed per-node state a peer process hosts: exactly
+// the paper's node model — current key, assigned filter, membership
+// knowledge from the last broadcast, and a private generator for the
+// protocol's Bernoulli trials.
+type hnode struct {
+	id        int
+	rng       *rng.RNG
+	key       order.Key
+	iv        filter.Interval
+	inTop     bool
+	wasTop    bool  // membership at the time of the last violation
+	violStep  int64 // observation step of the last filter violation
+	extracted bool
+	sampler   protocol.Sampler
+}
+
+func (nd *hnode) participates(tag uint8, step int64) bool {
+	switch tag {
+	case tagViolMin:
+		return nd.violStep == step && nd.wasTop
+	case tagViolMax:
+		return nd.violStep == step && !nd.wasTop
+	case tagHandMin:
+		return nd.inTop
+	case tagHandMax:
+		return !nd.inTop
+	case tagReset:
+		return !nd.extracted
+	default:
+		panic(fmt.Sprintf("netrun: unknown protocol tag %d", tag))
+	}
+}
+
+// host is one peer's node range plus the reusable buffers of its serve
+// loop.
+type host struct {
+	lo, hi   int
+	distinct bool
+	codec    order.Codec
+	nodes    []hnode
+
+	obs   wire.Observe      // reusable decode scratch
+	delta wire.ObserveDelta //
+	reply wire.Reply        // reusable reply being built
+	buf   []byte            // reusable encode buffer
+}
+
+// newHost builds the node state for an assignment. The RNG stream layout
+// must match core.New / runtime.New exactly — every engine derives node
+// i's generator as the i-th Split of the same root — so the host walks
+// the full split sequence and keeps its slice of it.
+func newHost(a wire.Assign) (*host, error) {
+	if a.N <= 0 || a.K < 1 || a.K > a.N {
+		return nil, fmt.Errorf("netrun: bad assignment n=%d k=%d", a.N, a.K)
+	}
+	if a.Lo < 0 || a.Hi > a.N || a.Lo >= a.Hi {
+		return nil, fmt.Errorf("netrun: bad assignment range [%d, %d) of %d", a.Lo, a.Hi, a.N)
+	}
+	h := &host{
+		lo:       a.Lo,
+		hi:       a.Hi,
+		distinct: a.Distinct,
+		codec:    order.NewCodec(a.N),
+		nodes:    make([]hnode, a.Hi-a.Lo),
+	}
+	root := rng.New(a.Seed, 0xc02e)
+	for i := 0; i < a.N; i++ {
+		r := root.Split(uint64(i))
+		if i < a.Lo || i >= a.Hi {
+			continue
+		}
+		key := order.Key(0)
+		if !a.Distinct {
+			key = h.codec.Encode(0, i)
+		}
+		h.nodes[i-a.Lo] = hnode{
+			id:       i,
+			rng:      r,
+			key:      key,
+			iv:       filter.Full(),
+			violStep: -1,
+		}
+	}
+	return h, nil
+}
+
+// observeNode ingests one observation, runs the node-local filter check,
+// and raises the reply's violation flags.
+func (h *host) observeNode(nd *hnode, v int64, step int64) {
+	if h.distinct {
+		nd.key = order.Key(v)
+	} else {
+		nd.key = h.codec.Encode(v, nd.id)
+	}
+	if violated, _ := nd.iv.Violates(nd.key); violated {
+		nd.violStep = step
+		nd.wasTop = nd.inTop
+		if nd.inTop {
+			h.reply.TopViol = true
+		} else {
+			h.reply.OutViol = true
+		}
+	}
+}
+
+// handle processes one decoded command frame, filling h.reply. It returns
+// false for TypeShutdown.
+func (h *host) handle(frame []byte) (cont bool, err error) {
+	typ, err := wire.MsgType(frame)
+	if err != nil {
+		return false, err
+	}
+	h.reply.TopViol, h.reply.OutViol = false, false
+	h.reply.IDs, h.reply.Keys = h.reply.IDs[:0], h.reply.Keys[:0]
+
+	switch typ {
+	case wire.TypeObserve:
+		if err := h.obs.Decode(frame); err != nil {
+			return false, err
+		}
+		if len(h.obs.Vals) != h.hi-h.lo {
+			return false, fmt.Errorf("netrun: observe carries %d values for range [%d, %d)", len(h.obs.Vals), h.lo, h.hi)
+		}
+		for i := range h.nodes {
+			h.observeNode(&h.nodes[i], h.obs.Vals[i], h.obs.Step)
+		}
+
+	case wire.TypeObserveDelta:
+		if err := h.delta.Decode(frame); err != nil {
+			return false, err
+		}
+		for j, id := range h.delta.IDs {
+			if id < h.lo || id >= h.hi {
+				return false, fmt.Errorf("netrun: delta id %d outside range [%d, %d)", id, h.lo, h.hi)
+			}
+			h.observeNode(&h.nodes[id-h.lo], h.delta.Vals[j], h.delta.Step)
+		}
+
+	case wire.TypeRound:
+		m, err := wire.DecodeRound(frame)
+		if err != nil {
+			return false, err
+		}
+		for i := range h.nodes {
+			nd := &h.nodes[i]
+			if !nd.participates(m.Tag, m.Step) {
+				continue
+			}
+			if m.Round == 0 {
+				k := nd.key
+				if minimumTag(m.Tag) {
+					k = order.Neg(k)
+				}
+				nd.sampler = protocol.NewSampler(k, m.Bound)
+			}
+			if nd.sampler.Round(order.Key(m.Best), uint(m.Round), nd.rng) {
+				h.reply.IDs = append(h.reply.IDs, nd.id)
+				h.reply.Keys = append(h.reply.Keys, int64(nd.key))
+			}
+		}
+
+	case wire.TypeWinner:
+		m, err := wire.DecodeWinner(frame)
+		if err != nil {
+			return false, err
+		}
+		if m.Target < h.lo || m.Target >= h.hi {
+			return false, fmt.Errorf("netrun: winner %d outside range [%d, %d)", m.Target, h.lo, h.hi)
+		}
+		nd := &h.nodes[m.Target-h.lo]
+		nd.extracted = true
+		if m.IsTop {
+			nd.inTop = true
+		}
+
+	case wire.TypeMidpoint:
+		m, err := wire.DecodeMidpoint(frame)
+		if err != nil {
+			return false, err
+		}
+		for i := range h.nodes {
+			nd := &h.nodes[i]
+			switch {
+			case m.Full:
+				nd.iv = filter.Full()
+			case nd.inTop:
+				nd.iv = filter.AtLeast(order.Key(m.Mid))
+			default:
+				nd.iv = filter.AtMost(order.Key(m.Mid))
+			}
+		}
+
+	case wire.TypeResetBegin:
+		if err := wire.DecodeBare(frame, wire.TypeResetBegin); err != nil {
+			return false, err
+		}
+		for i := range h.nodes {
+			h.nodes[i].extracted = false
+			h.nodes[i].inTop = false
+		}
+
+	case wire.TypeShutdown:
+		return false, nil
+
+	default:
+		return false, fmt.Errorf("%w: 0x%02x in serve loop", wire.ErrUnknownType, typ)
+	}
+	return true, nil
+}
+
+// Serve runs the node-host side of the networked engine on one link: it
+// waits for the coordinator's Assign, builds the local node range, and
+// then answers every command with exactly one Reply until the coordinator
+// sends Shutdown (nil return) or the link dies. The coordinator hanging
+// up (transport.ErrClosed) is also a clean exit: the engine closes links
+// right after the shutdown frames.
+//
+// Serve never shares state with other goroutines; a process can host
+// several ranges by running one Serve per link.
+func Serve(link transport.Link) error {
+	frame, err := link.Recv()
+	if err != nil {
+		// A link torn down before any engine attached (e.g. an unused
+		// transport being closed) is a clean non-start, not a failure.
+		if errors.Is(err, transport.ErrClosed) || errors.Is(err, io.EOF) {
+			return nil
+		}
+		return fmt.Errorf("netrun: waiting for assignment: %w", err)
+	}
+	assign, err := wire.DecodeAssign(frame)
+	if err != nil {
+		return fmt.Errorf("netrun: bad assignment: %w", err)
+	}
+	h, err := newHost(assign)
+	if err != nil {
+		return err
+	}
+	if err := link.Send(wire.AppendBare(h.buf[:0], wire.TypeReady)); err != nil {
+		return fmt.Errorf("netrun: acking assignment: %w", err)
+	}
+	for {
+		frame, err := link.Recv()
+		if err != nil {
+			// A pipe close or a TCP EOF is the coordinator hanging up
+			// after (or instead of) the shutdown frame: a clean exit.
+			if errors.Is(err, transport.ErrClosed) || errors.Is(err, io.EOF) {
+				return nil
+			}
+			return fmt.Errorf("netrun: serve loop: %w", err)
+		}
+		cont, err := h.handle(frame)
+		if err != nil {
+			return err
+		}
+		if !cont {
+			return nil // Shutdown
+		}
+		h.buf = h.reply.Append(h.buf[:0])
+		if err := link.Send(h.buf); err != nil {
+			return fmt.Errorf("netrun: sending reply: %w", err)
+		}
+	}
+}

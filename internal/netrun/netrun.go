@@ -1,0 +1,479 @@
+// Package netrun is the third execution engine: it drives Algorithm 1
+// over a transport.Link per peer, where each peer process hosts a
+// contiguous range of the monitored nodes and everything the coordinator
+// learns arrives in wire-encoded frames. With TCP links the monitor spans
+// real processes (cmd/topkmon -serve / -join); with loopback pipes it runs
+// in-process and is message-count- and byte-identical to the sequential
+// engine, which the equivalence test in this package pins.
+//
+// # Relation to the other engines
+//
+// The engine's coordinator logic mirrors internal/runtime step for step —
+// the same cohorts, the same protocol rounds, the same recording points —
+// with the batched channel commands replaced by wire messages:
+//
+//	runtime (channels)        netrun (frames)
+//	shardCmd{cObserve}        wire.Observe
+//	shardCmd{cObserveDelta}   wire.ObserveDelta
+//	shardCmd{cRound}          wire.Round
+//	shardReply                wire.Reply
+//	shardCmd{cWinner}         wire.Winner
+//	shardCmd{cMidpoint}       wire.Midpoint
+//	shardCmd{cResetBegin}     wire.ResetBegin
+//
+// Every command is answered by exactly one Reply, so the links stay in
+// lockstep and replies are processed in ascending peer (hence node id)
+// order — the same deterministic order the other engines use, which is
+// what makes the three engines' randomness consume identically.
+//
+// # Accounting
+//
+// Model messages are charged exactly as in the other engines: one Up per
+// sampler bid (wire.SizeBid bytes), one Bcast per protocol round
+// (wire.SizeBest) and per midpoint broadcast (wire.SizeMidpoint). The
+// engine's frames carry additional scheduling fields (round numbers,
+// bounds, batching); their true framed volume is visible separately
+// through TransportStats. The paper's Theorem 4.2 bounds the former; a
+// deployment pays the latter.
+//
+// The engine treats a failed or misbehaving link as fatal and panics;
+// re-balancing ranges away from dead peers is future work (see ROADMAP).
+package netrun
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/order"
+	"repro/internal/protocol"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Protocol cohort tags carried in wire.Round.Tag. The values match the
+// cohort semantics of internal/runtime's protoTag.
+const (
+	tagViolMin uint8 = iota // violating former top-k nodes, minimum
+	tagViolMax              // violating outsiders, maximum
+	tagHandMin              // all top-k nodes, minimum
+	tagHandMax              // all outsiders, maximum
+	tagReset                // all not-yet-extracted nodes, maximum
+)
+
+func minimumTag(t uint8) bool { return t == tagViolMin || t == tagHandMin }
+
+// Config mirrors core.Config for the networked engine.
+type Config struct {
+	N, K           int
+	Seed           uint64
+	DistinctValues bool
+}
+
+// peer is the coordinator's view of one node-hosting link.
+type peer struct {
+	link   transport.Link
+	lo, hi int
+	reply  wire.Reply // reusable decode target
+}
+
+// Engine is the networked monitor's coordinator. It satisfies
+// sim.Algorithm and sim.DeltaAlgorithm. Like the other engines it is not
+// safe for concurrent Observe calls (the model's time steps are globally
+// ordered).
+type Engine struct {
+	cfg   Config
+	led   comm.Ledger
+	peers []*peer
+
+	inTop  []bool
+	top    []int
+	keys   []order.Key // reset-extraction scratch
+	tPlus  order.Key
+	tMinus order.Key
+	step   int64
+	init   bool
+	closed bool
+
+	buf     []byte // reusable encode buffer
+	touched []bool // peers hit by the current delta
+}
+
+// New performs the Assign/Ready handshake over the given links — peer i
+// hosts the i-th contiguous node range — and returns the coordinator.
+// It requires 1 <= len(links) <= N so every peer hosts at least one node.
+// Callers must Close the engine to release the peers. On a handshake
+// error New closes every link before returning: a half-handshaken link
+// is in an indeterminate protocol state and cannot be reused.
+func New(cfg Config, links []transport.Link) (*Engine, error) {
+	if cfg.N <= 0 {
+		panic("netrun: need N > 0")
+	}
+	if cfg.K < 1 || cfg.K > cfg.N {
+		panic("netrun: need 1 <= K <= N")
+	}
+	if len(links) == 0 || len(links) > cfg.N {
+		panic(fmt.Sprintf("netrun: need 1 <= peers <= N, got %d peers for N=%d", len(links), cfg.N))
+	}
+	e := &Engine{
+		cfg:     cfg,
+		inTop:   make([]bool, cfg.N),
+		top:     make([]int, 0, cfg.K),
+		touched: make([]bool, len(links)),
+	}
+	// Contiguous near-even ranges: the first rem peers take one extra
+	// node. The range layout does not affect reports or ledgers, only
+	// which link carries which frames.
+	base, rem := cfg.N/len(links), cfg.N%len(links)
+	lo := 0
+	for i, link := range links {
+		hi := lo + base
+		if i < rem {
+			hi++
+		}
+		e.peers = append(e.peers, &peer{link: link, lo: lo, hi: hi})
+		lo = hi
+	}
+	fail := func(err error) (*Engine, error) {
+		for _, l := range links {
+			l.Close()
+		}
+		return nil, err
+	}
+	for _, p := range e.peers {
+		e.buf = wire.Assign{
+			Lo: p.lo, Hi: p.hi, N: cfg.N, K: cfg.K,
+			Seed: cfg.Seed, Distinct: cfg.DistinctValues,
+		}.Append(e.buf[:0])
+		if err := p.link.Send(e.buf); err != nil {
+			return fail(fmt.Errorf("netrun: assigning [%d, %d): %w", p.lo, p.hi, err))
+		}
+	}
+	for _, p := range e.peers {
+		frame, err := p.link.Recv()
+		if err != nil {
+			return fail(fmt.Errorf("netrun: awaiting ready for [%d, %d): %w", p.lo, p.hi, err))
+		}
+		if err := wire.DecodeBare(frame, wire.TypeReady); err != nil {
+			return fail(fmt.Errorf("netrun: peer [%d, %d) handshake: %w", p.lo, p.hi, err))
+		}
+	}
+	return e, nil
+}
+
+// LoopbackLinks builds one pipe pair per peer with a Serve goroutine on
+// the far end and returns the coordinator ends. It is the link factory
+// behind both NewLoopback and topk.Loopback. A Serve goroutine exits
+// cleanly when its link closes; any other serve error is a bug and
+// panics.
+func LoopbackLinks(peers int) []transport.Link {
+	links := make([]transport.Link, peers)
+	for i := range links {
+		coord, node := transport.Pipe()
+		links[i] = coord
+		go func() {
+			if err := Serve(node); err != nil {
+				panic(fmt.Sprintf("netrun: loopback host: %v", err))
+			}
+		}()
+	}
+	return links
+}
+
+// NewLoopback builds an in-process engine over LoopbackLinks. It is the
+// networked engine's default mode (topkmon -engine net) and the
+// configuration the equivalence tests run.
+func NewLoopback(cfg Config, peers int) *Engine {
+	e, err := New(cfg, LoopbackLinks(peers))
+	if err != nil {
+		panic(fmt.Sprintf("netrun: loopback handshake: %v", err)) // pipes cannot fail benignly
+	}
+	return e
+}
+
+// Close sends every peer a Shutdown frame and closes the links.
+// Idempotent.
+func (e *Engine) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	for _, p := range e.peers {
+		// Best effort: a peer that already vanished is being shut down
+		// anyway.
+		_ = p.link.Send(wire.AppendBare(e.buf[:0], wire.TypeShutdown))
+		_ = p.link.Close()
+	}
+}
+
+// Counts returns the total model message counts charged so far.
+func (e *Engine) Counts() comm.Counts { return e.led.Total() }
+
+// Ledger exposes the per-phase message and byte breakdown.
+func (e *Engine) Ledger() *comm.Ledger { return &e.led }
+
+// Bytes returns the total charged model bytes.
+func (e *Engine) Bytes() comm.Bytes { return e.led.TotalBytes() }
+
+// TransportStats sums the per-link transport statistics over all peers:
+// the frames and framed bytes that actually crossed the links, control
+// plane included.
+func (e *Engine) TransportStats() transport.LinkStats {
+	var s transport.LinkStats
+	for _, p := range e.peers {
+		s = s.Add(transport.StatsOf(p.link))
+	}
+	return s
+}
+
+// Peers returns the number of peer links.
+func (e *Engine) Peers() int { return len(e.peers) }
+
+// Top returns the current top-k ids ascending, as a read-only view owned
+// by the engine (see AppendTop).
+func (e *Engine) Top() []int { return e.top }
+
+// AppendTop appends the current top-k ids (ascending) to dst.
+func (e *Engine) AppendTop(dst []int) []int { return append(dst, e.top...) }
+
+// fatal reports an unrecoverable transport or protocol error.
+func (e *Engine) fatal(p *peer, op string, err error) {
+	panic(fmt.Sprintf("netrun: peer [%d, %d): %s: %v", p.lo, p.hi, op, err))
+}
+
+// send ships one pre-encoded frame to a peer.
+func (e *Engine) send(p *peer, frame []byte, op string) {
+	if err := p.link.Send(frame); err != nil {
+		e.fatal(p, op, err)
+	}
+}
+
+// recvReply reads and decodes a peer's mandatory Reply.
+func (e *Engine) recvReply(p *peer, op string) {
+	frame, err := p.link.Recv()
+	if err != nil {
+		e.fatal(p, op, err)
+	}
+	if err := p.reply.Decode(frame); err != nil {
+		e.fatal(p, op, err)
+	}
+}
+
+// broadcast ships the same frame to every peer and collects the replies
+// in peer order.
+func (e *Engine) broadcast(frame []byte, op string) {
+	for _, p := range e.peers {
+		e.send(p, frame, op)
+	}
+	for _, p := range e.peers {
+		e.recvReply(p, op)
+	}
+}
+
+// unicast routes a frame to the peer owning node id and awaits its reply.
+func (e *Engine) unicast(id int, frame []byte, op string) {
+	for _, p := range e.peers {
+		if id >= p.lo && id < p.hi {
+			e.send(p, frame, op)
+			e.recvReply(p, op)
+			return
+		}
+	}
+	panic(fmt.Sprintf("netrun: no peer owns node %d", id))
+}
+
+// Observe processes one dense time step and returns the reported top-k
+// ids ascending (a read-only view). It panics after Close or on a dead
+// link.
+func (e *Engine) Observe(vals []int64) []int {
+	if e.closed {
+		panic("netrun: Observe after Close")
+	}
+	if len(vals) != e.cfg.N {
+		panic(fmt.Sprintf("netrun: observed %d values for %d nodes", len(vals), e.cfg.N))
+	}
+	e.step++
+	for _, p := range e.peers {
+		e.buf = wire.Observe{Step: e.step, Vals: vals[p.lo:p.hi]}.Append(e.buf[:0])
+		e.send(p, e.buf, "observe")
+	}
+	anyTop, anyOut := false, false
+	for _, p := range e.peers {
+		e.recvReply(p, "observe")
+		anyTop = anyTop || p.reply.TopViol
+		anyOut = anyOut || p.reply.OutViol
+	}
+	return e.finishStep(anyTop, anyOut)
+}
+
+// ObserveDelta processes one sparse time step: vals[j] is node ids[j]'s
+// new value, every other node repeats. ids must be strictly increasing.
+// Only peers owning a touched node exchange frames, so a violation-free
+// sparse step costs transport traffic proportional to the touched peers.
+// Semantics match core.Monitor.ObserveDelta exactly.
+func (e *Engine) ObserveDelta(ids []int, vals []int64) []int {
+	if e.closed {
+		panic("netrun: ObserveDelta after Close")
+	}
+	if len(ids) != len(vals) {
+		panic(fmt.Sprintf("netrun: delta has %d ids but %d values", len(ids), len(vals)))
+	}
+	prev := -1
+	for _, id := range ids {
+		if id <= prev || id >= e.cfg.N {
+			panic(fmt.Sprintf("netrun: delta ids must be strictly increasing in [0, %d), got %d after %d", e.cfg.N, id, prev))
+		}
+		prev = id
+	}
+	e.step++
+	// Ship each peer its slice of the (sorted) delta.
+	clear(e.touched)
+	start := 0
+	for pi, p := range e.peers {
+		stop := start
+		for stop < len(ids) && ids[stop] < p.hi {
+			stop++
+		}
+		if stop > start {
+			e.touched[pi] = true
+			e.buf = wire.ObserveDelta{Step: e.step, IDs: ids[start:stop], Vals: vals[start:stop]}.Append(e.buf[:0])
+			e.send(p, e.buf, "observe-delta")
+		}
+		start = stop
+	}
+	anyTop, anyOut := false, false
+	for pi, p := range e.peers {
+		if !e.touched[pi] {
+			continue
+		}
+		e.recvReply(p, "observe-delta")
+		anyTop = anyTop || p.reply.TopViol
+		anyOut = anyOut || p.reply.OutViol
+	}
+	return e.finishStep(anyTop, anyOut)
+}
+
+// execProtocol runs one Algorithm 2 execution over the cohort selected by
+// tag, charging Up per bid and Bcast per round exactly like the other
+// engines.
+func (e *Engine) execProtocol(tag uint8, bound int, rec comm.Recorder) (winID int, winKey order.Key, any bool) {
+	rounds := protocol.Rounds(bound)
+	best := order.NegInf // in the executing protocol's comparison domain
+	winID = -1
+	for r := 0; r < rounds; r++ {
+		e.buf = wire.Round{Tag: tag, Round: r, Best: int64(best), Bound: bound, Step: e.step}.Append(e.buf[:0])
+		for _, p := range e.peers {
+			e.send(p, e.buf, "round")
+		}
+		for _, p := range e.peers {
+			e.recvReply(p, "round")
+			for j, id := range p.reply.IDs {
+				key := order.Key(p.reply.Keys[j])
+				comm.RecordSized(rec, comm.Up, 1, wire.SizeBid(id, int64(key)))
+				any = true
+				cmp := key
+				if minimumTag(tag) {
+					cmp = order.Neg(cmp)
+				}
+				if cmp > best {
+					best = cmp
+					winID = id
+					winKey = key
+				}
+			}
+		}
+		comm.RecordSized(rec, comm.Bcast, 1, wire.SizeBest(r, int64(best)))
+	}
+	return winID, winKey, any
+}
+
+// finishStep runs the coordinator side of Algorithm 1 after the node-local
+// filter checks of one step. It is runtime.Runtime.finishStep over frames.
+func (e *Engine) finishStep(anyTopViol, anyOutViol bool) []int {
+	if !e.init {
+		e.reset()
+		e.init = true
+		return e.top
+	}
+	if !anyTopViol && !anyOutViol {
+		return e.top
+	}
+
+	vrec := e.led.InPhase(comm.PhaseViolation)
+	var minKey, maxKey order.Key
+	minOK, maxOK := false, false
+	if anyTopViol {
+		_, minKey, minOK = e.execProtocol(tagViolMin, e.cfg.K, vrec)
+	}
+	if anyOutViol {
+		_, maxKey, maxOK = e.execProtocol(tagViolMax, e.cfg.N-e.cfg.K, vrec)
+	}
+
+	hrec := e.led.InPhase(comm.PhaseHandler)
+	if !maxOK {
+		_, maxKey, maxOK = e.execProtocol(tagHandMax, e.cfg.N-e.cfg.K, hrec)
+	} else {
+		_, minKey, minOK = e.execProtocol(tagHandMin, e.cfg.K, hrec)
+	}
+	if minOK {
+		e.tPlus = order.Min(e.tPlus, minKey)
+	}
+	if maxOK {
+		e.tMinus = order.Max(e.tMinus, maxKey)
+	}
+
+	if e.tPlus < e.tMinus {
+		e.reset()
+		return e.top
+	}
+	mid := order.Midpoint(e.tMinus, e.tPlus)
+	comm.RecordSized(hrec, comm.Bcast, 1, wire.SizeMidpoint(int64(mid)))
+	e.buf = wire.Midpoint{Mid: int64(mid)}.Append(e.buf[:0])
+	e.broadcast(e.buf, "midpoint")
+	return e.top
+}
+
+// reset is FILTERRESET: k+1 maximum extractions with population bound n,
+// then fresh midpoint filters.
+func (e *Engine) reset() {
+	rec := e.led.InPhase(comm.PhaseReset)
+	e.broadcast(wire.AppendBare(e.buf[:0], wire.TypeResetBegin), "reset-begin")
+	for i := range e.inTop {
+		e.inTop[i] = false
+	}
+	want := e.cfg.K + 1
+	if want > e.cfg.N {
+		want = e.cfg.N
+	}
+	e.keys = e.keys[:0]
+	for j := 0; j < want; j++ {
+		id, key, any := e.execProtocol(tagReset, e.cfg.N, rec)
+		if !any {
+			panic("netrun: reset extraction found no participant")
+		}
+		isTop := j < e.cfg.K
+		e.buf = wire.Winner{Target: id, IsTop: isTop}.Append(e.buf[:0])
+		e.unicast(id, e.buf, "winner")
+		if isTop {
+			e.inTop[id] = true
+		}
+		e.keys = append(e.keys, key)
+	}
+	e.top = e.top[:0]
+	for id, in := range e.inTop {
+		if in {
+			e.top = append(e.top, id)
+		}
+	}
+	if e.cfg.K == e.cfg.N {
+		e.tPlus = e.keys[len(e.keys)-1]
+		e.tMinus = order.NegInf
+		e.broadcast(wire.Midpoint{Full: true}.Append(e.buf[:0]), "midpoint-full")
+		return
+	}
+	kth, kPlus1 := e.keys[e.cfg.K-1], e.keys[e.cfg.K]
+	e.tPlus, e.tMinus = kth, kPlus1
+	mid := order.Midpoint(kPlus1, kth)
+	comm.RecordSized(rec, comm.Bcast, 1, wire.SizeMidpoint(int64(mid)))
+	e.buf = wire.Midpoint{Mid: int64(mid)}.Append(e.buf[:0])
+	e.broadcast(e.buf, "midpoint")
+}

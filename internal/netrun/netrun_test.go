@@ -1,0 +1,278 @@
+package netrun
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/stream"
+	"repro/internal/transport"
+)
+
+func equal(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestEquivalenceWithSequentialEngine is the acceptance check of the
+// networked engine: over loopback links it must produce identical top-k
+// reports, identical message counts AND identical charged bytes as the
+// sequential engine at every step, for the same seed — per phase, not
+// just in total.
+func TestEquivalenceWithSequentialEngine(t *testing.T) {
+	cases := []struct {
+		name  string
+		n, k  int
+		peers int
+		src   func(n int) stream.Source
+	}{
+		{"walk-3peers", 12, 3, 3, func(n int) stream.Source {
+			return stream.NewRandomWalk(stream.WalkConfig{N: n, Lo: 0, Hi: 100000, MaxStep: 400, Seed: 2})
+		}},
+		{"walk-1peer", 12, 3, 1, func(n int) stream.Source {
+			return stream.NewRandomWalk(stream.WalkConfig{N: n, Lo: 0, Hi: 100000, MaxStep: 400, Seed: 2})
+		}},
+		{"walk-npeers", 12, 3, 12, func(n int) stream.Source {
+			return stream.NewRandomWalk(stream.WalkConfig{N: n, Lo: 0, Hi: 100000, MaxStep: 400, Seed: 2})
+		}},
+		{"iid-uneven", 9, 2, 4, func(n int) stream.Source {
+			return stream.NewIID(stream.IIDConfig{N: n, Seed: 3, Dist: stream.Uniform, Lo: 0, Hi: 1 << 20})
+		}},
+		{"rotation", 7, 1, 2, func(n int) stream.Source {
+			return stream.NewRotation(stream.RotationConfig{N: n, Period: 4, Base: 10, Peak: 1000})
+		}},
+		{"twoband", 14, 4, 5, func(n int) stream.Source {
+			return stream.NewTwoBand(stream.TwoBandConfig{N: n, K: 4, Seed: 5, Gap: 1 << 16, BandWidth: 1 << 8, MaxStep: 40, SwapEvery: 30})
+		}},
+		{"k-equals-n", 6, 6, 3, func(n int) stream.Source {
+			return stream.NewIID(stream.IIDConfig{N: n, Seed: 6, Dist: stream.Uniform, Lo: 0, Hi: 1000})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			const seed, steps = 41, 200
+			seq := core.New(core.Config{N: tc.n, K: tc.k, Seed: seed})
+			net := NewLoopback(Config{N: tc.n, K: tc.k, Seed: seed}, tc.peers)
+			defer net.Close()
+
+			srcA, srcB := tc.src(tc.n), tc.src(tc.n)
+			va, vb := make([]int64, tc.n), make([]int64, tc.n)
+			for s := 0; s < steps; s++ {
+				srcA.Step(va)
+				srcB.Step(vb)
+				topSeq := seq.Observe(va)
+				topNet := net.Observe(vb)
+				if !equal(topSeq, topNet) {
+					t.Fatalf("step %d: reports differ: seq=%v net=%v", s, topSeq, topNet)
+				}
+				if cs, cn := seq.Counts(), net.Counts(); cs != cn {
+					t.Fatalf("step %d: counts differ: seq=%v net=%v", s, cs, cn)
+				}
+				if bs, bn := seq.Ledger().TotalBytes(), net.Bytes(); bs != bn {
+					t.Fatalf("step %d: bytes differ: seq=%v net=%v", s, bs, bn)
+				}
+			}
+			for _, ph := range comm.Phases() {
+				if cs, cn := seq.Ledger().PhaseCounts(ph), net.Ledger().PhaseCounts(ph); cs != cn {
+					t.Fatalf("phase %v counts differ: seq=%v net=%v", ph, cs, cn)
+				}
+				if bs, bn := seq.Ledger().PhaseBytes(ph), net.Ledger().PhaseBytes(ph); bs != bn {
+					t.Fatalf("phase %v bytes differ: seq=%v net=%v", ph, bs, bn)
+				}
+			}
+			if total := net.Bytes().Total(); total == 0 {
+				t.Fatal("charged byte ledger stayed empty")
+			}
+			if ts := net.TransportStats(); ts.SentFrames == 0 || ts.RecvFrames == 0 || ts.SentBytes == 0 {
+				t.Fatalf("transport stats empty: %+v", ts)
+			}
+		})
+	}
+}
+
+// TestDistinctValuesEquivalence exercises the host's DistinctValues
+// branch (raw keys, no tie-break injection) against the sequential
+// engine. Values are pairwise distinct by construction: i + 1000·aᵢ with
+// residues i < n < 1000 all different.
+func TestDistinctValuesEquivalence(t *testing.T) {
+	const n, k, seed, steps = 11, 3, 29, 250
+	seq := core.New(core.Config{N: n, K: k, Seed: seed, DistinctValues: true})
+	net := NewLoopback(Config{N: n, K: k, Seed: seed, DistinctValues: true}, 3)
+	defer net.Close()
+
+	vals := make([]int64, n)
+	for s := 0; s < steps; s++ {
+		for i := range vals {
+			vals[i] = int64(i) + 1000*int64((s*(i+3)+7*i)%60)
+		}
+		a, b := seq.Observe(vals), net.Observe(vals)
+		if !equal(a, b) {
+			t.Fatalf("step %d: reports differ: seq=%v net=%v", s, a, b)
+		}
+		if cs, cn := seq.Counts(), net.Counts(); cs != cn {
+			t.Fatalf("step %d: counts differ: seq=%v net=%v", s, cs, cn)
+		}
+		if bs, bn := seq.Ledger().TotalBytes(), net.Bytes(); bs != bn {
+			t.Fatalf("step %d: bytes differ: seq=%v net=%v", s, bs, bn)
+		}
+	}
+}
+
+// TestNewClosesLinksOnHandshakeFailure pins the no-leak contract: a
+// failed handshake must close every link so serve loops terminate.
+func TestNewClosesLinksOnHandshakeFailure(t *testing.T) {
+	a, b := transport.Pipe()
+	b.Close() // peer gone before the handshake
+	if _, err := New(Config{N: 4, K: 2, Seed: 1}, []transport.Link{a}); err == nil {
+		t.Fatal("New succeeded over a dead link")
+	}
+	if err := a.Send([]byte{0}); err == nil {
+		t.Fatal("link still open after failed New")
+	}
+}
+
+// TestDeltaEquivalence drives the sparse ingestion path against the
+// sequential engine's, interleaving sparse and dense steps.
+func TestDeltaEquivalence(t *testing.T) {
+	const n, k, seed, steps = 16, 4, 9, 300
+	seq := core.New(core.Config{N: n, K: k, Seed: seed})
+	net := NewLoopback(Config{N: n, K: k, Seed: seed}, 3)
+	defer net.Close()
+
+	srcA := stream.NewSparseWalk(stream.SparseWalkConfig{N: n, Changed: 3, MaxStep: 500, Lo: 0, Hi: 1 << 20, Seed: 11})
+	srcB := stream.NewSparseWalk(stream.SparseWalkConfig{N: n, Changed: 3, MaxStep: 500, Lo: 0, Hi: 1 << 20, Seed: 11})
+	ids := make([]int, n)
+	vals := make([]int64, n)
+	ids2 := make([]int, n)
+	vals2 := make([]int64, n)
+	dense := make([]int64, n)
+	for s := 0; s < steps; s++ {
+		c := srcA.StepDelta(ids, vals)
+		c2 := srcB.StepDelta(ids2, vals2)
+		if c != c2 {
+			t.Fatalf("step %d: generator divergence", s)
+		}
+		for j := 0; j < c; j++ {
+			dense[ids[j]] = vals[j]
+		}
+		var topSeq, topNet []int
+		if s%7 == 3 { // interleave a dense step now and then
+			topSeq = seq.Observe(dense)
+			topNet = net.Observe(dense)
+		} else {
+			topSeq = seq.ObserveDelta(ids[:c], vals[:c])
+			topNet = net.ObserveDelta(ids2[:c2], vals2[:c2])
+		}
+		if !equal(topSeq, topNet) {
+			t.Fatalf("step %d: reports differ: seq=%v net=%v", s, topSeq, topNet)
+		}
+		if cs, cn := seq.Counts(), net.Counts(); cs != cn {
+			t.Fatalf("step %d: counts differ: seq=%v net=%v", s, cs, cn)
+		}
+		if bs, bn := seq.Ledger().TotalBytes(), net.Bytes(); bs != bn {
+			t.Fatalf("step %d: bytes differ: seq=%v net=%v", s, bs, bn)
+		}
+	}
+}
+
+// TestEmptyDeltaStep: a step in which nothing changed still advances time
+// and must not touch any link beyond the first initialization step.
+func TestEmptyDeltaStep(t *testing.T) {
+	net := NewLoopback(Config{N: 8, K: 2, Seed: 1}, 2)
+	defer net.Close()
+	net.Observe(make([]int64, 8)) // init reset
+	before := net.TransportStats()
+	top1 := append([]int(nil), net.ObserveDelta(nil, nil)...)
+	top2 := net.ObserveDelta([]int{}, []int64{})
+	if !equal(top1, top2) {
+		t.Fatalf("empty steps changed the report: %v vs %v", top1, top2)
+	}
+	if after := net.TransportStats(); after != before {
+		t.Fatalf("empty delta steps moved frames: %+v -> %+v", before, after)
+	}
+}
+
+// TestTCPEngine runs the full engine over real localhost TCP links with
+// in-process Serve loops on the dialing side — the two-process topology
+// of `topkmon -serve` / `-join`, collapsed into one test binary.
+func TestTCPEngine(t *testing.T) {
+	const n, k, seed, steps, peers = 10, 3, 17, 120, 2
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ln, err := transport.Listen(ctx, "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot listen on loopback: %v", err)
+	}
+	defer ln.Close()
+
+	serveErr := make(chan error, peers)
+	for i := 0; i < peers; i++ {
+		go func() {
+			link, err := transport.Dial(ctx, ln.Addr())
+			if err != nil {
+				serveErr <- err
+				return
+			}
+			serveErr <- Serve(link)
+		}()
+	}
+	links, err := ln.AcceptN(peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := New(Config{N: n, K: k, Seed: seed}, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seq := core.New(core.Config{N: n, K: k, Seed: seed})
+	srcA := stream.NewRandomWalk(stream.WalkConfig{N: n, Lo: 0, Hi: 1 << 16, MaxStep: 300, Seed: 23})
+	srcB := stream.NewRandomWalk(stream.WalkConfig{N: n, Lo: 0, Hi: 1 << 16, MaxStep: 300, Seed: 23})
+	va, vb := make([]int64, n), make([]int64, n)
+	for s := 0; s < steps; s++ {
+		srcA.Step(va)
+		srcB.Step(vb)
+		if !equal(seq.Observe(va), net.Observe(vb)) {
+			t.Fatalf("step %d: reports differ over TCP", s)
+		}
+	}
+	if cs, cn := seq.Counts(), net.Counts(); cs != cn {
+		t.Fatalf("counts differ over TCP: seq=%v net=%v", cs, cn)
+	}
+	if bs, bn := seq.Ledger().TotalBytes(), net.Bytes(); bs != bn {
+		t.Fatalf("bytes differ over TCP: seq=%v net=%v", bs, bn)
+	}
+	ts := net.TransportStats()
+	if ts.SentBytes == 0 || ts.RecvBytes == 0 {
+		t.Fatalf("no TCP traffic recorded: %+v", ts)
+	}
+	net.Close()
+	for i := 0; i < peers; i++ {
+		if err := <-serveErr; err != nil {
+			t.Fatalf("peer serve loop: %v", err)
+		}
+	}
+}
+
+// TestCloseIdempotent double-closes and verifies post-close observes
+// panic.
+func TestCloseIdempotent(t *testing.T) {
+	net := NewLoopback(Config{N: 4, K: 1, Seed: 3}, 2)
+	net.Observe([]int64{4, 3, 2, 1})
+	net.Close()
+	net.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Observe after Close did not panic")
+		}
+	}()
+	net.Observe([]int64{4, 3, 2, 1})
+}

@@ -26,6 +26,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/order"
 	"repro/internal/rng"
+	"repro/internal/wire"
 )
 
 // Participant describes one node taking part in a protocol execution at a
@@ -175,7 +176,7 @@ func run(parts []Participant, bound int, rec comm.Recorder, tr *comm.Trace, step
 		roundBest := best
 		for i, p := range parts {
 			if samplers[i].Round(roundBest, uint(r), p.RNG) {
-				rec.Record(comm.Up, 1)
+				comm.RecordSized(rec, comm.Up, 1, wire.SizeBid(p.ID, int64(p.Key)))
 				tr.Append(comm.Event{Step: step, Kind: comm.Up, From: p.ID, To: comm.Coordinator, Payload: int64(p.Key), Note: "proto send"})
 				if k := key(p); k > best {
 					best = k
@@ -183,7 +184,7 @@ func run(parts []Participant, bound int, rec comm.Recorder, tr *comm.Trace, step
 				}
 			}
 		}
-		rec.Record(comm.Bcast, 1)
+		comm.RecordSized(rec, comm.Bcast, 1, wire.SizeBest(r, int64(best)))
 		tr.Append(comm.Event{Step: step, Kind: comm.Bcast, From: comm.Coordinator, To: comm.Everyone, Payload: int64(best), Note: "proto round"})
 	}
 	// The final round samples with probability 1, so every participant not
@@ -235,11 +236,11 @@ func GatherAll(parts []Participant, rec comm.Recorder, tr *comm.Trace, step int6
 	if len(parts) == 0 {
 		return Result{OK: false, ID: -1, Key: order.NegInf}
 	}
-	rec.Record(comm.Bcast, 1)
+	comm.RecordSized(rec, comm.Bcast, 1, wire.SizeQuery())
 	tr.Append(comm.Event{Step: step, Kind: comm.Bcast, From: comm.Coordinator, To: comm.Everyone, Note: "gather"})
 	best := parts[0]
 	for _, p := range parts {
-		rec.Record(comm.Up, 1)
+		comm.RecordSized(rec, comm.Up, 1, wire.SizeBid(p.ID, int64(p.Key)))
 		if p.Key > best.Key {
 			best = p
 		}
@@ -253,11 +254,11 @@ func GatherAllMin(parts []Participant, rec comm.Recorder, tr *comm.Trace, step i
 	if len(parts) == 0 {
 		return Result{OK: false, ID: -1, Key: order.NegInf}
 	}
-	rec.Record(comm.Bcast, 1)
+	comm.RecordSized(rec, comm.Bcast, 1, wire.SizeQuery())
 	tr.Append(comm.Event{Step: step, Kind: comm.Bcast, From: comm.Coordinator, To: comm.Everyone, Note: "gather-min"})
 	best := parts[0]
 	for _, p := range parts {
-		rec.Record(comm.Up, 1)
+		comm.RecordSized(rec, comm.Up, 1, wire.SizeBid(p.ID, int64(p.Key)))
 		if p.Key < best.Key {
 			best = p
 		}
@@ -282,7 +283,7 @@ func SequentialMaxima(parts []Participant, rec comm.Recorder, tr *comm.Trace, st
 	first := true
 	for _, p := range parts {
 		if first || p.Key > best.Key {
-			rec.Record(comm.Up, 1)
+			comm.RecordSized(rec, comm.Up, 1, wire.SizeBid(p.ID, int64(p.Key)))
 			tr.Append(comm.Event{Step: step, Kind: comm.Up, From: p.ID, To: comm.Coordinator, Payload: int64(p.Key), Note: "seq maxima"})
 			best = p
 			first = false
@@ -310,12 +311,12 @@ func DomainSearch(parts []Participant, lo, hi order.Key, rec comm.Recorder, tr *
 	for lo < hi {
 		mid := order.Midpoint(lo, hi)
 		rounds++
-		rec.Record(comm.Bcast, 1)
+		comm.RecordSized(rec, comm.Bcast, 1, wire.SizeMidpoint(int64(mid)))
 		tr.Append(comm.Event{Step: step, Kind: comm.Bcast, From: comm.Coordinator, To: comm.Everyone, Payload: int64(mid), Note: "domain search"})
 		any := false
 		for _, p := range parts {
 			if p.Key > mid {
-				rec.Record(comm.Up, 1)
+				comm.RecordSized(rec, comm.Up, 1, wire.SizePresence(p.ID))
 				any = true
 			}
 		}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/order"
+	"repro/internal/wire"
 )
 
 // OrderedRuntime runs the ordered top-k monitor (the paper's §5 extension,
@@ -45,6 +46,9 @@ func (ot *OrderedRuntime) Close() { ot.rt.Close() }
 
 // Counts returns total message counts.
 func (ot *OrderedRuntime) Counts() comm.Counts { return ot.rt.Counts() }
+
+// Bytes returns the total encoded size of the charged messages.
+func (ot *OrderedRuntime) Bytes() comm.Bytes { return ot.rt.Bytes() }
 
 // Ledger exposes the per-phase breakdown; order-layer traffic is in the
 // handler phase, mirroring core.OrderedMonitor.
@@ -96,7 +100,7 @@ func (ot *OrderedRuntime) cascade() {
 			rp := ot.rt.unicast(id, shardCmd{kind: cOrderCheck})
 			if len(rp.sends) > 0 {
 				ot.est[id] = rp.sends[0].key
-				rec.Record(comm.Up, 1)
+				comm.RecordSized(rec, comm.Up, 1, wire.SizeBid(id, int64(rp.sends[0].key)))
 				changed = true
 			}
 		}
@@ -135,7 +139,7 @@ func (ot *OrderedRuntime) installBounds(rec comm.Recorder, force bool) {
 		if changed || force {
 			ot.ordLo[id], ot.ordHi[id] = lo, hi
 			if changed {
-				rec.Record(comm.Down, 1)
+				comm.RecordSized(rec, comm.Down, 1, wire.SizeBounds(id, int64(lo), int64(hi)))
 			}
 			ot.rt.unicast(id, shardCmd{kind: cOrderBounds, lo: lo, mid: hi})
 		}

@@ -42,6 +42,7 @@ import (
 	"repro/internal/order"
 	"repro/internal/protocol"
 	"repro/internal/rng"
+	"repro/internal/wire"
 )
 
 // Config mirrors core.Config for the concurrent engine.
@@ -376,6 +377,10 @@ func (rt *Runtime) Close() {
 // Counts returns the total message counts charged so far.
 func (rt *Runtime) Counts() comm.Counts { return rt.led.Total() }
 
+// Bytes returns the total encoded size of the charged messages (the
+// sim.ByteCounter accessor).
+func (rt *Runtime) Bytes() comm.Bytes { return rt.led.TotalBytes() }
+
 // Ledger exposes the per-phase breakdown.
 func (rt *Runtime) Ledger() *comm.Ledger { return &rt.led }
 
@@ -422,7 +427,7 @@ func (rt *Runtime) execProtocol(tag protoTag, bound int, rec comm.Recorder) (win
 		replies := rt.broadcast(shardCmd{kind: cRound, tag: tag, round: r, best: best, bound: bound, step: rt.step})
 		for i := range replies {
 			for _, sd := range replies[i].sends {
-				rec.Record(comm.Up, 1)
+				comm.RecordSized(rec, comm.Up, 1, wire.SizeBid(sd.id, int64(sd.key)))
 				any = true
 				cmp := sd.key
 				if tag.minimum() {
@@ -435,7 +440,7 @@ func (rt *Runtime) execProtocol(tag protoTag, bound int, rec comm.Recorder) (win
 				}
 			}
 		}
-		rec.Record(comm.Bcast, 1)
+		comm.RecordSized(rec, comm.Bcast, 1, wire.SizeBest(r, int64(best)))
 	}
 	return winID, winKey, any
 }
@@ -544,7 +549,7 @@ func (rt *Runtime) finishStep(anyTopViol, anyOutViol bool) []int {
 		return rt.top
 	}
 	mid := order.Midpoint(rt.tMinus, rt.tPlus)
-	hrec.Record(comm.Bcast, 1)
+	comm.RecordSized(hrec, comm.Bcast, 1, wire.SizeMidpoint(int64(mid)))
 	rt.broadcast(shardCmd{kind: cMidpoint, mid: mid})
 	return rt.top
 }
@@ -592,6 +597,6 @@ func (rt *Runtime) reset() {
 	kth, kPlus1 := keys[rt.cfg.K-1], keys[rt.cfg.K]
 	rt.tPlus, rt.tMinus = kth, kPlus1
 	mid := order.Midpoint(kPlus1, kth)
-	rec.Record(comm.Bcast, 1)
+	comm.RecordSized(rec, comm.Bcast, 1, wire.SizeMidpoint(int64(mid)))
 	rt.broadcast(shardCmd{kind: cMidpoint, mid: mid})
 }

@@ -83,11 +83,17 @@ func TestEquivalenceWithSequentialEngine(t *testing.T) {
 				if cs, cc := seq.Counts(), conc.Counts(); cs != cc {
 					t.Fatalf("step %d: counts differ: seq=%v conc=%v", s, cs, cc)
 				}
+				if bs, bc := seq.Ledger().TotalBytes(), conc.Ledger().TotalBytes(); bs != bc {
+					t.Fatalf("step %d: bytes differ: seq=%v conc=%v", s, bs, bc)
+				}
 			}
 			// The per-phase breakdown must agree as well.
 			for _, p := range comm.Phases() {
 				if a, b := seq.Ledger().PhaseCounts(p), conc.Ledger().PhaseCounts(p); a != b {
 					t.Fatalf("phase %v differs: seq=%v conc=%v", p, a, b)
+				}
+				if a, b := seq.Ledger().PhaseBytes(p), conc.Ledger().PhaseBytes(p); a != b {
+					t.Fatalf("phase %v bytes differ: seq=%v conc=%v", p, a, b)
 				}
 			}
 		})

@@ -43,13 +43,20 @@ type Config struct {
 	RecordSeries bool
 }
 
+// ByteCounter is implemented by algorithms whose ledger also tracks the
+// encoded size of the charged messages (all three Algorithm 1 engines).
+type ByteCounter interface {
+	Bytes() comm.Bytes
+}
+
 // Report summarizes one run.
 type Report struct {
 	Steps      int
 	K          int
 	Messages   comm.Counts
-	Errors     int // oracle mismatches observed (always 0 for correct algorithms)
-	TopChanges int // steps where the reported set differed from the previous step
+	Bytes      comm.Bytes // encoded message volume; zero for count-only algorithms
+	Errors     int        // oracle mismatches observed (always 0 for correct algorithms)
+	TopChanges int        // steps where the reported set differed from the previous step
 
 	// MsgsPerStep is Messages.Total() / Steps.
 	MsgsPerStep float64
@@ -70,10 +77,14 @@ type Report struct {
 func Run(alg Algorithm, src stream.Source, cfg Config) Report {
 	n := src.N()
 	vals := make([]int64, n)
-	return runLoop(n, cfg, alg.Counts, func() ([]int, []int64) {
+	rep := runLoop(n, cfg, alg.Counts, func() ([]int, []int64) {
 		src.Step(vals)
 		return alg.Observe(vals), vals
 	})
+	if bc, ok := alg.(ByteCounter); ok {
+		rep.Bytes = bc.Bytes()
+	}
+	return rep
 }
 
 // DeltaAlgorithm is an online monitor with a sparse ingestion path:
@@ -98,13 +109,17 @@ func RunDelta(alg DeltaAlgorithm, src stream.DeltaSource, cfg Config) Report {
 	ids := make([]int, n)
 	vals := make([]int64, n)
 	dense := make([]int64, n)
-	return runLoop(n, cfg, alg.Counts, func() ([]int, []int64) {
+	rep := runLoop(n, cfg, alg.Counts, func() ([]int, []int64) {
 		c := src.StepDelta(ids, vals)
 		for j := 0; j < c; j++ {
 			dense[ids[j]] = vals[j]
 		}
 		return alg.ObserveDelta(ids[:c], vals[:c]), dense
 	})
+	if bc, ok := alg.(ByteCounter); ok {
+		rep.Bytes = bc.Bytes()
+	}
+	return rep
 }
 
 // runLoop is the shared per-step and report-finalization bookkeeping of
@@ -214,6 +229,9 @@ func MeasureDelta(matrix [][]int64, k int) int64 {
 func Describe(name string, r Report) string {
 	s := fmt.Sprintf("%-14s steps=%d msgs=%d (%.2f/step) up=%d down=%d bcast=%d changes=%d errors=%d",
 		name, r.Steps, r.Messages.Total(), r.MsgsPerStep, r.Messages.Up, r.Messages.Down, r.Messages.Bcast, r.TopChanges, r.Errors)
+	if b := r.Bytes.Total(); b > 0 {
+		s += fmt.Sprintf(" bytes=%d (%.1f/step)", b, float64(b)/float64(r.Steps))
+	}
 	if r.OptSegments > 0 {
 		s += fmt.Sprintf(" opt=%d ratio=%.1f", r.OptSegments, r.CompetitiveRatio)
 	}

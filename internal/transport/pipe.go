@@ -1,0 +1,82 @@
+package transport
+
+import (
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// Pipe returns the two ends of an in-process loopback link. Frames are
+// copied on Send, so callers may reuse their buffers immediately. Closing
+// either end tears down both directions.
+//
+// The pipe charges its LinkStats as if each frame had crossed a
+// length-prefixed stream (uvarint prefix plus payload), so loopback runs
+// report transport volumes comparable to the TCP implementation.
+func Pipe() (Link, Link) {
+	const buffer = 16 // the engine is lockstep request/reply; tiny is plenty
+	ab := make(chan []byte, buffer)
+	ba := make(chan []byte, buffer)
+	done := make(chan struct{})
+	once := &sync.Once{}
+	a := &pipeLink{out: ab, in: ba, done: done, once: once}
+	b := &pipeLink{out: ba, in: ab, done: done, once: once}
+	return a, b
+}
+
+type pipeLink struct {
+	stats
+	out  chan<- []byte
+	in   <-chan []byte
+	done chan struct{}
+	once *sync.Once // shared: either end closes both directions
+}
+
+// frameLen is the on-stream size of one frame: prefix plus payload.
+func frameLen(payload int) int64 {
+	return int64(wire.SizeUvarint(uint64(payload)) + payload)
+}
+
+// Send implements Link.
+func (l *pipeLink) Send(payload []byte) error {
+	cp := append([]byte(nil), payload...)
+	select {
+	case <-l.done:
+		return ErrClosed
+	default:
+	}
+	select {
+	case l.out <- cp:
+		l.sent(frameLen(len(payload)))
+		return nil
+	case <-l.done:
+		return ErrClosed
+	}
+}
+
+// Recv implements Link. Frames already in flight when the pipe closes are
+// still delivered; ErrClosed follows once the direction is drained.
+func (l *pipeLink) Recv() ([]byte, error) {
+	select {
+	case p := <-l.in:
+		l.received(frameLen(len(p)))
+		return p, nil
+	default:
+	}
+	select {
+	case p := <-l.in:
+		l.received(frameLen(len(p)))
+		return p, nil
+	case <-l.done:
+		return nil, ErrClosed
+	}
+}
+
+// Close implements Link. It closes both directions and is idempotent.
+func (l *pipeLink) Close() error {
+	l.once.Do(func() { close(l.done) })
+	return nil
+}
+
+// Stats implements StatsProvider.
+func (l *pipeLink) Stats() LinkStats { return l.snapshot() }

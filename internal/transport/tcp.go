@@ -1,0 +1,265 @@
+package transport
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// Listen opens the coordinator's TCP endpoint. Cancelling ctx shuts the
+// listener and every link it accepted down; that is the graceful-exit
+// path for a serving coordinator. addr uses the usual "host:port" form
+// (":0" picks a free port — see Addr).
+func Listen(ctx context.Context, addr string) (*Listener, error) {
+	var lc net.ListenConfig
+	ln, err := lc.Listen(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	l := &Listener{ln: ln}
+	if ctx != nil && ctx.Done() != nil {
+		stop := make(chan struct{})
+		l.stop = stop
+		go func() {
+			select {
+			case <-ctx.Done():
+				l.Close()
+			case <-stop:
+			}
+		}()
+	}
+	return l, nil
+}
+
+// Listener accepts peer connections for a coordinator.
+type Listener struct {
+	ln   net.Listener
+	stop chan struct{}
+
+	mu     sync.Mutex
+	links  []*tcpLink
+	closed bool
+}
+
+// Addr returns the bound address, including the kernel-chosen port for
+// ":0" listens.
+func (l *Listener) Addr() string { return l.ln.Addr().String() }
+
+// Accept waits for the next peer connection and wraps it in a Link. The
+// returned link is also closed when the listener shuts down.
+func (l *Listener) Accept() (Link, error) {
+	c, err := l.ln.Accept()
+	if err != nil {
+		return nil, err
+	}
+	lk := newTCPLink(c)
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		lk.Close()
+		return nil, ErrClosed
+	}
+	l.links = append(l.links, lk)
+	l.mu.Unlock()
+	return lk, nil
+}
+
+// AcceptN accepts exactly n peer connections, in arrival order. On error
+// the already-accepted links are closed.
+func (l *Listener) AcceptN(n int) ([]Link, error) {
+	links := make([]Link, 0, n)
+	for len(links) < n {
+		lk, err := l.Accept()
+		if err != nil {
+			for _, a := range links {
+				a.Close()
+			}
+			return nil, err
+		}
+		links = append(links, lk)
+	}
+	return links, nil
+}
+
+// Close shuts the listener and all accepted links down. Idempotent.
+func (l *Listener) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	links := l.links
+	l.links = nil
+	l.mu.Unlock()
+	if l.stop != nil {
+		close(l.stop)
+	}
+	err := l.ln.Close()
+	for _, lk := range links {
+		lk.Close()
+	}
+	return err
+}
+
+// Dial connects a peer to the coordinator at addr. Cancelling ctx aborts
+// an in-flight dial and closes the established link.
+func Dial(ctx context.Context, addr string) (Link, error) {
+	var d net.Dialer
+	c, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	lk := newTCPLink(c)
+	if ctx != nil && ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				lk.Close()
+			case <-lk.done:
+			}
+		}()
+	}
+	return lk, nil
+}
+
+// tcpLink frames payloads onto a TCP stream as uvarint length prefixes
+// followed by the payload bytes.
+type tcpLink struct {
+	stats
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	done chan struct{}
+
+	sendMu  sync.Mutex
+	prefix  []byte
+	recvBuf []byte
+
+	closeMu sync.Mutex
+	closed  bool
+}
+
+func newTCPLink(c net.Conn) *tcpLink {
+	if tc, ok := c.(*net.TCPConn); ok {
+		// The engine's frames are small request/reply pairs; waiting for
+		// segment coalescing would serialize every protocol round on the
+		// delayed-ACK clock.
+		tc.SetNoDelay(true)
+	}
+	return &tcpLink{
+		conn: c,
+		br:   bufio.NewReader(c),
+		bw:   bufio.NewWriter(c),
+		done: make(chan struct{}),
+	}
+}
+
+// Send implements Link.
+func (l *tcpLink) Send(payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("transport: frame of %d bytes exceeds MaxFrame", len(payload))
+	}
+	l.sendMu.Lock()
+	defer l.sendMu.Unlock()
+	l.prefix = wire.AppendUvarint(l.prefix[:0], uint64(len(payload)))
+	if _, err := l.bw.Write(l.prefix); err != nil {
+		return l.sendErr(err)
+	}
+	if _, err := l.bw.Write(payload); err != nil {
+		return l.sendErr(err)
+	}
+	if err := l.bw.Flush(); err != nil {
+		return l.sendErr(err)
+	}
+	l.sent(frameLen(len(payload)))
+	return nil
+}
+
+func (l *tcpLink) sendErr(err error) error {
+	if l.isClosed() {
+		return ErrClosed
+	}
+	return err
+}
+
+// Recv implements Link. The returned payload aliases an internal buffer
+// that the next Recv overwrites.
+func (l *tcpLink) Recv() ([]byte, error) {
+	n, err := l.readPrefix()
+	if err != nil {
+		return nil, l.recvErr(err)
+	}
+	if n > MaxFrame {
+		return nil, fmt.Errorf("transport: incoming frame of %d bytes exceeds MaxFrame", n)
+	}
+	if cap(l.recvBuf) < int(n) {
+		l.recvBuf = make([]byte, n)
+	}
+	buf := l.recvBuf[:n]
+	if _, err := io.ReadFull(l.br, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF // prefix promised more bytes
+		}
+		return nil, l.recvErr(err)
+	}
+	l.received(frameLen(int(n)))
+	return buf, nil
+}
+
+// readPrefix reads the uvarint length prefix byte-by-byte off the stream.
+func (l *tcpLink) readPrefix() (uint64, error) {
+	var x uint64
+	var shift uint
+	for i := 0; ; i++ {
+		b, err := l.br.ReadByte()
+		if err != nil {
+			if err == io.EOF && i > 0 {
+				return 0, io.ErrUnexpectedEOF // truncated mid-prefix
+			}
+			return 0, err
+		}
+		if i >= 10 || (i == 9 && b > 1) {
+			return 0, wire.ErrOverflow
+		}
+		if b < 0x80 {
+			return x | uint64(b)<<shift, nil
+		}
+		x |= uint64(b&0x7f) << shift
+		shift += 7
+	}
+}
+
+func (l *tcpLink) recvErr(err error) error {
+	if l.isClosed() {
+		return ErrClosed
+	}
+	return err
+}
+
+func (l *tcpLink) isClosed() bool {
+	l.closeMu.Lock()
+	defer l.closeMu.Unlock()
+	return l.closed
+}
+
+// Close implements Link. Idempotent.
+func (l *tcpLink) Close() error {
+	l.closeMu.Lock()
+	if l.closed {
+		l.closeMu.Unlock()
+		return nil
+	}
+	l.closed = true
+	l.closeMu.Unlock()
+	close(l.done)
+	return l.conn.Close()
+}
+
+// Stats implements StatsProvider.
+func (l *tcpLink) Stats() LinkStats { return l.snapshot() }

@@ -1,0 +1,114 @@
+// Package transport moves the wire-encoded protocol frames between the
+// coordinator and its peers. It provides the Link abstraction the
+// networked engine (internal/netrun) is written against, with two
+// implementations:
+//
+//   - Pipe: an in-process loopback that delivers frames over channels,
+//     used by the loopback engine and the equivalence tests. It simulates
+//     the same length-prefix framing cost as TCP so byte statistics are
+//     comparable.
+//   - TCP: a length-prefixed stream protocol — one coordinator listener,
+//     n dialing peers, one goroutine-free synchronous read loop per
+//     connection, graceful shutdown via context cancellation.
+//
+// A frame is a uvarint payload length followed by the payload (one
+// internal/wire message). Frames are capped at MaxFrame bytes so a
+// garbage or hostile stream fails fast instead of exhausting memory.
+//
+// Links only move bytes; they neither interpret frames nor count model
+// messages. Model accounting lives in internal/comm, fed by the engines;
+// a link's own LinkStats measure what actually crossed this transport —
+// frames and framed bytes, control plane included — which is the
+// deployment-facing number DESIGN.md contrasts with the model ledger.
+package transport
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// ErrClosed is returned by operations on a closed link.
+var ErrClosed = errors.New("transport: link closed")
+
+// MaxFrame is the largest accepted frame payload, in bytes. The protocol's
+// largest message is a dense Observe for one peer's node range (a handful
+// of bytes per node), so 1<<26 leaves orders of magnitude of headroom
+// while still rejecting nonsense length prefixes immediately.
+const MaxFrame = 1 << 26
+
+// Link is one reliable, ordered, message-framed duplex connection between
+// the coordinator and a peer. Send and Recv are safe to call from
+// different goroutines (the engine's natural usage), but neither is safe
+// for concurrent use with itself.
+type Link interface {
+	// Send frames and transmits one payload. The payload is not retained.
+	Send(payload []byte) error
+	// Recv blocks for the next frame and returns its payload. The
+	// returned slice is owned by the caller until the next Recv on
+	// implementations that reuse buffers; treat it as valid only until
+	// then.
+	Recv() ([]byte, error)
+	// Close tears the link down; pending and future operations fail.
+	// Close is idempotent.
+	Close() error
+}
+
+// LinkStats counts the traffic that crossed one link, as framed on the
+// transport (length prefixes included).
+type LinkStats struct {
+	SentFrames int64
+	SentBytes  int64
+	RecvFrames int64
+	RecvBytes  int64
+}
+
+// Add returns the component-wise sum s + o.
+func (s LinkStats) Add(o LinkStats) LinkStats {
+	return LinkStats{
+		SentFrames: s.SentFrames + o.SentFrames,
+		SentBytes:  s.SentBytes + o.SentBytes,
+		RecvFrames: s.RecvFrames + o.RecvFrames,
+		RecvBytes:  s.RecvBytes + o.RecvBytes,
+	}
+}
+
+// StatsProvider is implemented by links that track transport statistics.
+type StatsProvider interface {
+	Stats() LinkStats
+}
+
+// StatsOf returns l's transport statistics, or the zero value when l does
+// not track any.
+func StatsOf(l Link) LinkStats {
+	if sp, ok := l.(StatsProvider); ok {
+		return sp.Stats()
+	}
+	return LinkStats{}
+}
+
+// stats is the shared atomic implementation backing both link types.
+type stats struct {
+	sentFrames atomic.Int64
+	sentBytes  atomic.Int64
+	recvFrames atomic.Int64
+	recvBytes  atomic.Int64
+}
+
+func (s *stats) sent(bytes int64) {
+	s.sentFrames.Add(1)
+	s.sentBytes.Add(bytes)
+}
+
+func (s *stats) received(bytes int64) {
+	s.recvFrames.Add(1)
+	s.recvBytes.Add(bytes)
+}
+
+func (s *stats) snapshot() LinkStats {
+	return LinkStats{
+		SentFrames: s.sentFrames.Load(),
+		SentBytes:  s.sentBytes.Load(),
+		RecvFrames: s.recvFrames.Load(),
+		RecvBytes:  s.recvBytes.Load(),
+	}
+}

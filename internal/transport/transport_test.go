@@ -1,0 +1,301 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+func TestPipeRoundTrip(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+
+	want := [][]byte{{}, {1}, {2, 3, 4}, bytes.Repeat([]byte{0xab}, 1000)}
+	for _, p := range want {
+		if err := a.Send(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range want {
+		got, err := b.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("got %v, want %v", got, p)
+		}
+	}
+	// Reply direction.
+	if err := b.Send([]byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := a.Recv(); err != nil || !bytes.Equal(got, []byte{9}) {
+		t.Fatalf("reply: %v, %v", got, err)
+	}
+}
+
+func TestPipeSendCopies(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	buf := []byte{1, 2, 3}
+	if err := a.Send(buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 99 // caller reuses its buffer immediately
+	got, err := b.Recv()
+	if err != nil || got[0] != 1 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestPipeStats(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	payload := bytes.Repeat([]byte{1}, 200) // 2-byte uvarint prefix
+	if err := a.Send(payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	wantBytes := int64(len(payload) + wire.SizeUvarint(200))
+	if s := StatsOf(a); s.SentFrames != 1 || s.SentBytes != wantBytes {
+		t.Fatalf("a stats %+v, want %d bytes", s, wantBytes)
+	}
+	if s := StatsOf(b); s.RecvFrames != 1 || s.RecvBytes != wantBytes {
+		t.Fatalf("b stats %+v", s)
+	}
+}
+
+func TestPipeCloseUnblocksAndDrains(t *testing.T) {
+	a, b := Pipe()
+	if err := a.Send([]byte{7}); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	// In-flight frame still delivered...
+	if got, err := b.Recv(); err != nil || !bytes.Equal(got, []byte{7}) {
+		t.Fatalf("drain: %v, %v", got, err)
+	}
+	// ...then the closed state surfaces, on both ends.
+	if _, err := b.Recv(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("recv after close: %v", err)
+	}
+	if err := b.Send([]byte{1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after close: %v", err)
+	}
+	a.Close() // idempotent
+}
+
+func TestPipeCloseUnblocksPendingRecv(t *testing.T) {
+	a, b := Pipe()
+	errc := make(chan error, 1)
+	go func() {
+		_, err := b.Recv()
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	a.Close()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("pending recv: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv did not unblock on Close")
+	}
+}
+
+func startTCP(t *testing.T) (*Listener, context.CancelFunc) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	ln, err := Listen(ctx, "127.0.0.1:0")
+	if err != nil {
+		cancel()
+		t.Skipf("cannot listen on loopback: %v", err)
+	}
+	t.Cleanup(func() { cancel(); ln.Close() })
+	return ln, cancel
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	ln, _ := startTCP(t)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var serverErr error
+	go func() {
+		defer wg.Done()
+		lk, err := ln.Accept()
+		if err != nil {
+			serverErr = err
+			return
+		}
+		for {
+			p, err := lk.Recv()
+			if err != nil {
+				return // client closed
+			}
+			echo := append([]byte{0xee}, p...)
+			if err := lk.Send(echo); err != nil {
+				serverErr = err
+				return
+			}
+		}
+	}()
+
+	client, err := Dial(context.Background(), ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := [][]byte{{}, {1, 2, 3}, bytes.Repeat([]byte{0x42}, 100000)}
+	for _, p := range payloads {
+		if err := client.Send(p); err != nil {
+			t.Fatal(err)
+		}
+		got, err := client.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(p)+1 || got[0] != 0xee || !bytes.Equal(got[1:], p) {
+			t.Fatalf("echo mismatch for %d-byte payload", len(p))
+		}
+	}
+	s := StatsOf(client)
+	if s.SentFrames != int64(len(payloads)) || s.RecvFrames != int64(len(payloads)) {
+		t.Fatalf("stats %+v", s)
+	}
+	client.Close()
+	wg.Wait()
+	if serverErr != nil {
+		t.Fatal(serverErr)
+	}
+}
+
+func TestTCPGarbagePrefix(t *testing.T) {
+	ln, _ := startTCP(t)
+	got := make(chan error, 1)
+	go func() {
+		lk, err := ln.Accept()
+		if err != nil {
+			got <- err
+			return
+		}
+		_, err = lk.Recv()
+		got <- err
+	}()
+	raw, err := net.Dial("tcp", ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	// An 11-byte continuation run can never be a valid length prefix.
+	if _, err := raw.Write(bytes.Repeat([]byte{0xff}, 11)); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-got; !errors.Is(err, wire.ErrOverflow) {
+		t.Fatalf("garbage prefix: %v, want ErrOverflow", err)
+	}
+}
+
+func TestTCPOversizedFrameRejected(t *testing.T) {
+	ln, _ := startTCP(t)
+	got := make(chan error, 1)
+	go func() {
+		lk, err := ln.Accept()
+		if err != nil {
+			got <- err
+			return
+		}
+		_, err = lk.Recv()
+		got <- err
+	}()
+	raw, err := net.Dial("tcp", ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	if _, err := raw.Write(wire.AppendUvarint(nil, MaxFrame+1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-got; err == nil || errors.Is(err, io.EOF) {
+		t.Fatalf("oversized frame: %v, want explicit rejection", err)
+	}
+}
+
+func TestTCPTruncatedFrame(t *testing.T) {
+	ln, _ := startTCP(t)
+	got := make(chan error, 1)
+	go func() {
+		lk, err := ln.Accept()
+		if err != nil {
+			got <- err
+			return
+		}
+		_, err = lk.Recv()
+		got <- err
+	}()
+	raw, err := net.Dial("tcp", ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Promise 100 bytes, deliver 3, hang up.
+	frame := append(wire.AppendUvarint(nil, 100), 1, 2, 3)
+	if _, err := raw.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	raw.Close()
+	if err := <-got; !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated frame: %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+// TestTCPContextShutdown exercises the graceful-exit path: cancelling the
+// listen context closes the listener and every accepted link.
+func TestTCPContextShutdown(t *testing.T) {
+	ln, cancel := startTCP(t)
+
+	accepted := make(chan Link, 1)
+	go func() {
+		lk, err := ln.Accept()
+		if err != nil {
+			close(accepted)
+			return
+		}
+		accepted <- lk
+	}()
+	client, err := Dial(context.Background(), ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	server, ok := <-accepted
+	if !ok {
+		t.Fatal("accept failed")
+	}
+
+	recvDone := make(chan error, 1)
+	go func() {
+		_, err := server.Recv()
+		recvDone <- err
+	}()
+	cancel()
+	select {
+	case err := <-recvDone:
+		if err == nil {
+			t.Fatal("server recv survived context cancellation")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("context cancellation did not unblock server recv")
+	}
+	if _, err := ln.Accept(); err == nil {
+		t.Fatal("accept succeeded after shutdown")
+	}
+}

@@ -1,0 +1,98 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode throws arbitrary bytes at every decoder (mirroring
+// internal/core's fuzz harness for the monitor): no input may panic, and
+// any input a decoder accepts must re-encode to the identical frame —
+// the codec admits exactly one encoding per message.
+func FuzzDecode(f *testing.F) {
+	seeds := [][]byte{
+		{},
+		{TypeAssign},
+		Assign{Lo: 0, Hi: 4, N: 8, K: 2, Seed: 99, Distinct: true}.Append(nil),
+		Observe{Step: 3, Vals: []int64{5, -5}}.Append(nil),
+		ObserveDelta{Step: 3, IDs: []int{1, 4}, Vals: []int64{-9, 9}}.Append(nil),
+		Round{Tag: 1, Round: 2, Best: -3, Bound: 8, Step: 4}.Append(nil),
+		Reply{OutViol: true, IDs: []int{2}, Keys: []int64{77}}.Append(nil),
+		Winner{Target: 6, IsTop: true}.Append(nil),
+		Midpoint{Mid: 1 << 40}.Append(nil),
+		Bid{ID: 1, Key: 2}.Append(nil),
+		Best{Round: 1, Key: 2}.Append(nil),
+		Presence{ID: 3}.Append(nil),
+		Bounds{Target: 2, Lo: -4, Hi: 4}.Append(nil),
+		AppendBare(nil, TypeShutdown),
+		bytes.Repeat([]byte{0x80}, 32),
+		bytes.Repeat([]byte{0xff}, 32),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, err := MsgType(data)
+		if err != nil {
+			return
+		}
+		switch typ {
+		case TypeAssign:
+			if m, err := DecodeAssign(data); err == nil {
+				roundTrip(t, data, m.Append(nil))
+			}
+		case TypeObserve:
+			var m Observe
+			if err := m.Decode(data); err == nil {
+				roundTrip(t, data, m.Append(nil))
+			}
+		case TypeObserveDelta:
+			var m ObserveDelta
+			if err := m.Decode(data); err == nil {
+				roundTrip(t, data, m.Append(nil))
+			}
+		case TypeRound:
+			if m, err := DecodeRound(data); err == nil {
+				roundTrip(t, data, m.Append(nil))
+			}
+		case TypeReply:
+			var m Reply
+			if err := m.Decode(data); err == nil {
+				roundTrip(t, data, m.Append(nil))
+			}
+		case TypeWinner:
+			if m, err := DecodeWinner(data); err == nil {
+				roundTrip(t, data, m.Append(nil))
+			}
+		case TypeMidpoint:
+			if m, err := DecodeMidpoint(data); err == nil {
+				roundTrip(t, data, m.Append(nil))
+			}
+		case TypeBid:
+			if m, err := DecodeBid(data); err == nil {
+				roundTrip(t, data, m.Append(nil))
+			}
+		case TypeBest:
+			if m, err := DecodeBest(data); err == nil {
+				roundTrip(t, data, m.Append(nil))
+			}
+		case TypePresence:
+			if m, err := DecodePresence(data); err == nil {
+				roundTrip(t, data, m.Append(nil))
+			}
+		case TypeBounds:
+			if m, err := DecodeBounds(data); err == nil {
+				roundTrip(t, data, m.Append(nil))
+			}
+		case TypeReady, TypeResetBegin, TypeShutdown, TypeQuery:
+			_ = DecodeBare(data, typ)
+		}
+	})
+}
+
+func roundTrip(t *testing.T, in, re []byte) {
+	t.Helper()
+	if !bytes.Equal(in, re) {
+		t.Fatalf("re-encode mismatch:\n in %x\nout %x", in, re)
+	}
+}

@@ -1,0 +1,622 @@
+package wire
+
+import "fmt"
+
+// Message type tags. Every encoded message is a one-byte tag followed by
+// the message's varint-coded fields.
+const (
+	// TypeAssign is the coordinator's handshake: it assigns a joining peer
+	// its contiguous node range and the monitor configuration.
+	TypeAssign byte = 0x01
+	// TypeReady acknowledges an Assign; the peer has built its node state.
+	TypeReady byte = 0x02
+	// TypeObserve delivers one dense observation step for a peer's range.
+	TypeObserve byte = 0x03
+	// TypeObserveDelta delivers one sparse observation step: only the
+	// listed (strictly increasing) node ids changed.
+	TypeObserveDelta byte = 0x04
+	// TypeRound starts one sampler round of Algorithm 2 on a cohort.
+	TypeRound byte = 0x05
+	// TypeReply is a peer's batched answer to any command: violation
+	// flags and the round's sampler bids.
+	TypeReply byte = 0x06
+	// TypeWinner notifies the extraction winner of its new membership.
+	TypeWinner byte = 0x07
+	// TypeMidpoint broadcasts the filter bound all nodes re-anchor on.
+	TypeMidpoint byte = 0x08
+	// TypeResetBegin clears extraction state ahead of a FILTERRESET.
+	TypeResetBegin byte = 0x09
+	// TypeShutdown asks a peer to exit its serve loop.
+	TypeShutdown byte = 0x0a
+	// TypeBid is the canonical charged form of one sampler send (id, key).
+	// On the wire bids ride batched inside TypeReply.
+	TypeBid byte = 0x0b
+	// TypeBest is the canonical charged form of the coordinator's
+	// end-of-round broadcast (round, running best).
+	TypeBest byte = 0x0c
+	// TypeQuery is the bare "send your key" broadcast of the gather-all
+	// baseline protocols.
+	TypeQuery byte = 0x0d
+	// TypePresence is an id-only node reply (domain-search baseline).
+	TypePresence byte = 0x0e
+	// TypeBounds assigns one node an explicit filter interval — the
+	// charged form of the ordered variant's order-filter installation and
+	// of the interval baselines' per-node assignments.
+	TypeBounds byte = 0x0f
+)
+
+// Flag bits used by messages with a flags byte.
+const (
+	flagDistinct = 1 << 0 // Assign: DistinctValues mode
+	flagIsTop    = 1 << 0 // Winner: winner joins the top-k set
+	flagFull     = 1 << 0 // Midpoint: install [-inf, +inf] (k == n)
+	flagTopViol  = 1 << 0 // Reply: some top-k node violated its filter
+	flagOutViol  = 1 << 1 // Reply: some outsider violated its filter
+)
+
+// MsgType returns the type tag of an encoded message.
+func MsgType(p []byte) (byte, error) {
+	if len(p) == 0 {
+		return 0, ErrTruncated
+	}
+	return p[0], nil
+}
+
+// header consumes the expected type tag.
+func header(p []byte, want byte) ([]byte, error) {
+	if len(p) == 0 {
+		return nil, ErrTruncated
+	}
+	if p[0] != want {
+		return nil, fmt.Errorf("%w: got 0x%02x, want 0x%02x", ErrUnknownType, p[0], want)
+	}
+	return p[1:], nil
+}
+
+// fin rejects trailing bytes after a fully decoded message.
+func fin(p []byte) error {
+	if len(p) != 0 {
+		return fmt.Errorf("%w: %d left", ErrTrailingBytes, len(p))
+	}
+	return nil
+}
+
+// uvarintField decodes one uvarint field and advances p.
+func uvarintField(p []byte) (uint64, []byte, error) {
+	v, n, err := Uvarint(p)
+	if err != nil {
+		return 0, nil, err
+	}
+	return v, p[n:], nil
+}
+
+// varintField decodes one zigzag varint field and advances p.
+func varintField(p []byte) (int64, []byte, error) {
+	v, n, err := Varint(p)
+	if err != nil {
+		return 0, nil, err
+	}
+	return v, p[n:], nil
+}
+
+// Assign is the coordinator→peer handshake message: the peer hosts nodes
+// [Lo, Hi) of a monitor over N nodes with top-set size K, seeded protocol
+// randomness, and the configured tie-break mode.
+type Assign struct {
+	Lo, Hi, N, K int
+	Seed         uint64
+	Distinct     bool
+}
+
+// Append encodes m after dst.
+func (m Assign) Append(dst []byte) []byte {
+	dst = append(dst, TypeAssign)
+	dst = AppendUvarint(dst, uint64(m.Lo))
+	dst = AppendUvarint(dst, uint64(m.Hi))
+	dst = AppendUvarint(dst, uint64(m.N))
+	dst = AppendUvarint(dst, uint64(m.K))
+	dst = AppendUvarint(dst, m.Seed)
+	var flags byte
+	if m.Distinct {
+		flags |= flagDistinct
+	}
+	return append(dst, flags)
+}
+
+// DecodeAssign decodes a full Assign frame.
+func DecodeAssign(p []byte) (Assign, error) {
+	var m Assign
+	p, err := header(p, TypeAssign)
+	if err != nil {
+		return m, err
+	}
+	var u uint64
+	if u, p, err = uvarintField(p); err != nil {
+		return m, err
+	}
+	m.Lo = int(u)
+	if u, p, err = uvarintField(p); err != nil {
+		return m, err
+	}
+	m.Hi = int(u)
+	if u, p, err = uvarintField(p); err != nil {
+		return m, err
+	}
+	m.N = int(u)
+	if u, p, err = uvarintField(p); err != nil {
+		return m, err
+	}
+	m.K = int(u)
+	if m.Seed, p, err = uvarintField(p); err != nil {
+		return m, err
+	}
+	if len(p) == 0 {
+		return m, ErrTruncated
+	}
+	if p[0]&^flagDistinct != 0 {
+		return m, fmt.Errorf("%w: unknown assign flags 0x%02x", ErrMalformed, p[0])
+	}
+	m.Distinct = p[0]&flagDistinct != 0
+	return m, fin(p[1:])
+}
+
+// Observe delivers one dense observation step: Vals[i] is the new value of
+// node Lo+i of the receiving peer's assigned range.
+type Observe struct {
+	Step int64
+	Vals []int64
+}
+
+// Append encodes m after dst.
+func (m Observe) Append(dst []byte) []byte {
+	dst = append(dst, TypeObserve)
+	dst = AppendUvarint(dst, uint64(m.Step))
+	dst = AppendUvarint(dst, uint64(len(m.Vals)))
+	for _, v := range m.Vals {
+		dst = AppendVarint(dst, v)
+	}
+	return dst
+}
+
+// Decode decodes a full Observe frame into m, reusing m.Vals' capacity.
+func (m *Observe) Decode(p []byte) error {
+	p, err := header(p, TypeObserve)
+	if err != nil {
+		return err
+	}
+	var u uint64
+	if u, p, err = uvarintField(p); err != nil {
+		return err
+	}
+	m.Step = int64(u)
+	if u, p, err = uvarintField(p); err != nil {
+		return err
+	}
+	if u > uint64(len(p)) { // every value takes >= 1 byte
+		return fmt.Errorf("%w: %d values in %d bytes", ErrMalformed, u, len(p))
+	}
+	m.Vals = m.Vals[:0]
+	for i := uint64(0); i < u; i++ {
+		var v int64
+		if v, p, err = varintField(p); err != nil {
+			return err
+		}
+		m.Vals = append(m.Vals, v)
+	}
+	return fin(p)
+}
+
+// ObserveDelta delivers one sparse observation step: node IDs[j] (a global
+// id, strictly increasing) changed to Vals[j]; all other nodes repeat. The
+// id sequence is gap-coded on the wire.
+type ObserveDelta struct {
+	Step int64
+	IDs  []int
+	Vals []int64
+}
+
+// Append encodes m after dst. IDs must be strictly increasing and
+// non-negative; Append panics otherwise, matching the engines' input
+// contract.
+func (m ObserveDelta) Append(dst []byte) []byte {
+	if len(m.IDs) != len(m.Vals) {
+		panic("wire: ObserveDelta ids/vals length mismatch")
+	}
+	dst = append(dst, TypeObserveDelta)
+	dst = AppendUvarint(dst, uint64(m.Step))
+	dst = AppendUvarint(dst, uint64(len(m.IDs)))
+	prev := -1
+	for j, id := range m.IDs {
+		if id <= prev {
+			panic("wire: ObserveDelta ids must be strictly increasing")
+		}
+		dst = AppendUvarint(dst, uint64(id-prev-1))
+		dst = AppendVarint(dst, m.Vals[j])
+		prev = id
+	}
+	return dst
+}
+
+// Decode decodes a full ObserveDelta frame into m, reusing slice capacity.
+func (m *ObserveDelta) Decode(p []byte) error {
+	p, err := header(p, TypeObserveDelta)
+	if err != nil {
+		return err
+	}
+	var u uint64
+	if u, p, err = uvarintField(p); err != nil {
+		return err
+	}
+	m.Step = int64(u)
+	if u, p, err = uvarintField(p); err != nil {
+		return err
+	}
+	if 2*u > uint64(len(p))+1 { // every (gap, value) pair takes >= 2 bytes
+		return fmt.Errorf("%w: %d deltas in %d bytes", ErrMalformed, u, len(p))
+	}
+	m.IDs, m.Vals = m.IDs[:0], m.Vals[:0]
+	prev := -1
+	for i := uint64(0); i < u; i++ {
+		var gap uint64
+		if gap, p, err = uvarintField(p); err != nil {
+			return err
+		}
+		id := prev + 1 + int(gap)
+		if id <= prev { // gap overflowed int
+			return fmt.Errorf("%w: delta id overflow", ErrMalformed)
+		}
+		var v int64
+		if v, p, err = varintField(p); err != nil {
+			return err
+		}
+		m.IDs = append(m.IDs, id)
+		m.Vals = append(m.Vals, v)
+		prev = id
+	}
+	return fin(p)
+}
+
+// Round starts sampler round Round of one Algorithm 2 execution over the
+// cohort selected by Tag, with the best key broadcast so far, the
+// execution's population bound, and the observation step (cohort selection
+// for violation protocols is per-step).
+type Round struct {
+	Tag   uint8
+	Round int
+	Best  int64
+	Bound int
+	Step  int64
+}
+
+// Append encodes m after dst.
+func (m Round) Append(dst []byte) []byte {
+	dst = append(dst, TypeRound, m.Tag)
+	dst = AppendUvarint(dst, uint64(m.Round))
+	dst = AppendVarint(dst, m.Best)
+	dst = AppendUvarint(dst, uint64(m.Bound))
+	return AppendUvarint(dst, uint64(m.Step))
+}
+
+// DecodeRound decodes a full Round frame.
+func DecodeRound(p []byte) (Round, error) {
+	var m Round
+	p, err := header(p, TypeRound)
+	if err != nil {
+		return m, err
+	}
+	if len(p) == 0 {
+		return m, ErrTruncated
+	}
+	m.Tag = p[0]
+	p = p[1:]
+	var u uint64
+	if u, p, err = uvarintField(p); err != nil {
+		return m, err
+	}
+	m.Round = int(u)
+	if m.Best, p, err = varintField(p); err != nil {
+		return m, err
+	}
+	if u, p, err = uvarintField(p); err != nil {
+		return m, err
+	}
+	m.Bound = int(u)
+	if u, p, err = uvarintField(p); err != nil {
+		return m, err
+	}
+	m.Step = int64(u)
+	return m, fin(p)
+}
+
+// Reply is a peer's batched answer to one command: filter-violation flags
+// (observation commands) and sampler bids (round commands). Commands that
+// produce neither send an empty Reply to keep the link in lockstep.
+type Reply struct {
+	TopViol, OutViol bool
+	IDs              []int   // bidding node ids
+	Keys             []int64 // keys parallel to IDs
+}
+
+// Append encodes m after dst.
+func (m Reply) Append(dst []byte) []byte {
+	if len(m.IDs) != len(m.Keys) {
+		panic("wire: Reply ids/keys length mismatch")
+	}
+	var flags byte
+	if m.TopViol {
+		flags |= flagTopViol
+	}
+	if m.OutViol {
+		flags |= flagOutViol
+	}
+	dst = append(dst, TypeReply, flags)
+	dst = AppendUvarint(dst, uint64(len(m.IDs)))
+	for j, id := range m.IDs {
+		dst = AppendUvarint(dst, uint64(id))
+		dst = AppendVarint(dst, m.Keys[j])
+	}
+	return dst
+}
+
+// Decode decodes a full Reply frame into m, reusing slice capacity.
+func (m *Reply) Decode(p []byte) error {
+	p, err := header(p, TypeReply)
+	if err != nil {
+		return err
+	}
+	if len(p) == 0 {
+		return ErrTruncated
+	}
+	if p[0]&^(flagTopViol|flagOutViol) != 0 {
+		return fmt.Errorf("%w: unknown reply flags 0x%02x", ErrMalformed, p[0])
+	}
+	m.TopViol = p[0]&flagTopViol != 0
+	m.OutViol = p[0]&flagOutViol != 0
+	p = p[1:]
+	var u uint64
+	if u, p, err = uvarintField(p); err != nil {
+		return err
+	}
+	if 2*u > uint64(len(p))+1 { // every (id, key) pair takes >= 2 bytes
+		return fmt.Errorf("%w: %d bids in %d bytes", ErrMalformed, u, len(p))
+	}
+	m.IDs, m.Keys = m.IDs[:0], m.Keys[:0]
+	for i := uint64(0); i < u; i++ {
+		var id uint64
+		if id, p, err = uvarintField(p); err != nil {
+			return err
+		}
+		var k int64
+		if k, p, err = varintField(p); err != nil {
+			return err
+		}
+		m.IDs = append(m.IDs, int(id))
+		m.Keys = append(m.Keys, k)
+	}
+	return fin(p)
+}
+
+// Winner notifies the peer hosting node Target that it won the current
+// extraction and whether it thereby joins the top-k set.
+type Winner struct {
+	Target int
+	IsTop  bool
+}
+
+// Append encodes m after dst.
+func (m Winner) Append(dst []byte) []byte {
+	var flags byte
+	if m.IsTop {
+		flags |= flagIsTop
+	}
+	dst = append(dst, TypeWinner, flags)
+	return AppendUvarint(dst, uint64(m.Target))
+}
+
+// DecodeWinner decodes a full Winner frame.
+func DecodeWinner(p []byte) (Winner, error) {
+	var m Winner
+	p, err := header(p, TypeWinner)
+	if err != nil {
+		return m, err
+	}
+	if len(p) == 0 {
+		return m, ErrTruncated
+	}
+	if p[0]&^flagIsTop != 0 {
+		return m, fmt.Errorf("%w: unknown winner flags 0x%02x", ErrMalformed, p[0])
+	}
+	m.IsTop = p[0]&flagIsTop != 0
+	p = p[1:]
+	var u uint64
+	if u, p, err = uvarintField(p); err != nil {
+		return m, err
+	}
+	m.Target = int(u)
+	return m, fin(p)
+}
+
+// Midpoint broadcasts the filter bound M: top-k nodes install [M, +inf],
+// outsiders [-inf, M]. Full installs [-inf, +inf] everywhere (the k == n
+// degenerate case); Mid is ignored then.
+type Midpoint struct {
+	Mid  int64
+	Full bool
+}
+
+// Append encodes m after dst.
+func (m Midpoint) Append(dst []byte) []byte {
+	var flags byte
+	if m.Full {
+		flags |= flagFull
+	}
+	dst = append(dst, TypeMidpoint, flags)
+	return AppendVarint(dst, m.Mid)
+}
+
+// DecodeMidpoint decodes a full Midpoint frame.
+func DecodeMidpoint(p []byte) (Midpoint, error) {
+	var m Midpoint
+	p, err := header(p, TypeMidpoint)
+	if err != nil {
+		return m, err
+	}
+	if len(p) == 0 {
+		return m, ErrTruncated
+	}
+	if p[0]&^flagFull != 0 {
+		return m, fmt.Errorf("%w: unknown midpoint flags 0x%02x", ErrMalformed, p[0])
+	}
+	m.Full = p[0]&flagFull != 0
+	p = p[1:]
+	if m.Mid, p, err = varintField(p); err != nil {
+		return m, err
+	}
+	return m, fin(p)
+}
+
+// Bid is the canonical charged form of one sampler send: the bidding
+// node's id and its key. On the wire bids ride batched inside Reply; the
+// standalone encoding exists so the comm ledgers charge exactly the bytes
+// a per-message deployment would pay.
+type Bid struct {
+	ID  int
+	Key int64
+}
+
+// Append encodes m after dst.
+func (m Bid) Append(dst []byte) []byte {
+	dst = append(dst, TypeBid)
+	dst = AppendUvarint(dst, uint64(m.ID))
+	return AppendVarint(dst, m.Key)
+}
+
+// DecodeBid decodes a full Bid frame.
+func DecodeBid(p []byte) (Bid, error) {
+	var m Bid
+	p, err := header(p, TypeBid)
+	if err != nil {
+		return m, err
+	}
+	var u uint64
+	if u, p, err = uvarintField(p); err != nil {
+		return m, err
+	}
+	m.ID = int(u)
+	if m.Key, p, err = varintField(p); err != nil {
+		return m, err
+	}
+	return m, fin(p)
+}
+
+// Best is the canonical charged form of the coordinator's end-of-round
+// broadcast: the round number and the best key seen so far (in the
+// executing protocol's comparison domain). On the wire it rides inside the
+// next Round command.
+type Best struct {
+	Round int
+	Key   int64
+}
+
+// Append encodes m after dst.
+func (m Best) Append(dst []byte) []byte {
+	dst = append(dst, TypeBest)
+	dst = AppendUvarint(dst, uint64(m.Round))
+	return AppendVarint(dst, m.Key)
+}
+
+// DecodeBest decodes a full Best frame.
+func DecodeBest(p []byte) (Best, error) {
+	var m Best
+	p, err := header(p, TypeBest)
+	if err != nil {
+		return m, err
+	}
+	var u uint64
+	if u, p, err = uvarintField(p); err != nil {
+		return m, err
+	}
+	m.Round = int(u)
+	if m.Key, p, err = varintField(p); err != nil {
+		return m, err
+	}
+	return m, fin(p)
+}
+
+// Presence is an id-only node reply ("my key exceeds your threshold"),
+// charged by the domain-search baseline.
+type Presence struct {
+	ID int
+}
+
+// Append encodes m after dst.
+func (m Presence) Append(dst []byte) []byte {
+	dst = append(dst, TypePresence)
+	return AppendUvarint(dst, uint64(m.ID))
+}
+
+// DecodePresence decodes a full Presence frame.
+func DecodePresence(p []byte) (Presence, error) {
+	var m Presence
+	p, err := header(p, TypePresence)
+	if err != nil {
+		return m, err
+	}
+	var u uint64
+	if u, p, err = uvarintField(p); err != nil {
+		return m, err
+	}
+	m.ID = int(u)
+	return m, fin(p)
+}
+
+// Bounds assigns node Target the explicit filter interval [Lo, Hi]. The
+// midpoint-broadcast scheme of Algorithm 1 never needs it; the ordered
+// (§5) variant and the interval baselines charge their per-node
+// coordinator→node assignments in this form.
+type Bounds struct {
+	Target int
+	Lo, Hi int64
+}
+
+// Append encodes m after dst.
+func (m Bounds) Append(dst []byte) []byte {
+	dst = append(dst, TypeBounds)
+	dst = AppendUvarint(dst, uint64(m.Target))
+	dst = AppendVarint(dst, m.Lo)
+	return AppendVarint(dst, m.Hi)
+}
+
+// DecodeBounds decodes a full Bounds frame.
+func DecodeBounds(p []byte) (Bounds, error) {
+	var m Bounds
+	p, err := header(p, TypeBounds)
+	if err != nil {
+		return m, err
+	}
+	var u uint64
+	if u, p, err = uvarintField(p); err != nil {
+		return m, err
+	}
+	m.Target = int(u)
+	if m.Lo, p, err = varintField(p); err != nil {
+		return m, err
+	}
+	if m.Hi, p, err = varintField(p); err != nil {
+		return m, err
+	}
+	return m, fin(p)
+}
+
+// AppendBare encodes one of the field-less messages (TypeReady,
+// TypeResetBegin, TypeShutdown, TypeQuery) after dst.
+func AppendBare(dst []byte, typ byte) []byte { return append(dst, typ) }
+
+// DecodeBare checks a field-less frame of the expected type.
+func DecodeBare(p []byte, typ byte) error {
+	p, err := header(p, typ)
+	if err != nil {
+		return err
+	}
+	return fin(p)
+}

@@ -1,0 +1,413 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUvarintRoundTrip(t *testing.T) {
+	cases := []uint64{0, 1, 127, 128, 129, 1 << 14, 1<<14 - 1, 1 << 21, 1 << 63, math.MaxUint64}
+	for _, x := range cases {
+		enc := AppendUvarint(nil, x)
+		if len(enc) != SizeUvarint(x) {
+			t.Fatalf("SizeUvarint(%d) = %d, encoded %d", x, SizeUvarint(x), len(enc))
+		}
+		got, n, err := Uvarint(enc)
+		if err != nil || got != x || n != len(enc) {
+			t.Fatalf("Uvarint(%v) = %d, %d, %v; want %d", enc, got, n, err, x)
+		}
+	}
+}
+
+func TestUvarintProperty(t *testing.T) {
+	check := func(x uint64, suffix []byte) bool {
+		enc := AppendUvarint(nil, x)
+		got, n, err := Uvarint(append(enc, suffix...))
+		return err == nil && got == x && n == len(enc)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVarintProperty(t *testing.T) {
+	check := func(x int64) bool {
+		enc := AppendVarint(nil, x)
+		if len(enc) != SizeVarint(x) {
+			return false
+		}
+		got, n, err := Varint(enc)
+		return err == nil && got == x && n == len(enc)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVarintExtremes(t *testing.T) {
+	for _, x := range []int64{0, -1, 1, math.MinInt64, math.MaxInt64, math.MinInt64 + 1} {
+		enc := AppendVarint(nil, x)
+		got, _, err := Varint(enc)
+		if err != nil || got != x {
+			t.Fatalf("Varint round trip of %d: got %d, %v", x, got, err)
+		}
+	}
+}
+
+func TestUvarintTruncated(t *testing.T) {
+	enc := AppendUvarint(nil, math.MaxUint64)
+	for i := 0; i < len(enc); i++ {
+		if _, _, err := Uvarint(enc[:i]); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("prefix %d: err = %v, want ErrTruncated", i, err)
+		}
+	}
+}
+
+func TestUvarintOverflow(t *testing.T) {
+	// Eleven continuation bytes: longer than any valid uint64 encoding.
+	long := bytes.Repeat([]byte{0x80}, 11)
+	if _, _, err := Uvarint(long); !errors.Is(err, ErrOverflow) {
+		t.Fatalf("err = %v, want ErrOverflow", err)
+	}
+	// Ten bytes whose last sets bits above 2^64.
+	pad := append(bytes.Repeat([]byte{0x80}, 9), 0x7f)
+	if _, _, err := Uvarint(pad); !errors.Is(err, ErrOverflow) {
+		t.Fatalf("padded err = %v, want ErrOverflow", err)
+	}
+}
+
+func TestUvarintNonCanonical(t *testing.T) {
+	// {0x80, 0x00} is a two-byte encoding of 0; only {0x00} is valid.
+	if _, _, err := Uvarint([]byte{0x80, 0x00}); !errors.Is(err, ErrNonCanonical) {
+		t.Fatalf("err = %v, want ErrNonCanonical", err)
+	}
+	if v, n, err := Uvarint([]byte{0x00}); err != nil || v != 0 || n != 1 {
+		t.Fatalf("canonical zero: %d, %d, %v", v, n, err)
+	}
+}
+
+func TestAssignRoundTrip(t *testing.T) {
+	check := func(lo, hi, n, k uint16, seed uint64, distinct bool) bool {
+		in := Assign{Lo: int(lo), Hi: int(hi), N: int(n), K: int(k), Seed: seed, Distinct: distinct}
+		out, err := DecodeAssign(in.Append(nil))
+		return err == nil && out == in
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObserveRoundTrip(t *testing.T) {
+	check := func(step uint32, vals []int64) bool {
+		in := Observe{Step: int64(step), Vals: vals}
+		var out Observe
+		if err := out.Decode(in.Append(nil)); err != nil {
+			return false
+		}
+		if out.Step != in.Step || len(out.Vals) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if out.Vals[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObserveEmpty(t *testing.T) {
+	in := Observe{Step: 7}
+	var out Observe
+	out.Vals = make([]int64, 3) // decode must shrink, not keep stale values
+	if err := out.Decode(in.Append(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if out.Step != 7 || len(out.Vals) != 0 {
+		t.Fatalf("decoded %+v", out)
+	}
+}
+
+func TestObserveDeltaRoundTrip(t *testing.T) {
+	check := func(step uint32, gaps []uint8, vals []int64) bool {
+		n := len(gaps)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		in := ObserveDelta{Step: int64(step)}
+		id := 0
+		for i := 0; i < n; i++ {
+			id += int(gaps[i]) + 1
+			in.IDs = append(in.IDs, id)
+			in.Vals = append(in.Vals, vals[i])
+		}
+		var out ObserveDelta
+		if err := out.Decode(in.Append(nil)); err != nil {
+			return false
+		}
+		if out.Step != in.Step || len(out.IDs) != len(in.IDs) {
+			return false
+		}
+		for i := range in.IDs {
+			if out.IDs[i] != in.IDs[i] || out.Vals[i] != in.Vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObserveDeltaRejectsNonIncreasing(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-increasing ids")
+		}
+	}()
+	ObserveDelta{IDs: []int{3, 3}, Vals: []int64{1, 2}}.Append(nil)
+}
+
+func TestRoundRoundTrip(t *testing.T) {
+	check := func(tag uint8, r uint16, best int64, bound uint16, step uint32) bool {
+		in := Round{Tag: tag, Round: int(r), Best: best, Bound: int(bound), Step: int64(step)}
+		out, err := DecodeRound(in.Append(nil))
+		return err == nil && out == in
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplyRoundTrip(t *testing.T) {
+	check := func(topViol, outViol bool, ids []uint16, keys []int64) bool {
+		n := len(ids)
+		if len(keys) < n {
+			n = len(keys)
+		}
+		in := Reply{TopViol: topViol, OutViol: outViol}
+		for i := 0; i < n; i++ {
+			in.IDs = append(in.IDs, int(ids[i]))
+			in.Keys = append(in.Keys, keys[i])
+		}
+		var out Reply
+		if err := out.Decode(in.Append(nil)); err != nil {
+			return false
+		}
+		if out.TopViol != topViol || out.OutViol != outViol || len(out.IDs) != n {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if out.IDs[i] != in.IDs[i] || out.Keys[i] != in.Keys[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReplyZeroBids covers the empty-filter-set / no-sender case: a reply
+// carrying flags but not a single bid.
+func TestReplyZeroBids(t *testing.T) {
+	in := Reply{TopViol: true}
+	out := Reply{IDs: []int{9}, Keys: []int64{9}}
+	if err := out.Decode(in.Append(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if !out.TopViol || out.OutViol || len(out.IDs) != 0 || len(out.Keys) != 0 {
+		t.Fatalf("decoded %+v", out)
+	}
+}
+
+func TestReplyExtremeKeys(t *testing.T) {
+	in := Reply{IDs: []int{0, 1 << 30}, Keys: []int64{math.MinInt64, math.MaxInt64}}
+	var out Reply
+	if err := out.Decode(in.Append(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if out.Keys[0] != math.MinInt64 || out.Keys[1] != math.MaxInt64 {
+		t.Fatalf("decoded keys %v", out.Keys)
+	}
+}
+
+func TestWinnerMidpointBidBestPresence(t *testing.T) {
+	w := Winner{Target: 17, IsTop: true}
+	if got, err := DecodeWinner(w.Append(nil)); err != nil || got != w {
+		t.Fatalf("winner: %+v, %v", got, err)
+	}
+	for _, m := range []Midpoint{{Mid: -5}, {Mid: math.MaxInt64}, {Full: true, Mid: 0}} {
+		if got, err := DecodeMidpoint(m.Append(nil)); err != nil || got != m {
+			t.Fatalf("midpoint: %+v, %v", got, err)
+		}
+	}
+	b := Bid{ID: 3, Key: math.MinInt64}
+	if got, err := DecodeBid(b.Append(nil)); err != nil || got != b {
+		t.Fatalf("bid: %+v, %v", got, err)
+	}
+	be := Best{Round: 11, Key: -1}
+	if got, err := DecodeBest(be.Append(nil)); err != nil || got != be {
+		t.Fatalf("best: %+v, %v", got, err)
+	}
+	pr := Presence{ID: 1024}
+	if got, err := DecodePresence(pr.Append(nil)); err != nil || got != pr {
+		t.Fatalf("presence: %+v, %v", got, err)
+	}
+	bo := Bounds{Target: 5, Lo: math.MinInt64, Hi: math.MaxInt64}
+	if got, err := DecodeBounds(bo.Append(nil)); err != nil || got != bo {
+		t.Fatalf("bounds: %+v, %v", got, err)
+	}
+}
+
+func TestBareMessages(t *testing.T) {
+	for _, typ := range []byte{TypeReady, TypeResetBegin, TypeShutdown, TypeQuery} {
+		if err := DecodeBare(AppendBare(nil, typ), typ); err != nil {
+			t.Fatalf("bare 0x%02x: %v", typ, err)
+		}
+	}
+	if err := DecodeBare([]byte{TypeReady, 0x00}, TypeReady); !errors.Is(err, ErrTrailingBytes) {
+		t.Fatalf("trailing: %v", err)
+	}
+	if err := DecodeBare([]byte{TypeReady}, TypeShutdown); !errors.Is(err, ErrUnknownType) {
+		t.Fatalf("wrong type: %v", err)
+	}
+}
+
+// TestTruncatedFrames chops every valid frame at every length and asserts
+// the decoders fail cleanly instead of panicking or succeeding.
+func TestTruncatedFrames(t *testing.T) {
+	frames := [][]byte{
+		Assign{Lo: 2, Hi: 9, N: 16, K: 3, Seed: math.MaxUint64, Distinct: true}.Append(nil),
+		Observe{Step: 5, Vals: []int64{1, -200, math.MaxInt64}}.Append(nil),
+		ObserveDelta{Step: 5, IDs: []int{0, 7}, Vals: []int64{-1, 1 << 40}}.Append(nil),
+		Round{Tag: 2, Round: 3, Best: math.MinInt64, Bound: 100, Step: 9}.Append(nil),
+		Reply{TopViol: true, IDs: []int{1, 300}, Keys: []int64{-7, 7}}.Append(nil),
+		Winner{Target: 300, IsTop: true}.Append(nil),
+		Midpoint{Mid: -123456}.Append(nil),
+		Bid{ID: 5, Key: -9}.Append(nil),
+		Best{Round: 2, Key: 9}.Append(nil),
+		Presence{ID: 99}.Append(nil),
+		Bounds{Target: 3, Lo: -10, Hi: 10}.Append(nil),
+	}
+	for fi, frame := range frames {
+		for cut := 0; cut < len(frame); cut++ {
+			p := frame[:cut]
+			var err error
+			switch {
+			case cut == 0:
+				_, err = MsgType(p)
+			default:
+				err = decodeAny(p)
+			}
+			if err == nil {
+				t.Fatalf("frame %d truncated at %d decoded successfully", fi, cut)
+			}
+		}
+		// The full frame must decode.
+		if err := decodeAny(frame); err != nil {
+			t.Fatalf("frame %d: %v", fi, err)
+		}
+	}
+}
+
+// decodeAny dispatches a frame to its typed decoder, mirroring what a
+// receive loop does.
+func decodeAny(p []byte) error {
+	typ, err := MsgType(p)
+	if err != nil {
+		return err
+	}
+	switch typ {
+	case TypeAssign:
+		_, err = DecodeAssign(p)
+	case TypeObserve:
+		var m Observe
+		err = m.Decode(p)
+	case TypeObserveDelta:
+		var m ObserveDelta
+		err = m.Decode(p)
+	case TypeRound:
+		_, err = DecodeRound(p)
+	case TypeReply:
+		var m Reply
+		err = m.Decode(p)
+	case TypeWinner:
+		_, err = DecodeWinner(p)
+	case TypeMidpoint:
+		_, err = DecodeMidpoint(p)
+	case TypeBid:
+		_, err = DecodeBid(p)
+	case TypeBest:
+		_, err = DecodeBest(p)
+	case TypePresence:
+		_, err = DecodePresence(p)
+	case TypeBounds:
+		_, err = DecodeBounds(p)
+	case TypeReady, TypeResetBegin, TypeShutdown, TypeQuery:
+		err = DecodeBare(p, typ)
+	default:
+		err = ErrUnknownType
+	}
+	return err
+}
+
+// TestSizesMatchEncodings pins every Size helper to the length of the
+// encoding it claims to measure.
+func TestSizesMatchEncodings(t *testing.T) {
+	ids := []int{0, 1, 127, 128, 1 << 20}
+	keys := []int64{0, -1, 1, 63, -64, math.MinInt64, math.MaxInt64}
+	for _, id := range ids {
+		for _, k := range keys {
+			if got, want := SizeBid(id, k), int64(len(Bid{ID: id, Key: k}.Append(nil))); got != want {
+				t.Fatalf("SizeBid(%d, %d) = %d, want %d", id, k, got, want)
+			}
+			if got, want := SizeBest(id, k), int64(len(Best{Round: id, Key: k}.Append(nil))); got != want {
+				t.Fatalf("SizeBest(%d, %d) = %d, want %d", id, k, got, want)
+			}
+		}
+		if got, want := SizePresence(id), int64(len(Presence{ID: id}.Append(nil))); got != want {
+			t.Fatalf("SizePresence(%d) = %d, want %d", id, got, want)
+		}
+	}
+	for _, k := range keys {
+		if got, want := SizeMidpoint(k), int64(len(Midpoint{Mid: k}.Append(nil))); got != want {
+			t.Fatalf("SizeMidpoint(%d) = %d, want %d", k, got, want)
+		}
+		if got, want := SizeBounds(7, k, -k), int64(len(Bounds{Target: 7, Lo: k, Hi: -k}.Append(nil))); got != want {
+			t.Fatalf("SizeBounds(7, %d, %d) = %d, want %d", k, -k, got, want)
+		}
+	}
+	if got := SizeQuery(); got != int64(len(AppendBare(nil, TypeQuery))) {
+		t.Fatalf("SizeQuery() = %d", got)
+	}
+}
+
+// TestMalformedCounts feeds length fields that exceed the frame. The
+// decoders must reject them up front rather than over-allocating.
+func TestMalformedCounts(t *testing.T) {
+	huge := AppendUvarint(nil, math.MaxUint32)
+	obs := append([]byte{TypeObserve, 0x01}, huge...) // step=1, count=2^32-1, no data
+	var o Observe
+	if err := o.Decode(obs); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("observe: %v, want ErrMalformed", err)
+	}
+	rep := append([]byte{TypeReply, 0x00}, huge...)
+	var r Reply
+	if err := r.Decode(rep); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("reply: %v, want ErrMalformed", err)
+	}
+	del := append([]byte{TypeObserveDelta, 0x01}, huge...)
+	var d ObserveDelta
+	if err := d.Decode(del); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("delta: %v, want ErrMalformed", err)
+	}
+}

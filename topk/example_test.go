@@ -33,6 +33,41 @@ func ExampleMonitor() {
 	// [0 1]
 }
 
+// ExampleMonitor_ObserveDelta shows sparse ingestion: after the first
+// (dense) step only the streams that changed are fed in, so a quiet step
+// costs work proportional to the change, not to the fleet size — and a
+// step where nothing moved costs nothing at all.
+func ExampleMonitor_ObserveDelta() {
+	mon, err := topk.New(topk.Config{Nodes: 6, K: 2, Seed: 7})
+	if err != nil {
+		panic(err)
+	}
+	// Dense bootstrap: every node reports its starting value.
+	top, err := mon.Observe([]int64{10, 60, 20, 50, 30, 40})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(top)
+
+	// Only node 4 moves — and it surges past everyone.
+	top, err = mon.ObserveDelta([]int{4}, []int64{99})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(top)
+
+	// A step in which nothing changed is free.
+	top, err = mon.ObserveDelta(nil, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(top)
+	// Output:
+	// [1 3]
+	// [1 4]
+	// [1 4]
+}
+
 // ExampleOracle demonstrates the offline helper with deterministic
 // tie-breaking (equal values: smaller node id wins).
 func ExampleOracle() {

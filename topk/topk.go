@@ -35,11 +35,13 @@
 // Both ingestion methods return a read-only view of the current top-k set
 // that remains valid until the next step; use AppendTop to retain a copy.
 //
-// Two execution engines are available: a fast deterministic sequential
-// engine (default) and a sharded goroutine engine that exchanges batched
-// channel messages, useful for demonstrations of the distributed
-// structure. Both produce identical reports and identical message counts
-// for the same seed.
+// Three execution engines are available: a fast deterministic sequential
+// engine (default), a sharded goroutine engine that exchanges batched
+// channel messages (Config.Concurrent), and a networked engine that
+// drives the wire protocol over a Transport's links so the monitored
+// nodes can live in other processes (Config.Transport; see Loopback and
+// cmd/topkmon's -serve/-join modes). All three produce identical reports,
+// identical message counts and identical charged bytes for the same seed.
 package topk
 
 import (
@@ -48,6 +50,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/core"
+	"repro/internal/netrun"
 	"repro/internal/runtime"
 	"repro/internal/sim"
 )
@@ -108,6 +111,14 @@ type Config struct {
 	// Concurrent selects the sharded concurrent engine. Monitors with
 	// Concurrent set must be Closed to release their goroutines.
 	Concurrent bool
+	// Transport selects the networked engine: the monitor drives the wire
+	// protocol over the transport's links, one peer per link, instead of
+	// an in-process engine. Use Loopback for in-process peers; cmd/topkmon
+	// shows the TCP form. Mutually exclusive with Concurrent; monitors
+	// with a Transport must be Closed to release the peers. New takes
+	// ownership of the Transport: it is closed on any New error (the
+	// links are unusable after a failed handshake) and by Monitor.Close.
+	Transport Transport
 }
 
 // Monitor continuously tracks the top-k positions. Create one with New.
@@ -117,6 +128,7 @@ type Monitor struct {
 	cfg  Config
 	seq  *core.Monitor
 	conc *runtime.Runtime
+	net  *netrun.Engine
 }
 
 // New validates cfg and creates a Monitor.
@@ -127,10 +139,25 @@ func New(cfg Config) (*Monitor, error) {
 	if cfg.K < 1 || cfg.K > cfg.Nodes {
 		return nil, fmt.Errorf("topk: K must satisfy 1 <= K <= Nodes, got K=%d Nodes=%d", cfg.K, cfg.Nodes)
 	}
+	if cfg.Concurrent && cfg.Transport != nil {
+		cfg.Transport.Close()
+		return nil, errors.New("topk: Concurrent and Transport are mutually exclusive")
+	}
 	m := &Monitor{cfg: cfg}
-	if cfg.Concurrent {
+	switch {
+	case cfg.Transport != nil:
+		eng, err := newNetEngine(cfg)
+		if err != nil {
+			// The transport's links are unusable after a failed (or never
+			// attempted) handshake; release them and their serve loops so
+			// a retrying caller does not accumulate goroutines.
+			cfg.Transport.Close()
+			return nil, err
+		}
+		m.net = eng
+	case cfg.Concurrent:
 		m.conc = runtime.New(runtime.Config{N: cfg.Nodes, K: cfg.K, Seed: cfg.Seed, DistinctValues: cfg.DistinctValues})
-	} else {
+	default:
 		m.seq = core.New(core.Config{N: cfg.Nodes, K: cfg.K, Seed: cfg.Seed, DistinctValues: cfg.DistinctValues})
 	}
 	return m, nil
@@ -146,13 +173,16 @@ func (m *Monitor) Observe(vals []int64) ([]int, error) {
 	if len(vals) != m.cfg.Nodes {
 		return nil, fmt.Errorf("topk: observed %d values for %d nodes", len(vals), m.cfg.Nodes)
 	}
-	if m.seq == nil && m.conc == nil {
+	switch {
+	case m.seq != nil:
+		return m.seq.Observe(vals), nil
+	case m.conc != nil:
+		return m.conc.Observe(vals), nil
+	case m.net != nil:
+		return m.net.Observe(vals), nil
+	default:
 		return nil, errors.New("topk: monitor is closed")
 	}
-	if m.seq != nil {
-		return m.seq.Observe(vals), nil
-	}
-	return m.conc.Observe(vals), nil
 }
 
 // ObserveDelta feeds one time step in which only the streams listed in ids
@@ -175,13 +205,16 @@ func (m *Monitor) ObserveDelta(ids []int, vals []int64) ([]int, error) {
 		}
 		prev = id
 	}
-	if m.seq == nil && m.conc == nil {
+	switch {
+	case m.seq != nil:
+		return m.seq.ObserveDelta(ids, vals), nil
+	case m.conc != nil:
+		return m.conc.ObserveDelta(ids, vals), nil
+	case m.net != nil:
+		return m.net.ObserveDelta(ids, vals), nil
+	default:
 		return nil, errors.New("topk: monitor is closed")
 	}
-	if m.seq != nil {
-		return m.seq.ObserveDelta(ids, vals), nil
-	}
-	return m.conc.ObserveDelta(ids, vals), nil
 }
 
 // Top returns the most recently reported top-k ids without consuming a
@@ -193,6 +226,8 @@ func (m *Monitor) Top() []int {
 		return m.seq.Top()
 	case m.conc != nil:
 		return m.conc.Top()
+	case m.net != nil:
+		return m.net.Top()
 	default:
 		return nil
 	}
@@ -207,6 +242,8 @@ func (m *Monitor) AppendTop(dst []int) []int {
 		return m.seq.AppendTop(dst)
 	case m.conc != nil:
 		return m.conc.AppendTop(dst)
+	case m.net != nil:
+		return m.net.AppendTop(dst)
 	default:
 		return dst
 	}
@@ -220,6 +257,8 @@ func (m *Monitor) Counts() Counts {
 		c = m.seq.Counts()
 	case m.conc != nil:
 		c = m.conc.Counts()
+	case m.net != nil:
+		c = m.net.Counts()
 	}
 	return Counts{Up: c.Up, Down: c.Down, Broadcast: c.Bcast}
 }
@@ -232,6 +271,8 @@ func (m *Monitor) Phases() PhaseCounts {
 		led = m.seq.Ledger()
 	case m.conc != nil:
 		led = m.conc.Ledger()
+	case m.net != nil:
+		led = m.net.Ledger()
 	default:
 		return PhaseCounts{}
 	}
@@ -243,9 +284,85 @@ func (m *Monitor) Phases() PhaseCounts {
 	}
 }
 
-// Stats returns behavioural counters. The concurrent engine tracks only
-// message counts; its Stats reports zero values except Steps, which both
-// engines track through Observe.
+// Bytes reports the encoded size of the charged messages, by kind. Every
+// counted message has a canonical wire encoding (a bid carries a node id
+// and a key, a broadcast carries a round number or filter bound and a
+// key); Bytes sums those exact encoded lengths, which is the quantity the
+// paper's Theorem 4.2 bounds per Top-k change. All engines report
+// identical Bytes for the same seed; the networked engine's additional
+// framing overhead appears in TransportStats instead.
+type Bytes struct {
+	// Up counts node-to-coordinator bytes.
+	Up int64
+	// Down counts coordinator-to-single-node bytes.
+	Down int64
+	// Broadcast counts coordinator broadcast bytes.
+	Broadcast int64
+}
+
+// Total returns the overall charged byte volume.
+func (b Bytes) Total() int64 { return b.Up + b.Down + b.Broadcast }
+
+// PhaseBytes breaks the charged bytes down by algorithm phase, mirroring
+// PhaseCounts.
+type PhaseBytes struct {
+	Violation Bytes
+	Handler   Bytes
+	Reset     Bytes
+}
+
+// Bytes returns the total charged model bytes exchanged so far.
+func (m *Monitor) Bytes() Bytes {
+	var b comm.Bytes
+	switch {
+	case m.seq != nil:
+		b = m.seq.Ledger().TotalBytes()
+	case m.conc != nil:
+		b = m.conc.Ledger().TotalBytes()
+	case m.net != nil:
+		b = m.net.Ledger().TotalBytes()
+	}
+	return Bytes{Up: b.Up, Down: b.Down, Broadcast: b.Bcast}
+}
+
+// BytesByPhase returns the per-phase charged byte breakdown.
+func (m *Monitor) BytesByPhase() PhaseBytes {
+	var led *comm.Ledger
+	switch {
+	case m.seq != nil:
+		led = m.seq.Ledger()
+	case m.conc != nil:
+		led = m.conc.Ledger()
+	case m.net != nil:
+		led = m.net.Ledger()
+	default:
+		return PhaseBytes{}
+	}
+	conv := func(b comm.Bytes) Bytes { return Bytes{Up: b.Up, Down: b.Down, Broadcast: b.Bcast} }
+	return PhaseBytes{
+		Violation: conv(led.PhaseBytes(comm.PhaseViolation)),
+		Handler:   conv(led.PhaseBytes(comm.PhaseHandler)),
+		Reset:     conv(led.PhaseBytes(comm.PhaseReset)),
+	}
+}
+
+// TransportStats returns the frames and framed bytes that crossed the
+// links of a networked monitor, control plane included. The in-process
+// engines report the zero value.
+func (m *Monitor) TransportStats() TransportStats {
+	if m.net == nil {
+		return TransportStats{}
+	}
+	s := m.net.TransportStats()
+	return TransportStats{
+		SentFrames: s.SentFrames, SentBytes: s.SentBytes,
+		RecvFrames: s.RecvFrames, RecvBytes: s.RecvBytes,
+	}
+}
+
+// Stats returns behavioural counters. Only the sequential engine tracks
+// them; the concurrent and networked engines report the zero value (use
+// Counts, Bytes and Phases, which all engines maintain identically).
 func (m *Monitor) Stats() Stats {
 	if m.seq != nil {
 		s := m.seq.Stats()
@@ -254,13 +371,20 @@ func (m *Monitor) Stats() Stats {
 	return Stats{}
 }
 
-// Close releases the goroutines of a concurrent monitor. It is a no-op
-// for the sequential engine and idempotent everywhere. The monitor cannot
-// observe after Close.
+// Close releases the goroutines of a concurrent monitor and the peers of
+// a networked one. It is a no-op for the sequential engine and idempotent
+// everywhere. The monitor cannot observe after Close.
 func (m *Monitor) Close() {
 	if m.conc != nil {
 		m.conc.Close()
 		m.conc = nil
+	}
+	if m.net != nil {
+		m.net.Close()
+		m.net = nil
+		if m.cfg.Transport != nil {
+			m.cfg.Transport.Close()
+		}
 	}
 	m.seq = nil
 }

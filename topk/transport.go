@@ -1,0 +1,98 @@
+package topk
+
+import (
+	"fmt"
+
+	"repro/internal/netrun"
+	"repro/internal/transport"
+)
+
+// Link is one reliable, ordered, message-framed duplex connection to a
+// peer process hosting a range of the monitored nodes. It mirrors the
+// internal transport abstraction so external callers can plug in their
+// own substrate; internal/transport's TCP and pipe links satisfy it.
+type Link interface {
+	// Send frames and transmits one payload; the payload is not retained.
+	Send(payload []byte) error
+	// Recv blocks for the next frame. The returned slice may alias an
+	// internal buffer valid only until the next Recv.
+	Recv() ([]byte, error)
+	// Close tears the link down. Idempotent.
+	Close() error
+}
+
+// Transport supplies the networked engine its coordinator-side links, one
+// per peer. The far end of every link must be running the node-host serve
+// loop (a process started with `topkmon -join`, or the in-process hosts a
+// Loopback transport spawns); the engine performs its join handshake over
+// each link when the Monitor is created.
+type Transport interface {
+	// Links returns the coordinator-side links in peer order; peer i
+	// hosts the i-th contiguous node range.
+	Links() []Link
+	// Close releases any resources the transport owns. Links the engine
+	// uses are closed by the Monitor itself.
+	Close() error
+}
+
+// TransportStats aggregates what actually crossed the links of a
+// networked monitor: whole frames as framed on the transport, control
+// plane included. Compare with Bytes, which charges only the model
+// messages the paper's analysis counts. Both in-process engines report
+// zero.
+type TransportStats struct {
+	SentFrames int64
+	SentBytes  int64
+	RecvFrames int64
+	RecvBytes  int64
+}
+
+// Loopback returns an in-process Transport with the given number of
+// peers: each link's far end is a node-host goroutine, so a Monitor
+// created over it exercises the full wire protocol without sockets. It is
+// the easiest way to try the networked engine:
+//
+//	mon, err := topk.New(topk.Config{Nodes: 64, K: 4, Transport: topk.Loopback(4)})
+//
+// Peers must satisfy 1 <= peers <= Nodes at New time.
+func Loopback(peers int) Transport {
+	if peers < 1 {
+		panic("topk: Loopback needs at least one peer")
+	}
+	lb := &loopback{}
+	for _, l := range netrun.LoopbackLinks(peers) {
+		lb.links = append(lb.links, l)
+	}
+	return lb
+}
+
+type loopback struct {
+	links []Link
+}
+
+func (l *loopback) Links() []Link { return l.links }
+
+func (l *loopback) Close() error {
+	for _, lk := range l.links {
+		lk.Close()
+	}
+	return nil
+}
+
+// newNetEngine adapts the public Transport to the internal engine.
+func newNetEngine(cfg Config) (*netrun.Engine, error) {
+	links := cfg.Transport.Links()
+	if len(links) == 0 || len(links) > cfg.Nodes {
+		return nil, fmt.Errorf("topk: transport must supply 1..Nodes links, got %d for %d nodes", len(links), cfg.Nodes)
+	}
+	internal := make([]transport.Link, len(links))
+	for i, l := range links {
+		internal[i] = l // method sets match; Stats is optional and probed dynamically
+	}
+	return netrun.New(netrun.Config{
+		N:              cfg.Nodes,
+		K:              cfg.K,
+		Seed:           cfg.Seed,
+		DistinctValues: cfg.DistinctValues,
+	}, internal)
+}

@@ -1,0 +1,91 @@
+package topk_test
+
+import (
+	"testing"
+
+	"repro/topk"
+)
+
+// TestTransportEngineEquivalence drives the public networked engine (over
+// an in-process loopback transport) against the default sequential engine
+// and requires identical reports, counts and charged bytes.
+func TestTransportEngineEquivalence(t *testing.T) {
+	const n, k, seed, steps = 12, 3, 77, 150
+	seq, err := topk.New(topk.Config{Nodes: n, K: k, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := topk.New(topk.Config{Nodes: n, K: k, Seed: seed, Transport: topk.Loopback(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+
+	vals := make([]int64, n)
+	for s := 0; s < steps; s++ {
+		for i := range vals {
+			// A deterministic little churn pattern with rank swaps.
+			vals[i] = int64((i*37+s*13)%200) * int64(1+i%3)
+		}
+		a, err := seq.Observe(vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := net.Observe(vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("step %d: reports differ: %v vs %v", s, a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("step %d: reports differ: %v vs %v", s, a, b)
+			}
+		}
+	}
+	if ca, cb := seq.Counts(), net.Counts(); ca != cb {
+		t.Fatalf("counts differ: seq=%+v net=%+v", ca, cb)
+	}
+	if ba, bb := seq.Bytes(), net.Bytes(); ba != bb || ba.Total() == 0 {
+		t.Fatalf("bytes differ or empty: seq=%+v net=%+v", ba, bb)
+	}
+	if pa, pb := seq.BytesByPhase(), net.BytesByPhase(); pa != pb {
+		t.Fatalf("phase bytes differ: seq=%+v net=%+v", pa, pb)
+	}
+	if ts := net.TransportStats(); ts.SentFrames == 0 || ts.RecvBytes == 0 {
+		t.Fatalf("transport stats empty: %+v", ts)
+	}
+	if ts := seq.TransportStats(); ts != (topk.TransportStats{}) {
+		t.Fatalf("sequential engine reported transport traffic: %+v", ts)
+	}
+}
+
+func TestTransportConfigValidation(t *testing.T) {
+	tr := topk.Loopback(2)
+	defer tr.Close()
+	if _, err := topk.New(topk.Config{Nodes: 4, K: 2, Concurrent: true, Transport: tr}); err == nil {
+		t.Fatal("Concurrent+Transport accepted")
+	}
+	// More links than nodes cannot all host a node.
+	tr3 := topk.Loopback(3)
+	defer tr3.Close()
+	if _, err := topk.New(topk.Config{Nodes: 2, K: 1, Transport: tr3}); err == nil {
+		t.Fatal("3 peers for 2 nodes accepted")
+	}
+}
+
+func TestTransportMonitorClose(t *testing.T) {
+	net, err := topk.New(topk.Config{Nodes: 6, K: 2, Seed: 5, Transport: topk.Loopback(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Observe([]int64{6, 5, 4, 3, 2, 1}); err != nil {
+		t.Fatal(err)
+	}
+	net.Close()
+	net.Close() // idempotent
+	if _, err := net.Observe([]int64{6, 5, 4, 3, 2, 1}); err == nil {
+		t.Fatal("observe after close succeeded")
+	}
+}
