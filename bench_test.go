@@ -16,6 +16,7 @@ import (
 	"repro/internal/protocol"
 	"repro/internal/rng"
 	"repro/internal/runtime"
+	"repro/internal/shardrun"
 	"repro/internal/stream"
 )
 
@@ -169,6 +170,41 @@ func BenchmarkRuntimeStep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		src.Step(vals)
 		rt.Observe(vals)
+	}
+}
+
+// BenchmarkShardOverhead measures the multi-coordinator engine across
+// shard counts S and node counts n on a random-walk workload, reporting
+// the coordination cost next to the wall clock: model messages per step
+// (the algorithm ledger, which grows with S because every shard pays its
+// own protocol rounds) and root↔shard coordination frames and bytes per
+// step (the overhead ledger). This is the experiment seeding the
+// overhead-vs-S trajectory (EXPERIMENTS.md E18); CI runs it at
+// -benchtime=1x and archives the output as BENCH_shard.json.
+func BenchmarkShardOverhead(b *testing.B) {
+	const steps = 200
+	for _, n := range []int{256, 1024} {
+		for _, shards := range []int{1, 2, 4, 8} {
+			b.Run(bench.F("n=%d/S=%d", n, shards), func(b *testing.B) {
+				vals := make([]int64, n)
+				var msgs, frames, obytes int64
+				for i := 0; i < b.N; i++ {
+					eng := shardrun.NewLoopback(shardrun.Config{N: n, K: 8, Seed: 7}, shards)
+					src := stream.NewRandomWalk(stream.WalkConfig{N: n, Lo: 0, Hi: 1 << 24, MaxStep: 1 << 12, Seed: 11})
+					for s := 0; s < steps; s++ {
+						src.Step(vals)
+						eng.Observe(vals)
+					}
+					msgs = eng.Counts().Total()
+					frames = eng.Overhead().Total()
+					obytes = eng.OverheadBytes().Total()
+					eng.Close()
+				}
+				b.ReportMetric(float64(msgs)/steps, "msgs/step")
+				b.ReportMetric(float64(frames)/steps, "coord-frames/step")
+				b.ReportMetric(float64(obytes)/steps, "coord-B/step")
+			})
+		}
 	}
 }
 

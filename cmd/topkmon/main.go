@@ -14,6 +14,7 @@
 //	topkmon -trace trace.csv -k 2 -engine conc
 //	topkmon -n 16 -k 2 -compare
 //	topkmon -n 64 -k 4 -engine net -peers 4
+//	topkmon -n 256 -k 8 -shards 4
 //
 // Two-process demo (run the joins in separate terminals or machines; the
 // coordinator waits for all peers before streaming the workload):
@@ -36,6 +37,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/netrun"
 	"repro/internal/runtime"
+	"repro/internal/shardrun"
 	"repro/internal/sim"
 	"repro/internal/stream"
 	"repro/internal/transport"
@@ -54,6 +56,7 @@ func main() {
 		traceIn  = flag.String("trace", "", "CSV trace file to replay instead of a synthetic workload")
 		engine   = flag.String("engine", "seq", "seq (sequential) | conc (sharded concurrent) | net (wire protocol over loopback links)")
 		peers    = flag.Int("peers", 4, "peer count: node hosts for -engine net, expected -join connections for -serve")
+		shards   = flag.Int("shards", 0, "split the coordinator into this many sub-coordinators with a root merge layer (0 = single coordinator)")
 		serve    = flag.String("serve", "", "run as TCP coordinator on this address and wait for -peers joins")
 		join     = flag.String("join", "", "run as TCP node host: dial this coordinator address and serve until shutdown")
 		opt      = flag.Bool("opt", false, "compute offline OPT segments and the competitive ratio")
@@ -87,6 +90,20 @@ func main() {
 	var alg sim.Algorithm
 	name := "algorithm1(" + *engine + ")"
 	switch {
+	case *shards > 0:
+		if *ordered {
+			log.Fatal("-ordered is not supported by the sharded engine yet")
+		}
+		if *engine != "seq" {
+			log.Fatalf("-shards runs its own engine; drop -engine %s", *engine)
+		}
+		if *shards > nn {
+			log.Fatalf("-shards must be in [1, n], got %d for n=%d", *shards, nn)
+		}
+		se := shardrun.NewLoopback(shardrun.Config{N: nn, K: *k, Seed: *seed + 1}, *shards)
+		defer se.Close()
+		alg = se
+		name = fmt.Sprintf("algorithm1(shard×%d)", *shards)
 	case *ordered && *engine == "seq":
 		alg = core.NewOrdered(core.Config{N: nn, K: *k, Seed: *seed + 1})
 		name = "ordered(seq)"
@@ -123,6 +140,7 @@ func main() {
 	}
 	rep := sim.Run(alg, stream.NewTraceSource(matrix), cfg)
 	fmt.Println(sim.Describe(name, rep))
+	checkEngineErr(alg)
 	if rep.Errors > 0 {
 		log.Fatalf("oracle mismatches: %d (this is a bug)", rep.Errors)
 	}
@@ -141,6 +159,12 @@ func main() {
 	if ne, ok := alg.(*netrun.Engine); ok {
 		printTransport(ne.TransportStats(), ne.Peers())
 	}
+	if se, ok := alg.(*shardrun.Engine); ok {
+		oc, ob := se.Overhead(), se.OverheadBytes()
+		fmt.Printf("shard coordination overhead (%d shards): %d frames (%d down / %d up), %d bytes\n",
+			se.Shards(), oc.Total(), oc.Down, oc.Up, ob.Total())
+		printTransport(se.TransportStats(), se.Shards())
+	}
 
 	if *compare {
 		fmt.Println()
@@ -158,6 +182,15 @@ func main() {
 			r := sim.Run(b.alg, stream.NewTraceSource(matrix), cfg)
 			fmt.Println(sim.Describe(b.name, r))
 		}
+	}
+}
+
+// checkEngineErr aborts when a link-backed engine wedged on a dead peer
+// mid-run: its remaining reports were the frozen last-good set, so the
+// ledgers and reports above it are not a completed run.
+func checkEngineErr(alg sim.Algorithm) {
+	if fe, ok := alg.(interface{ Err() error }); ok && fe.Err() != nil {
+		log.Fatalf("engine failed mid-run (reports froze at the last good step): %v", fe.Err())
 	}
 }
 
@@ -206,6 +239,7 @@ func runServe(addr string, peers, n, k int, seed uint64, matrix [][]int64) {
 
 	rep := sim.Run(eng, stream.NewTraceSource(matrix), sim.Config{Steps: len(matrix), K: k, CheckEvery: 1})
 	fmt.Println(sim.Describe("algorithm1(tcp)", rep))
+	checkEngineErr(eng)
 	if rep.Errors > 0 {
 		log.Fatalf("oracle mismatches: %d (this is a bug)", rep.Errors)
 	}

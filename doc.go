@@ -7,10 +7,11 @@
 // The public API lives in the repro/topk package. Internal packages hold
 // the model substrates (communication accounting, filters, ordered keys,
 // protocols, the wire codec and transports, stream generators, baselines,
-// the three execution engines, and the experiment harness); see DESIGN.md
-// for the full inventory and EXPERIMENTS.md for the paper-vs-measured
-// record. The benchmarks in this directory regenerate every experiment at
-// reduced scale; cmd/experiments runs them at full scale.
+// the sans-I/O coordinator core and the four execution engines that drive
+// it, and the experiment harness); see DESIGN.md for the full inventory
+// and EXPERIMENTS.md for the paper-vs-measured record. The benchmarks in
+// this directory regenerate every experiment at reduced scale;
+// cmd/experiments runs them at full scale.
 //
 // # Sparse ingestion and the zero-allocation hot path
 //
@@ -39,4 +40,17 @@
 // bounds) next to message counts; the transport separately reports the
 // framed volume that actually crossed each link. DESIGN.md documents the
 // split.
+//
+// # One coordinator core, four substrates
+//
+// Algorithm 1's coordinator-side decision logic exists exactly once, as
+// the sans-I/O state machine of internal/coord: engines feed it events
+// and execute its effects over their own substrate (direct calls in
+// internal/core, batched shard channels in internal/runtime, wire frames
+// in internal/netrun, delegated shard executions in internal/shardrun).
+// The fourth engine shards the coordinator itself — topk.Config.Shards
+// or topkmon -shards splits the node space across S sub-coordinators
+// under a root merge layer, report-exact at any S and bit-identical to
+// the sequential engine at S=1, with the root-to-shard coordination cost
+// ledgered separately (EXPERIMENTS.md E18).
 package repro

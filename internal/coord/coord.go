@@ -1,0 +1,470 @@
+// Package coord is the sans-I/O core of Algorithm 1: the coordinator's
+// decision logic — filter-violation handling, T+/T− tightening, midpoint
+// broadcasts and FILTERRESET — as a pure state machine that consumes
+// events and emits effects, with no knowledge of goroutines, channels or
+// links.
+//
+// Every execution engine in the repository is a thin adapter that drives
+// one Machine over its substrate:
+//
+//   - internal/core executes effects by direct calls on monitor-owned
+//     node state (protocol executions via internal/protocol),
+//   - internal/runtime ships them as batched commands to shard goroutines,
+//   - internal/netrun encodes them as internal/wire frames on
+//     transport.Links,
+//   - internal/shardrun delegates whole protocol executions to per-shard
+//     sub-coordinators and merges their digests.
+//
+// The Machine owns the message ledger: it charges the midpoint broadcasts
+// itself and hands adapters phase-scoped recorders for the protocol
+// traffic they deliver, so all engines produce bit-identical counts and
+// bytes for the same seed by construction.
+//
+// # Event/effect protocol
+//
+// One observation step is processed as
+//
+//	step := m.BeginStep()
+//	// substrate: deliver observations, collect filter-violation flags
+//	eff := m.FinishStep(anyTopViol, anyOutViol)
+//	for eff.Kind != coord.EffDone {
+//	    switch eff.Kind {
+//	    case coord.EffExec:        // run one min/max protocol over the
+//	        res := ...             // cohort eff.Tag with bound eff.Bound,
+//	        eff = m.ExecDone(res)  // charging to m.Recorder(eff.Phase)
+//	    case coord.EffResetBegin:  // clear extraction state on all nodes
+//	        eff = m.Ack()
+//	    case coord.EffWinner:      // tell node eff.Target it was extracted
+//	        eff = m.Ack()          // (eff.IsTop: it joins the top set)
+//	    case coord.EffMidpoint:    // install filters around eff.Mid
+//	        eff = m.Ack()          // (eff.Full: [-inf, +inf], k == n)
+//	    }
+//	}
+//	report := m.Top()
+//
+// Exactly one event answers each effect; the Machine panics on protocol
+// misuse. Effects are emitted in the deterministic order Algorithm 1
+// prescribes, which is what keeps the engines' randomness consumption
+// identical.
+package coord
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/order"
+	"repro/internal/wire"
+)
+
+// Protocol cohort tags. A tag names the node population of one protocol
+// execution; membership is evaluated node-locally (see Nodes). The values
+// are stable and ride verbatim in wire.Round.Tag.
+const (
+	// TagViolMin: former top-k nodes whose filter broke this step run
+	// MINIMUMPROTOCOL (Algorithm 1 line 5).
+	TagViolMin uint8 = iota
+	// TagViolMax: violating outsiders run MAXIMUMPROTOCOL (line 7).
+	TagViolMax
+	// TagHandMin: all current top-k nodes, minimum (line 25).
+	TagHandMin
+	// TagHandMax: all current outsiders, maximum (line 23).
+	TagHandMax
+	// TagReset: all not-yet-extracted nodes, maximum (lines 37-39).
+	TagReset
+)
+
+// MinimumTag reports whether the tag's protocol computes a minimum (the
+// order-dual execution over negated keys).
+func MinimumTag(t uint8) bool { return t == TagViolMin || t == TagHandMin }
+
+// EffectKind enumerates what a Machine can ask its adapter to do.
+type EffectKind uint8
+
+const (
+	// EffDone: the step is fully processed; the report is available via
+	// Top. Not answered by an event.
+	EffDone EffectKind = iota
+	// EffExec: run one protocol execution over cohort Tag with population
+	// bound Bound, charging Up/Bcast traffic to Recorder(Phase), and
+	// answer with ExecDone.
+	EffExec
+	// EffResetBegin: clear every node's extraction state and membership
+	// flag ahead of a FILTERRESET. Answer with Ack.
+	EffResetBegin
+	// EffWinner: notify node Target that it won the current extraction and
+	// whether it joins the top-k set (IsTop). Key carries the winning key
+	// for adapters that track revealed values (the ordered variant); the
+	// node itself only needs Target/IsTop. Answer with Ack.
+	EffWinner
+	// EffMidpoint: have every node re-anchor its filter on Mid (top-k
+	// nodes install [Mid, +inf], outsiders [-inf, Mid]); Full installs
+	// [-inf, +inf] everywhere (the k == n degenerate case). The broadcast
+	// is already charged. Answer with Ack.
+	EffMidpoint
+)
+
+// Effect is one instruction from the Machine to its adapter. Fields are
+// meaningful per Kind; see the EffectKind constants.
+type Effect struct {
+	Kind  EffectKind
+	Tag   uint8      // EffExec: cohort
+	Bound int        // EffExec: population bound of the execution
+	Phase comm.Phase // EffExec: ledger phase protocol traffic charges to
+
+	Target int       // EffWinner: extracted node id
+	IsTop  bool      // EffWinner: winner joins the top-k set
+	Key    order.Key // EffWinner: the winning key
+
+	Mid  order.Key // EffMidpoint: filter bound
+	Full bool      // EffMidpoint: install [-inf, +inf] (k == n)
+}
+
+// Stats exposes counters describing a Machine's execution so far. All
+// engines report them identically for the same seed.
+type Stats struct {
+	Steps          int64 // observation steps processed
+	ViolationSteps int64 // steps in which at least one filter was violated
+	HandlerCalls   int64 // FILTERVIOLATIONHANDLER executions
+	Resets         int64 // FILTERRESET executions (including initialization)
+	// TopChanges counts steps whose reported set differed from the
+	// previous step's, including the initial transition from the empty
+	// pre-observation state to the first report.
+	TopChanges int64
+}
+
+// Config parameterizes a Machine.
+type Config struct {
+	// N is the number of nodes, K the size of the monitored top set
+	// (1 <= K <= N).
+	N, K int
+}
+
+// machState is the continuation point of the Machine between events.
+type machState uint8
+
+const (
+	stIdle       machState = iota // between steps
+	stObserving                   // BeginStep issued, FinishStep pending
+	stViolMin                     // awaiting ExecDone of TagViolMin
+	stViolMax                     // awaiting ExecDone of TagViolMax
+	stHandMin                     // awaiting ExecDone of TagHandMin
+	stHandMax                     // awaiting ExecDone of TagHandMax
+	stMidAck                      // awaiting Ack of a midpoint install
+	stResetBegin                  // awaiting Ack of EffResetBegin
+	stResetExec                   // awaiting ExecDone of TagReset
+	stResetWin                    // awaiting Ack of EffWinner
+)
+
+// Machine is the sans-I/O coordinator. Create with New; it is not safe
+// for concurrent use (the model's time steps are globally ordered).
+type Machine struct {
+	cfg Config
+	led comm.Ledger
+
+	// Pre-built phase recorders (constructing one per charge would box an
+	// interface value on the heap).
+	recViol  comm.Recorder
+	recHand  comm.Recorder
+	recReset comm.Recorder
+
+	inTop []bool // current membership, by node id
+	top   []int  // current membership, ascending; alias returned by Top
+	tmp   []int  // scratch for membership rebuilds (swapped with top)
+
+	keys []order.Key // reset extraction keys, in extraction order
+
+	tPlus  order.Key // T+(t0, t): min over top-k values since last reset
+	tMinus order.Key // T−(t0, t): max over outside values since last reset
+
+	step  int64
+	init  bool
+	stats Stats
+
+	state    machState
+	minKey   order.Key
+	maxKey   order.Key
+	minOK    bool
+	maxOK    bool
+	anyOut   bool
+	resetIdx int
+	want     int       // number of reset extractions (min(K+1, N))
+	winID    int       // pending extraction winner
+	winKey   order.Key //
+	winTop   bool      //
+}
+
+// New validates the configuration and returns an idle Machine.
+func New(cfg Config) *Machine {
+	if cfg.N <= 0 {
+		panic("coord: need N > 0")
+	}
+	if cfg.K < 1 || cfg.K > cfg.N {
+		panic("coord: need 1 <= K <= N")
+	}
+	m := &Machine{
+		cfg:   cfg,
+		inTop: make([]bool, cfg.N),
+		top:   make([]int, 0, cfg.K),
+		tmp:   make([]int, 0, cfg.K),
+		keys:  make([]order.Key, 0, cfg.K+1),
+	}
+	m.recViol = m.led.InPhase(comm.PhaseViolation)
+	m.recHand = m.led.InPhase(comm.PhaseHandler)
+	m.recReset = m.led.InPhase(comm.PhaseReset)
+	return m
+}
+
+// N returns the node count.
+func (m *Machine) N() int { return m.cfg.N }
+
+// K returns the monitored top set size.
+func (m *Machine) K() int { return m.cfg.K }
+
+// Step returns the current observation step (0 before the first
+// BeginStep).
+func (m *Machine) Step() int64 { return m.step }
+
+// Stats returns execution counters.
+func (m *Machine) Stats() Stats { return m.stats }
+
+// Ledger returns the machine's message ledger (total and per-phase).
+func (m *Machine) Ledger() *comm.Ledger { return &m.led }
+
+// Counts returns the total message counts charged so far.
+func (m *Machine) Counts() comm.Counts { return m.led.Total() }
+
+// Bytes returns the total encoded size of the charged messages.
+func (m *Machine) Bytes() comm.Bytes { return m.led.TotalBytes() }
+
+// Recorder returns the pre-built recorder attributing to phase p — the
+// recorder adapters charge protocol traffic to when executing EffExec.
+func (m *Machine) Recorder(p comm.Phase) comm.Recorder {
+	switch p {
+	case comm.PhaseViolation:
+		return m.recViol
+	case comm.PhaseHandler:
+		return m.recHand
+	case comm.PhaseReset:
+		return m.recReset
+	default:
+		panic("coord: unknown phase")
+	}
+}
+
+// InTop reports whether node id is in the current top-k set.
+func (m *Machine) InTop(id int) bool { return m.inTop[id] }
+
+// Top returns the current top-k ids ascending. The slice is a read-only
+// view owned by the machine: it stays valid (reporting the last completed
+// membership) while a step is in flight and is invalidated by the
+// completion of a step that changes the top set. Use AppendTop to copy.
+func (m *Machine) Top() []int { return m.top }
+
+// AppendTop appends the current top-k ids (ascending) to dst and returns
+// the extended slice. The appended values are copies; mutating them never
+// affects the machine.
+func (m *Machine) AppendTop(dst []int) []int { return append(dst, m.top...) }
+
+// BeginStep starts one observation step and returns its step number, the
+// value adapters stamp observation commands with (node-side violation
+// cohorts are selected per step).
+func (m *Machine) BeginStep() int64 {
+	if m.state != stIdle {
+		panic("coord: BeginStep with a step in flight")
+	}
+	m.state = stObserving
+	m.step++
+	m.stats.Steps++
+	return m.step
+}
+
+// FinishStep delivers the aggregated node-side filter-check outcome of the
+// step begun by BeginStep — whether any former top-k node and whether any
+// outsider violated — and returns the first effect to execute.
+func (m *Machine) FinishStep(anyTopViol, anyOutViol bool) Effect {
+	if m.state != stObserving {
+		panic("coord: FinishStep without BeginStep")
+	}
+	if !m.init {
+		// The paper's time-0 initialization: a full FILTERRESET.
+		m.init = true
+		return m.startReset()
+	}
+	if !anyTopViol && !anyOutViol {
+		m.state = stIdle
+		return Effect{Kind: EffDone}
+	}
+	m.stats.ViolationSteps++
+	m.minOK, m.maxOK = false, false
+	m.minKey, m.maxKey = order.NegInf, order.NegInf
+	m.anyOut = anyOutViol
+	if anyTopViol {
+		m.state = stViolMin
+		return Effect{Kind: EffExec, Tag: TagViolMin, Bound: m.cfg.K, Phase: comm.PhaseViolation}
+	}
+	return m.startViolMax()
+}
+
+// startViolMax continues the violation phase with the outsider maximum (or
+// straight into the handler when no outsider violated).
+func (m *Machine) startViolMax() Effect {
+	if m.anyOut {
+		m.state = stViolMax
+		return Effect{Kind: EffExec, Tag: TagViolMax, Bound: m.cfg.N - m.cfg.K, Phase: comm.PhaseViolation}
+	}
+	return m.startHandler()
+}
+
+// startHandler is FILTERVIOLATIONHANDLER's missing-side protocol
+// (Algorithm 1 lines 22-25).
+func (m *Machine) startHandler() Effect {
+	m.stats.HandlerCalls++
+	if !m.maxOK {
+		m.state = stHandMax
+		return Effect{Kind: EffExec, Tag: TagHandMax, Bound: m.cfg.N - m.cfg.K, Phase: comm.PhaseHandler}
+	}
+	m.state = stHandMin
+	return Effect{Kind: EffExec, Tag: TagHandMin, Bound: m.cfg.K, Phase: comm.PhaseHandler}
+}
+
+// tighten applies lines 27-33: update T+/T− with the learned extrema, then
+// either reset or broadcast a fresh midpoint.
+func (m *Machine) tighten() Effect {
+	if m.minOK {
+		m.tPlus = order.Min(m.tPlus, m.minKey)
+	}
+	if m.maxOK {
+		m.tMinus = order.Max(m.tMinus, m.maxKey)
+	}
+	if m.tPlus < m.tMinus {
+		return m.startReset() // line 30
+	}
+	mid := order.Midpoint(m.tMinus, m.tPlus)
+	comm.RecordSized(m.recHand, comm.Bcast, 1, wire.SizeMidpoint(int64(mid)))
+	m.state = stMidAck
+	return Effect{Kind: EffMidpoint, Mid: mid}
+}
+
+// startReset begins FILTERRESET (lines 36-42).
+func (m *Machine) startReset() Effect {
+	m.stats.Resets++
+	m.state = stResetBegin
+	return Effect{Kind: EffResetBegin}
+}
+
+// nextExtraction issues the next reset extraction, or finishes the reset
+// once k+1 winners are known.
+func (m *Machine) nextExtraction() Effect {
+	if m.resetIdx < m.want {
+		m.state = stResetExec
+		return Effect{Kind: EffExec, Tag: TagReset, Bound: m.cfg.N, Phase: comm.PhaseReset}
+	}
+	return m.finishReset()
+}
+
+// finishReset installs the new membership and filters from the extraction
+// results.
+func (m *Machine) finishReset() Effect {
+	// Rebuild the reported set, tracking whether it changed.
+	m.tmp = m.tmp[:0]
+	for id, in := range m.inTop {
+		if in {
+			m.tmp = append(m.tmp, id)
+		}
+	}
+	if !intsEqual(m.tmp, m.top) {
+		m.stats.TopChanges++
+	}
+	m.top, m.tmp = m.tmp, m.top
+
+	if m.cfg.K == m.cfg.N {
+		// Degenerate case: every node is in the top set; filters are
+		// unconstrained and the monitor never communicates again. The
+		// install broadcast is free — membership never changes.
+		m.tPlus = m.keys[len(m.keys)-1]
+		m.tMinus = order.NegInf
+		m.state = stMidAck
+		return Effect{Kind: EffMidpoint, Full: true}
+	}
+	kth, kPlus1 := m.keys[m.cfg.K-1], m.keys[m.cfg.K]
+	m.tPlus, m.tMinus = kth, kPlus1
+	mid := order.Midpoint(kPlus1, kth)
+	// Line 41: one broadcast lets every node derive its new filter.
+	comm.RecordSized(m.recReset, comm.Bcast, 1, wire.SizeMidpoint(int64(mid)))
+	m.state = stMidAck
+	return Effect{Kind: EffMidpoint, Mid: mid}
+}
+
+// ExecDone answers an EffExec with the execution's outcome: ok is false
+// when the cohort was empty, otherwise id/key identify the winner. It
+// returns the next effect.
+func (m *Machine) ExecDone(ok bool, id int, key order.Key) Effect {
+	switch m.state {
+	case stViolMin:
+		m.minOK, m.minKey = ok, key
+		return m.startViolMax()
+	case stViolMax:
+		m.maxOK, m.maxKey = ok, key
+		return m.startHandler()
+	case stHandMax:
+		m.maxOK, m.maxKey = ok, key
+		return m.tighten()
+	case stHandMin:
+		m.minOK, m.minKey = ok, key
+		return m.tighten()
+	case stResetExec:
+		if !ok {
+			panic("coord: reset extraction found no participant")
+		}
+		m.winID, m.winKey = id, key
+		m.winTop = m.resetIdx < m.cfg.K
+		m.state = stResetWin
+		return Effect{Kind: EffWinner, Target: id, IsTop: m.winTop, Key: key}
+	default:
+		panic(fmt.Sprintf("coord: ExecDone in state %d", m.state))
+	}
+}
+
+// Ack answers an EffResetBegin, EffWinner or EffMidpoint and returns the
+// next effect.
+func (m *Machine) Ack() Effect {
+	switch m.state {
+	case stResetBegin:
+		// Nodes have cleared their extraction state; forget the old
+		// membership and start extracting.
+		for i := range m.inTop {
+			m.inTop[i] = false
+		}
+		m.keys = m.keys[:0]
+		m.resetIdx = 0
+		m.want = m.cfg.K + 1
+		if m.want > m.cfg.N {
+			m.want = m.cfg.N // k == n: there is no (k+1)-st value
+		}
+		return m.nextExtraction()
+	case stResetWin:
+		if m.winTop {
+			m.inTop[m.winID] = true
+		}
+		m.keys = append(m.keys, m.winKey)
+		m.resetIdx++
+		return m.nextExtraction()
+	case stMidAck:
+		m.state = stIdle
+		return Effect{Kind: EffDone}
+	default:
+		panic(fmt.Sprintf("coord: Ack in state %d", m.state))
+	}
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

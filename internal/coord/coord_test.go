@@ -1,0 +1,192 @@
+package coord
+
+import (
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/order"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+	"repro/internal/stream"
+)
+
+// driver is the smallest possible adapter: one Machine over one Nodes
+// bank, effects executed by direct calls. It is the skeleton every real
+// engine in the repository follows.
+type driver struct {
+	mach *Machine
+	bank *Nodes
+}
+
+func newDriver(n, k int, seed uint64) *driver {
+	return &driver{
+		mach: New(Config{N: n, K: k}),
+		bank: NewNodes(n, 0, n, seed, false),
+	}
+}
+
+func (d *driver) observe(vals []int64) []int {
+	step := d.mach.BeginStep()
+	anyTop, anyOut := false, false
+	for id, v := range vals {
+		t, o := d.bank.Observe(id, v, step)
+		anyTop = anyTop || t
+		anyOut = anyOut || o
+	}
+	eff := d.mach.FinishStep(anyTop, anyOut)
+	for eff.Kind != EffDone {
+		switch eff.Kind {
+		case EffExec:
+			ex := protocol.NewExec(eff.Bound, MinimumTag(eff.Tag), d.mach.Recorder(eff.Phase), nil, step)
+			for ex.More() {
+				r, best := ex.Round(), ex.Best()
+				d.bank.Round(eff.Tag, r, best, eff.Bound, step, func(id int, key order.Key) {
+					ex.Bid(id, key)
+				})
+				ex.EndRound()
+			}
+			res := ex.Result()
+			eff = d.mach.ExecDone(res.OK, res.ID, res.Key)
+		case EffResetBegin:
+			d.bank.ResetBegin()
+			eff = d.mach.Ack()
+		case EffWinner:
+			d.bank.Winner(eff.Target, eff.IsTop)
+			eff = d.mach.Ack()
+		case EffMidpoint:
+			d.bank.Midpoint(eff.Mid, eff.Full)
+			eff = d.mach.Ack()
+		default:
+			t := eff.Kind
+			panic(t)
+		}
+	}
+	return d.mach.Top()
+}
+
+func equal(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestMachineExactness drives the sans-I/O core directly over a workload
+// and asserts the report equals the oracle at every step — Algorithm 1's
+// correctness independent of any substrate.
+func TestMachineExactness(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{{12, 3}, {9, 1}, {7, 7}, {16, 15}} {
+		d := newDriver(tc.n, tc.k, 77)
+		src := stream.NewRandomWalk(stream.WalkConfig{N: tc.n, Lo: 0, Hi: 1 << 16, MaxStep: 500, Seed: 5})
+		vals := make([]int64, tc.n)
+		for s := 0; s < 300; s++ {
+			src.Step(vals)
+			got := d.observe(vals)
+			if want := sim.Oracle(vals, tc.k); !equal(got, want) {
+				t.Fatalf("n=%d k=%d step %d: got %v want %v", tc.n, tc.k, s, got, want)
+			}
+		}
+		st := d.mach.Stats()
+		if st.Steps != 300 {
+			t.Fatalf("steps=%d", st.Steps)
+		}
+		if st.Resets < 1 {
+			t.Fatal("no reset executed")
+		}
+		if tc.k < tc.n && d.mach.Counts().Total() == 0 {
+			t.Fatal("ledger stayed empty")
+		}
+	}
+}
+
+// TestMachineStatsAndPhases sanity-checks the ledger attribution: the
+// initial step charges only the reset phase, and a violation-free step
+// charges nothing.
+func TestMachineStatsAndPhases(t *testing.T) {
+	d := newDriver(8, 2, 3)
+	vals := []int64{10, 20, 30, 40, 50, 60, 70, 80}
+	d.observe(vals)
+	led := d.mach.Ledger()
+	if c := led.PhaseCounts(comm.PhaseViolation); c.Total() != 0 {
+		t.Fatalf("violation phase charged on init: %v", c)
+	}
+	if c := led.PhaseCounts(comm.PhaseReset); c.Total() == 0 {
+		t.Fatal("reset phase empty after init")
+	}
+	before := d.mach.Counts()
+	d.observe(vals) // unchanged values: no violation, no traffic
+	if after := d.mach.Counts(); after != before {
+		t.Fatalf("violation-free step charged: %v -> %v", before, after)
+	}
+	if st := d.mach.Stats(); st.ViolationSteps != 0 || st.TopChanges != 1 {
+		t.Fatalf("unexpected stats: %+v", st)
+	}
+}
+
+// TestAppendTopCopies pins the ownership contract: AppendTop's result is
+// a copy that later steps and caller mutations cannot corrupt.
+func TestAppendTopCopies(t *testing.T) {
+	d := newDriver(6, 2, 9)
+	d.observe([]int64{1, 2, 3, 4, 5, 6})
+	got := d.mach.AppendTop(nil)
+	if !equal(got, []int{4, 5}) {
+		t.Fatalf("top=%v", got)
+	}
+	got[0], got[1] = -1, -2 // caller scribbles on its copy
+	d.observe([]int64{6, 5, 4, 3, 2, 1})
+	if want := []int{0, 1}; !equal(d.mach.Top(), want) {
+		t.Fatalf("machine state corrupted by caller mutation: top=%v want %v", d.mach.Top(), want)
+	}
+}
+
+// TestMachineMisusePanics pins the event/effect protocol: out-of-order
+// events are bugs, not silent corruption.
+func TestMachineMisusePanics(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	m := New(Config{N: 4, K: 2})
+	expectPanic("FinishStep before BeginStep", func() { m.FinishStep(false, false) })
+	expectPanic("Ack while idle", func() { m.Ack() })
+	expectPanic("ExecDone while idle", func() { m.ExecDone(true, 0, 0) })
+	m.BeginStep()
+	expectPanic("BeginStep twice", func() { m.BeginStep() })
+	expectPanic("bad config", func() { New(Config{N: 4, K: 0}) })
+}
+
+// TestNodesRangeChecks pins the hosted-range guard rails.
+func TestNodesRangeChecks(t *testing.T) {
+	b := NewNodes(10, 2, 6, 1, false)
+	if b.Lo() != 2 || b.Hi() != 6 || b.Len() != 4 {
+		t.Fatalf("range [%d, %d) len %d", b.Lo(), b.Hi(), b.Len())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range Observe did not panic")
+		}
+	}()
+	b.Observe(7, 1, 1)
+}
+
+// TestNodesSubSharesState verifies Sub views alias the parent bank's node
+// state — the runtime's shards all see one coherent node array.
+func TestNodesSubSharesState(t *testing.T) {
+	parent := NewNodes(8, 0, 8, 4, false)
+	left, right := parent.Sub(0, 4), parent.Sub(4, 8)
+	left.Observe(1, 42, 1)
+	right.Observe(6, 24, 1)
+	if parent.Key(1) != left.Key(1) || parent.Key(6) != right.Key(6) {
+		t.Fatal("sub views do not alias parent state")
+	}
+}

@@ -1,0 +1,232 @@
+package coord
+
+import (
+	"fmt"
+
+	"repro/internal/filter"
+	"repro/internal/order"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+)
+
+// nodeState is the distributed per-node state of the paper's node model:
+// the current key, the assigned filter, membership knowledge from the last
+// broadcast, and a private generator for the protocol's Bernoulli trials.
+type nodeState struct {
+	id        int
+	rng       *rng.RNG
+	key       order.Key
+	iv        filter.Interval
+	ordIv     filter.Interval // order filter (ordered variant only)
+	inTop     bool
+	wasTop    bool  // membership at the time of the last violation
+	violStep  int64 // observation step of the last filter violation
+	extracted bool
+	sampler   protocol.Sampler
+}
+
+// participates evaluates cohort membership node-locally, from knowledge
+// the node legitimately has (its own violation history, the membership
+// flag from the last broadcast, its extraction state).
+func (nd *nodeState) participates(tag uint8, step int64) bool {
+	switch tag {
+	case TagViolMin:
+		return nd.violStep == step && nd.wasTop
+	case TagViolMax:
+		return nd.violStep == step && !nd.wasTop
+	case TagHandMin:
+		return nd.inTop
+	case TagHandMax:
+		return !nd.inTop
+	case TagReset:
+		return !nd.extracted
+	default:
+		panic(fmt.Sprintf("coord: unknown protocol tag %d", tag))
+	}
+}
+
+// Nodes hosts the node-side state of a contiguous id range [Lo, Hi) of an
+// n-node monitor: the sans-I/O dual of Machine. Every substrate that hosts
+// nodes — the shard goroutines of internal/runtime, the peer processes of
+// internal/netrun, the shard sub-coordinators of internal/shardrun — owns
+// one Nodes per hosted range and translates its substrate's commands into
+// the methods below.
+//
+// The RNG stream layout is shared by construction: every engine derives
+// node i's generator as the i-th Split of the same seeded root, which is
+// what makes protocol randomness consume identically across engines.
+type Nodes struct {
+	lo, hi   int
+	distinct bool
+	codec    order.Codec
+	ns       []nodeState
+}
+
+// NewNodes builds the node state for the range [lo, hi) of an n-node
+// monitor with the given protocol seed and tie-break mode. The constructor
+// walks the root generator's full split sequence (Split mutates the root)
+// and keeps its slice of it, exactly as every other engine does.
+func NewNodes(n, lo, hi int, seed uint64, distinct bool) *Nodes {
+	if n <= 0 {
+		panic("coord: need n > 0")
+	}
+	if lo < 0 || hi > n || lo >= hi {
+		panic(fmt.Sprintf("coord: bad node range [%d, %d) of %d", lo, hi, n))
+	}
+	b := &Nodes{
+		lo:       lo,
+		hi:       hi,
+		distinct: distinct,
+		codec:    order.NewCodec(n),
+		ns:       make([]nodeState, hi-lo),
+	}
+	root := rng.New(seed, 0xc02e)
+	for i := 0; i < n; i++ {
+		r := root.Split(uint64(i))
+		if i < lo || i >= hi {
+			continue
+		}
+		key := order.Key(0)
+		if !distinct {
+			key = b.codec.Encode(0, i)
+		}
+		b.ns[i-lo] = nodeState{
+			id:       i,
+			rng:      r,
+			key:      key,
+			iv:       filter.Full(),
+			ordIv:    filter.Full(),
+			violStep: -1,
+		}
+	}
+	return b
+}
+
+// Sub returns a view of the sub-range [lo, hi) sharing this bank's node
+// state. The parent covers construction cost once; disjoint sub-views may
+// then be driven from different goroutines (internal/runtime's shards).
+func (b *Nodes) Sub(lo, hi int) *Nodes {
+	if lo < b.lo || hi > b.hi || lo >= hi {
+		panic(fmt.Sprintf("coord: sub-range [%d, %d) outside [%d, %d)", lo, hi, b.lo, b.hi))
+	}
+	return &Nodes{
+		lo:       lo,
+		hi:       hi,
+		distinct: b.distinct,
+		codec:    b.codec,
+		ns:       b.ns[lo-b.lo : hi-b.lo : hi-b.lo],
+	}
+}
+
+// Lo returns the first hosted node id.
+func (b *Nodes) Lo() int { return b.lo }
+
+// Hi returns one past the last hosted node id.
+func (b *Nodes) Hi() int { return b.hi }
+
+// Len returns the number of hosted nodes.
+func (b *Nodes) Len() int { return len(b.ns) }
+
+// Key returns node id's current key (for invariant checks in tests).
+func (b *Nodes) Key(id int) order.Key { return b.node(id).key }
+
+// node resolves a global id into the local array.
+func (b *Nodes) node(id int) *nodeState {
+	if id < b.lo || id >= b.hi {
+		panic(fmt.Sprintf("coord: node %d outside hosted range [%d, %d)", id, b.lo, b.hi))
+	}
+	return &b.ns[id-b.lo]
+}
+
+// Observe ingests one observation for node id at the given step, runs the
+// node-local filter check, and reports whether the node violated as a
+// former top-k member (topViol) or as an outsider (outViol).
+func (b *Nodes) Observe(id int, v int64, step int64) (topViol, outViol bool) {
+	nd := b.node(id)
+	if b.distinct {
+		nd.key = order.Key(v)
+	} else {
+		nd.key = b.codec.Encode(v, id)
+	}
+	if violated, _ := nd.iv.Violates(nd.key); violated {
+		nd.violStep = step
+		nd.wasTop = nd.inTop
+		return nd.inTop, !nd.inTop
+	}
+	return false, false
+}
+
+// Round runs one sampler round over the hosted members of cohort tag:
+// round r of an execution with the given population bound, against the
+// best value broadcast so far (in the execution's comparison domain).
+// Every node that sends is reported to send in ascending id order with its
+// true key. Samplers are (re)initialized at round 0, so banks need no
+// per-execution setup call.
+func (b *Nodes) Round(tag uint8, r int, best order.Key, bound int, step int64, send func(id int, key order.Key)) {
+	for i := range b.ns {
+		nd := &b.ns[i]
+		if !nd.participates(tag, step) {
+			continue
+		}
+		if r == 0 {
+			k := nd.key
+			if MinimumTag(tag) {
+				k = order.Neg(k)
+			}
+			nd.sampler = protocol.NewSampler(k, bound)
+		}
+		if nd.sampler.Round(best, uint(r), nd.rng) {
+			send(nd.id, nd.key)
+		}
+	}
+}
+
+// Winner marks node target as extracted by the current reset, joining the
+// top-k set when isTop is set.
+func (b *Nodes) Winner(target int, isTop bool) {
+	nd := b.node(target)
+	nd.extracted = true
+	if isTop {
+		nd.inTop = true
+	}
+}
+
+// Midpoint installs the canonical filter assignment around mid: [mid,
+// +inf] for top-k members, [-inf, mid] for outsiders — or [-inf, +inf]
+// everywhere when full is set (k == n).
+func (b *Nodes) Midpoint(mid order.Key, full bool) {
+	for i := range b.ns {
+		nd := &b.ns[i]
+		switch {
+		case full:
+			nd.iv = filter.Full()
+		case nd.inTop:
+			nd.iv = filter.AtLeast(mid)
+		default:
+			nd.iv = filter.AtMost(mid)
+		}
+	}
+}
+
+// ResetBegin clears extraction state and membership ahead of a
+// FILTERRESET.
+func (b *Nodes) ResetBegin() {
+	for i := range b.ns {
+		b.ns[i].extracted = false
+		b.ns[i].inTop = false
+	}
+}
+
+// OrderViolated checks node target's order filter (the ordered §5
+// variant): it returns the node's current key and whether it left the
+// filter.
+func (b *Nodes) OrderViolated(target int) (key order.Key, violated bool) {
+	nd := b.node(target)
+	violated, _ = nd.ordIv.Violates(nd.key)
+	return nd.key, violated
+}
+
+// SetOrderBounds installs node target's order filter [lo, hi].
+func (b *Nodes) SetOrderBounds(target int, lo, hi order.Key) {
+	b.node(target).ordIv = filter.Interval{Lo: lo, Hi: hi}
+}

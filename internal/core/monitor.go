@@ -1,9 +1,18 @@
 // Package core implements the paper's primary contribution: the
 // filter-based online algorithm for Top-k-Position Monitoring
 // (Algorithm 1). A Monitor plays both roles of the model — the coordinator
-// state machine and the per-node filter checks — against observation
-// vectors supplied one time step at a time, and accounts every message the
-// model would charge.
+// and the per-node filter checks — against observation vectors supplied
+// one time step at a time, and accounts every message the model would
+// charge.
+//
+// The coordinator's decision logic — violation handling, T+/T− tightening,
+// midpoint broadcasts, FILTERRESET — lives in the sans-I/O state machine
+// of internal/coord, which this package (like every other engine) merely
+// drives. The Monitor's own job is the node side and the substrate: it
+// holds the node-local keys, filters and generators, selects protocol
+// cohorts, and executes the machine's effects by direct procedure calls
+// (protocol executions via internal/protocol, which also serves the
+// UseGather ablation and optional tracing).
 //
 // The flow per time step follows the paper exactly:
 //
@@ -28,11 +37,11 @@ import (
 	"fmt"
 
 	"repro/internal/comm"
+	"repro/internal/coord"
 	"repro/internal/filter"
 	"repro/internal/order"
 	"repro/internal/protocol"
 	"repro/internal/rng"
-	"repro/internal/wire"
 )
 
 // Config parameterizes a Monitor.
@@ -56,17 +65,10 @@ type Config struct {
 	Trace *comm.Trace
 }
 
-// Stats exposes counters describing a monitor's execution so far.
-type Stats struct {
-	Steps          int64 // observation steps processed
-	ViolationSteps int64 // steps in which at least one filter was violated
-	HandlerCalls   int64 // FILTERVIOLATIONHANDLER executions
-	Resets         int64 // FILTERRESET executions (including initialization)
-	// TopChanges counts steps whose reported set differed from the
-	// previous step's, including the initial transition from the empty
-	// pre-observation state to the first report.
-	TopChanges int64
-}
+// Stats exposes counters describing a monitor's execution so far. It is
+// the coordinator core's Stats type; every engine reports it identically
+// for the same seed.
+type Stats = coord.Stats
 
 // Monitor runs Algorithm 1. Create with New; it is not safe for concurrent
 // use (the concurrent engine lives in internal/runtime).
@@ -80,32 +82,22 @@ type Monitor struct {
 	cfg   Config
 	codec order.Codec
 	fs    *filter.Set
-	led   *comm.Ledger
+	mach  *coord.Machine
 
 	rngs []*rng.RNG  // per-node protocol randomness
 	keys []order.Key // node-local current keys (rewritten as deltas arrive)
 
-	tPlus  order.Key // T+(t0, t): min over top-k values since last reset
-	tMinus order.Key // T−(t0, t): max over outside values since last reset
-
-	step  int64
-	init  bool
-	stats Stats
-
-	// Pre-built phase recorders (constructing one per step would box an
-	// interface value on the heap).
-	recViol  comm.Recorder
-	recHand  comm.Recorder
-	recReset comm.Recorder
+	step int64
 
 	// Reusable scratch buffers; see the type comment.
-	allIDs     []int                  // 0..n-1, the dense delta
-	violTop    []protocol.Participant // violating former top-k nodes
-	violOut    []protocol.Participant // violating outsiders
-	parts      []protocol.Participant // side() / filterReset participant scratch
-	rankedIDs  []int                  // filterReset extraction order
-	rankedKeys []order.Key
-	pscratch   protocol.Scratch
+	allIDs    []int                  // 0..n-1, the dense delta
+	violTop   []protocol.Participant // violating former top-k nodes
+	violOut   []protocol.Participant // violating outsiders
+	parts     []protocol.Participant // side() / reset participant scratch
+	remaining []protocol.Participant // reset extraction view into parts
+	topBuf    []int                  // membership install scratch
+	pscratch  protocol.Scratch
+	inReset   bool // a FILTERRESET is in flight this step
 }
 
 // New validates the configuration and returns a monitor. The first
@@ -123,14 +115,12 @@ func New(cfg Config) *Monitor {
 		cfg:    cfg,
 		codec:  order.NewCodec(cfg.N),
 		fs:     filter.NewSet(cfg.N, cfg.K),
-		led:    &comm.Ledger{},
+		mach:   coord.New(coord.Config{N: cfg.N, K: cfg.K}),
 		rngs:   make([]*rng.RNG, cfg.N),
 		keys:   make([]order.Key, cfg.N),
 		allIDs: make([]int, cfg.N),
+		topBuf: make([]int, 0, cfg.K),
 	}
-	m.recViol = m.led.InPhase(comm.PhaseViolation)
-	m.recHand = m.led.InPhase(comm.PhaseHandler)
-	m.recReset = m.led.InPhase(comm.PhaseReset)
 	root := rng.New(cfg.Seed, 0xc02e)
 	for i := range m.rngs {
 		m.rngs[i] = root.Split(uint64(i))
@@ -156,31 +146,33 @@ func (m *Monitor) N() int { return m.cfg.N }
 func (m *Monitor) K() int { return m.cfg.K }
 
 // Ledger returns the monitor's message ledger (total and per-phase counts).
-func (m *Monitor) Ledger() *comm.Ledger { return m.led }
+func (m *Monitor) Ledger() *comm.Ledger { return m.mach.Ledger() }
 
 // Counts returns the monitor's total message counts. It is the accessor
 // the sim.Algorithm interface expects; the per-phase breakdown remains
 // available through Ledger.
-func (m *Monitor) Counts() comm.Counts { return m.led.Total() }
+func (m *Monitor) Counts() comm.Counts { return m.mach.Counts() }
 
 // Bytes returns the total encoded size of the charged messages (the
 // sim.ByteCounter accessor).
-func (m *Monitor) Bytes() comm.Bytes { return m.led.TotalBytes() }
+func (m *Monitor) Bytes() comm.Bytes { return m.mach.Bytes() }
 
 // Stats returns execution counters.
-func (m *Monitor) Stats() Stats { return m.stats }
+func (m *Monitor) Stats() Stats { return m.mach.Stats() }
 
 // Filters exposes the current filter assignment for invariant checking.
 func (m *Monitor) Filters() *filter.Set { return m.fs }
 
 // Top returns the currently reported top-k node ids in ascending order.
 // The returned slice is a read-only view owned by the monitor; it is
-// invalidated by the next observation that changes the top set. Use
-// AppendTop to copy.
+// invalidated by the next observation that changes the top set, and
+// mutating it corrupts the monitor. Use AppendTop to copy.
 func (m *Monitor) Top() []int { return m.fs.Top() }
 
 // AppendTop appends the currently reported top-k ids (ascending) to dst
-// and returns the extended slice.
+// and returns the extended slice. The appended values are copies owned by
+// the caller: they stay valid across later steps, and mutating them never
+// affects the monitor.
 func (m *Monitor) AppendTop(dst []int) []int { return m.fs.AppendTop(dst) }
 
 // EncodeAll maps a raw observation vector into the monitor's key domain,
@@ -236,29 +228,12 @@ func (m *Monitor) ObserveDelta(ids []int, vals []int64) []int {
 	for j, id := range ids {
 		m.keys[id] = m.encode(vals[j], id)
 	}
-	m.step++
-	m.stats.Steps++
+	m.step = m.mach.BeginStep()
 
-	prevGen := m.fs.Generation()
-	if !m.init {
-		m.filterReset()
-		m.init = true
-	} else {
-		m.handleStep(ids)
-	}
-	if m.fs.Generation() != prevGen {
-		m.stats.TopChanges++
-	}
-	return m.fs.Top()
-}
-
-// handleStep performs Algorithm 1 lines 2-14 for one time step in which
-// exactly the nodes in ids changed.
-func (m *Monitor) handleStep(ids []int) {
-	// Node-local filter checks (line 3), restricted to the touched nodes:
-	// an untouched node's value lies inside its filter by the per-step
-	// invariant. With k == n all filters are [−∞, +∞] and this loop never
-	// fires.
+	// Node-local filter checks (Algorithm 1 line 3), restricted to the
+	// touched nodes: an untouched node's value lies inside its filter by
+	// the per-step invariant. With k == n all filters are [−∞, +∞] and
+	// this loop never fires.
 	m.violTop, m.violOut = m.violTop[:0], m.violOut[:0]
 	for _, id := range ids {
 		if violated, _ := m.fs.Interval(id).Violates(m.keys[id]); !violated {
@@ -271,139 +246,70 @@ func (m *Monitor) handleStep(ids []int) {
 			m.violOut = append(m.violOut, p)
 		}
 	}
-	if len(m.violTop) == 0 && len(m.violOut) == 0 {
-		return
-	}
-	m.stats.ViolationSteps++
 
-	// Lines 4-8: violating former top-k nodes determine their minimum;
-	// violating outsiders determine their maximum. Population bounds are k
-	// and n-k respectively, which the nodes know from the last broadcast.
-	var minRes, maxRes protocol.Result
-	if len(m.violTop) > 0 {
-		minRes = m.minProto(m.violTop, m.cfg.K, m.recViol)
-	}
-	if len(m.violOut) > 0 {
-		maxRes = m.maxProto(m.violOut, m.cfg.N-m.cfg.K, m.recViol)
-	}
-	m.violationHandler(minRes, maxRes)
-}
-
-// violationHandler is FILTERVIOLATIONHANDLER (Algorithm 1 lines 15-35).
-func (m *Monitor) violationHandler(minRes, maxRes protocol.Result) {
-	m.stats.HandlerCalls++
-	rec := m.recHand
-
-	if !maxRes.OK {
-		// Line 23: learn the maximum over all current outsiders.
-		maxRes = m.maxProto(m.side(false), m.cfg.N-m.cfg.K, rec)
-	} else {
-		// Line 25: learn the minimum over all current top-k nodes. The
-		// paper runs this even when the violation phase already produced a
-		// minimum over the violating subset.
-		minRes = m.minProto(m.side(true), m.cfg.K, rec)
-	}
-
-	// Lines 27-28: tighten the running extrema. With k == n the outside
-	// side is empty and maxRes stays !OK, but that configuration never
-	// violates, so reaching here implies both results are valid.
-	if minRes.OK {
-		m.tPlus = order.Min(m.tPlus, minRes.Key)
-	}
-	if maxRes.OK {
-		m.tMinus = order.Max(m.tMinus, maxRes.Key)
-	}
-
-	if m.tPlus < m.tMinus {
-		m.filterReset() // line 30
-		return
-	}
-	// Lines 32-33: broadcast the midpoint of [T−, T+]; nodes re-anchor
-	// their filters around it.
-	mid := order.Midpoint(m.tMinus, m.tPlus)
-	comm.RecordSized(rec, comm.Bcast, 1, wire.SizeMidpoint(int64(mid)))
-	m.cfg.Trace.Append(comm.Event{Step: m.step, Kind: comm.Bcast, From: comm.Coordinator, To: comm.Everyone, Payload: int64(mid), Note: "midpoint"})
-	m.fs.AssignMidpoint(mid)
-}
-
-// filterReset is FILTERRESET (Algorithm 1 lines 36-42): determine the k+1
-// largest values via repeated MAXIMUMPROTOCOL executions with population
-// bound n, then install fresh midpoint filters. All extraction state lives
-// in reusable monitor-owned buffers.
-func (m *Monitor) filterReset() {
-	m.stats.Resets++
-	rec := m.recReset
-
-	m.parts = m.parts[:0]
-	for id := 0; id < m.cfg.N; id++ {
-		m.parts = append(m.parts, protocol.Participant{ID: id, Key: m.keys[id], RNG: m.rngs[id]})
-	}
-	want := m.cfg.K + 1
-	if want > m.cfg.N {
-		want = m.cfg.N // k == n: there is no (k+1)-st value
-	}
-	// Repeated extraction as in protocol.TopExtract, with the winner
-	// shift-removed from a reused buffer. Removal must preserve the
-	// id-ascending participant order: with duplicate keys (possible in
-	// DistinctValues mode when the caller's distinctness promise is not
-	// yet established, e.g. before every node has observed) the protocol
-	// breaks ties by iteration order, and the concurrent engine always
-	// iterates non-extracted nodes id-ascending.
-	m.rankedIDs, m.rankedKeys = m.rankedIDs[:0], m.rankedKeys[:0]
-	remaining := m.parts
-	for e := 0; e < want; e++ {
-		res := m.maxProto(remaining, m.cfg.N, rec)
-		m.rankedIDs = append(m.rankedIDs, res.ID)
-		m.rankedKeys = append(m.rankedKeys, res.Key)
-		for i := range remaining {
-			if remaining[i].ID == res.ID {
-				remaining = append(remaining[:i], remaining[i+1:]...)
-				break
-			}
+	eff := m.mach.FinishStep(len(m.violTop) > 0, len(m.violOut) > 0)
+	for eff.Kind != coord.EffDone {
+		switch eff.Kind {
+		case coord.EffExec:
+			res := m.exec(eff)
+			eff = m.mach.ExecDone(res.OK, res.ID, res.Key)
+		case coord.EffResetBegin:
+			m.beginReset()
+			eff = m.mach.Ack()
+		case coord.EffWinner:
+			m.extract(eff.Target)
+			eff = m.mach.Ack()
+		case coord.EffMidpoint:
+			m.installMidpoint(eff)
+			eff = m.mach.Ack()
+		default:
+			panic(fmt.Sprintf("core: unknown coordinator effect %d", eff.Kind))
 		}
 	}
-
-	m.fs.SetMembership(m.rankedIDs[:m.cfg.K]) // SetMembership does not retain its input
-
-	if m.cfg.K == m.cfg.N {
-		// Degenerate case: every node is in the top set; filters are
-		// unconstrained and the monitor never communicates again.
-		m.tPlus = m.rankedKeys[len(m.rankedKeys)-1]
-		m.tMinus = order.NegInf
-		m.fs.AssignMidpoint(0) // installs [−∞, +∞] for k == n
-		return
-	}
-
-	kth := m.rankedKeys[m.cfg.K-1]
-	kPlus1 := m.rankedKeys[m.cfg.K]
-	m.tPlus, m.tMinus = kth, kPlus1
-	mid := order.Midpoint(kPlus1, kth)
-	// Line 41: one broadcast lets every node derive its new filter (nodes
-	// in the announced top set take [M, +∞], everyone else [−∞, M]).
-	comm.RecordSized(rec, comm.Bcast, 1, wire.SizeMidpoint(int64(mid)))
-	m.cfg.Trace.Append(comm.Event{Step: m.step, Kind: comm.Bcast, From: comm.Coordinator, To: comm.Everyone, Payload: int64(mid), Note: "filter reset"})
-	m.fs.AssignMidpoint(mid)
+	return m.fs.Top()
 }
 
-// maxProto dispatches the maximum protocol per the UseGather ablation flag.
-func (m *Monitor) maxProto(parts []protocol.Participant, bound int, rec comm.Recorder) protocol.Result {
-	if m.cfg.UseGather {
-		return protocol.GatherAll(parts, rec, m.cfg.Trace, m.step)
-	}
-	return m.pscratch.Maximum(parts, bound, rec, m.cfg.Trace, m.step)
-}
-
-// minProto dispatches the minimum protocol per the UseGather ablation flag.
-func (m *Monitor) minProto(parts []protocol.Participant, bound int, rec comm.Recorder) protocol.Result {
-	if m.cfg.UseGather {
+// exec runs one protocol execution over the effect's cohort, dispatching
+// per the UseGather ablation flag.
+func (m *Monitor) exec(eff coord.Effect) protocol.Result {
+	parts := m.cohort(eff.Tag)
+	rec := m.mach.Recorder(eff.Phase)
+	switch {
+	case m.cfg.UseGather && coord.MinimumTag(eff.Tag):
 		return protocol.GatherAllMin(parts, rec, m.cfg.Trace, m.step)
+	case m.cfg.UseGather:
+		return protocol.GatherAll(parts, rec, m.cfg.Trace, m.step)
+	case coord.MinimumTag(eff.Tag):
+		return m.pscratch.Minimum(parts, eff.Bound, rec, m.cfg.Trace, m.step)
+	default:
+		return m.pscratch.Maximum(parts, eff.Bound, rec, m.cfg.Trace, m.step)
 	}
-	return m.pscratch.Minimum(parts, bound, rec, m.cfg.Trace, m.step)
+}
+
+// cohort materializes the participant set of one protocol tag. Violator
+// cohorts were collected during the step's filter checks; handler cohorts
+// are one membership side; the reset cohort is the not-yet-extracted
+// remainder maintained by beginReset/extract.
+func (m *Monitor) cohort(tag uint8) []protocol.Participant {
+	switch tag {
+	case coord.TagViolMin:
+		return m.violTop
+	case coord.TagViolMax:
+		return m.violOut
+	case coord.TagHandMin:
+		return m.side(true)
+	case coord.TagHandMax:
+		return m.side(false)
+	case coord.TagReset:
+		return m.remaining
+	default:
+		panic(fmt.Sprintf("core: unknown protocol tag %d", tag))
+	}
 }
 
 // side collects the current participants of one side into a reused buffer:
 // top-k members when top is true, outsiders otherwise. The buffer is valid
-// until the next side or filterReset call.
+// until the next side or beginReset call.
 func (m *Monitor) side(top bool) []protocol.Participant {
 	m.parts = m.parts[:0]
 	for id := 0; id < m.cfg.N; id++ {
@@ -412,6 +318,55 @@ func (m *Monitor) side(top bool) []protocol.Participant {
 		}
 	}
 	return m.parts
+}
+
+// beginReset starts FILTERRESET's extraction sequence: all nodes become
+// candidates again.
+func (m *Monitor) beginReset() {
+	m.inReset = true
+	m.parts = m.parts[:0]
+	for id := 0; id < m.cfg.N; id++ {
+		m.parts = append(m.parts, protocol.Participant{ID: id, Key: m.keys[id], RNG: m.rngs[id]})
+	}
+	m.remaining = m.parts
+}
+
+// extract shift-removes an extraction winner from the remaining
+// candidates. Removal must preserve the id-ascending participant order:
+// with duplicate keys (possible in DistinctValues mode when the caller's
+// distinctness promise is not yet established, e.g. before every node has
+// observed) the protocol breaks ties by iteration order, and the
+// concurrent engine always iterates non-extracted nodes id-ascending.
+func (m *Monitor) extract(id int) {
+	for i := range m.remaining {
+		if m.remaining[i].ID == id {
+			m.remaining = append(m.remaining[:i], m.remaining[i+1:]...)
+			return
+		}
+	}
+	panic(fmt.Sprintf("core: extraction winner %d not among remaining candidates", id))
+}
+
+// installMidpoint applies a midpoint broadcast: after a reset it first
+// installs the machine's freshly extracted membership (SetMembership does
+// not retain its input), then re-anchors every filter.
+func (m *Monitor) installMidpoint(eff coord.Effect) {
+	if m.inReset {
+		m.inReset = false
+		m.topBuf = m.mach.AppendTop(m.topBuf[:0])
+		m.fs.SetMembership(m.topBuf)
+		if !eff.Full {
+			m.cfg.Trace.Append(comm.Event{Step: m.step, Kind: comm.Bcast, From: comm.Coordinator, To: comm.Everyone, Payload: int64(eff.Mid), Note: "filter reset"})
+		}
+	} else {
+		m.cfg.Trace.Append(comm.Event{Step: m.step, Kind: comm.Bcast, From: comm.Coordinator, To: comm.Everyone, Payload: int64(eff.Mid), Note: "midpoint"})
+	}
+	if eff.Full {
+		// k == n: AssignMidpoint installs [−∞, +∞] regardless of the bound.
+		m.fs.AssignMidpoint(0)
+		return
+	}
+	m.fs.AssignMidpoint(eff.Mid)
 }
 
 // Keys exposes the key vector of the last observed step (for invariant

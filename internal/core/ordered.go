@@ -99,7 +99,7 @@ func (om *OrderedMonitor) Observe(vals []int64) []int {
 	// reports at most once (after reporting, its estimate equals its
 	// current key, which its own midpoint interval always contains), so
 	// the loop terminates after at most k iterations.
-	rec := om.inner.led.InPhase(comm.PhaseHandler)
+	rec := om.inner.mach.Recorder(comm.PhaseHandler)
 	for {
 		changed := false
 		for _, id := range om.ordered {

@@ -1,0 +1,92 @@
+package netrun
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stream"
+)
+
+// TestDeadLinkSurfacesError pins the failure contract: a link that dies
+// mid-run must not panic the engine. The error is stored (Err), the
+// last-good report keeps being returned, the ledger freezes, and Close
+// stays safe.
+func TestDeadLinkSurfacesError(t *testing.T) {
+	const n, k, seed = 12, 3, 7
+	e := NewLoopback(Config{N: n, K: k, Seed: seed}, 3)
+	defer e.Close()
+
+	src := stream.NewRandomWalk(stream.WalkConfig{N: n, Lo: 0, Hi: 1 << 16, MaxStep: 400, Seed: 9})
+	vals := make([]int64, n)
+	var lastGood []int
+	for s := 0; s < 20; s++ {
+		src.Step(vals)
+		lastGood = e.AppendTop(lastGood[:0])
+		lastGood = append(lastGood[:0], e.Observe(vals)...)
+	}
+	if e.Err() != nil {
+		t.Fatalf("healthy run reported error: %v", e.Err())
+	}
+
+	// Kill one peer's link underneath the engine, then keep observing
+	// values chosen to force communication.
+	e.peers[1].link.Close()
+	countsBefore := e.Counts()
+	for s := 0; s < 5; s++ {
+		for i := range vals {
+			vals[i] = int64((s*31+i*17)%1000) * 50
+		}
+		got := e.Observe(vals)
+		if !equal(got, lastGood) {
+			t.Fatalf("report after dead link: got %v, want last-good %v", got, lastGood)
+		}
+	}
+	if e.Err() == nil {
+		t.Fatal("dead link did not surface as an error")
+	}
+	if d := e.ObserveDelta([]int{0}, []int64{1 << 30}); !equal(d, lastGood) {
+		t.Fatalf("delta after dead link: got %v, want last-good %v", d, lastGood)
+	}
+	// A wedged engine must not keep charging model messages.
+	if after := e.Counts(); after != countsBefore {
+		t.Fatalf("wedged engine kept charging: %v -> %v", countsBefore, after)
+	}
+	e.Close() // must not panic with one link already dead
+}
+
+// TestAppendTopIsACopy is the aliasing regression: the slice AppendTop
+// returns must be caller-owned — mutating it after later steps must not
+// corrupt the engine (unlike the Top / Observe views, which are
+// documented as engine-owned and read-only). A pristine sequential twin
+// run in lockstep detects any corruption.
+func TestAppendTopIsACopy(t *testing.T) {
+	const n, k, seed = 10, 3, 5
+	e := NewLoopback(Config{N: n, K: k, Seed: seed}, 2)
+	defer e.Close()
+	twin := core.New(core.Config{N: n, K: k, Seed: seed})
+
+	srcA := stream.NewRandomWalk(stream.WalkConfig{N: n, Lo: 0, Hi: 1 << 16, MaxStep: 600, Seed: 6})
+	srcB := stream.NewRandomWalk(stream.WalkConfig{N: n, Lo: 0, Hi: 1 << 16, MaxStep: 600, Seed: 6})
+	va, vb := make([]int64, n), make([]int64, n)
+	var copies [][]int
+	for s := 0; s < 60; s++ {
+		srcA.Step(va)
+		srcB.Step(vb)
+		topNet := e.Observe(va)
+		topSeq := twin.Observe(vb)
+		if !equal(topNet, topSeq) {
+			t.Fatalf("step %d: reports diverged: net=%v seq=%v", s, topNet, topSeq)
+		}
+		copies = append(copies, e.AppendTop(nil))
+		// Scribble over every copy taken so far: if any of them aliased
+		// engine state, the next steps diverge from the twin.
+		for _, c := range copies {
+			for i := range c {
+				c[i] = -7
+			}
+		}
+	}
+	if cs, cn := twin.Counts(), e.Counts(); cs != cn {
+		t.Fatalf("counts diverged after mutations: seq=%v net=%v", cs, cn)
+	}
+}

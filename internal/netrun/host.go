@@ -5,54 +5,16 @@ import (
 	"fmt"
 	"io"
 
-	"repro/internal/filter"
+	"repro/internal/coord"
 	"repro/internal/order"
-	"repro/internal/protocol"
-	"repro/internal/rng"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
 
-// hnode is the distributed per-node state a peer process hosts: exactly
-// the paper's node model — current key, assigned filter, membership
-// knowledge from the last broadcast, and a private generator for the
-// protocol's Bernoulli trials.
-type hnode struct {
-	id        int
-	rng       *rng.RNG
-	key       order.Key
-	iv        filter.Interval
-	inTop     bool
-	wasTop    bool  // membership at the time of the last violation
-	violStep  int64 // observation step of the last filter violation
-	extracted bool
-	sampler   protocol.Sampler
-}
-
-func (nd *hnode) participates(tag uint8, step int64) bool {
-	switch tag {
-	case tagViolMin:
-		return nd.violStep == step && nd.wasTop
-	case tagViolMax:
-		return nd.violStep == step && !nd.wasTop
-	case tagHandMin:
-		return nd.inTop
-	case tagHandMax:
-		return !nd.inTop
-	case tagReset:
-		return !nd.extracted
-	default:
-		panic(fmt.Sprintf("netrun: unknown protocol tag %d", tag))
-	}
-}
-
-// host is one peer's node range plus the reusable buffers of its serve
-// loop.
+// host is one peer's node range — a coord.Nodes bank holding exactly the
+// paper's per-node state — plus the reusable buffers of its serve loop.
 type host struct {
-	lo, hi   int
-	distinct bool
-	codec    order.Codec
-	nodes    []hnode
+	bank *coord.Nodes
 
 	obs   wire.Observe      // reusable decode scratch
 	delta wire.ObserveDelta //
@@ -62,8 +24,8 @@ type host struct {
 
 // newHost builds the node state for an assignment. The RNG stream layout
 // must match core.New / runtime.New exactly — every engine derives node
-// i's generator as the i-th Split of the same root — so the host walks
-// the full split sequence and keeps its slice of it.
+// i's generator as the i-th Split of the same root — which coord.NewNodes
+// guarantees by construction.
 func newHost(a wire.Assign) (*host, error) {
 	if a.N <= 0 || a.K < 1 || a.K > a.N {
 		return nil, fmt.Errorf("netrun: bad assignment n=%d k=%d", a.N, a.K)
@@ -71,51 +33,7 @@ func newHost(a wire.Assign) (*host, error) {
 	if a.Lo < 0 || a.Hi > a.N || a.Lo >= a.Hi {
 		return nil, fmt.Errorf("netrun: bad assignment range [%d, %d) of %d", a.Lo, a.Hi, a.N)
 	}
-	h := &host{
-		lo:       a.Lo,
-		hi:       a.Hi,
-		distinct: a.Distinct,
-		codec:    order.NewCodec(a.N),
-		nodes:    make([]hnode, a.Hi-a.Lo),
-	}
-	root := rng.New(a.Seed, 0xc02e)
-	for i := 0; i < a.N; i++ {
-		r := root.Split(uint64(i))
-		if i < a.Lo || i >= a.Hi {
-			continue
-		}
-		key := order.Key(0)
-		if !a.Distinct {
-			key = h.codec.Encode(0, i)
-		}
-		h.nodes[i-a.Lo] = hnode{
-			id:       i,
-			rng:      r,
-			key:      key,
-			iv:       filter.Full(),
-			violStep: -1,
-		}
-	}
-	return h, nil
-}
-
-// observeNode ingests one observation, runs the node-local filter check,
-// and raises the reply's violation flags.
-func (h *host) observeNode(nd *hnode, v int64, step int64) {
-	if h.distinct {
-		nd.key = order.Key(v)
-	} else {
-		nd.key = h.codec.Encode(v, nd.id)
-	}
-	if violated, _ := nd.iv.Violates(nd.key); violated {
-		nd.violStep = step
-		nd.wasTop = nd.inTop
-		if nd.inTop {
-			h.reply.TopViol = true
-		} else {
-			h.reply.OutViol = true
-		}
-	}
+	return &host{bank: coord.NewNodes(a.N, a.Lo, a.Hi, a.Seed, a.Distinct)}, nil
 }
 
 // handle processes one decoded command frame, filling h.reply. It returns
@@ -127,17 +45,20 @@ func (h *host) handle(frame []byte) (cont bool, err error) {
 	}
 	h.reply.TopViol, h.reply.OutViol = false, false
 	h.reply.IDs, h.reply.Keys = h.reply.IDs[:0], h.reply.Keys[:0]
+	lo, hi := h.bank.Lo(), h.bank.Hi()
 
 	switch typ {
 	case wire.TypeObserve:
 		if err := h.obs.Decode(frame); err != nil {
 			return false, err
 		}
-		if len(h.obs.Vals) != h.hi-h.lo {
-			return false, fmt.Errorf("netrun: observe carries %d values for range [%d, %d)", len(h.obs.Vals), h.lo, h.hi)
+		if len(h.obs.Vals) != hi-lo {
+			return false, fmt.Errorf("netrun: observe carries %d values for range [%d, %d)", len(h.obs.Vals), lo, hi)
 		}
-		for i := range h.nodes {
-			h.observeNode(&h.nodes[i], h.obs.Vals[i], h.obs.Step)
+		for i, v := range h.obs.Vals {
+			t, o := h.bank.Observe(lo+i, v, h.obs.Step)
+			h.reply.TopViol = h.reply.TopViol || t
+			h.reply.OutViol = h.reply.OutViol || o
 		}
 
 	case wire.TypeObserveDelta:
@@ -145,10 +66,12 @@ func (h *host) handle(frame []byte) (cont bool, err error) {
 			return false, err
 		}
 		for j, id := range h.delta.IDs {
-			if id < h.lo || id >= h.hi {
-				return false, fmt.Errorf("netrun: delta id %d outside range [%d, %d)", id, h.lo, h.hi)
+			if id < lo || id >= hi {
+				return false, fmt.Errorf("netrun: delta id %d outside range [%d, %d)", id, lo, hi)
 			}
-			h.observeNode(&h.nodes[id-h.lo], h.delta.Vals[j], h.delta.Step)
+			t, o := h.bank.Observe(id, h.delta.Vals[j], h.delta.Step)
+			h.reply.TopViol = h.reply.TopViol || t
+			h.reply.OutViol = h.reply.OutViol || o
 		}
 
 	case wire.TypeRound:
@@ -156,63 +79,33 @@ func (h *host) handle(frame []byte) (cont bool, err error) {
 		if err != nil {
 			return false, err
 		}
-		for i := range h.nodes {
-			nd := &h.nodes[i]
-			if !nd.participates(m.Tag, m.Step) {
-				continue
-			}
-			if m.Round == 0 {
-				k := nd.key
-				if minimumTag(m.Tag) {
-					k = order.Neg(k)
-				}
-				nd.sampler = protocol.NewSampler(k, m.Bound)
-			}
-			if nd.sampler.Round(order.Key(m.Best), uint(m.Round), nd.rng) {
-				h.reply.IDs = append(h.reply.IDs, nd.id)
-				h.reply.Keys = append(h.reply.Keys, int64(nd.key))
-			}
-		}
+		h.bank.Round(m.Tag, m.Round, order.Key(m.Best), m.Bound, m.Step, func(id int, key order.Key) {
+			h.reply.IDs = append(h.reply.IDs, id)
+			h.reply.Keys = append(h.reply.Keys, int64(key))
+		})
 
 	case wire.TypeWinner:
 		m, err := wire.DecodeWinner(frame)
 		if err != nil {
 			return false, err
 		}
-		if m.Target < h.lo || m.Target >= h.hi {
-			return false, fmt.Errorf("netrun: winner %d outside range [%d, %d)", m.Target, h.lo, h.hi)
+		if m.Target < lo || m.Target >= hi {
+			return false, fmt.Errorf("netrun: winner %d outside range [%d, %d)", m.Target, lo, hi)
 		}
-		nd := &h.nodes[m.Target-h.lo]
-		nd.extracted = true
-		if m.IsTop {
-			nd.inTop = true
-		}
+		h.bank.Winner(m.Target, m.IsTop)
 
 	case wire.TypeMidpoint:
 		m, err := wire.DecodeMidpoint(frame)
 		if err != nil {
 			return false, err
 		}
-		for i := range h.nodes {
-			nd := &h.nodes[i]
-			switch {
-			case m.Full:
-				nd.iv = filter.Full()
-			case nd.inTop:
-				nd.iv = filter.AtLeast(order.Key(m.Mid))
-			default:
-				nd.iv = filter.AtMost(order.Key(m.Mid))
-			}
-		}
+		h.bank.Midpoint(order.Key(m.Mid), m.Full)
 
 	case wire.TypeResetBegin:
 		if err := wire.DecodeBare(frame, wire.TypeResetBegin); err != nil {
 			return false, err
 		}
-		for i := range h.nodes {
-			h.nodes[i].extracted = false
-			h.nodes[i].inTop = false
-		}
+		h.bank.ResetBegin()
 
 	case wire.TypeShutdown:
 		return false, nil
@@ -272,6 +165,11 @@ func Serve(link transport.Link) error {
 		}
 		h.buf = h.reply.Append(h.buf[:0])
 		if err := link.Send(h.buf); err != nil {
+			// The coordinator tearing the link down between our Recv and
+			// this reply is a hang-up, not a host failure.
+			if errors.Is(err, transport.ErrClosed) || errors.Is(err, io.EOF) {
+				return nil
+			}
 			return fmt.Errorf("netrun: sending reply: %w", err)
 		}
 	}

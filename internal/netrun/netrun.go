@@ -1,4 +1,4 @@
-// Package netrun is the third execution engine: it drives Algorithm 1
+// Package netrun is the networked execution engine: it drives Algorithm 1
 // over a transport.Link per peer, where each peer process hosts a
 // contiguous range of the monitored nodes and everything the coordinator
 // learns arrives in wire-encoded frames. With TCP links the monitor spans
@@ -8,23 +8,22 @@
 //
 // # Relation to the other engines
 //
-// The engine's coordinator logic mirrors internal/runtime step for step —
-// the same cohorts, the same protocol rounds, the same recording points —
-// with the batched channel commands replaced by wire messages:
+// The coordinator's decision logic is the shared sans-I/O state machine of
+// internal/coord; this package contributes only the substrate, executing
+// the machine's effects as wire messages:
 //
-//	runtime (channels)        netrun (frames)
-//	shardCmd{cObserve}        wire.Observe
-//	shardCmd{cObserveDelta}   wire.ObserveDelta
-//	shardCmd{cRound}          wire.Round
-//	shardReply                wire.Reply
-//	shardCmd{cWinner}         wire.Winner
-//	shardCmd{cMidpoint}       wire.Midpoint
-//	shardCmd{cResetBegin}     wire.ResetBegin
+//	coord effect              netrun frames
+//	(observation step)        wire.Observe / wire.ObserveDelta
+//	EffExec (per round)       wire.Round
+//	EffResetBegin             wire.ResetBegin
+//	EffWinner                 wire.Winner
+//	EffMidpoint               wire.Midpoint
+//	(reply to any command)    wire.Reply
 //
 // Every command is answered by exactly one Reply, so the links stay in
 // lockstep and replies are processed in ascending peer (hence node id)
 // order — the same deterministic order the other engines use, which is
-// what makes the three engines' randomness consume identically.
+// what makes the engines' randomness consume identically.
 //
 // # Accounting
 //
@@ -36,31 +35,25 @@
 // through TransportStats. The paper's Theorem 4.2 bounds the former; a
 // deployment pays the latter.
 //
-// The engine treats a failed or misbehaving link as fatal and panics;
-// re-balancing ranges away from dead peers is future work (see ROADMAP).
+// # Failure
+//
+// A link that dies or misbehaves mid-step does not panic: the engine
+// records the error, abandons the step, and keeps returning the last
+// successfully computed report. Err exposes the stored error so callers
+// can decide — rebalancing ranges away from dead peers is future work
+// (see ROADMAP).
 package netrun
 
 import (
 	"fmt"
 
 	"repro/internal/comm"
+	"repro/internal/coord"
 	"repro/internal/order"
 	"repro/internal/protocol"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
-
-// Protocol cohort tags carried in wire.Round.Tag. The values match the
-// cohort semantics of internal/runtime's protoTag.
-const (
-	tagViolMin uint8 = iota // violating former top-k nodes, minimum
-	tagViolMax              // violating outsiders, maximum
-	tagHandMin              // all top-k nodes, minimum
-	tagHandMax              // all outsiders, maximum
-	tagReset                // all not-yet-extracted nodes, maximum
-)
-
-func minimumTag(t uint8) bool { return t == tagViolMin || t == tagHandMin }
 
 // Config mirrors core.Config for the networked engine.
 type Config struct {
@@ -82,17 +75,12 @@ type peer struct {
 // ordered).
 type Engine struct {
 	cfg   Config
-	led   comm.Ledger
+	mach  *coord.Machine
 	peers []*peer
 
-	inTop  []bool
-	top    []int
-	keys   []order.Key // reset-extraction scratch
-	tPlus  order.Key
-	tMinus order.Key
 	step   int64
-	init   bool
 	closed bool
+	err    error // first transport/protocol failure; sticky
 
 	buf     []byte // reusable encode buffer
 	touched []bool // peers hit by the current delta
@@ -116,8 +104,7 @@ func New(cfg Config, links []transport.Link) (*Engine, error) {
 	}
 	e := &Engine{
 		cfg:     cfg,
-		inTop:   make([]bool, cfg.N),
-		top:     make([]int, 0, cfg.K),
+		mach:    coord.New(coord.Config{N: cfg.N, K: cfg.K}),
 		touched: make([]bool, len(links)),
 	}
 	// Contiguous near-even ranges: the first rem peers take one extra
@@ -168,8 +155,8 @@ func New(cfg Config, links []transport.Link) (*Engine, error) {
 func LoopbackLinks(peers int) []transport.Link {
 	links := make([]transport.Link, peers)
 	for i := range links {
-		coord, node := transport.Pipe()
-		links[i] = coord
+		coordEnd, node := transport.Pipe()
+		links[i] = coordEnd
 		go func() {
 			if err := Serve(node); err != nil {
 				panic(fmt.Sprintf("netrun: loopback host: %v", err))
@@ -206,13 +193,23 @@ func (e *Engine) Close() {
 }
 
 // Counts returns the total model message counts charged so far.
-func (e *Engine) Counts() comm.Counts { return e.led.Total() }
+func (e *Engine) Counts() comm.Counts { return e.mach.Counts() }
 
 // Ledger exposes the per-phase message and byte breakdown.
-func (e *Engine) Ledger() *comm.Ledger { return &e.led }
+func (e *Engine) Ledger() *comm.Ledger { return e.mach.Ledger() }
 
 // Bytes returns the total charged model bytes.
-func (e *Engine) Bytes() comm.Bytes { return e.led.TotalBytes() }
+func (e *Engine) Bytes() comm.Bytes { return e.mach.Bytes() }
+
+// Stats returns execution counters (maintained by the shared coordinator
+// core, identical across engines for the same seed).
+func (e *Engine) Stats() coord.Stats { return e.mach.Stats() }
+
+// Err returns the first transport or protocol failure the engine hit, or
+// nil. Once set, the engine is wedged: observation calls return the last
+// successfully computed report without touching the links, and the ledger
+// stops advancing. Close remains safe.
+func (e *Engine) Err() error { return e.err }
 
 // TransportStats sums the per-link transport statistics over all peers:
 // the frames and framed bytes that actually crossed the links, control
@@ -229,61 +226,75 @@ func (e *Engine) TransportStats() transport.LinkStats {
 func (e *Engine) Peers() int { return len(e.peers) }
 
 // Top returns the current top-k ids ascending, as a read-only view owned
-// by the engine (see AppendTop).
-func (e *Engine) Top() []int { return e.top }
+// by the engine: it is invalidated by the next step that changes the top
+// set, and mutating it corrupts the engine (see AppendTop).
+func (e *Engine) Top() []int { return e.mach.Top() }
 
-// AppendTop appends the current top-k ids (ascending) to dst.
-func (e *Engine) AppendTop(dst []int) []int { return append(dst, e.top...) }
+// AppendTop appends the current top-k ids (ascending) to dst and returns
+// the extended slice. The appended values are copies owned by the caller:
+// they stay valid across later steps, and mutating them never affects the
+// engine.
+func (e *Engine) AppendTop(dst []int) []int { return e.mach.AppendTop(dst) }
 
-// fatal reports an unrecoverable transport or protocol error.
-func (e *Engine) fatal(p *peer, op string, err error) {
-	panic(fmt.Sprintf("netrun: peer [%d, %d): %s: %v", p.lo, p.hi, op, err))
+// fail records an unrecoverable transport or protocol error; the engine
+// returns last-good reports from here on.
+func (e *Engine) fail(p *peer, op string, err error) error {
+	e.err = fmt.Errorf("netrun: peer [%d, %d): %s: %w", p.lo, p.hi, op, err)
+	return e.err
 }
 
 // send ships one pre-encoded frame to a peer.
-func (e *Engine) send(p *peer, frame []byte, op string) {
+func (e *Engine) send(p *peer, frame []byte, op string) error {
 	if err := p.link.Send(frame); err != nil {
-		e.fatal(p, op, err)
+		return e.fail(p, op, err)
 	}
+	return nil
 }
 
 // recvReply reads and decodes a peer's mandatory Reply.
-func (e *Engine) recvReply(p *peer, op string) {
+func (e *Engine) recvReply(p *peer, op string) error {
 	frame, err := p.link.Recv()
 	if err != nil {
-		e.fatal(p, op, err)
+		return e.fail(p, op, err)
 	}
 	if err := p.reply.Decode(frame); err != nil {
-		e.fatal(p, op, err)
+		return e.fail(p, op, err)
 	}
+	return nil
 }
 
 // broadcast ships the same frame to every peer and collects the replies
 // in peer order.
-func (e *Engine) broadcast(frame []byte, op string) {
+func (e *Engine) broadcast(frame []byte, op string) error {
 	for _, p := range e.peers {
-		e.send(p, frame, op)
+		if err := e.send(p, frame, op); err != nil {
+			return err
+		}
 	}
 	for _, p := range e.peers {
-		e.recvReply(p, op)
+		if err := e.recvReply(p, op); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // unicast routes a frame to the peer owning node id and awaits its reply.
-func (e *Engine) unicast(id int, frame []byte, op string) {
+func (e *Engine) unicast(id int, frame []byte, op string) error {
 	for _, p := range e.peers {
 		if id >= p.lo && id < p.hi {
-			e.send(p, frame, op)
-			e.recvReply(p, op)
-			return
+			if err := e.send(p, frame, op); err != nil {
+				return err
+			}
+			return e.recvReply(p, op)
 		}
 	}
 	panic(fmt.Sprintf("netrun: no peer owns node %d", id))
 }
 
 // Observe processes one dense time step and returns the reported top-k
-// ids ascending (a read-only view). It panics after Close or on a dead
-// link.
+// ids ascending (a read-only view). It panics after Close; on a dead link
+// it records the error (see Err) and returns the last-good report.
 func (e *Engine) Observe(vals []int64) []int {
 	if e.closed {
 		panic("netrun: Observe after Close")
@@ -291,14 +302,21 @@ func (e *Engine) Observe(vals []int64) []int {
 	if len(vals) != e.cfg.N {
 		panic(fmt.Sprintf("netrun: observed %d values for %d nodes", len(vals), e.cfg.N))
 	}
-	e.step++
+	if e.err != nil {
+		return e.mach.Top()
+	}
+	e.step = e.mach.BeginStep()
 	for _, p := range e.peers {
 		e.buf = wire.Observe{Step: e.step, Vals: vals[p.lo:p.hi]}.Append(e.buf[:0])
-		e.send(p, e.buf, "observe")
+		if err := e.send(p, e.buf, "observe"); err != nil {
+			return e.mach.Top()
+		}
 	}
 	anyTop, anyOut := false, false
 	for _, p := range e.peers {
-		e.recvReply(p, "observe")
+		if err := e.recvReply(p, "observe"); err != nil {
+			return e.mach.Top()
+		}
 		anyTop = anyTop || p.reply.TopViol
 		anyOut = anyOut || p.reply.OutViol
 	}
@@ -309,7 +327,8 @@ func (e *Engine) Observe(vals []int64) []int {
 // new value, every other node repeats. ids must be strictly increasing.
 // Only peers owning a touched node exchange frames, so a violation-free
 // sparse step costs transport traffic proportional to the touched peers.
-// Semantics match core.Monitor.ObserveDelta exactly.
+// Semantics match core.Monitor.ObserveDelta exactly; failure behaves as
+// in Observe.
 func (e *Engine) ObserveDelta(ids []int, vals []int64) []int {
 	if e.closed {
 		panic("netrun: ObserveDelta after Close")
@@ -324,7 +343,10 @@ func (e *Engine) ObserveDelta(ids []int, vals []int64) []int {
 		}
 		prev = id
 	}
-	e.step++
+	if e.err != nil {
+		return e.mach.Top()
+	}
+	e.step = e.mach.BeginStep()
 	// Ship each peer its slice of the (sorted) delta.
 	clear(e.touched)
 	start := 0
@@ -336,7 +358,9 @@ func (e *Engine) ObserveDelta(ids []int, vals []int64) []int {
 		if stop > start {
 			e.touched[pi] = true
 			e.buf = wire.ObserveDelta{Step: e.step, IDs: ids[start:stop], Vals: vals[start:stop]}.Append(e.buf[:0])
-			e.send(p, e.buf, "observe-delta")
+			if err := e.send(p, e.buf, "observe-delta"); err != nil {
+				return e.mach.Top()
+			}
 		}
 		start = stop
 	}
@@ -345,135 +369,72 @@ func (e *Engine) ObserveDelta(ids []int, vals []int64) []int {
 		if !e.touched[pi] {
 			continue
 		}
-		e.recvReply(p, "observe-delta")
+		if err := e.recvReply(p, "observe-delta"); err != nil {
+			return e.mach.Top()
+		}
 		anyTop = anyTop || p.reply.TopViol
 		anyOut = anyOut || p.reply.OutViol
 	}
 	return e.finishStep(anyTop, anyOut)
 }
 
-// execProtocol runs one Algorithm 2 execution over the cohort selected by
-// tag, charging Up per bid and Bcast per round exactly like the other
-// engines.
-func (e *Engine) execProtocol(tag uint8, bound int, rec comm.Recorder) (winID int, winKey order.Key, any bool) {
-	rounds := protocol.Rounds(bound)
-	best := order.NegInf // in the executing protocol's comparison domain
-	winID = -1
-	for r := 0; r < rounds; r++ {
-		e.buf = wire.Round{Tag: tag, Round: r, Best: int64(best), Bound: bound, Step: e.step}.Append(e.buf[:0])
-		for _, p := range e.peers {
-			e.send(p, e.buf, "round")
+// finishStep drives the coordinator machine through the rest of the step,
+// executing its effects as frames. On a link failure it abandons the step
+// (the error is stored) and returns the last-good report.
+func (e *Engine) finishStep(anyTopViol, anyOutViol bool) []int {
+	eff := e.mach.FinishStep(anyTopViol, anyOutViol)
+	for eff.Kind != coord.EffDone {
+		var err error
+		switch eff.Kind {
+		case coord.EffExec:
+			var res protocol.Result
+			if res, err = e.execProtocol(eff); err == nil {
+				eff = e.mach.ExecDone(res.OK, res.ID, res.Key)
+			}
+		case coord.EffResetBegin:
+			if err = e.broadcast(wire.AppendBare(e.buf[:0], wire.TypeResetBegin), "reset-begin"); err == nil {
+				eff = e.mach.Ack()
+			}
+		case coord.EffWinner:
+			e.buf = wire.Winner{Target: eff.Target, IsTop: eff.IsTop}.Append(e.buf[:0])
+			if err = e.unicast(eff.Target, e.buf, "winner"); err == nil {
+				eff = e.mach.Ack()
+			}
+		case coord.EffMidpoint:
+			e.buf = wire.Midpoint{Mid: int64(eff.Mid), Full: eff.Full}.Append(e.buf[:0])
+			if err = e.broadcast(e.buf, "midpoint"); err == nil {
+				eff = e.mach.Ack()
+			}
+		default:
+			panic(fmt.Sprintf("netrun: unknown coordinator effect %d", eff.Kind))
 		}
+		if err != nil {
+			return e.mach.Top()
+		}
+	}
+	return e.mach.Top()
+}
+
+// execProtocol runs one Algorithm 2 execution over the effect's cohort,
+// charging Up per bid and Bcast per round exactly like the other engines.
+func (e *Engine) execProtocol(eff coord.Effect) (protocol.Result, error) {
+	ex := protocol.NewExec(eff.Bound, coord.MinimumTag(eff.Tag), e.mach.Recorder(eff.Phase), nil, e.step)
+	for ex.More() {
+		e.buf = wire.Round{Tag: eff.Tag, Round: ex.Round(), Best: int64(ex.Best()), Bound: eff.Bound, Step: e.step}.Append(e.buf[:0])
 		for _, p := range e.peers {
-			e.recvReply(p, "round")
-			for j, id := range p.reply.IDs {
-				key := order.Key(p.reply.Keys[j])
-				comm.RecordSized(rec, comm.Up, 1, wire.SizeBid(id, int64(key)))
-				any = true
-				cmp := key
-				if minimumTag(tag) {
-					cmp = order.Neg(cmp)
-				}
-				if cmp > best {
-					best = cmp
-					winID = id
-					winKey = key
-				}
+			if err := e.send(p, e.buf, "round"); err != nil {
+				return protocol.Result{}, err
 			}
 		}
-		comm.RecordSized(rec, comm.Bcast, 1, wire.SizeBest(r, int64(best)))
-	}
-	return winID, winKey, any
-}
-
-// finishStep runs the coordinator side of Algorithm 1 after the node-local
-// filter checks of one step. It is runtime.Runtime.finishStep over frames.
-func (e *Engine) finishStep(anyTopViol, anyOutViol bool) []int {
-	if !e.init {
-		e.reset()
-		e.init = true
-		return e.top
-	}
-	if !anyTopViol && !anyOutViol {
-		return e.top
-	}
-
-	vrec := e.led.InPhase(comm.PhaseViolation)
-	var minKey, maxKey order.Key
-	minOK, maxOK := false, false
-	if anyTopViol {
-		_, minKey, minOK = e.execProtocol(tagViolMin, e.cfg.K, vrec)
-	}
-	if anyOutViol {
-		_, maxKey, maxOK = e.execProtocol(tagViolMax, e.cfg.N-e.cfg.K, vrec)
-	}
-
-	hrec := e.led.InPhase(comm.PhaseHandler)
-	if !maxOK {
-		_, maxKey, maxOK = e.execProtocol(tagHandMax, e.cfg.N-e.cfg.K, hrec)
-	} else {
-		_, minKey, minOK = e.execProtocol(tagHandMin, e.cfg.K, hrec)
-	}
-	if minOK {
-		e.tPlus = order.Min(e.tPlus, minKey)
-	}
-	if maxOK {
-		e.tMinus = order.Max(e.tMinus, maxKey)
-	}
-
-	if e.tPlus < e.tMinus {
-		e.reset()
-		return e.top
-	}
-	mid := order.Midpoint(e.tMinus, e.tPlus)
-	comm.RecordSized(hrec, comm.Bcast, 1, wire.SizeMidpoint(int64(mid)))
-	e.buf = wire.Midpoint{Mid: int64(mid)}.Append(e.buf[:0])
-	e.broadcast(e.buf, "midpoint")
-	return e.top
-}
-
-// reset is FILTERRESET: k+1 maximum extractions with population bound n,
-// then fresh midpoint filters.
-func (e *Engine) reset() {
-	rec := e.led.InPhase(comm.PhaseReset)
-	e.broadcast(wire.AppendBare(e.buf[:0], wire.TypeResetBegin), "reset-begin")
-	for i := range e.inTop {
-		e.inTop[i] = false
-	}
-	want := e.cfg.K + 1
-	if want > e.cfg.N {
-		want = e.cfg.N
-	}
-	e.keys = e.keys[:0]
-	for j := 0; j < want; j++ {
-		id, key, any := e.execProtocol(tagReset, e.cfg.N, rec)
-		if !any {
-			panic("netrun: reset extraction found no participant")
+		for _, p := range e.peers {
+			if err := e.recvReply(p, "round"); err != nil {
+				return protocol.Result{}, err
+			}
+			for j, id := range p.reply.IDs {
+				ex.Bid(id, order.Key(p.reply.Keys[j]))
+			}
 		}
-		isTop := j < e.cfg.K
-		e.buf = wire.Winner{Target: id, IsTop: isTop}.Append(e.buf[:0])
-		e.unicast(id, e.buf, "winner")
-		if isTop {
-			e.inTop[id] = true
-		}
-		e.keys = append(e.keys, key)
+		ex.EndRound()
 	}
-	e.top = e.top[:0]
-	for id, in := range e.inTop {
-		if in {
-			e.top = append(e.top, id)
-		}
-	}
-	if e.cfg.K == e.cfg.N {
-		e.tPlus = e.keys[len(e.keys)-1]
-		e.tMinus = order.NegInf
-		e.broadcast(wire.Midpoint{Full: true}.Append(e.buf[:0]), "midpoint-full")
-		return
-	}
-	kth, kPlus1 := e.keys[e.cfg.K-1], e.keys[e.cfg.K]
-	e.tPlus, e.tMinus = kth, kPlus1
-	mid := order.Midpoint(kPlus1, kth)
-	comm.RecordSized(rec, comm.Bcast, 1, wire.SizeMidpoint(int64(mid)))
-	e.buf = wire.Midpoint{Mid: int64(mid)}.Append(e.buf[:0])
-	e.broadcast(e.buf, "midpoint")
+	return ex.Result(), nil
 }

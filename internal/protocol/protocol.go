@@ -140,6 +140,108 @@ func (s *Scratch) Minimum(parts []Participant, bound int, rec comm.Recorder, tr 
 	return run(parts, bound, rec, tr, step, true, s)
 }
 
+// Exec is the coordinator-side round driver of one Algorithm 2 execution:
+// it tracks the best value broadcast so far, charges one Up per delivered
+// bid and one Bcast per finished round, and remembers the winner. It is
+// the single copy of that loop shared by every execution substrate — the
+// in-process run below, the sharded channel engine (internal/runtime), the
+// networked engine (internal/netrun) and the shard agents
+// (internal/shardrun) all drive it:
+//
+//	ex := protocol.NewExec(bound, minimum, rec, nil, step)
+//	for ex.More() {
+//	    r, best := ex.Round(), ex.Best()
+//	    // substrate-specific: run sampler round r against best on the
+//	    // cohort, delivering every send in ascending node-id order
+//	    ex.Bid(id, key) // per send
+//	    ex.EndRound()
+//	}
+//	res := ex.Result()
+//
+// Bids within a round must be delivered in ascending node id order — the
+// order every engine's fan-in produces — so that ties (possible only
+// before the distinctness injection is established) resolve identically
+// everywhere.
+type Exec struct {
+	minimum bool
+	rounds  int
+	r       int
+	step    int64
+	rec     comm.Recorder
+	tr      *comm.Trace
+
+	best   order.Key // running best in the comparison domain
+	winID  int
+	winKey order.Key
+	any    bool
+}
+
+// NewExec starts one execution with the given population bound, in the
+// minimum (order-dual) sense when minimum is set, charging onto rec and
+// optionally tracing with the given step tag.
+func NewExec(bound int, minimum bool, rec comm.Recorder, tr *comm.Trace, step int64) Exec {
+	return Exec{
+		minimum: minimum,
+		rounds:  Rounds(bound),
+		step:    step,
+		rec:     rec,
+		tr:      tr,
+		best:    order.NegInf,
+		winID:   -1,
+		winKey:  order.NegInf,
+	}
+}
+
+// More reports whether another round remains to be executed.
+func (e *Exec) More() bool { return e.r < e.rounds }
+
+// Round returns the index of the current round.
+func (e *Exec) Round() int { return e.r }
+
+// Best returns the best value broadcast at the end of the previous round
+// (the paper's max_{r-1}), in the execution's comparison domain — the
+// value the current round's sampler decisions compare against.
+func (e *Exec) Best() order.Key { return e.best }
+
+// Bid delivers one node's send of the current round: it charges the Up
+// message and advances the running best. key is the node's true key; the
+// order-dual negation for minimum executions happens internally.
+func (e *Exec) Bid(id int, key order.Key) {
+	comm.RecordSized(e.rec, comm.Up, 1, wire.SizeBid(id, int64(key)))
+	e.tr.Append(comm.Event{Step: e.step, Kind: comm.Up, From: id, To: comm.Coordinator, Payload: int64(key), Note: "proto send"})
+	e.any = true
+	cmp := key
+	if e.minimum {
+		cmp = order.Neg(cmp)
+	}
+	if cmp > e.best {
+		e.best = cmp
+		e.winID = id
+		e.winKey = key
+	}
+}
+
+// EndRound closes the current round: it charges the end-of-round broadcast
+// (carrying the running best, updated with this round's bids) and advances
+// to the next round.
+func (e *Exec) EndRound() {
+	if !e.More() {
+		panic("protocol: EndRound past the final round")
+	}
+	comm.RecordSized(e.rec, comm.Bcast, 1, wire.SizeBest(e.r, int64(e.best)))
+	e.tr.Append(comm.Event{Step: e.step, Kind: comm.Bcast, From: comm.Coordinator, To: comm.Everyone, Payload: int64(e.best), Note: "proto round"})
+	e.r++
+}
+
+// Result returns the execution's outcome: OK is false when no participant
+// ever sent (the cohort was empty).
+func (e *Exec) Result() Result {
+	if !e.any {
+		return Result{OK: false, ID: -1, Key: order.NegInf, Rounds: e.r}
+	}
+	return Result{OK: true, ID: e.winID, Key: e.winKey, Rounds: e.r}
+}
+
 func run(parts []Participant, bound int, rec comm.Recorder, tr *comm.Trace, step int64, negate bool, s *Scratch) Result {
 	if len(parts) == 0 {
 		return Result{OK: false, ID: -1, Key: order.NegInf}
@@ -165,32 +267,19 @@ func run(parts []Participant, bound int, rec comm.Recorder, tr *comm.Trace, step
 	for i, p := range parts {
 		samplers[i] = NewSampler(key(p), bound)
 	}
-	best := order.NegInf
-	bestIdx := -1
-	rounds := Rounds(bound)
-	for r := 0; r < rounds; r++ {
-		// Decisions within a round are independent and compare against the
-		// best value broadcast at the END of the previous round (the
-		// paper's max_{r-1}); the running best therefore only advances at
-		// the round boundary.
-		roundBest := best
+	ex := NewExec(bound, negate, rec, tr, step)
+	for ex.More() {
+		r, roundBest := ex.Round(), ex.Best()
 		for i, p := range parts {
 			if samplers[i].Round(roundBest, uint(r), p.RNG) {
-				comm.RecordSized(rec, comm.Up, 1, wire.SizeBid(p.ID, int64(p.Key)))
-				tr.Append(comm.Event{Step: step, Kind: comm.Up, From: p.ID, To: comm.Coordinator, Payload: int64(p.Key), Note: "proto send"})
-				if k := key(p); k > best {
-					best = k
-					bestIdx = i
-				}
+				ex.Bid(p.ID, p.Key)
 			}
 		}
-		comm.RecordSized(rec, comm.Bcast, 1, wire.SizeBest(r, int64(best)))
-		tr.Append(comm.Event{Step: step, Kind: comm.Bcast, From: comm.Coordinator, To: comm.Everyone, Payload: int64(best), Note: "proto round"})
+		ex.EndRound()
 	}
 	// The final round samples with probability 1, so every participant not
-	// dominated earlier has sent; bestIdx is the true extremum.
-	winner := parts[bestIdx]
-	return Result{OK: true, ID: winner.ID, Key: winner.Key, Rounds: rounds}
+	// dominated earlier has sent; the tracked winner is the true extremum.
+	return ex.Result()
 }
 
 // Extractor computes the maximum over a participant set; Maximum and

@@ -28,7 +28,6 @@ type OrderedRuntime struct {
 	ordLo   map[int]order.Key
 	ordHi   map[int]order.Key
 	ordered []int // member ids, rank 1 first
-	resets  int64 // observed set-layer resets (from count of cResetBegin)
 }
 
 // NewOrdered starts an ordered concurrent monitor. Callers must Close it.
@@ -59,10 +58,10 @@ func (ot *OrderedRuntime) Top() []int { return append([]int(nil), ot.ordered...)
 
 // Observe processes one time step and returns the ranking.
 func (ot *OrderedRuntime) Observe(vals []int64) []int {
-	resetsBefore := ot.rt.resets
+	resetsBefore := ot.rt.Stats().Resets
 	ot.rt.Observe(vals)
 
-	if ot.rt.resets != resetsBefore || len(ot.ordered) == 0 {
+	if ot.rt.Stats().Resets != resetsBefore || len(ot.ordered) == 0 {
 		ot.rebuild()
 		return ot.Top()
 	}
@@ -79,11 +78,9 @@ func (ot *OrderedRuntime) rebuild() {
 	clear(ot.ordLo)
 	clear(ot.ordHi)
 	ot.ordered = ot.ordered[:0]
-	for id, in := range ot.rt.inTop {
-		if in {
-			ot.est[id] = ot.rt.lastKeys[id]
-			ot.ordered = append(ot.ordered, id)
-		}
+	for _, id := range ot.rt.Top() {
+		ot.est[id] = ot.rt.lastKeys[id]
+		ot.ordered = append(ot.ordered, id)
 	}
 	ot.sortByEst()
 	ot.installBounds(comm.Discard, true)
@@ -93,7 +90,7 @@ func (ot *OrderedRuntime) rebuild() {
 // current key left their interval report it (counted Up), the coordinator
 // re-sorts and reassigns intervals (counted Down per change), until quiet.
 func (ot *OrderedRuntime) cascade() {
-	rec := ot.rt.led.InPhase(comm.PhaseHandler)
+	rec := ot.rt.mach.Recorder(comm.PhaseHandler)
 	for {
 		changed := false
 		for _, id := range ot.ordered {

@@ -5,6 +5,12 @@
 // key, filter, membership flag, private RNG) and everything the
 // coordinator learns about values arrives in counted messages.
 //
+// The coordinator's decision logic is the shared sans-I/O state machine of
+// internal/coord; this package contributes only the substrate: it
+// translates the machine's effects into batched shard commands, fans the
+// replies back in, and hosts the node-side state (one coord.Nodes view per
+// shard goroutine).
+//
 // # Synchrony and the control plane
 //
 // The paper's model is synchronous: observations happen in lockstep and an
@@ -38,11 +44,9 @@ import (
 	"sync"
 
 	"repro/internal/comm"
-	"repro/internal/filter"
+	"repro/internal/coord"
 	"repro/internal/order"
 	"repro/internal/protocol"
-	"repro/internal/rng"
-	"repro/internal/wire"
 )
 
 // Config mirrors core.Config for the concurrent engine.
@@ -69,19 +73,6 @@ const (
 	cOrderBounds // ordered variant: install new order-filter bounds
 )
 
-// protoTag identifies which cohort participates in a protocol round.
-type protoTag int
-
-const (
-	tagViolMin protoTag = iota // violating former top-k nodes, minimum
-	tagViolMax                 // violating outsiders, maximum
-	tagHandMin                 // all top-k nodes, minimum
-	tagHandMax                 // all outsiders, maximum
-	tagReset                   // all not-yet-extracted nodes, maximum
-)
-
-func (t protoTag) minimum() bool { return t == tagViolMin || t == tagHandMin }
-
 // shardCmd is one batched command delivered to a shard. It applies to all
 // of the shard's nodes unless target selects a single node.
 type shardCmd struct {
@@ -90,7 +81,7 @@ type shardCmd struct {
 	vals  []int64   // cObserve: the full dense observation vector
 	ids   []int     // cObserveDelta: strictly increasing changed node ids
 	dvals []int64   // cObserveDelta: values parallel to ids
-	tag   protoTag  // cRound
+	tag   uint8     // cRound: protocol cohort (coord.Tag* value)
 	round int       // cRound
 	best  order.Key // cRound: best-so-far in the sampler's comparison domain
 	bound int       // cRound: population bound N of the protocol
@@ -117,64 +108,15 @@ type shardReply struct {
 	sends            []send
 }
 
-// node is the per-node distributed state, hosted by its shard's goroutine.
-type node struct {
-	id        int
-	rng       *rng.RNG
-	key       order.Key
-	iv        filter.Interval
-	ordIv     filter.Interval // order filter (ordered variant only)
-	inTop     bool
-	wasTop    bool  // membership at the time of the last violation
-	violStep  int64 // observation step of the last filter violation
-	extracted bool
-	sampler   protocol.Sampler
-}
-
-func (nd *node) participates(tag protoTag, step int64) bool {
-	switch tag {
-	case tagViolMin:
-		return nd.violStep == step && nd.wasTop
-	case tagViolMax:
-		return nd.violStep == step && !nd.wasTop
-	case tagHandMin:
-		return nd.inTop
-	case tagHandMax:
-		return !nd.inTop
-	case tagReset:
-		return !nd.extracted
-	default:
-		panic(fmt.Sprintf("runtime: unknown protocol tag %d", tag))
-	}
-}
-
-// shard hosts a contiguous range of nodes [lo, hi) on one goroutine.
+// shard drives one coord.Nodes view — a contiguous range [lo, hi) — on
+// its own goroutine, answering batched commands.
 type shard struct {
-	idx      int
-	lo, hi   int
-	nodes    []node
-	distinct bool
-	codec    order.Codec
-	cmd      chan shardCmd
-	out      chan<- shardReply
-	buf      []send // reusable sends buffer, aliased by replies
-}
-
-func (sh *shard) observeNode(nd *node, v int64, step int64, rp *shardReply) {
-	if sh.distinct {
-		nd.key = order.Key(v)
-	} else {
-		nd.key = sh.codec.Encode(v, nd.id)
-	}
-	if violated, _ := nd.iv.Violates(nd.key); violated {
-		nd.violStep = step
-		nd.wasTop = nd.inTop
-		if nd.inTop {
-			rp.topViol = true
-		} else {
-			rp.outViol = true
-		}
-	}
+	idx    int
+	lo, hi int
+	bank   *coord.Nodes
+	cmd    chan shardCmd
+	out    chan<- shardReply
+	buf    []send // reusable sends buffer, aliased by replies
 }
 
 func (sh *shard) run() {
@@ -183,9 +125,10 @@ func (sh *shard) run() {
 		sh.buf = sh.buf[:0]
 		switch c.kind {
 		case cObserve:
-			for i := range sh.nodes {
-				nd := &sh.nodes[i]
-				sh.observeNode(nd, c.vals[nd.id], c.step, &rp)
+			for id := sh.lo; id < sh.hi; id++ {
+				t, o := sh.bank.Observe(id, c.vals[id], c.step)
+				rp.topViol = rp.topViol || t
+				rp.outViol = rp.outViol || o
 			}
 
 		case cObserveDelta:
@@ -194,64 +137,34 @@ func (sh *shard) run() {
 			// violate (per-step filter invariant).
 			start := sort.SearchInts(c.ids, sh.lo)
 			for j := start; j < len(c.ids) && c.ids[j] < sh.hi; j++ {
-				nd := &sh.nodes[c.ids[j]-sh.lo]
-				sh.observeNode(nd, c.dvals[j], c.step, &rp)
+				t, o := sh.bank.Observe(c.ids[j], c.dvals[j], c.step)
+				rp.topViol = rp.topViol || t
+				rp.outViol = rp.outViol || o
 			}
 
 		case cResetBegin:
-			for i := range sh.nodes {
-				sh.nodes[i].extracted = false
-				sh.nodes[i].inTop = false
-			}
+			sh.bank.ResetBegin()
 
 		case cRound:
-			for i := range sh.nodes {
-				nd := &sh.nodes[i]
-				if !nd.participates(c.tag, c.step) {
-					continue
-				}
-				if c.round == 0 {
-					k := nd.key
-					if c.tag.minimum() {
-						k = order.Neg(k)
-					}
-					nd.sampler = protocol.NewSampler(k, c.bound)
-				}
-				if nd.sampler.Round(c.best, uint(c.round), nd.rng) {
-					sh.buf = append(sh.buf, send{id: nd.id, key: nd.key})
-				}
-			}
+			sh.bank.Round(c.tag, c.round, c.best, c.bound, c.step, func(id int, key order.Key) {
+				sh.buf = append(sh.buf, send{id: id, key: key})
+			})
 			rp.sends = sh.buf
 
 		case cWinner:
-			nd := &sh.nodes[c.tgt-sh.lo]
-			nd.extracted = true
-			if c.isTop {
-				nd.inTop = true
-			}
+			sh.bank.Winner(c.tgt, c.isTop)
 
 		case cMidpoint:
-			for i := range sh.nodes {
-				nd := &sh.nodes[i]
-				switch {
-				case c.full:
-					nd.iv = filter.Full()
-				case nd.inTop:
-					nd.iv = filter.AtLeast(c.mid)
-				default:
-					nd.iv = filter.AtMost(c.mid)
-				}
-			}
+			sh.bank.Midpoint(c.mid, c.full)
 
 		case cOrderCheck:
-			nd := &sh.nodes[c.tgt-sh.lo]
-			if violated, _ := nd.ordIv.Violates(nd.key); violated {
-				sh.buf = append(sh.buf, send{id: nd.id, key: nd.key})
+			if key, violated := sh.bank.OrderViolated(c.tgt); violated {
+				sh.buf = append(sh.buf, send{id: c.tgt, key: key})
 				rp.sends = sh.buf
 			}
 
 		case cOrderBounds:
-			sh.nodes[c.tgt-sh.lo].ordIv = filter.Interval{Lo: c.lo, Hi: c.mid}
+			sh.bank.SetOrderBounds(c.tgt, c.lo, c.mid)
 
 		default:
 			panic(fmt.Sprintf("runtime: unknown command kind %d", c.kind))
@@ -265,8 +178,7 @@ func (sh *shard) run() {
 // model); internal node parallelism is managed by the coordinator.
 type Runtime struct {
 	cfg       Config
-	led       comm.Ledger
-	nodes     []node
+	mach      *coord.Machine
 	shards    []*shard
 	shardSize int
 	in        chan shardReply
@@ -275,17 +187,12 @@ type Runtime struct {
 	replies []shardReply // reusable per-round reply table, indexed by shard
 	touched []int        // reusable scratch: shard indices hit by a delta
 
-	inTop  []bool // coordinator's view of the membership
-	top    []int  // cached reported top-k ids, ascending
-	tPlus  order.Key
-	tMinus order.Key
 	step   int64
-	init   bool
 	closed bool
 
-	// Ordered-variant bookkeeping.
-	resets   int64             // reset executions, including initialization
-	lastKeys map[int]order.Key // keys revealed by the latest reset's extractions
+	// Ordered-variant bookkeeping: keys revealed by the latest reset's
+	// extractions.
+	lastKeys map[int]order.Key
 }
 
 // New starts the shard goroutines and returns the runtime. Callers must
@@ -310,32 +217,16 @@ func New(cfg Config) *Runtime {
 
 	rt := &Runtime{
 		cfg:       cfg,
-		nodes:     make([]node, cfg.N),
+		mach:      coord.New(coord.Config{N: cfg.N, K: cfg.K}),
 		shardSize: shardSize,
 		in:        make(chan shardReply, nshards),
 		replies:   make([]shardReply, nshards),
-		inTop:     make([]bool, cfg.N),
-		top:       make([]int, 0, cfg.K),
 		lastKeys:  make(map[int]order.Key),
 	}
-	codec := order.NewCodec(cfg.N)
-	// The RNG stream layout matches core.New exactly; engine equivalence
-	// depends on it.
-	root := rng.New(cfg.Seed, 0xc02e)
-	for i := 0; i < cfg.N; i++ {
-		key := order.Key(0)
-		if !cfg.DistinctValues {
-			key = codec.Encode(0, i)
-		}
-		rt.nodes[i] = node{
-			id:       i,
-			rng:      root.Split(uint64(i)),
-			key:      key,
-			iv:       filter.Full(),
-			ordIv:    filter.Full(),
-			violStep: -1,
-		}
-	}
+	// One bank construction pays the RNG split walk; shards take disjoint
+	// views of it. The stream layout matches core.New exactly; engine
+	// equivalence depends on it.
+	bank := coord.NewNodes(cfg.N, 0, cfg.N, cfg.Seed, cfg.DistinctValues)
 	for s := 0; s < nshards; s++ {
 		lo := s * shardSize
 		hi := lo + shardSize
@@ -343,14 +234,12 @@ func New(cfg Config) *Runtime {
 			hi = cfg.N
 		}
 		sh := &shard{
-			idx:      s,
-			lo:       lo,
-			hi:       hi,
-			nodes:    rt.nodes[lo:hi:hi],
-			distinct: cfg.DistinctValues,
-			codec:    codec,
-			cmd:      make(chan shardCmd, 1),
-			out:      rt.in,
+			idx:  s,
+			lo:   lo,
+			hi:   hi,
+			bank: bank.Sub(lo, hi),
+			cmd:  make(chan shardCmd, 1),
+			out:  rt.in,
 		}
 		rt.shards = append(rt.shards, sh)
 		rt.wg.Add(1)
@@ -375,23 +264,29 @@ func (rt *Runtime) Close() {
 }
 
 // Counts returns the total message counts charged so far.
-func (rt *Runtime) Counts() comm.Counts { return rt.led.Total() }
+func (rt *Runtime) Counts() comm.Counts { return rt.mach.Counts() }
 
 // Bytes returns the total encoded size of the charged messages (the
 // sim.ByteCounter accessor).
-func (rt *Runtime) Bytes() comm.Bytes { return rt.led.TotalBytes() }
+func (rt *Runtime) Bytes() comm.Bytes { return rt.mach.Bytes() }
 
 // Ledger exposes the per-phase breakdown.
-func (rt *Runtime) Ledger() *comm.Ledger { return &rt.led }
+func (rt *Runtime) Ledger() *comm.Ledger { return rt.mach.Ledger() }
+
+// Stats returns execution counters (maintained by the shared coordinator
+// core, identical across engines for the same seed).
+func (rt *Runtime) Stats() coord.Stats { return rt.mach.Stats() }
 
 // Top returns the current top-k ids ascending. The returned slice is a
-// read-only view owned by the runtime, invalidated by the next reset; use
-// AppendTop to copy.
-func (rt *Runtime) Top() []int { return rt.top }
+// read-only view owned by the runtime, invalidated by the next reset, and
+// mutating it corrupts the engine; use AppendTop to copy.
+func (rt *Runtime) Top() []int { return rt.mach.Top() }
 
 // AppendTop appends the current top-k ids (ascending) to dst and returns
-// the extended slice.
-func (rt *Runtime) AppendTop(dst []int) []int { return append(dst, rt.top...) }
+// the extended slice. The appended values are copies owned by the caller:
+// they stay valid across later steps, and mutating them never affects the
+// engine.
+func (rt *Runtime) AppendTop(dst []int) []int { return rt.mach.AppendTop(dst) }
 
 // broadcast sends the command to every shard and collects one batched
 // reply per shard into the reusable reply table. The fan-out/fan-in is
@@ -415,36 +310,6 @@ func (rt *Runtime) unicast(id int, c shardCmd) shardReply {
 	return <-rt.in
 }
 
-// execProtocol runs one Algorithm 2 execution over the cohort selected by
-// tag, with the given population bound, recording Up per node send and
-// Bcast per round. It returns the winner (in the tag's extremal sense) and
-// whether anyone sent.
-func (rt *Runtime) execProtocol(tag protoTag, bound int, rec comm.Recorder) (winID int, winKey order.Key, any bool) {
-	rounds := protocol.Rounds(bound)
-	best := order.NegInf // in the sampler's comparison domain
-	winID = -1
-	for r := 0; r < rounds; r++ {
-		replies := rt.broadcast(shardCmd{kind: cRound, tag: tag, round: r, best: best, bound: bound, step: rt.step})
-		for i := range replies {
-			for _, sd := range replies[i].sends {
-				comm.RecordSized(rec, comm.Up, 1, wire.SizeBid(sd.id, int64(sd.key)))
-				any = true
-				cmp := sd.key
-				if tag.minimum() {
-					cmp = order.Neg(cmp)
-				}
-				if cmp > best {
-					best = cmp
-					winID = sd.id
-					winKey = sd.key
-				}
-			}
-		}
-		comm.RecordSized(rec, comm.Bcast, 1, wire.SizeBest(r, int64(best)))
-	}
-	return winID, winKey, any
-}
-
 // Observe processes one dense time step and returns the reported top-k ids
 // ascending (a read-only view, as with Top). It panics after Close.
 func (rt *Runtime) Observe(vals []int64) []int {
@@ -454,7 +319,7 @@ func (rt *Runtime) Observe(vals []int64) []int {
 	if len(vals) != rt.cfg.N {
 		panic(fmt.Sprintf("runtime: observed %d values for %d nodes", len(vals), rt.cfg.N))
 	}
-	rt.step++
+	rt.step = rt.mach.BeginStep()
 	anyTop, anyOut := false, false
 	for _, sh := range rt.shards {
 		sh.cmd <- shardCmd{kind: cObserve, vals: vals, step: rt.step}
@@ -491,7 +356,7 @@ func (rt *Runtime) ObserveDelta(ids []int, vals []int64) []int {
 			rt.touched = append(rt.touched, si)
 		}
 	}
-	rt.step++
+	rt.step = rt.mach.BeginStep()
 	c := shardCmd{kind: cObserveDelta, ids: ids, dvals: vals, step: rt.step}
 	for _, si := range rt.touched {
 		rt.shards[si].cmd <- c
@@ -505,98 +370,49 @@ func (rt *Runtime) ObserveDelta(ids []int, vals []int64) []int {
 	return rt.finishStep(anyTop, anyOut)
 }
 
-// finishStep runs the coordinator side of Algorithm 1 after the node-local
-// filter checks of one step.
+// finishStep drives the coordinator machine through the rest of the step,
+// executing its effects over the shard channels.
 func (rt *Runtime) finishStep(anyTopViol, anyOutViol bool) []int {
-	if !rt.init {
-		rt.reset()
-		rt.init = true
-		return rt.top
+	eff := rt.mach.FinishStep(anyTopViol, anyOutViol)
+	for eff.Kind != coord.EffDone {
+		switch eff.Kind {
+		case coord.EffExec:
+			res := rt.execProtocol(eff)
+			eff = rt.mach.ExecDone(res.OK, res.ID, res.Key)
+		case coord.EffResetBegin:
+			rt.broadcast(shardCmd{kind: cResetBegin})
+			clear(rt.lastKeys)
+			eff = rt.mach.Ack()
+		case coord.EffWinner:
+			rt.unicast(eff.Target, shardCmd{kind: cWinner, isTop: eff.IsTop})
+			rt.lastKeys[eff.Target] = eff.Key
+			eff = rt.mach.Ack()
+		case coord.EffMidpoint:
+			rt.broadcast(shardCmd{kind: cMidpoint, mid: eff.Mid, full: eff.Full})
+			eff = rt.mach.Ack()
+		default:
+			panic(fmt.Sprintf("runtime: unknown coordinator effect %d", eff.Kind))
+		}
 	}
-	if !anyTopViol && !anyOutViol {
-		return rt.top
-	}
-
-	// Violation phase: cohorts of violators run their protocols
-	// (Algorithm 1 lines 4-8). The coordinator's knowledge of which
-	// protocol communicated comes from the counted sends themselves.
-	vrec := rt.led.InPhase(comm.PhaseViolation)
-	var minKey, maxKey order.Key
-	minOK, maxOK := false, false
-	if anyTopViol {
-		_, minKey, minOK = rt.execProtocol(tagViolMin, rt.cfg.K, vrec)
-	}
-	if anyOutViol {
-		_, maxKey, maxOK = rt.execProtocol(tagViolMax, rt.cfg.N-rt.cfg.K, vrec)
-	}
-
-	// FILTERVIOLATIONHANDLER (lines 15-34).
-	hrec := rt.led.InPhase(comm.PhaseHandler)
-	if !maxOK {
-		_, maxKey, maxOK = rt.execProtocol(tagHandMax, rt.cfg.N-rt.cfg.K, hrec)
-	} else {
-		_, minKey, minOK = rt.execProtocol(tagHandMin, rt.cfg.K, hrec)
-	}
-	if minOK {
-		rt.tPlus = order.Min(rt.tPlus, minKey)
-	}
-	if maxOK {
-		rt.tMinus = order.Max(rt.tMinus, maxKey)
-	}
-
-	if rt.tPlus < rt.tMinus {
-		rt.reset()
-		return rt.top
-	}
-	mid := order.Midpoint(rt.tMinus, rt.tPlus)
-	comm.RecordSized(hrec, comm.Bcast, 1, wire.SizeMidpoint(int64(mid)))
-	rt.broadcast(shardCmd{kind: cMidpoint, mid: mid})
-	return rt.top
+	return rt.mach.Top()
 }
 
-// reset is FILTERRESET: k+1 maximum extractions with population bound n,
-// then fresh midpoint filters.
-func (rt *Runtime) reset() {
-	rt.resets++
-	clear(rt.lastKeys)
-	rec := rt.led.InPhase(comm.PhaseReset)
-	rt.broadcast(shardCmd{kind: cResetBegin})
-	for i := range rt.inTop {
-		rt.inTop[i] = false
-	}
-	want := rt.cfg.K + 1
-	if want > rt.cfg.N {
-		want = rt.cfg.N
-	}
-	keys := make([]order.Key, 0, want)
-	for j := 0; j < want; j++ {
-		id, key, any := rt.execProtocol(tagReset, rt.cfg.N, rec)
-		if !any {
-			panic("runtime: reset extraction found no participant")
+// execProtocol runs one Algorithm 2 execution over the effect's cohort:
+// one batched command/reply pair per shard per round, with replies
+// consumed in ascending shard (hence node id) order.
+func (rt *Runtime) execProtocol(eff coord.Effect) protocol.Result {
+	ex := protocol.NewExec(eff.Bound, coord.MinimumTag(eff.Tag), rt.mach.Recorder(eff.Phase), nil, rt.step)
+	for ex.More() {
+		replies := rt.broadcast(shardCmd{
+			kind: cRound, tag: eff.Tag, round: ex.Round(),
+			best: ex.Best(), bound: eff.Bound, step: rt.step,
+		})
+		for i := range replies {
+			for _, sd := range replies[i].sends {
+				ex.Bid(sd.id, sd.key)
+			}
 		}
-		isTop := j < rt.cfg.K
-		rt.unicast(id, shardCmd{kind: cWinner, isTop: isTop})
-		if isTop {
-			rt.inTop[id] = true
-		}
-		rt.lastKeys[id] = key
-		keys = append(keys, key)
+		ex.EndRound()
 	}
-	rt.top = rt.top[:0]
-	for id, in := range rt.inTop {
-		if in {
-			rt.top = append(rt.top, id)
-		}
-	}
-	if rt.cfg.K == rt.cfg.N {
-		rt.tPlus = keys[len(keys)-1]
-		rt.tMinus = order.NegInf
-		rt.broadcast(shardCmd{kind: cMidpoint, full: true})
-		return
-	}
-	kth, kPlus1 := keys[rt.cfg.K-1], keys[rt.cfg.K]
-	rt.tPlus, rt.tMinus = kth, kPlus1
-	mid := order.Midpoint(kPlus1, kth)
-	comm.RecordSized(rec, comm.Bcast, 1, wire.SizeMidpoint(int64(mid)))
-	rt.broadcast(shardCmd{kind: cMidpoint, mid: mid})
+	return ex.Result()
 }

@@ -1,0 +1,192 @@
+package shardrun
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/comm"
+	"repro/internal/coord"
+	"repro/internal/order"
+	"repro/internal/protocol"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// agent is one shard sub-coordinator: it hosts a contiguous node range
+// (a coord.Nodes bank) and executes whole protocol executions locally on
+// the root's behalf, reporting only the local winner and a charge summary
+// in a ShardDigest.
+type agent struct {
+	bank *coord.Nodes
+	led  comm.Counter // per-execution local charges, reset before each exec
+
+	obs   wire.Observe      // reusable decode scratch
+	delta wire.ObserveDelta //
+	reply wire.Reply        // reusable reply being built
+	buf   []byte            // reusable encode buffer
+}
+
+// exec runs one full delegated protocol execution over the local cohort
+// and returns its digest. The local rounds follow Algorithm 2 with the
+// global population bound the root supplies, so at S=1 the execution —
+// randomness, charges, winner — is bit-identical to the flat engines'.
+func (a *agent) exec(m wire.Round) wire.ShardDigest {
+	a.led.Reset()
+	ex := protocol.NewExec(m.Bound, coord.MinimumTag(m.Tag), &a.led, nil, m.Step)
+	for ex.More() {
+		r, best := ex.Round(), ex.Best()
+		a.bank.Round(m.Tag, r, best, m.Bound, m.Step, func(id int, key order.Key) {
+			ex.Bid(id, key)
+		})
+		ex.EndRound()
+	}
+	res := ex.Result()
+	d := wire.ShardDigest{
+		Ups:        a.led.Get(comm.Up),
+		UpBytes:    a.led.GetBytes(comm.Up),
+		Bcasts:     a.led.Get(comm.Bcast),
+		BcastBytes: a.led.GetBytes(comm.Bcast),
+	}
+	if res.OK {
+		d.OK = true
+		d.ID = res.ID
+		d.Key = int64(res.Key)
+	}
+	return d
+}
+
+// handle processes one decoded command frame and appends the outgoing
+// frame to a.buf. It returns false for TypeShutdown.
+func (a *agent) handle(frame []byte) (cont bool, err error) {
+	typ, err := wire.MsgType(frame)
+	if err != nil {
+		return false, err
+	}
+	a.reply.TopViol, a.reply.OutViol = false, false
+	a.reply.IDs, a.reply.Keys = a.reply.IDs[:0], a.reply.Keys[:0]
+	lo, hi := a.bank.Lo(), a.bank.Hi()
+
+	switch typ {
+	case wire.TypeObserve:
+		if err := a.obs.Decode(frame); err != nil {
+			return false, err
+		}
+		if len(a.obs.Vals) != hi-lo {
+			return false, fmt.Errorf("shardrun: observe carries %d values for range [%d, %d)", len(a.obs.Vals), lo, hi)
+		}
+		for i, v := range a.obs.Vals {
+			t, o := a.bank.Observe(lo+i, v, a.obs.Step)
+			a.reply.TopViol = a.reply.TopViol || t
+			a.reply.OutViol = a.reply.OutViol || o
+		}
+
+	case wire.TypeObserveDelta:
+		if err := a.delta.Decode(frame); err != nil {
+			return false, err
+		}
+		for j, id := range a.delta.IDs {
+			if id < lo || id >= hi {
+				return false, fmt.Errorf("shardrun: delta id %d outside range [%d, %d)", id, lo, hi)
+			}
+			t, o := a.bank.Observe(id, a.delta.Vals[j], a.delta.Step)
+			a.reply.TopViol = a.reply.TopViol || t
+			a.reply.OutViol = a.reply.OutViol || o
+		}
+
+	case wire.TypeRound:
+		// A Round frame from the root is a delegated execution request:
+		// run the whole local protocol for the tag and answer with a
+		// digest instead of a per-round Reply.
+		m, err := wire.DecodeRound(frame)
+		if err != nil {
+			return false, err
+		}
+		a.buf = a.exec(m).Append(a.buf[:0])
+		return true, nil
+
+	case wire.TypeWinner:
+		m, err := wire.DecodeWinner(frame)
+		if err != nil {
+			return false, err
+		}
+		if m.Target < lo || m.Target >= hi {
+			return false, fmt.Errorf("shardrun: winner %d outside range [%d, %d)", m.Target, lo, hi)
+		}
+		a.bank.Winner(m.Target, m.IsTop)
+
+	case wire.TypeMidpoint:
+		m, err := wire.DecodeMidpoint(frame)
+		if err != nil {
+			return false, err
+		}
+		a.bank.Midpoint(order.Key(m.Mid), m.Full)
+
+	case wire.TypeResetBegin:
+		if err := wire.DecodeBare(frame, wire.TypeResetBegin); err != nil {
+			return false, err
+		}
+		a.bank.ResetBegin()
+
+	case wire.TypeShutdown:
+		return false, nil
+
+	default:
+		return false, fmt.Errorf("%w: 0x%02x in shard serve loop", wire.ErrUnknownType, typ)
+	}
+	a.buf = a.reply.Append(a.buf[:0])
+	return true, nil
+}
+
+// ServeShard runs one shard sub-coordinator on a link to the root: it
+// waits for the root's Assign, builds the local node range, and answers
+// every command — observation slices with violation-flag Replies,
+// delegated protocol executions (Round frames) with ShardDigests, and
+// Winner/Midpoint/ResetBegin installs with empty Replies — until the root
+// sends Shutdown (nil return) or the link dies. The root hanging up is a
+// clean exit, as in netrun.Serve.
+func ServeShard(link transport.Link) error {
+	frame, err := link.Recv()
+	if err != nil {
+		if errors.Is(err, transport.ErrClosed) || errors.Is(err, io.EOF) {
+			return nil
+		}
+		return fmt.Errorf("shardrun: waiting for assignment: %w", err)
+	}
+	assign, err := wire.DecodeAssign(frame)
+	if err != nil {
+		return fmt.Errorf("shardrun: bad assignment: %w", err)
+	}
+	if assign.N <= 0 || assign.K < 1 || assign.K > assign.N {
+		return fmt.Errorf("shardrun: bad assignment n=%d k=%d", assign.N, assign.K)
+	}
+	if assign.Lo < 0 || assign.Hi > assign.N || assign.Lo >= assign.Hi {
+		return fmt.Errorf("shardrun: bad assignment range [%d, %d) of %d", assign.Lo, assign.Hi, assign.N)
+	}
+	a := &agent{bank: coord.NewNodes(assign.N, assign.Lo, assign.Hi, assign.Seed, assign.Distinct)}
+	if err := link.Send(wire.AppendBare(a.buf[:0], wire.TypeReady)); err != nil {
+		return fmt.Errorf("shardrun: acking assignment: %w", err)
+	}
+	for {
+		frame, err := link.Recv()
+		if err != nil {
+			if errors.Is(err, transport.ErrClosed) || errors.Is(err, io.EOF) {
+				return nil
+			}
+			return fmt.Errorf("shardrun: shard serve loop: %w", err)
+		}
+		cont, err := a.handle(frame)
+		if err != nil {
+			return err
+		}
+		if !cont {
+			return nil // Shutdown
+		}
+		if err := link.Send(a.buf); err != nil {
+			if errors.Is(err, transport.ErrClosed) || errors.Is(err, io.EOF) {
+				return nil
+			}
+			return fmt.Errorf("shardrun: sending shard reply: %w", err)
+		}
+	}
+}

@@ -1,0 +1,496 @@
+// Package shardrun shards the coordinator itself: S sub-coordinators each
+// own a contiguous node range, and a root merge layer maintains the
+// global top-k from per-shard candidate sets. It removes the paper's
+// single sequential coordinator as the scalability ceiling while keeping
+// the reported top-k exact at every step — the direction of the
+// domain-monitoring follow-up (Bemmann et al., arXiv:1706.03568) and the
+// distributed top-k data structure of Biermeier et al. (arXiv:1709.07259).
+//
+// # Architecture
+//
+// The root runs the same sans-I/O decision machine (internal/coord) as
+// every other engine; what changes is the execution substrate for
+// protocol executions. Where the flat engines run Algorithm 2 round by
+// round over all n nodes, the root delegates each execution to its shards:
+// every shard runs the complete protocol over its local cohort (with the
+// global population bound, so shard-local randomness matches the flat
+// engines' at S=1) and answers with one wire.ShardDigest — its local
+// winner plus a summary of the charges the local execution incurred. The
+// root merges the S digests by key, which over the course of a
+// FILTERRESET's k+1 repeated extractions is exactly a k-merge on
+// order.Key of the per-shard candidate streams.
+//
+// Exactness is inherited from Algorithm 1: the hierarchical execution
+// computes the same extrema (each local protocol is Las Vegas-exact, and
+// max over shard maxima is the global max), so membership decisions,
+// T+/T− and filters evolve as in the flat algorithm. At S=1 the engine is
+// bit-identical to the sequential engine — reports, counts, bytes,
+// per-phase — which the equivalence tests pin. At S>1 reports stay exact
+// while the charged message counts grow with S (each shard pays its own
+// protocol rounds); that growth is the coordination overhead the
+// shard-overhead benchmark measures.
+//
+// One caveat inherits the model's distinctness assumption: exactness is
+// exactness of the key order. In the default mode the tie-break
+// injection makes all keys distinct, so the merged winner is unique and
+// S>1 reports equal the flat engines' exactly. In DistinctValues mode a
+// caller that transiently breaks the distinctness promise (e.g. nodes
+// still holding the default 0 before their first sparse delta) can have
+// tied keys, and the root — which merges digests in shard order — may
+// resolve such a tie differently than a flat engine's global bid order
+// would. The report is still a correct top-k of the tied key multiset;
+// only the choice among tied nodes can differ, exactly as the paper's
+// model leaves it undefined.
+//
+// # Accounting
+//
+// Two ledgers, deliberately separate:
+//
+//   - The algorithm ledger (Counts/Bytes/Ledger) charges model messages
+//     exactly as the other engines do — node bids and protocol-round or
+//     midpoint broadcasts — with per-shard charges merged in from the
+//     digests. At S=1 it equals the sequential engine's ledger bit for
+//     bit.
+//   - The overhead ledger (Overhead/OverheadBytes) charges the root↔shard
+//     coordination frames themselves via the same comm.SizedRecorder
+//     machinery: every root→shard command as a Down of its encoded size,
+//     every shard→root reply or digest as an Up. This is the price of
+//     sharding the coordinator, the quantity to weigh against the root's
+//     S-fold fan-in reduction.
+//
+// Shards speak the existing wire protocol (Assign/Observe/ObserveDelta/
+// Winner/Midpoint/ResetBegin/Reply) plus two reinterpretations: a
+// wire.Round frame from the root means "run this whole execution locally"
+// and is answered by the one new message, wire.ShardDigest.
+package shardrun
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/coord"
+	"repro/internal/order"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Config mirrors core.Config for the sharded engine.
+type Config struct {
+	N, K           int
+	Seed           uint64
+	DistinctValues bool
+}
+
+// shardPeer is the root's view of one sub-coordinator link.
+type shardPeer struct {
+	link   transport.Link
+	lo, hi int
+	reply  wire.Reply // reusable decode target
+}
+
+// Engine is the root coordinator of the sharded monitor. It satisfies
+// sim.Algorithm and sim.DeltaAlgorithm. Like the other engines it is not
+// safe for concurrent Observe calls.
+type Engine struct {
+	cfg      Config
+	mach     *coord.Machine
+	peers    []*shardPeer
+	overhead comm.Counter // root↔shard coordination frames
+
+	step   int64
+	closed bool
+	err    error // first transport/protocol failure; sticky
+
+	buf     []byte // reusable encode buffer
+	touched []bool // shards hit by the current delta
+}
+
+// New performs the Assign/Ready handshake over the given links — shard i
+// owns the i-th contiguous node range — and returns the root. It requires
+// 1 <= len(links) <= N so every shard owns at least one node. Callers
+// must Close the engine. On a handshake error New closes every link
+// before returning.
+func New(cfg Config, links []transport.Link) (*Engine, error) {
+	if cfg.N <= 0 {
+		panic("shardrun: need N > 0")
+	}
+	if cfg.K < 1 || cfg.K > cfg.N {
+		panic("shardrun: need 1 <= K <= N")
+	}
+	if len(links) == 0 || len(links) > cfg.N {
+		panic(fmt.Sprintf("shardrun: need 1 <= shards <= N, got %d shards for N=%d", len(links), cfg.N))
+	}
+	e := &Engine{
+		cfg:     cfg,
+		mach:    coord.New(coord.Config{N: cfg.N, K: cfg.K}),
+		touched: make([]bool, len(links)),
+	}
+	base, rem := cfg.N/len(links), cfg.N%len(links)
+	lo := 0
+	for i, link := range links {
+		hi := lo + base
+		if i < rem {
+			hi++
+		}
+		e.peers = append(e.peers, &shardPeer{link: link, lo: lo, hi: hi})
+		lo = hi
+	}
+	fail := func(err error) (*Engine, error) {
+		for _, l := range links {
+			l.Close()
+		}
+		return nil, err
+	}
+	for _, p := range e.peers {
+		e.buf = wire.Assign{
+			Lo: p.lo, Hi: p.hi, N: cfg.N, K: cfg.K,
+			Seed: cfg.Seed, Distinct: cfg.DistinctValues,
+		}.Append(e.buf[:0])
+		if err := e.send(p, e.buf, "assign"); err != nil {
+			return fail(err)
+		}
+	}
+	for _, p := range e.peers {
+		frame, err := e.recv(p, "ready")
+		if err != nil {
+			return fail(err)
+		}
+		if err := wire.DecodeBare(frame, wire.TypeReady); err != nil {
+			return fail(fmt.Errorf("shardrun: shard [%d, %d) handshake: %w", p.lo, p.hi, err))
+		}
+	}
+	return e, nil
+}
+
+// LoopbackLinks builds one pipe pair per shard with a ServeShard
+// goroutine on the far end and returns the root ends. A serve goroutine
+// exits cleanly when its link closes; any other serve error is a bug and
+// panics.
+func LoopbackLinks(shards int) []transport.Link {
+	links := make([]transport.Link, shards)
+	for i := range links {
+		rootEnd, shardEnd := transport.Pipe()
+		links[i] = rootEnd
+		go func() {
+			if err := ServeShard(shardEnd); err != nil {
+				panic(fmt.Sprintf("shardrun: loopback shard: %v", err))
+			}
+		}()
+	}
+	return links
+}
+
+// NewLoopback builds an in-process sharded engine over LoopbackLinks. It
+// is the engine behind topk.Config.Shards and topkmon -shards.
+func NewLoopback(cfg Config, shards int) *Engine {
+	e, err := New(cfg, LoopbackLinks(shards))
+	if err != nil {
+		panic(fmt.Sprintf("shardrun: loopback handshake: %v", err)) // pipes cannot fail benignly
+	}
+	return e
+}
+
+// Close sends every shard a Shutdown frame and closes the links.
+// Idempotent.
+func (e *Engine) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	for _, p := range e.peers {
+		_ = p.link.Send(wire.AppendBare(e.buf[:0], wire.TypeShutdown))
+		_ = p.link.Close()
+	}
+}
+
+// Counts returns the algorithm ledger's total model message counts.
+func (e *Engine) Counts() comm.Counts { return e.mach.Counts() }
+
+// Bytes returns the algorithm ledger's total charged model bytes.
+func (e *Engine) Bytes() comm.Bytes { return e.mach.Bytes() }
+
+// Ledger exposes the algorithm ledger's per-phase breakdown.
+func (e *Engine) Ledger() *comm.Ledger { return e.mach.Ledger() }
+
+// Stats returns execution counters (maintained by the shared coordinator
+// core, identical across engines for the same seed).
+func (e *Engine) Stats() coord.Stats { return e.mach.Stats() }
+
+// Overhead returns the coordination frame counts of the root↔shard layer:
+// Down counts root→shard commands, Up counts shard→root replies and
+// digests. This traffic is what sharding the coordinator costs on top of
+// the algorithm ledger.
+func (e *Engine) Overhead() comm.Counts { return e.overhead.Snapshot() }
+
+// OverheadBytes returns the encoded byte volume of the coordination
+// frames.
+func (e *Engine) OverheadBytes() comm.Bytes { return e.overhead.BytesSnapshot() }
+
+// Err returns the first transport or protocol failure the engine hit, or
+// nil. Once set, the engine is wedged: observation calls return the last
+// successfully computed report without touching the links. Close remains
+// safe.
+func (e *Engine) Err() error { return e.err }
+
+// TransportStats sums the per-link transport statistics over all shards.
+func (e *Engine) TransportStats() transport.LinkStats {
+	var s transport.LinkStats
+	for _, p := range e.peers {
+		s = s.Add(transport.StatsOf(p.link))
+	}
+	return s
+}
+
+// Shards returns the number of shard sub-coordinators.
+func (e *Engine) Shards() int { return len(e.peers) }
+
+// Top returns the current top-k ids ascending, as a read-only view owned
+// by the engine: it is invalidated by the next step that changes the top
+// set, and mutating it corrupts the engine (see AppendTop).
+func (e *Engine) Top() []int { return e.mach.Top() }
+
+// AppendTop appends the current top-k ids (ascending) to dst and returns
+// the extended slice. The appended values are copies owned by the caller.
+func (e *Engine) AppendTop(dst []int) []int { return e.mach.AppendTop(dst) }
+
+// fail records an unrecoverable transport or protocol error.
+func (e *Engine) fail(p *shardPeer, op string, err error) error {
+	e.err = fmt.Errorf("shardrun: shard [%d, %d): %s: %w", p.lo, p.hi, op, err)
+	return e.err
+}
+
+// send ships one pre-encoded frame to a shard, charging it as one Down
+// coordination message of its encoded size.
+func (e *Engine) send(p *shardPeer, frame []byte, op string) error {
+	if err := p.link.Send(frame); err != nil {
+		return e.fail(p, op, err)
+	}
+	e.overhead.RecordSized(comm.Down, 1, int64(len(frame)))
+	return nil
+}
+
+// recv reads one frame from a shard, charging it as one Up coordination
+// message of its encoded size.
+func (e *Engine) recv(p *shardPeer, op string) ([]byte, error) {
+	frame, err := p.link.Recv()
+	if err != nil {
+		return nil, e.fail(p, op, err)
+	}
+	e.overhead.RecordSized(comm.Up, 1, int64(len(frame)))
+	return frame, nil
+}
+
+// recvReply reads and decodes a shard's plain Reply.
+func (e *Engine) recvReply(p *shardPeer, op string) error {
+	frame, err := e.recv(p, op)
+	if err != nil {
+		return err
+	}
+	if err := p.reply.Decode(frame); err != nil {
+		return e.fail(p, op, err)
+	}
+	return nil
+}
+
+// broadcast ships the same frame to every shard and collects the plain
+// replies in shard order.
+func (e *Engine) broadcast(frame []byte, op string) error {
+	for _, p := range e.peers {
+		if err := e.send(p, frame, op); err != nil {
+			return err
+		}
+	}
+	for _, p := range e.peers {
+		if err := e.recvReply(p, op); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// unicast routes a frame to the shard owning node id and awaits its plain
+// reply.
+func (e *Engine) unicast(id int, frame []byte, op string) error {
+	for _, p := range e.peers {
+		if id >= p.lo && id < p.hi {
+			if err := e.send(p, frame, op); err != nil {
+				return err
+			}
+			return e.recvReply(p, op)
+		}
+	}
+	panic(fmt.Sprintf("shardrun: no shard owns node %d", id))
+}
+
+// Observe processes one dense time step and returns the reported top-k
+// ids ascending (a read-only view). It panics after Close; on a dead link
+// it records the error (see Err) and returns the last-good report.
+func (e *Engine) Observe(vals []int64) []int {
+	if e.closed {
+		panic("shardrun: Observe after Close")
+	}
+	if len(vals) != e.cfg.N {
+		panic(fmt.Sprintf("shardrun: observed %d values for %d nodes", len(vals), e.cfg.N))
+	}
+	if e.err != nil {
+		return e.mach.Top()
+	}
+	e.step = e.mach.BeginStep()
+	for _, p := range e.peers {
+		e.buf = wire.Observe{Step: e.step, Vals: vals[p.lo:p.hi]}.Append(e.buf[:0])
+		if err := e.send(p, e.buf, "observe"); err != nil {
+			return e.mach.Top()
+		}
+	}
+	anyTop, anyOut := false, false
+	for _, p := range e.peers {
+		if err := e.recvReply(p, "observe"); err != nil {
+			return e.mach.Top()
+		}
+		anyTop = anyTop || p.reply.TopViol
+		anyOut = anyOut || p.reply.OutViol
+	}
+	return e.finishStep(anyTop, anyOut)
+}
+
+// ObserveDelta processes one sparse time step: vals[j] is node ids[j]'s
+// new value, every other node repeats. ids must be strictly increasing.
+// Only shards owning a touched node exchange observation frames; protocol
+// work still reaches every shard (cohort membership is node-local).
+// Semantics match core.Monitor.ObserveDelta exactly.
+func (e *Engine) ObserveDelta(ids []int, vals []int64) []int {
+	if e.closed {
+		panic("shardrun: ObserveDelta after Close")
+	}
+	if len(ids) != len(vals) {
+		panic(fmt.Sprintf("shardrun: delta has %d ids but %d values", len(ids), len(vals)))
+	}
+	prev := -1
+	for _, id := range ids {
+		if id <= prev || id >= e.cfg.N {
+			panic(fmt.Sprintf("shardrun: delta ids must be strictly increasing in [0, %d), got %d after %d", e.cfg.N, id, prev))
+		}
+		prev = id
+	}
+	if e.err != nil {
+		return e.mach.Top()
+	}
+	e.step = e.mach.BeginStep()
+	clear(e.touched)
+	start := 0
+	for pi, p := range e.peers {
+		stop := start
+		for stop < len(ids) && ids[stop] < p.hi {
+			stop++
+		}
+		if stop > start {
+			e.touched[pi] = true
+			e.buf = wire.ObserveDelta{Step: e.step, IDs: ids[start:stop], Vals: vals[start:stop]}.Append(e.buf[:0])
+			if err := e.send(p, e.buf, "observe-delta"); err != nil {
+				return e.mach.Top()
+			}
+		}
+		start = stop
+	}
+	anyTop, anyOut := false, false
+	for pi, p := range e.peers {
+		if !e.touched[pi] {
+			continue
+		}
+		if err := e.recvReply(p, "observe-delta"); err != nil {
+			return e.mach.Top()
+		}
+		anyTop = anyTop || p.reply.TopViol
+		anyOut = anyOut || p.reply.OutViol
+	}
+	return e.finishStep(anyTop, anyOut)
+}
+
+// finishStep drives the coordinator machine, delegating every protocol
+// execution to the shards and merging their digests.
+func (e *Engine) finishStep(anyTopViol, anyOutViol bool) []int {
+	eff := e.mach.FinishStep(anyTopViol, anyOutViol)
+	for eff.Kind != coord.EffDone {
+		var err error
+		switch eff.Kind {
+		case coord.EffExec:
+			var ok bool
+			var id int
+			var key order.Key
+			if ok, id, key, err = e.execDelegated(eff); err == nil {
+				eff = e.mach.ExecDone(ok, id, key)
+			}
+		case coord.EffResetBegin:
+			if err = e.broadcast(wire.AppendBare(e.buf[:0], wire.TypeResetBegin), "reset-begin"); err == nil {
+				eff = e.mach.Ack()
+			}
+		case coord.EffWinner:
+			e.buf = wire.Winner{Target: eff.Target, IsTop: eff.IsTop}.Append(e.buf[:0])
+			if err = e.unicast(eff.Target, e.buf, "winner"); err == nil {
+				eff = e.mach.Ack()
+			}
+		case coord.EffMidpoint:
+			e.buf = wire.Midpoint{Mid: int64(eff.Mid), Full: eff.Full}.Append(e.buf[:0])
+			if err = e.broadcast(e.buf, "midpoint"); err == nil {
+				eff = e.mach.Ack()
+			}
+		default:
+			panic(fmt.Sprintf("shardrun: unknown coordinator effect %d", eff.Kind))
+		}
+		if err != nil {
+			return e.mach.Top()
+		}
+	}
+	return e.mach.Top()
+}
+
+// execDelegated fans one protocol execution out to all shards and merges
+// the digests in ascending shard (hence node id) order: the merged
+// extremum of per-shard extrema is the global extremum, and each shard's
+// local charges are folded into the algorithm ledger.
+func (e *Engine) execDelegated(eff coord.Effect) (ok bool, id int, key order.Key, err error) {
+	e.buf = wire.Round{Tag: eff.Tag, Round: 0, Best: int64(order.NegInf), Bound: eff.Bound, Step: e.step}.Append(e.buf[:0])
+	for _, p := range e.peers {
+		if err := e.send(p, e.buf, "exec"); err != nil {
+			return false, 0, 0, err
+		}
+	}
+	rec := e.mach.Recorder(eff.Phase)
+	minimum := coord.MinimumTag(eff.Tag)
+	best := order.NegInf // comparison domain
+	id = -1
+	for _, p := range e.peers {
+		frame, err := e.recv(p, "exec")
+		if err != nil {
+			return false, 0, 0, err
+		}
+		d, derr := wire.DecodeShardDigest(frame)
+		if derr != nil {
+			return false, 0, 0, e.fail(p, "exec", derr)
+		}
+		if d.Ups < 0 || d.UpBytes < 0 || d.Bcasts < 0 || d.BcastBytes < 0 {
+			return false, 0, 0, e.fail(p, "exec", fmt.Errorf("negative digest charges %+v", d))
+		}
+		if d.OK && (d.ID < p.lo || d.ID >= p.hi) {
+			// A winner a shard does not own would corrupt membership (or
+			// panic the unicast); treat it as the shard misbehaving.
+			return false, 0, 0, e.fail(p, "exec", fmt.Errorf("digest winner %d outside shard range [%d, %d)", d.ID, p.lo, p.hi))
+		}
+		comm.RecordSized(rec, comm.Up, d.Ups, d.UpBytes)
+		comm.RecordSized(rec, comm.Bcast, d.Bcasts, d.BcastBytes)
+		if !d.OK {
+			continue
+		}
+		ok = true
+		cmp := order.Key(d.Key)
+		if minimum {
+			cmp = order.Neg(cmp)
+		}
+		if cmp > best {
+			best = cmp
+			id = d.ID
+			key = order.Key(d.Key)
+		}
+	}
+	return ok, id, key, nil
+}

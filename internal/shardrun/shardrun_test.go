@@ -1,0 +1,309 @@
+package shardrun
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/stream"
+	"repro/internal/transport"
+)
+
+func equal(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSingleShardBitIdentical is the anchor of the sharded engine: with
+// S=1 the delegation layer must be completely transparent — reports,
+// message counts, charged bytes and the per-phase ledgers all equal the
+// sequential engine's bit for bit, at every step.
+func TestSingleShardBitIdentical(t *testing.T) {
+	const n, k, seed, steps = 13, 4, 41, 250
+	seq := core.New(core.Config{N: n, K: k, Seed: seed})
+	sh := NewLoopback(Config{N: n, K: k, Seed: seed}, 1)
+	defer sh.Close()
+
+	srcA := stream.NewRandomWalk(stream.WalkConfig{N: n, Lo: 0, Hi: 100000, MaxStep: 400, Seed: 2})
+	srcB := stream.NewRandomWalk(stream.WalkConfig{N: n, Lo: 0, Hi: 100000, MaxStep: 400, Seed: 2})
+	va, vb := make([]int64, n), make([]int64, n)
+	for s := 0; s < steps; s++ {
+		srcA.Step(va)
+		srcB.Step(vb)
+		topSeq := seq.Observe(va)
+		topSh := sh.Observe(vb)
+		if !equal(topSeq, topSh) {
+			t.Fatalf("step %d: reports differ: seq=%v shard=%v", s, topSeq, topSh)
+		}
+		if cs, cn := seq.Counts(), sh.Counts(); cs != cn {
+			t.Fatalf("step %d: counts differ: seq=%v shard=%v", s, cs, cn)
+		}
+		if bs, bn := seq.Ledger().TotalBytes(), sh.Bytes(); bs != bn {
+			t.Fatalf("step %d: bytes differ: seq=%v shard=%v", s, bs, bn)
+		}
+	}
+	for _, ph := range comm.Phases() {
+		if cs, cn := seq.Ledger().PhaseCounts(ph), sh.Ledger().PhaseCounts(ph); cs != cn {
+			t.Fatalf("phase %v counts differ: seq=%v shard=%v", ph, cs, cn)
+		}
+		if bs, bn := seq.Ledger().PhaseBytes(ph), sh.Ledger().PhaseBytes(ph); bs != bn {
+			t.Fatalf("phase %v bytes differ: seq=%v shard=%v", ph, bs, bn)
+		}
+	}
+	if seq.Stats() != sh.Stats() {
+		t.Fatalf("stats differ: seq=%+v shard=%+v", seq.Stats(), sh.Stats())
+	}
+	if sh.Overhead().Total() == 0 || sh.OverheadBytes().Total() == 0 {
+		t.Fatal("coordination overhead ledger stayed empty")
+	}
+}
+
+// TestMultiShardReportEquivalence runs the matrix S ∈ {1, 2, 4} over
+// loopback pipes: reports must equal the sequential engine's at every
+// step for every shard count (message counts legitimately differ for
+// S > 1 — each shard pays its own protocol rounds).
+func TestMultiShardReportEquivalence(t *testing.T) {
+	cases := []struct {
+		name string
+		n, k int
+		src  func(n int) stream.Source
+	}{
+		{"walk", 12, 3, func(n int) stream.Source {
+			return stream.NewRandomWalk(stream.WalkConfig{N: n, Lo: 0, Hi: 100000, MaxStep: 400, Seed: 2})
+		}},
+		{"iid", 9, 2, func(n int) stream.Source {
+			return stream.NewIID(stream.IIDConfig{N: n, Seed: 3, Dist: stream.Uniform, Lo: 0, Hi: 1 << 20})
+		}},
+		{"rotation", 7, 1, func(n int) stream.Source {
+			return stream.NewRotation(stream.RotationConfig{N: n, Period: 4, Base: 10, Peak: 1000})
+		}},
+		{"twoband", 14, 4, func(n int) stream.Source {
+			return stream.NewTwoBand(stream.TwoBandConfig{N: n, K: 4, Seed: 5, Gap: 1 << 16, BandWidth: 1 << 8, MaxStep: 40, SwapEvery: 30})
+		}},
+		{"k-equals-n", 6, 6, func(n int) stream.Source {
+			return stream.NewIID(stream.IIDConfig{N: n, Seed: 6, Dist: stream.Uniform, Lo: 0, Hi: 1000})
+		}},
+	}
+	for _, tc := range cases {
+		for _, shards := range []int{1, 2, 4} {
+			if shards > tc.n {
+				continue
+			}
+			t.Run(tc.name, func(t *testing.T) {
+				const seed, steps = 41, 200
+				seq := core.New(core.Config{N: tc.n, K: tc.k, Seed: seed})
+				sh := NewLoopback(Config{N: tc.n, K: tc.k, Seed: seed}, shards)
+				defer sh.Close()
+
+				srcA, srcB := tc.src(tc.n), tc.src(tc.n)
+				va, vb := make([]int64, tc.n), make([]int64, tc.n)
+				for s := 0; s < steps; s++ {
+					srcA.Step(va)
+					srcB.Step(vb)
+					topSeq := seq.Observe(va)
+					topSh := sh.Observe(vb)
+					if !equal(topSeq, topSh) {
+						t.Fatalf("S=%d step %d: reports differ: seq=%v shard=%v", shards, s, topSeq, topSh)
+					}
+				}
+				if sh.Err() != nil {
+					t.Fatalf("S=%d: engine error: %v", shards, sh.Err())
+				}
+			})
+		}
+	}
+}
+
+// TestDeltaEquivalence drives the sparse ingestion path with S=2 against
+// the sequential engine, interleaving sparse and dense steps.
+func TestDeltaEquivalence(t *testing.T) {
+	const n, k, seed, steps = 16, 4, 9, 300
+	seq := core.New(core.Config{N: n, K: k, Seed: seed})
+	sh := NewLoopback(Config{N: n, K: k, Seed: seed}, 2)
+	defer sh.Close()
+
+	srcA := stream.NewSparseWalk(stream.SparseWalkConfig{N: n, Changed: 3, MaxStep: 500, Lo: 0, Hi: 1 << 20, Seed: 11})
+	srcB := stream.NewSparseWalk(stream.SparseWalkConfig{N: n, Changed: 3, MaxStep: 500, Lo: 0, Hi: 1 << 20, Seed: 11})
+	ids, vals := make([]int, n), make([]int64, n)
+	ids2, vals2 := make([]int, n), make([]int64, n)
+	dense := make([]int64, n)
+	for s := 0; s < steps; s++ {
+		c := srcA.StepDelta(ids, vals)
+		c2 := srcB.StepDelta(ids2, vals2)
+		if c != c2 {
+			t.Fatalf("step %d: generator divergence", s)
+		}
+		for j := 0; j < c; j++ {
+			dense[ids[j]] = vals[j]
+		}
+		var topSeq, topSh []int
+		if s%7 == 3 { // interleave a dense step now and then
+			topSeq = seq.Observe(dense)
+			topSh = sh.Observe(dense)
+		} else {
+			topSeq = seq.ObserveDelta(ids[:c], vals[:c])
+			topSh = sh.ObserveDelta(ids2[:c2], vals2[:c2])
+		}
+		if !equal(topSeq, topSh) {
+			t.Fatalf("step %d: reports differ: seq=%v shard=%v", s, topSeq, topSh)
+		}
+	}
+}
+
+// TestDistinctValuesEquivalence exercises the shard agents' raw-key mode
+// at S=3 against the sequential engine.
+func TestDistinctValuesEquivalence(t *testing.T) {
+	const n, k, seed, steps = 11, 3, 29, 250
+	seq := core.New(core.Config{N: n, K: k, Seed: seed, DistinctValues: true})
+	sh := NewLoopback(Config{N: n, K: k, Seed: seed, DistinctValues: true}, 3)
+	defer sh.Close()
+
+	vals := make([]int64, n)
+	for s := 0; s < steps; s++ {
+		for i := range vals {
+			vals[i] = int64(i) + 1000*int64((s*(i+3)+7*i)%60)
+		}
+		a, b := seq.Observe(vals), sh.Observe(vals)
+		if !equal(a, b) {
+			t.Fatalf("step %d: reports differ: seq=%v shard=%v", s, a, b)
+		}
+	}
+}
+
+// TestTCPShards runs the full matrix S ∈ {1, 2, 4} over real localhost
+// TCP links with ServeShard loops on the dialing side — the distributed
+// deployment topology, collapsed into one test binary. At S=1 the ledger
+// equality extends over TCP.
+func TestTCPShards(t *testing.T) {
+	for _, shards := range []int{1, 2, 4} {
+		const n, k, seed, steps = 10, 3, 17, 120
+		ctx, cancel := context.WithCancel(context.Background())
+		ln, err := transport.Listen(ctx, "127.0.0.1:0")
+		if err != nil {
+			cancel()
+			t.Skipf("cannot listen on loopback: %v", err)
+		}
+
+		serveErr := make(chan error, shards)
+		for i := 0; i < shards; i++ {
+			go func() {
+				link, err := transport.Dial(ctx, ln.Addr())
+				if err != nil {
+					serveErr <- err
+					return
+				}
+				serveErr <- ServeShard(link)
+			}()
+		}
+		links, err := ln.AcceptN(shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sh, err := New(Config{N: n, K: k, Seed: seed}, links)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		seq := core.New(core.Config{N: n, K: k, Seed: seed})
+		srcA := stream.NewRandomWalk(stream.WalkConfig{N: n, Lo: 0, Hi: 1 << 16, MaxStep: 300, Seed: 23})
+		srcB := stream.NewRandomWalk(stream.WalkConfig{N: n, Lo: 0, Hi: 1 << 16, MaxStep: 300, Seed: 23})
+		va, vb := make([]int64, n), make([]int64, n)
+		for s := 0; s < steps; s++ {
+			srcA.Step(va)
+			srcB.Step(vb)
+			if !equal(seq.Observe(va), sh.Observe(vb)) {
+				t.Fatalf("S=%d step %d: reports differ over TCP", shards, s)
+			}
+		}
+		if shards == 1 {
+			if cs, cn := seq.Counts(), sh.Counts(); cs != cn {
+				t.Fatalf("S=1 counts differ over TCP: seq=%v shard=%v", cs, cn)
+			}
+			if bs, bn := seq.Ledger().TotalBytes(), sh.Bytes(); bs != bn {
+				t.Fatalf("S=1 bytes differ over TCP: seq=%v shard=%v", bs, bn)
+			}
+		}
+		if ts := sh.TransportStats(); ts.SentBytes == 0 || ts.RecvBytes == 0 {
+			t.Fatalf("S=%d: no TCP traffic recorded: %+v", shards, ts)
+		}
+		sh.Close()
+		for i := 0; i < shards; i++ {
+			if err := <-serveErr; err != nil {
+				t.Fatalf("S=%d shard serve loop: %v", shards, err)
+			}
+		}
+		ln.Close()
+		cancel()
+	}
+}
+
+// TestOverheadGrowsWithShards pins the direction of the coordination
+// cost: more shards means more root↔shard frames for the same workload.
+func TestOverheadGrowsWithShards(t *testing.T) {
+	const n, k, seed, steps = 16, 4, 3, 150
+	frames := make([]int64, 0, 3)
+	for _, shards := range []int{1, 2, 4} {
+		sh := NewLoopback(Config{N: n, K: k, Seed: seed}, shards)
+		src := stream.NewRandomWalk(stream.WalkConfig{N: n, Lo: 0, Hi: 1 << 16, MaxStep: 500, Seed: 8})
+		vals := make([]int64, n)
+		for s := 0; s < steps; s++ {
+			src.Step(vals)
+			sh.Observe(vals)
+		}
+		frames = append(frames, sh.Overhead().Total())
+		sh.Close()
+	}
+	if !(frames[0] < frames[1] && frames[1] < frames[2]) {
+		t.Fatalf("overhead not increasing with S: %v", frames)
+	}
+}
+
+// TestDeadShardSurfacesError mirrors the netrun failure contract for the
+// sharded engine.
+func TestDeadShardSurfacesError(t *testing.T) {
+	const n, k = 12, 3
+	sh := NewLoopback(Config{N: n, K: k, Seed: 7}, 3)
+	defer sh.Close()
+	src := stream.NewRandomWalk(stream.WalkConfig{N: n, Lo: 0, Hi: 1 << 16, MaxStep: 400, Seed: 9})
+	vals := make([]int64, n)
+	var lastGood []int
+	for s := 0; s < 10; s++ {
+		src.Step(vals)
+		lastGood = append(lastGood[:0], sh.Observe(vals)...)
+	}
+	sh.peers[2].link.Close()
+	for s := 0; s < 5; s++ {
+		for i := range vals {
+			vals[i] = int64((s*13+i*7)%100) * 500
+		}
+		if got := sh.Observe(vals); !equal(got, lastGood) {
+			t.Fatalf("report after dead shard: got %v, want last-good %v", got, lastGood)
+		}
+	}
+	if sh.Err() == nil {
+		t.Fatal("dead shard did not surface as an error")
+	}
+}
+
+// TestCloseIdempotent double-closes and verifies post-close observes
+// panic.
+func TestCloseIdempotent(t *testing.T) {
+	sh := NewLoopback(Config{N: 4, K: 1, Seed: 3}, 2)
+	sh.Observe([]int64{4, 3, 2, 1})
+	sh.Close()
+	sh.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Observe after Close did not panic")
+		}
+	}()
+	sh.Observe([]int64{4, 3, 2, 1})
+}

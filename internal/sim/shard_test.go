@@ -1,0 +1,51 @@
+package sim_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/shardrun"
+	"repro/internal/sim"
+	"repro/internal/stream"
+)
+
+// TestShardedEngineExactInSim is the tentpole's report-equivalence proof
+// at the simulation layer: the sharded engine runs under the sim harness
+// with the oracle checked at every step, for S ∈ {1, 2, 4}, on both the
+// dense and the sparse ingestion path, and its per-run report (reports,
+// top-change count) matches the sequential engine's.
+func TestShardedEngineExactInSim(t *testing.T) {
+	const n, k, seed, steps = 20, 4, 31, 400
+	for _, shards := range []int{1, 2, 4} {
+		cfg := sim.Config{Steps: steps, K: k, CheckEvery: 1}
+
+		seq := core.New(core.Config{N: n, K: k, Seed: seed})
+		seqRep := sim.Run(seq, stream.NewRandomWalk(stream.WalkConfig{N: n, Lo: 0, Hi: 1 << 18, MaxStep: 700, Seed: 5}), cfg)
+
+		sh := shardrun.NewLoopback(shardrun.Config{N: n, K: k, Seed: seed}, shards)
+		shRep := sim.Run(sh, stream.NewRandomWalk(stream.WalkConfig{N: n, Lo: 0, Hi: 1 << 18, MaxStep: 700, Seed: 5}), cfg)
+		sh.Close()
+
+		if shRep.Errors != 0 {
+			t.Fatalf("S=%d: %d oracle mismatches", shards, shRep.Errors)
+		}
+		if shRep.TopChanges != seqRep.TopChanges {
+			t.Fatalf("S=%d: top-change trajectories differ: %d vs %d", shards, shRep.TopChanges, seqRep.TopChanges)
+		}
+		if shards == 1 {
+			if shRep.Messages != seqRep.Messages || shRep.Bytes != seqRep.Bytes {
+				t.Fatalf("S=1 ledgers differ: %+v/%+v vs %+v/%+v", shRep.Messages, shRep.Bytes, seqRep.Messages, seqRep.Bytes)
+			}
+		}
+
+		// Sparse path under the delta harness, oracle-checked every step.
+		shd := shardrun.NewLoopback(shardrun.Config{N: n, K: k, Seed: seed}, shards)
+		deltaRep := sim.RunDelta(shd, stream.NewSparseWalk(stream.SparseWalkConfig{
+			N: n, Changed: 2, MaxStep: 900, Lo: 0, Hi: 1 << 18, Seed: 6,
+		}), cfg)
+		shd.Close()
+		if deltaRep.Errors != 0 {
+			t.Fatalf("S=%d delta: %d oracle mismatches", shards, deltaRep.Errors)
+		}
+	}
+}

@@ -24,6 +24,7 @@ func FuzzDecode(f *testing.F) {
 		Best{Round: 1, Key: 2}.Append(nil),
 		Presence{ID: 3}.Append(nil),
 		Bounds{Target: 2, Lo: -4, Hi: 4}.Append(nil),
+		ShardDigest{OK: true, ID: 5, Key: -17, Ups: 3, UpBytes: 11, Bcasts: 4, BcastBytes: 13}.Append(nil),
 		AppendBare(nil, TypeShutdown),
 		bytes.Repeat([]byte{0x80}, 32),
 		bytes.Repeat([]byte{0xff}, 32),
@@ -82,6 +83,10 @@ func FuzzDecode(f *testing.F) {
 			}
 		case TypeBounds:
 			if m, err := DecodeBounds(data); err == nil {
+				roundTrip(t, data, m.Append(nil))
+			}
+		case TypeShardDigest:
+			if m, err := DecodeShardDigest(data); err == nil {
 				roundTrip(t, data, m.Append(nil))
 			}
 		case TypeReady, TypeResetBegin, TypeShutdown, TypeQuery:

@@ -43,6 +43,10 @@ const (
 	// charged form of the ordered variant's order-filter installation and
 	// of the interval baselines' per-node assignments.
 	TypeBounds byte = 0x0f
+	// TypeShardDigest is a shard sub-coordinator's answer to one delegated
+	// protocol execution (internal/shardrun): the local winner plus a
+	// summary of the messages the local execution charged.
+	TypeShardDigest byte = 0x10
 )
 
 // Flag bits used by messages with a flags byte.
@@ -52,6 +56,7 @@ const (
 	flagFull     = 1 << 0 // Midpoint: install [-inf, +inf] (k == n)
 	flagTopViol  = 1 << 0 // Reply: some top-k node violated its filter
 	flagOutViol  = 1 << 1 // Reply: some outsider violated its filter
+	flagOK       = 1 << 0 // ShardDigest: the local cohort was non-empty
 )
 
 // MsgType returns the type tag of an encoded message.
@@ -605,6 +610,81 @@ func DecodeBounds(p []byte) (Bounds, error) {
 	if m.Hi, p, err = varintField(p); err != nil {
 		return m, err
 	}
+	return m, fin(p)
+}
+
+// ShardDigest is a shard sub-coordinator's batched answer to one
+// delegated protocol execution (internal/shardrun): whether any hosted
+// node participated (OK), the local winner's id and key when one did, and
+// the model messages the local execution charged — Ups sends totalling
+// UpBytes encoded bytes plus Bcasts round broadcasts totalling BcastBytes
+// — so the root can merge the shard's algorithm-ledger contribution
+// without replaying the execution. When OK is false, ID and Key must be
+// zero.
+type ShardDigest struct {
+	OK         bool
+	ID         int
+	Key        int64
+	Ups        int64
+	UpBytes    int64
+	Bcasts     int64
+	BcastBytes int64
+}
+
+// Append encodes m after dst.
+func (m ShardDigest) Append(dst []byte) []byte {
+	var flags byte
+	if m.OK {
+		flags |= flagOK
+	}
+	dst = append(dst, TypeShardDigest, flags)
+	dst = AppendUvarint(dst, uint64(m.ID))
+	dst = AppendVarint(dst, m.Key)
+	dst = AppendUvarint(dst, uint64(m.Ups))
+	dst = AppendUvarint(dst, uint64(m.UpBytes))
+	dst = AppendUvarint(dst, uint64(m.Bcasts))
+	return AppendUvarint(dst, uint64(m.BcastBytes))
+}
+
+// DecodeShardDigest decodes a full ShardDigest frame.
+func DecodeShardDigest(p []byte) (ShardDigest, error) {
+	var m ShardDigest
+	p, err := header(p, TypeShardDigest)
+	if err != nil {
+		return m, err
+	}
+	if len(p) == 0 {
+		return m, ErrTruncated
+	}
+	if p[0]&^flagOK != 0 {
+		return m, fmt.Errorf("%w: unknown shard digest flags 0x%02x", ErrMalformed, p[0])
+	}
+	m.OK = p[0]&flagOK != 0
+	p = p[1:]
+	var u uint64
+	if u, p, err = uvarintField(p); err != nil {
+		return m, err
+	}
+	m.ID = int(u)
+	if m.Key, p, err = varintField(p); err != nil {
+		return m, err
+	}
+	if u, p, err = uvarintField(p); err != nil {
+		return m, err
+	}
+	m.Ups = int64(u)
+	if u, p, err = uvarintField(p); err != nil {
+		return m, err
+	}
+	m.UpBytes = int64(u)
+	if u, p, err = uvarintField(p); err != nil {
+		return m, err
+	}
+	m.Bcasts = int64(u)
+	if u, p, err = uvarintField(p); err != nil {
+		return m, err
+	}
+	m.BcastBytes = int64(u)
 	return m, fin(p)
 }
 

@@ -33,3 +33,11 @@ func SizePresence(id int) int64 {
 func SizeBounds(target int, lo, hi int64) int64 {
 	return int64(1 + SizeUvarint(uint64(target)) + SizeVarint(lo) + SizeVarint(hi))
 }
+
+// Size returns the encoded size of the digest without encoding it. The
+// shard root charges it per digest on its coordination-overhead ledger.
+func (m ShardDigest) Size() int64 {
+	return int64(2 + SizeUvarint(uint64(m.ID)) + SizeVarint(m.Key) +
+		SizeUvarint(uint64(m.Ups)) + SizeUvarint(uint64(m.UpBytes)) +
+		SizeUvarint(uint64(m.Bcasts)) + SizeUvarint(uint64(m.BcastBytes)))
+}

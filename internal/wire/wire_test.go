@@ -268,6 +268,27 @@ func TestWinnerMidpointBidBestPresence(t *testing.T) {
 	}
 }
 
+func TestShardDigestRoundTrip(t *testing.T) {
+	digests := []ShardDigest{
+		{},
+		{OK: true, ID: 12, Key: -999, Ups: 7, UpBytes: 31, Bcasts: 5, BcastBytes: 40},
+		{OK: true, ID: 1 << 20, Key: math.MaxInt64, Ups: 1 << 40, UpBytes: 1 << 41, Bcasts: 3, BcastBytes: 9},
+	}
+	for _, d := range digests {
+		enc := d.Append(nil)
+		got, err := DecodeShardDigest(enc)
+		if err != nil || got != d {
+			t.Fatalf("shard digest: %+v, %v", got, err)
+		}
+		if d.Size() != int64(len(enc)) {
+			t.Fatalf("ShardDigest.Size() = %d, encoded %d", d.Size(), len(enc))
+		}
+	}
+	if _, err := DecodeShardDigest([]byte{TypeShardDigest, 0x02, 0, 0, 0, 0, 0, 0}); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("unknown flags: %v", err)
+	}
+}
+
 func TestBareMessages(t *testing.T) {
 	for _, typ := range []byte{TypeReady, TypeResetBegin, TypeShutdown, TypeQuery} {
 		if err := DecodeBare(AppendBare(nil, typ), typ); err != nil {
@@ -297,6 +318,7 @@ func TestTruncatedFrames(t *testing.T) {
 		Best{Round: 2, Key: 9}.Append(nil),
 		Presence{ID: 99}.Append(nil),
 		Bounds{Target: 3, Lo: -10, Hi: 10}.Append(nil),
+		ShardDigest{OK: true, ID: 8, Key: -3, Ups: 6, UpBytes: 20, Bcasts: 4, BcastBytes: 12}.Append(nil),
 	}
 	for fi, frame := range frames {
 		for cut := 0; cut < len(frame); cut++ {
@@ -352,6 +374,8 @@ func decodeAny(p []byte) error {
 		_, err = DecodePresence(p)
 	case TypeBounds:
 		_, err = DecodeBounds(p)
+	case TypeShardDigest:
+		_, err = DecodeShardDigest(p)
 	case TypeReady, TypeResetBegin, TypeShutdown, TypeQuery:
 		err = DecodeBare(p, typ)
 	default:

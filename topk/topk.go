@@ -33,15 +33,21 @@
 // until their first observation.
 //
 // Both ingestion methods return a read-only view of the current top-k set
-// that remains valid until the next step; use AppendTop to retain a copy.
+// that remains valid until the next step; use AppendTop to retain a copy —
+// the copy is caller-owned and mutating it never affects the monitor.
 //
-// Three execution engines are available: a fast deterministic sequential
+// Four execution engines are available: a fast deterministic sequential
 // engine (default), a sharded goroutine engine that exchanges batched
-// channel messages (Config.Concurrent), and a networked engine that
-// drives the wire protocol over a Transport's links so the monitored
-// nodes can live in other processes (Config.Transport; see Loopback and
-// cmd/topkmon's -serve/-join modes). All three produce identical reports,
-// identical message counts and identical charged bytes for the same seed.
+// channel messages (Config.Concurrent), a networked engine that drives
+// the wire protocol over a Transport's links so the monitored nodes can
+// live in other processes (Config.Transport; see Loopback and
+// cmd/topkmon's -serve/-join modes), and a multi-coordinator engine that
+// splits the coordinator itself into Config.Shards sub-coordinators under
+// a root merge layer. All run the same coordinator core (one copy of
+// Algorithm 1's decision logic); the first three produce identical
+// reports, identical message counts and identical charged bytes for the
+// same seed, and the sharded engine matches them exactly at Shards == 1
+// while staying report-exact at any shard count.
 package topk
 
 import (
@@ -49,10 +55,13 @@ import (
 	"fmt"
 
 	"repro/internal/comm"
+	"repro/internal/coord"
 	"repro/internal/core"
 	"repro/internal/netrun"
 	"repro/internal/runtime"
+	"repro/internal/shardrun"
 	"repro/internal/sim"
+	"repro/internal/transport"
 )
 
 // Counts reports exchanged messages by kind. Every kind has unit cost in
@@ -119,16 +128,32 @@ type Config struct {
 	// ownership of the Transport: it is closed on any New error (the
 	// links are unusable after a failed handshake) and by Monitor.Close.
 	Transport Transport
+	// Shards selects the multi-coordinator engine: the node space is
+	// split into this many contiguous ranges, each owned by its own
+	// sub-coordinator, with a root merge layer maintaining the global
+	// top-k from the per-shard candidates. Reports stay exact at every
+	// step for any shard count (with DistinctValues and a transiently
+	// broken distinctness promise, ties among equal keys may resolve
+	// differently than on the other engines — see internal/shardrun's
+	// package comment); at Shards == 1 the message ledger is
+	// bit-identical to the sequential engine's, and for larger values the
+	// per-shard protocol rounds and the root↔shard digest traffic (see
+	// Overhead) are the price of removing the single-coordinator
+	// bottleneck. 0 (the default) disables sharding; Shards must not
+	// exceed Nodes and is mutually exclusive with Concurrent and
+	// Transport. Sharded monitors must be Closed.
+	Shards int
 }
 
 // Monitor continuously tracks the top-k positions. Create one with New.
 // A Monitor is not safe for concurrent use: the model's time steps are
 // globally ordered.
 type Monitor struct {
-	cfg  Config
-	seq  *core.Monitor
-	conc *runtime.Runtime
-	net  *netrun.Engine
+	cfg   Config
+	seq   *core.Monitor
+	conc  *runtime.Runtime
+	net   *netrun.Engine
+	shard *shardrun.Engine
 }
 
 // New validates cfg and creates a Monitor.
@@ -143,8 +168,22 @@ func New(cfg Config) (*Monitor, error) {
 		cfg.Transport.Close()
 		return nil, errors.New("topk: Concurrent and Transport are mutually exclusive")
 	}
+	if cfg.Shards < 0 || cfg.Shards > cfg.Nodes {
+		if cfg.Transport != nil {
+			cfg.Transport.Close()
+		}
+		return nil, fmt.Errorf("topk: Shards must satisfy 0 <= Shards <= Nodes, got Shards=%d Nodes=%d", cfg.Shards, cfg.Nodes)
+	}
+	if cfg.Shards > 0 && (cfg.Concurrent || cfg.Transport != nil) {
+		if cfg.Transport != nil {
+			cfg.Transport.Close()
+		}
+		return nil, errors.New("topk: Shards is mutually exclusive with Concurrent and Transport")
+	}
 	m := &Monitor{cfg: cfg}
 	switch {
+	case cfg.Shards > 0:
+		m.shard = shardrun.NewLoopback(shardrun.Config{N: cfg.Nodes, K: cfg.K, Seed: cfg.Seed, DistinctValues: cfg.DistinctValues}, cfg.Shards)
 	case cfg.Transport != nil:
 		eng, err := newNetEngine(cfg)
 		if err != nil {
@@ -168,7 +207,9 @@ func New(cfg Config) (*Monitor, error) {
 // the K largest values, in ascending id order. The returned slice is a
 // read-only view owned by the monitor, valid until the next step; use
 // AppendTop to retain a copy. It returns an error for a wrong-length
-// input or a closed monitor.
+// input, a closed monitor, or a networked/sharded engine whose link died
+// (the engine then stays wedged on its last-good report and every further
+// observation returns the same error).
 func (m *Monitor) Observe(vals []int64) ([]int, error) {
 	if len(vals) != m.cfg.Nodes {
 		return nil, fmt.Errorf("topk: observed %d values for %d nodes", len(vals), m.cfg.Nodes)
@@ -179,7 +220,17 @@ func (m *Monitor) Observe(vals []int64) ([]int, error) {
 	case m.conc != nil:
 		return m.conc.Observe(vals), nil
 	case m.net != nil:
-		return m.net.Observe(vals), nil
+		top := m.net.Observe(vals)
+		if err := m.net.Err(); err != nil {
+			return nil, err
+		}
+		return top, nil
+	case m.shard != nil:
+		top := m.shard.Observe(vals)
+		if err := m.shard.Err(); err != nil {
+			return nil, err
+		}
+		return top, nil
 	default:
 		return nil, errors.New("topk: monitor is closed")
 	}
@@ -211,7 +262,17 @@ func (m *Monitor) ObserveDelta(ids []int, vals []int64) ([]int, error) {
 	case m.conc != nil:
 		return m.conc.ObserveDelta(ids, vals), nil
 	case m.net != nil:
-		return m.net.ObserveDelta(ids, vals), nil
+		top := m.net.ObserveDelta(ids, vals)
+		if err := m.net.Err(); err != nil {
+			return nil, err
+		}
+		return top, nil
+	case m.shard != nil:
+		top := m.shard.ObserveDelta(ids, vals)
+		if err := m.shard.Err(); err != nil {
+			return nil, err
+		}
+		return top, nil
 	default:
 		return nil, errors.New("topk: monitor is closed")
 	}
@@ -228,6 +289,8 @@ func (m *Monitor) Top() []int {
 		return m.conc.Top()
 	case m.net != nil:
 		return m.net.Top()
+	case m.shard != nil:
+		return m.shard.Top()
 	default:
 		return nil
 	}
@@ -244,6 +307,8 @@ func (m *Monitor) AppendTop(dst []int) []int {
 		return m.conc.AppendTop(dst)
 	case m.net != nil:
 		return m.net.AppendTop(dst)
+	case m.shard != nil:
+		return m.shard.AppendTop(dst)
 	default:
 		return dst
 	}
@@ -259,6 +324,8 @@ func (m *Monitor) Counts() Counts {
 		c = m.conc.Counts()
 	case m.net != nil:
 		c = m.net.Counts()
+	case m.shard != nil:
+		c = m.shard.Counts()
 	}
 	return Counts{Up: c.Up, Down: c.Down, Broadcast: c.Bcast}
 }
@@ -273,6 +340,8 @@ func (m *Monitor) Phases() PhaseCounts {
 		led = m.conc.Ledger()
 	case m.net != nil:
 		led = m.net.Ledger()
+	case m.shard != nil:
+		led = m.shard.Ledger()
 	default:
 		return PhaseCounts{}
 	}
@@ -321,6 +390,8 @@ func (m *Monitor) Bytes() Bytes {
 		b = m.conc.Ledger().TotalBytes()
 	case m.net != nil:
 		b = m.net.Ledger().TotalBytes()
+	case m.shard != nil:
+		b = m.shard.Ledger().TotalBytes()
 	}
 	return Bytes{Up: b.Up, Down: b.Down, Broadcast: b.Bcast}
 }
@@ -335,6 +406,8 @@ func (m *Monitor) BytesByPhase() PhaseBytes {
 		led = m.conc.Ledger()
 	case m.net != nil:
 		led = m.net.Ledger()
+	case m.shard != nil:
+		led = m.shard.Ledger()
 	default:
 		return PhaseBytes{}
 	}
@@ -347,33 +420,60 @@ func (m *Monitor) BytesByPhase() PhaseBytes {
 }
 
 // TransportStats returns the frames and framed bytes that crossed the
-// links of a networked monitor, control plane included. The in-process
-// engines report the zero value.
+// links of a networked or sharded monitor, control plane included. The
+// in-process engines report the zero value.
 func (m *Monitor) TransportStats() TransportStats {
-	if m.net == nil {
+	var s transport.LinkStats
+	switch {
+	case m.net != nil:
+		s = m.net.TransportStats()
+	case m.shard != nil:
+		s = m.shard.TransportStats()
+	default:
 		return TransportStats{}
 	}
-	s := m.net.TransportStats()
 	return TransportStats{
 		SentFrames: s.SentFrames, SentBytes: s.SentBytes,
 		RecvFrames: s.RecvFrames, RecvBytes: s.RecvBytes,
 	}
 }
 
-// Stats returns behavioural counters. Only the sequential engine tracks
-// them; the concurrent and networked engines report the zero value (use
-// Counts, Bytes and Phases, which all engines maintain identically).
-func (m *Monitor) Stats() Stats {
-	if m.seq != nil {
-		s := m.seq.Stats()
-		return Stats{Steps: s.Steps, ViolationSteps: s.ViolationSteps, Resets: s.Resets, TopChanges: s.TopChanges}
+// Overhead returns the root↔shard coordination traffic of a sharded
+// monitor: Down counts root→shard command frames, Up counts shard→root
+// replies and digests, with Bytes carrying their encoded sizes. This is
+// the cost of splitting the coordinator, kept separate from the
+// algorithm's own message ledger (which at Shards == 1 equals the
+// sequential engine's exactly). Non-sharded monitors report zeroes.
+func (m *Monitor) Overhead() (Counts, Bytes) {
+	if m.shard == nil {
+		return Counts{}, Bytes{}
 	}
-	return Stats{}
+	c, b := m.shard.Overhead(), m.shard.OverheadBytes()
+	return Counts{Up: c.Up, Down: c.Down, Broadcast: c.Bcast},
+		Bytes{Up: b.Up, Down: b.Down, Broadcast: b.Bcast}
+}
+
+// Stats returns behavioural counters. Every engine maintains them in the
+// shared coordinator core, so they are identical across engines for the
+// same seed.
+func (m *Monitor) Stats() Stats {
+	var s coord.Stats
+	switch {
+	case m.seq != nil:
+		s = m.seq.Stats()
+	case m.conc != nil:
+		s = m.conc.Stats()
+	case m.net != nil:
+		s = m.net.Stats()
+	case m.shard != nil:
+		s = m.shard.Stats()
+	}
+	return Stats{Steps: s.Steps, ViolationSteps: s.ViolationSteps, Resets: s.Resets, TopChanges: s.TopChanges}
 }
 
 // Close releases the goroutines of a concurrent monitor and the peers of
-// a networked one. It is a no-op for the sequential engine and idempotent
-// everywhere. The monitor cannot observe after Close.
+// a networked or sharded one. It is a no-op for the sequential engine and
+// idempotent everywhere. The monitor cannot observe after Close.
 func (m *Monitor) Close() {
 	if m.conc != nil {
 		m.conc.Close()
@@ -385,6 +485,10 @@ func (m *Monitor) Close() {
 		if m.cfg.Transport != nil {
 			m.cfg.Transport.Close()
 		}
+	}
+	if m.shard != nil {
+		m.shard.Close()
+		m.shard = nil
 	}
 	m.seq = nil
 }
