@@ -208,6 +208,38 @@ func BenchmarkShardOverhead(b *testing.B) {
 	}
 }
 
+// BenchmarkApproxComm sweeps the tolerance of the ε-approximate mode on
+// one drifting workload and reports the communication next to the wall
+// clock: model messages and charged bytes per step, and the violation
+// steps the (1±ε) bands absorbed. ε=0 is the exact baseline on the same
+// trace. This is the benchmark-grade mirror of EXPERIMENTS.md E19
+// (`cmd/experiments -only E19`); CI runs it at -benchtime=1x and archives
+// the output as BENCH_approx.json.
+func BenchmarkApproxComm(b *testing.B) {
+	const steps = 400
+	const n, k = 1024, 8
+	for _, eps := range []float64{0, 0.01, 0.05, 0.1} {
+		b.Run(bench.F("eps=%.2f", eps), func(b *testing.B) {
+			vals := make([]int64, n)
+			var msgs, bytes, viol int64
+			for i := 0; i < b.N; i++ {
+				m := core.New(core.Config{N: n, K: k, Seed: 7, Epsilon: eps})
+				src := stream.NewRandomWalk(stream.WalkConfig{N: n, Lo: 1 << 20, Hi: 1 << 21, MaxStep: 1 << 13, Seed: 11})
+				for s := 0; s < steps; s++ {
+					src.Step(vals)
+					m.Observe(vals)
+				}
+				msgs = m.Counts().Total()
+				bytes = m.Bytes().Total()
+				viol = m.Stats().ViolationSteps
+			}
+			b.ReportMetric(float64(msgs)/steps, "msgs/step")
+			b.ReportMetric(float64(bytes)/steps, "B/step")
+			b.ReportMetric(float64(viol)/steps, "viol-steps/step")
+		})
+	}
+}
+
 // BenchmarkOracle measures the reference top-k computation used by the
 // correctness checks.
 func BenchmarkOracle(b *testing.B) {

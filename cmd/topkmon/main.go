@@ -15,6 +15,7 @@
 //	topkmon -n 16 -k 2 -compare
 //	topkmon -n 64 -k 4 -engine net -peers 4
 //	topkmon -n 256 -k 8 -shards 4
+//	topkmon -n 64 -k 8 -epsilon 0.05
 //
 // Two-process demo (run the joins in separate terminals or machines; the
 // coordinator waits for all peers before streaming the workload):
@@ -62,8 +63,16 @@ func main() {
 		opt      = flag.Bool("opt", false, "compute offline OPT segments and the competitive ratio")
 		compare  = flag.Bool("compare", false, "also run all baseline algorithms on the same workload")
 		ordered  = flag.Bool("ordered", false, "monitor the exact ranking of the top-k (§5 extension)")
+		epsilon  = flag.Float64("epsilon", 0, "tolerance of ε-approximate monitoring in [0, 1): filters widen to (1±ε) bands and reports are ε-approximate instead of exact (arXiv:1601.04448)")
 	)
 	flag.Parse()
+
+	if !(*epsilon >= 0) || *epsilon >= 1 { // NaN-proof form, as in topk.New
+		log.Fatalf("-epsilon must be in [0, 1), got %v", *epsilon)
+	}
+	if *epsilon != 0 && *ordered {
+		log.Fatal("-epsilon is not supported with -ordered")
+	}
 
 	if *join != "" {
 		runJoin(*join)
@@ -83,12 +92,15 @@ func main() {
 		if *ordered {
 			log.Fatal("-ordered is not supported by the networked engine yet")
 		}
-		runServe(*serve, *peers, nn, *k, *seed, matrix)
+		runServe(*serve, *peers, nn, *k, *seed, *epsilon, matrix)
 		return
 	}
 
 	var alg sim.Algorithm
 	name := "algorithm1(" + *engine + ")"
+	if *epsilon != 0 {
+		name = fmt.Sprintf("algorithm1(%s,ε=%g)", *engine, *epsilon)
+	}
 	switch {
 	case *shards > 0:
 		if *ordered {
@@ -100,10 +112,13 @@ func main() {
 		if *shards > nn {
 			log.Fatalf("-shards must be in [1, n], got %d for n=%d", *shards, nn)
 		}
-		se := shardrun.NewLoopback(shardrun.Config{N: nn, K: *k, Seed: *seed + 1}, *shards)
+		se := shardrun.NewLoopback(shardrun.Config{N: nn, K: *k, Seed: *seed + 1, Epsilon: *epsilon}, *shards)
 		defer se.Close()
 		alg = se
 		name = fmt.Sprintf("algorithm1(shard×%d)", *shards)
+		if *epsilon != 0 {
+			name = fmt.Sprintf("algorithm1(shard×%d,ε=%g)", *shards, *epsilon)
+		}
 	case *ordered && *engine == "seq":
 		alg = core.NewOrdered(core.Config{N: nn, K: *k, Seed: *seed + 1})
 		name = "ordered(seq)"
@@ -115,23 +130,23 @@ func main() {
 	case *ordered:
 		log.Fatal("-ordered is not supported by the networked engine yet")
 	case *engine == "seq":
-		alg = core.New(core.Config{N: nn, K: *k, Seed: *seed + 1})
+		alg = core.New(core.Config{N: nn, K: *k, Seed: *seed + 1, Epsilon: *epsilon})
 	case *engine == "conc":
-		rt := runtime.New(runtime.Config{N: nn, K: *k, Seed: *seed + 1})
+		rt := runtime.New(runtime.Config{N: nn, K: *k, Seed: *seed + 1, Epsilon: *epsilon})
 		defer rt.Close()
 		alg = rt
 	case *engine == "net":
 		if *peers < 1 || *peers > nn {
 			log.Fatalf("-peers must be in [1, n], got %d for n=%d", *peers, nn)
 		}
-		ne := netrun.NewLoopback(netrun.Config{N: nn, K: *k, Seed: *seed + 1}, *peers)
+		ne := netrun.NewLoopback(netrun.Config{N: nn, K: *k, Seed: *seed + 1, Epsilon: *epsilon}, *peers)
 		defer ne.Close()
 		alg = ne
 	default:
 		log.Fatalf("unknown engine %q", *engine)
 	}
 
-	cfg := sim.Config{Steps: ss, K: *k, CheckEvery: 1, ComputeOpt: *opt}
+	cfg := sim.Config{Steps: ss, K: *k, CheckEvery: 1, ComputeOpt: *opt, Epsilon: *epsilon}
 	if *ordered {
 		// The set oracle in sim expects ascending ids; the ordered monitor
 		// reports by rank. Disable the set check (rank exactness is
@@ -142,6 +157,9 @@ func main() {
 	fmt.Println(sim.Describe(name, rep))
 	checkEngineErr(alg)
 	if rep.Errors > 0 {
+		if *epsilon != 0 {
+			log.Fatalf("ε-oracle violations: %d (this is a bug)", rep.Errors)
+		}
 		log.Fatalf("oracle mismatches: %d (this is a bug)", rep.Errors)
 	}
 	if *opt {
@@ -214,7 +232,7 @@ func printTransport(ts transport.LinkStats, peers int) {
 
 // runServe is the TCP coordinator: accept the peers, drive the workload,
 // report, shut down.
-func runServe(addr string, peers, n, k int, seed uint64, matrix [][]int64) {
+func runServe(addr string, peers, n, k int, seed uint64, epsilon float64, matrix [][]int64) {
 	if peers < 1 || peers > n {
 		log.Fatalf("-peers must be in [1, n], got %d for n=%d", peers, n)
 	}
@@ -230,14 +248,14 @@ func runServe(addr string, peers, n, k int, seed uint64, matrix [][]int64) {
 	if err != nil {
 		log.Fatalf("accepting peers: %v", err)
 	}
-	eng, err := netrun.New(netrun.Config{N: n, K: k, Seed: seed + 1}, links)
+	eng, err := netrun.New(netrun.Config{N: n, K: k, Seed: seed + 1, Epsilon: epsilon}, links)
 	if err != nil {
 		log.Fatalf("handshake: %v", err)
 	}
 	defer eng.Close()
 	fmt.Printf("all %d peers joined; streaming %d steps of n=%d k=%d\n", peers, len(matrix), n, k)
 
-	rep := sim.Run(eng, stream.NewTraceSource(matrix), sim.Config{Steps: len(matrix), K: k, CheckEvery: 1})
+	rep := sim.Run(eng, stream.NewTraceSource(matrix), sim.Config{Steps: len(matrix), K: k, CheckEvery: 1, Epsilon: epsilon})
 	fmt.Println(sim.Describe("algorithm1(tcp)", rep))
 	checkEngineErr(eng)
 	if rep.Errors > 0 {

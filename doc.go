@@ -53,4 +53,28 @@
 // under a root merge layer, report-exact at any S and bit-identical to
 // the sequential engine at S=1, with the root-to-shard coordination cost
 // ledgered separately (EXPERIMENTS.md E18).
+//
+// # Approximate monitoring (ε tolerance)
+//
+// topk.Config.Epsilon selects the ε-tolerant variant of the follow-up
+// paper (Mäcker et al., arXiv:1601.04448) on any engine: filters widen
+// to (1±ε) bands around the separating threshold, within-tolerance
+// violations re-anchor the band instead of running a full FILTERRESET,
+// and protocol participants retire early once they cannot beat the
+// running best by more than the tolerance. Reports are then valid
+// ε-approximations of the true top-k (internal/sim's ε-oracle checks
+// every step) in exchange for orders of magnitude less communication on
+// drifting inputs (EXPERIMENTS.md E19, BenchmarkApproxComm); Epsilon 0
+// is bit-identical to the exact algorithm on every engine.
+//
+// # The value-domain boundary
+//
+// No input to the public topk API can panic the monitor. Keys are the
+// injection value·Nodes + tiebreak, so observation magnitudes are
+// bounded by topk.Monitor.MaxValue() (shrinking with Nodes); Observe,
+// ObserveDelta and Oracle reject out-of-domain values with a descriptive
+// error before any engine state changes, the remote node hosts surface
+// the same condition as a serve-loop error instead of a crash, and
+// boundary fuzz plus overflow-regression tests pin the contract on all
+// four engines.
 package repro

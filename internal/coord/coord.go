@@ -38,6 +38,8 @@
 //	        eff = m.Ack()          // (eff.IsTop: it joins the top set)
 //	    case coord.EffMidpoint:    // install filters around eff.Mid
 //	        eff = m.Ack()          // (eff.Full: [-inf, +inf], k == n)
+//	    case coord.EffBounds:      // ε mode: install the band [eff.Lo,
+//	        eff = m.Ack()          // eff.Hi] instead of a point midpoint
 //	    }
 //	}
 //	report := m.Top()
@@ -52,6 +54,7 @@ import (
 	"fmt"
 
 	"repro/internal/comm"
+	"repro/internal/filter"
 	"repro/internal/order"
 	"repro/internal/wire"
 )
@@ -77,6 +80,15 @@ const (
 // order-dual execution over negated keys).
 func MinimumTag(t uint8) bool { return t == TagViolMin || t == TagHandMin }
 
+// TolerantTag reports whether the tag's protocol execution may run with
+// ε-tolerant samplers in the approximate mode. Violation and handler
+// executions only feed the T+/T− style bound tracking, where an ε-sharp
+// extremum (suitably widened) is sound; FILTERRESET extractions decide
+// membership and always run exactly, so the extraction keys come out in
+// true descending order and the post-reset band provably contains every
+// node.
+func TolerantTag(t uint8) bool { return t != TagReset }
+
 // EffectKind enumerates what a Machine can ask its adapter to do.
 type EffectKind uint8
 
@@ -101,6 +113,12 @@ const (
 	// [-inf, +inf] everywhere (the k == n degenerate case). The broadcast
 	// is already charged. Answer with Ack.
 	EffMidpoint
+	// EffBounds: the ε-approximate counterpart of EffMidpoint — have every
+	// node re-anchor on the tolerance band [Lo, Hi] (top-k nodes install
+	// [Lo, +inf], outsiders [-inf, Hi]). Emitted only by machines with a
+	// non-zero tolerance; the broadcast is already charged. Answer with
+	// Ack.
+	EffBounds
 )
 
 // Effect is one instruction from the Machine to its adapter. Fields are
@@ -117,6 +135,8 @@ type Effect struct {
 
 	Mid  order.Key // EffMidpoint: filter bound
 	Full bool      // EffMidpoint: install [-inf, +inf] (k == n)
+
+	Lo, Hi order.Key // EffBounds: tolerance band ends
 }
 
 // Stats exposes counters describing a Machine's execution so far. All
@@ -137,6 +157,14 @@ type Config struct {
 	// N is the number of nodes, K the size of the monitored top set
 	// (1 <= K <= N).
 	N, K int
+	// Tol is the relative tolerance ε of the approximate mode. The zero
+	// value selects exact monitoring (bit-identical to a machine built
+	// before the approximate mode existed); a non-zero tolerance anchors
+	// filters on (1±ε) bands (EffBounds instead of EffMidpoint), lets
+	// violation steps whose learned extrema still fit one band skip the
+	// FILTERRESET, and marks violation/handler protocol executions as
+	// tolerance-eligible (see TolerantTag).
+	Tol order.Tol
 }
 
 // machState is the continuation point of the Machine between events.
@@ -176,6 +204,13 @@ type Machine struct {
 	tPlus  order.Key // T+(t0, t): min over top-k values since last reset
 	tMinus order.Key // T−(t0, t): max over outside values since last reset
 
+	// Approximate-mode band tracking: the ends of the currently installed
+	// filter band — every top-k key is >= curLo and every outside key is
+	// <= curHi between violations. Maintained only when cfg.Tol is
+	// non-zero.
+	curLo order.Key
+	curHi order.Key
+
 	step  int64
 	init  bool
 	stats Stats
@@ -207,6 +242,8 @@ func New(cfg Config) *Machine {
 		top:   make([]int, 0, cfg.K),
 		tmp:   make([]int, 0, cfg.K),
 		keys:  make([]order.Key, 0, cfg.K+1),
+		curLo: order.NegInf,
+		curHi: order.PosInf,
 	}
 	m.recViol = m.led.InPhase(comm.PhaseViolation)
 	m.recHand = m.led.InPhase(comm.PhaseHandler)
@@ -219,6 +256,9 @@ func (m *Machine) N() int { return m.cfg.N }
 
 // K returns the monitored top set size.
 func (m *Machine) K() int { return m.cfg.K }
+
+// Tol returns the machine's tolerance (zero for exact monitoring).
+func (m *Machine) Tol() order.Tol { return m.cfg.Tol }
 
 // Step returns the current observation step (0 before the first
 // BeginStep).
@@ -330,6 +370,9 @@ func (m *Machine) startHandler() Effect {
 // tighten applies lines 27-33: update T+/T− with the learned extrema, then
 // either reset or broadcast a fresh midpoint.
 func (m *Machine) tighten() Effect {
+	if !m.cfg.Tol.Zero() {
+		return m.tightenTol()
+	}
 	if m.minOK {
 		m.tPlus = order.Min(m.tPlus, m.minKey)
 	}
@@ -343,6 +386,52 @@ func (m *Machine) tighten() Effect {
 	comm.RecordSized(m.recHand, comm.Bcast, 1, wire.SizeMidpoint(int64(mid)))
 	m.state = stMidAck
 	return Effect{Kind: EffMidpoint, Mid: mid}
+}
+
+// tightenTol is the approximate mode's violation-handler conclusion.
+// From this step's protocol results it derives conservative bounds on the
+// two sides — every top-k key is >= lb, every outside key is <= ub — and,
+// when some threshold's (1±ε) band still covers both, re-anchors the
+// filters on that band instead of resetting: the current membership is
+// then still a valid ε-approximation, so the k+1 protocol executions of a
+// FILTERRESET are saved. Only when no band fits does it fall through to
+// the exact FILTERRESET.
+//
+// The widening accounts for the ε-tolerant samplers of the violation and
+// handler executions: a tolerant MINIMUM's result m̃ only guarantees that
+// every cohort key is >= WidenLo(m̃), and dually for a MAXIMUM.
+func (m *Machine) tightenTol() Effect {
+	var lb, ub order.Key
+	if m.anyOut {
+		// The handler ran MINIMUM over all current top-k nodes: minKey is
+		// an ε-sharp minimum of the whole top side.
+		lb = m.cfg.Tol.WidenLo(m.minKey)
+		// Outsiders: the non-violating ones are still <= curHi, the
+		// violating ones <= the widened violation maximum.
+		ub = m.curHi
+		if m.maxOK {
+			ub = order.Max(ub, m.cfg.Tol.WidenHi(m.maxKey))
+		}
+	} else {
+		// The handler ran MAXIMUM over all outsiders: maxKey is an ε-sharp
+		// maximum of the whole outside.
+		ub = m.cfg.Tol.WidenHi(m.maxKey)
+		// Top-k nodes: non-violating ones are still >= curLo, violating
+		// ones >= the widened violation minimum.
+		lb = m.curLo
+		if m.minOK {
+			lb = order.Min(lb, m.cfg.Tol.WidenLo(m.minKey))
+		}
+	}
+	th, ok := m.cfg.Tol.Witness(lb, ub)
+	if !ok {
+		return m.startReset()
+	}
+	band := filter.Band(th, m.cfg.Tol)
+	m.curLo, m.curHi = band.Lo, band.Hi
+	comm.RecordSized(m.recHand, comm.Bcast, 1, wire.SizeApproxBounds(int64(m.curLo), int64(m.curHi)))
+	m.state = stMidAck
+	return Effect{Kind: EffBounds, Lo: m.curLo, Hi: m.curHi}
 }
 
 // startReset begins FILTERRESET (lines 36-42).
@@ -383,12 +472,25 @@ func (m *Machine) finishReset() Effect {
 		// install broadcast is free — membership never changes.
 		m.tPlus = m.keys[len(m.keys)-1]
 		m.tMinus = order.NegInf
+		m.curLo, m.curHi = order.NegInf, order.PosInf
 		m.state = stMidAck
 		return Effect{Kind: EffMidpoint, Full: true}
 	}
 	kth, kPlus1 := m.keys[m.cfg.K-1], m.keys[m.cfg.K]
 	m.tPlus, m.tMinus = kth, kPlus1
 	mid := order.Midpoint(kPlus1, kth)
+	if !m.cfg.Tol.Zero() {
+		// Approximate mode: anchor the filters on the (1±ε) band around
+		// the midpoint. Reset extractions run exactly, so the extraction
+		// keys descend and the band contains every node: top keys are
+		// >= kth >= mid >= WidenLo(mid), outside keys <= kPlus1 <= mid <=
+		// WidenHi(mid).
+		band := filter.Band(mid, m.cfg.Tol)
+		m.curLo, m.curHi = band.Lo, band.Hi
+		comm.RecordSized(m.recReset, comm.Bcast, 1, wire.SizeApproxBounds(int64(m.curLo), int64(m.curHi)))
+		m.state = stMidAck
+		return Effect{Kind: EffBounds, Lo: m.curLo, Hi: m.curHi}
+	}
 	// Line 41: one broadcast lets every node derive its new filter.
 	comm.RecordSized(m.recReset, comm.Bcast, 1, wire.SizeMidpoint(int64(mid)))
 	m.state = stMidAck

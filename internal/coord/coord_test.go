@@ -21,7 +21,7 @@ type driver struct {
 func newDriver(n, k int, seed uint64) *driver {
 	return &driver{
 		mach: New(Config{N: n, K: k}),
-		bank: NewNodes(n, 0, n, seed, false),
+		bank: NewNodes(n, 0, n, seed, false, order.Tol{}),
 	}
 }
 
@@ -29,7 +29,10 @@ func (d *driver) observe(vals []int64) []int {
 	step := d.mach.BeginStep()
 	anyTop, anyOut := false, false
 	for id, v := range vals {
-		t, o := d.bank.Observe(id, v, step)
+		t, o, err := d.bank.Observe(id, v, step)
+		if err != nil {
+			panic(err)
+		}
 		anyTop = anyTop || t
 		anyOut = anyOut || o
 	}
@@ -55,6 +58,9 @@ func (d *driver) observe(vals []int64) []int {
 			eff = d.mach.Ack()
 		case EffMidpoint:
 			d.bank.Midpoint(eff.Mid, eff.Full)
+			eff = d.mach.Ack()
+		case EffBounds:
+			d.bank.ApplyBounds(eff.Lo, eff.Hi)
 			eff = d.mach.Ack()
 		default:
 			t := eff.Kind
@@ -167,7 +173,7 @@ func TestMachineMisusePanics(t *testing.T) {
 
 // TestNodesRangeChecks pins the hosted-range guard rails.
 func TestNodesRangeChecks(t *testing.T) {
-	b := NewNodes(10, 2, 6, 1, false)
+	b := NewNodes(10, 2, 6, 1, false, order.Tol{})
 	if b.Lo() != 2 || b.Hi() != 6 || b.Len() != 4 {
 		t.Fatalf("range [%d, %d) len %d", b.Lo(), b.Hi(), b.Len())
 	}
@@ -179,10 +185,44 @@ func TestNodesRangeChecks(t *testing.T) {
 	b.Observe(7, 1, 1)
 }
 
+// TestNodesValueDomain pins the value-domain boundary: an out-of-range
+// observation is rejected with an error — not a panic — before any node
+// state changes, in both tie-break modes.
+func TestNodesValueDomain(t *testing.T) {
+	b := NewNodes(10, 0, 10, 1, false, order.Tol{})
+	mv := b.MaxValue()
+	if _, _, err := b.Observe(3, mv, 1); err != nil {
+		t.Fatalf("in-range value rejected: %v", err)
+	}
+	before := b.Key(3)
+	if _, _, err := b.Observe(3, mv+1, 1); err == nil {
+		t.Fatal("over-capacity value accepted")
+	}
+	if _, _, err := b.Observe(3, -mv-1, 1); err == nil {
+		t.Fatal("under-capacity value accepted")
+	}
+	if b.Key(3) != before {
+		t.Fatal("rejected observation mutated the node's key")
+	}
+
+	d := NewNodes(4, 0, 4, 1, true, order.Tol{})
+	if d.MaxValue() != order.MaxDistinctValue {
+		t.Fatalf("distinct-mode MaxValue = %d", d.MaxValue())
+	}
+	for _, v := range []int64{int64(order.PosInf), int64(order.NegInf), -int64(order.PosInf)} {
+		if _, _, err := d.Observe(0, v, 1); err == nil {
+			t.Fatalf("distinct mode accepted sentinel-colliding value %d", v)
+		}
+	}
+	if _, _, err := d.Observe(0, order.MaxDistinctValue, 1); err != nil {
+		t.Fatalf("distinct mode rejected in-range value: %v", err)
+	}
+}
+
 // TestNodesSubSharesState verifies Sub views alias the parent bank's node
 // state — the runtime's shards all see one coherent node array.
 func TestNodesSubSharesState(t *testing.T) {
-	parent := NewNodes(8, 0, 8, 4, false)
+	parent := NewNodes(8, 0, 8, 4, false, order.Tol{})
 	left, right := parent.Sub(0, 4), parent.Sub(4, 8)
 	left.Observe(1, 42, 1)
 	right.Observe(6, 24, 1)

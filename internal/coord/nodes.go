@@ -59,14 +59,17 @@ type Nodes struct {
 	lo, hi   int
 	distinct bool
 	codec    order.Codec
+	tol      order.Tol
+	maxVal   int64 // cached value-domain bound; Observe checks it per value
 	ns       []nodeState
 }
 
 // NewNodes builds the node state for the range [lo, hi) of an n-node
-// monitor with the given protocol seed and tie-break mode. The constructor
-// walks the root generator's full split sequence (Split mutates the root)
-// and keeps its slice of it, exactly as every other engine does.
-func NewNodes(n, lo, hi int, seed uint64, distinct bool) *Nodes {
+// monitor with the given protocol seed, tie-break mode and tolerance
+// (zero for exact monitoring). The constructor walks the root generator's
+// full split sequence (Split mutates the root) and keeps its slice of it,
+// exactly as every other engine does.
+func NewNodes(n, lo, hi int, seed uint64, distinct bool, tol order.Tol) *Nodes {
 	if n <= 0 {
 		panic("coord: need n > 0")
 	}
@@ -78,6 +81,8 @@ func NewNodes(n, lo, hi int, seed uint64, distinct bool) *Nodes {
 		hi:       hi,
 		distinct: distinct,
 		codec:    order.NewCodec(n),
+		tol:      tol,
+		maxVal:   order.MaxValueFor(n, distinct),
 		ns:       make([]nodeState, hi-lo),
 	}
 	root := rng.New(seed, 0xc02e)
@@ -114,6 +119,8 @@ func (b *Nodes) Sub(lo, hi int) *Nodes {
 		hi:       hi,
 		distinct: b.distinct,
 		codec:    b.codec,
+		tol:      b.tol,
+		maxVal:   b.maxVal,
 		ns:       b.ns[lo-b.lo : hi-b.lo : hi-b.lo],
 	}
 }
@@ -138,11 +145,27 @@ func (b *Nodes) node(id int) *nodeState {
 	return &b.ns[id-b.lo]
 }
 
+// MaxValue returns the largest observation magnitude the bank accepts
+// (symmetrically, -MaxValue is the smallest): order.MaxValueFor of the
+// bank's configuration — the codec capacity for the default tie-break
+// injection, which shrinks with n since keys are v·n + tiebreak, or the
+// sentinel-free int64 range in DistinctValues mode.
+func (b *Nodes) MaxValue() int64 { return b.maxVal }
+
 // Observe ingests one observation for node id at the given step, runs the
 // node-local filter check, and reports whether the node violated as a
-// former top-k member (topViol) or as an outsider (outViol).
-func (b *Nodes) Observe(id int, v int64, step int64) (topViol, outViol bool) {
+// former top-k member (topViol) or as an outsider (outViol). A value
+// whose magnitude exceeds MaxValue is rejected with a descriptive error
+// before any state changes: the key injection would overflow (or, in
+// DistinctValues mode, collide with the ±∞ sentinels) and silently
+// corrupt the order, so out-of-domain input must never reach the key
+// domain. Hosts that face a wire (internal/netrun, internal/shardrun)
+// surface the error instead of panicking.
+func (b *Nodes) Observe(id int, v int64, step int64) (topViol, outViol bool, err error) {
 	nd := b.node(id)
+	if v > b.maxVal || v < -b.maxVal {
+		return false, false, fmt.Errorf("coord: node %d value %d outside the value domain [-%d, %d] for %d nodes", id, v, b.maxVal, b.maxVal, b.codec.N())
+	}
 	if b.distinct {
 		nd.key = order.Key(v)
 	} else {
@@ -151,9 +174,9 @@ func (b *Nodes) Observe(id int, v int64, step int64) (topViol, outViol bool) {
 	if violated, _ := nd.iv.Violates(nd.key); violated {
 		nd.violStep = step
 		nd.wasTop = nd.inTop
-		return nd.inTop, !nd.inTop
+		return nd.inTop, !nd.inTop, nil
 	}
-	return false, false
+	return false, false, nil
 }
 
 // Round runs one sampler round over the hosted members of cohort tag:
@@ -173,7 +196,11 @@ func (b *Nodes) Round(tag uint8, r int, best order.Key, bound int, step int64, s
 			if MinimumTag(tag) {
 				k = order.Neg(k)
 			}
-			nd.sampler = protocol.NewSampler(k, bound)
+			tol := b.tol
+			if !TolerantTag(tag) {
+				tol = order.Tol{} // reset extractions always run exactly
+			}
+			nd.sampler = protocol.NewSamplerTol(k, bound, tol)
 		}
 		if nd.sampler.Round(best, uint(r), nd.rng) {
 			send(nd.id, nd.key)
@@ -204,6 +231,20 @@ func (b *Nodes) Midpoint(mid order.Key, full bool) {
 			nd.iv = filter.AtLeast(mid)
 		default:
 			nd.iv = filter.AtMost(mid)
+		}
+	}
+}
+
+// ApplyBounds installs the ε-approximate band assignment: [lo, +inf] for
+// top-k members, [-inf, hi] for outsiders (the node-side execution of
+// coord.EffBounds / wire.ApproxBounds).
+func (b *Nodes) ApplyBounds(lo, hi order.Key) {
+	for i := range b.ns {
+		nd := &b.ns[i]
+		if nd.inTop {
+			nd.iv = filter.AtLeast(lo)
+		} else {
+			nd.iv = filter.AtMost(hi)
 		}
 	}
 }

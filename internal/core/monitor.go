@@ -56,6 +56,13 @@ type Config struct {
 	// false (the default), the monitor applies the order-preserving
 	// injection key = v*n + (n-1-i), breaking ties by smaller node id.
 	DistinctValues bool
+	// Epsilon selects the ε-approximate mode (0 <= Epsilon < 1): filters
+	// widen to (1±ε) bands, violation steps whose learned extrema still
+	// fit one band skip the FILTERRESET, and violation/handler protocol
+	// executions run with ε-tolerant samplers. Reports are then valid
+	// ε-approximations of the top-k (sim.EpsValid) rather than exact; 0
+	// (the default) is bit-identical to the exact algorithm.
+	Epsilon float64
 	// UseGather replaces every MAXIMUMPROTOCOL / MINIMUMPROTOCOL execution
 	// with the naive gather-all protocol (M(n) = n instead of O(log n)).
 	// The filter logic is unchanged. This isolates the contribution of the
@@ -81,6 +88,7 @@ type Stats = coord.Stats
 type Monitor struct {
 	cfg   Config
 	codec order.Codec
+	tol   order.Tol
 	fs    *filter.Set
 	mach  *coord.Machine
 
@@ -111,11 +119,16 @@ func New(cfg Config) *Monitor {
 	if cfg.K < 1 || cfg.K > cfg.N {
 		panic("core: monitor needs 1 <= K <= N")
 	}
+	tol, err := order.NewTol(cfg.Epsilon)
+	if err != nil {
+		panic("core: " + err.Error())
+	}
 	m := &Monitor{
 		cfg:    cfg,
 		codec:  order.NewCodec(cfg.N),
+		tol:    tol,
 		fs:     filter.NewSet(cfg.N, cfg.K),
-		mach:   coord.New(coord.Config{N: cfg.N, K: cfg.K}),
+		mach:   coord.New(coord.Config{N: cfg.N, K: cfg.K, Tol: tol}),
 		rngs:   make([]*rng.RNG, cfg.N),
 		keys:   make([]order.Key, cfg.N),
 		allIDs: make([]int, cfg.N),
@@ -130,10 +143,25 @@ func New(cfg Config) *Monitor {
 	return m
 }
 
+// MaxValue returns the largest observation magnitude the monitor accepts
+// (symmetrically, -MaxValue is the smallest): order.MaxValueFor of the
+// monitor's configuration. The public boundary (package topk) validates
+// against it and returns an error; this internal engine panics, as for
+// its other input contracts.
+func (m *Monitor) MaxValue() int64 {
+	return order.MaxValueFor(m.cfg.N, m.cfg.DistinctValues)
+}
+
 // encode maps one observation into the key domain per the DistinctValues
-// mode.
+// mode. Out-of-domain values panic in either mode: Encode's own range
+// check covers the injection, and the distinct path must reject the
+// values that would collide with the ±∞ sentinels instead of silently
+// corrupting the order.
 func (m *Monitor) encode(v int64, id int) order.Key {
 	if m.cfg.DistinctValues {
+		if v > order.MaxDistinctValue || v < -order.MaxDistinctValue {
+			panic(fmt.Sprintf("core: node %d value %d collides with the key-domain sentinels", id, v))
+		}
 		return order.Key(v)
 	}
 	return m.codec.Encode(v, id)
@@ -259,7 +287,7 @@ func (m *Monitor) ObserveDelta(ids []int, vals []int64) []int {
 		case coord.EffWinner:
 			m.extract(eff.Target)
 			eff = m.mach.Ack()
-		case coord.EffMidpoint:
+		case coord.EffMidpoint, coord.EffBounds:
 			m.installMidpoint(eff)
 			eff = m.mach.Ack()
 		default:
@@ -270,19 +298,25 @@ func (m *Monitor) ObserveDelta(ids []int, vals []int64) []int {
 }
 
 // exec runs one protocol execution over the effect's cohort, dispatching
-// per the UseGather ablation flag.
+// per the UseGather ablation flag. Violation and handler executions run
+// with the monitor's tolerance (a no-op at ε=0); reset extractions are
+// always exact (see coord.TolerantTag).
 func (m *Monitor) exec(eff coord.Effect) protocol.Result {
 	parts := m.cohort(eff.Tag)
 	rec := m.mach.Recorder(eff.Phase)
+	tol := m.tol
+	if !coord.TolerantTag(eff.Tag) {
+		tol = order.Tol{}
+	}
 	switch {
 	case m.cfg.UseGather && coord.MinimumTag(eff.Tag):
 		return protocol.GatherAllMin(parts, rec, m.cfg.Trace, m.step)
 	case m.cfg.UseGather:
 		return protocol.GatherAll(parts, rec, m.cfg.Trace, m.step)
 	case coord.MinimumTag(eff.Tag):
-		return m.pscratch.Minimum(parts, eff.Bound, rec, m.cfg.Trace, m.step)
+		return m.pscratch.MinimumTol(parts, eff.Bound, tol, rec, m.cfg.Trace, m.step)
 	default:
-		return m.pscratch.Maximum(parts, eff.Bound, rec, m.cfg.Trace, m.step)
+		return m.pscratch.MaximumTol(parts, eff.Bound, tol, rec, m.cfg.Trace, m.step)
 	}
 }
 
@@ -347,26 +381,43 @@ func (m *Monitor) extract(id int) {
 	panic(fmt.Sprintf("core: extraction winner %d not among remaining candidates", id))
 }
 
-// installMidpoint applies a midpoint broadcast: after a reset it first
-// installs the machine's freshly extracted membership (SetMembership does
-// not retain its input), then re-anchors every filter.
+// installMidpoint applies a midpoint (or ε-mode band) broadcast: after a
+// reset it first installs the machine's freshly extracted membership
+// (SetMembership does not retain its input), then re-anchors every
+// filter.
 func (m *Monitor) installMidpoint(eff coord.Effect) {
+	payload := int64(eff.Mid)
+	note, resetNote := "midpoint", "filter reset"
+	if eff.Kind == coord.EffBounds {
+		payload = int64(eff.Lo)
+		note, resetNote = "bounds", "filter reset bounds"
+		if m.cfg.Trace != nil {
+			// Band installs carry Lo as the payload and the upper end in
+			// the note, so ε-mode traces stay distinguishable from
+			// point-midpoint installs and both ends are recoverable.
+			note = fmt.Sprintf("bounds hi=%d", eff.Hi)
+			resetNote = fmt.Sprintf("filter reset bounds hi=%d", eff.Hi)
+		}
+	}
 	if m.inReset {
 		m.inReset = false
 		m.topBuf = m.mach.AppendTop(m.topBuf[:0])
 		m.fs.SetMembership(m.topBuf)
 		if !eff.Full {
-			m.cfg.Trace.Append(comm.Event{Step: m.step, Kind: comm.Bcast, From: comm.Coordinator, To: comm.Everyone, Payload: int64(eff.Mid), Note: "filter reset"})
+			m.cfg.Trace.Append(comm.Event{Step: m.step, Kind: comm.Bcast, From: comm.Coordinator, To: comm.Everyone, Payload: payload, Note: resetNote})
 		}
 	} else {
-		m.cfg.Trace.Append(comm.Event{Step: m.step, Kind: comm.Bcast, From: comm.Coordinator, To: comm.Everyone, Payload: int64(eff.Mid), Note: "midpoint"})
+		m.cfg.Trace.Append(comm.Event{Step: m.step, Kind: comm.Bcast, From: comm.Coordinator, To: comm.Everyone, Payload: payload, Note: note})
 	}
-	if eff.Full {
+	switch {
+	case eff.Full:
 		// k == n: AssignMidpoint installs [−∞, +∞] regardless of the bound.
 		m.fs.AssignMidpoint(0)
-		return
+	case eff.Kind == coord.EffBounds:
+		m.fs.AssignBand(eff.Lo, eff.Hi)
+	default:
+		m.fs.AssignMidpoint(eff.Mid)
 	}
-	m.fs.AssignMidpoint(eff.Mid)
 }
 
 // Keys exposes the key vector of the last observed step (for invariant

@@ -36,6 +36,16 @@ func AtMost(m order.Key) Interval { return Interval{Lo: order.NegInf, Hi: m} }
 // ablation baseline, where any change is a violation).
 func Point(k order.Key) Interval { return Interval{Lo: k, Hi: k} }
 
+// Band returns the (1±ε) tolerance band around threshold th as an
+// interval [WidenLo(th), WidenHi(th)]. In the ε-approximate mode the
+// coordinator anchors filters on a band instead of a point midpoint:
+// top-k nodes install [Band.Lo, +∞], outsiders [−∞, Band.Hi], so values
+// may drift an ε fraction across the threshold before any communication
+// happens. At ε = 0 the band collapses to Point(th).
+func Band(th order.Key, tol order.Tol) Interval {
+	return Interval{Lo: tol.WidenLo(th), Hi: tol.WidenHi(th)}
+}
+
 // Contains reports whether key k lies in the interval.
 func (iv Interval) Contains(k order.Key) bool { return iv.Lo <= k && k <= iv.Hi }
 
@@ -190,7 +200,14 @@ func intsEqual(a, b []int) bool {
 // With k == n there is no outside node, so every filter becomes [−∞, +∞]
 // and the monitor never communicates again — the degenerate case discussed
 // in DESIGN.md.
-func (s *Set) AssignMidpoint(m order.Key) {
+func (s *Set) AssignMidpoint(m order.Key) { s.AssignBand(m, m) }
+
+// AssignBand is the ε-approximate generalization of AssignMidpoint: it
+// installs [lo, +∞] for current top-k members and [−∞, hi] for the rest,
+// where [lo, hi] is a tolerance band (see Band) around the separating
+// threshold. With k == n every filter becomes [−∞, +∞] as in the exact
+// assignment.
+func (s *Set) AssignBand(lo, hi order.Key) {
 	if s.k == len(s.ivs) {
 		for i := range s.ivs {
 			s.ivs[i] = Full()
@@ -199,9 +216,9 @@ func (s *Set) AssignMidpoint(m order.Key) {
 	}
 	for i := range s.ivs {
 		if s.inTop[i] {
-			s.ivs[i] = AtLeast(m)
+			s.ivs[i] = AtLeast(lo)
 		} else {
-			s.ivs[i] = AtMost(m)
+			s.ivs[i] = AtMost(hi)
 		}
 	}
 }
@@ -230,6 +247,36 @@ func (s *Set) Validate(keys []order.Key) error {
 	// With no outside nodes (k == n) the separation condition is vacuous.
 	if maxOutHi != order.NegInf && minTopLo < maxOutHi {
 		return fmt.Errorf("filter: separation violated: min top lower bound %d < max outside upper bound %d", minTopLo, maxOutHi)
+	}
+	return nil
+}
+
+// ValidateEps is the ε-tolerant counterpart of Validate: every key must
+// still lie in its node's filter, but instead of exact separation the
+// membership only needs to be ε-valid — some threshold's (1±ε) band must
+// cover both the smallest top-k key and the largest outside key
+// (order.Tol.Separated). With a zero tolerance it accepts exactly the
+// assignments whose current membership Validate's separation condition
+// accepts.
+func (s *Set) ValidateEps(keys []order.Key, tol order.Tol) error {
+	if len(keys) != len(s.ivs) {
+		return fmt.Errorf("filter: %d keys for %d nodes", len(keys), len(s.ivs))
+	}
+	minTop := order.PosInf
+	maxOut := order.NegInf
+	for id, iv := range s.ivs {
+		if !iv.Contains(keys[id]) {
+			return fmt.Errorf("filter: node %d key %d outside filter %s", id, keys[id], iv)
+		}
+		if s.inTop[id] {
+			minTop = order.Min(minTop, keys[id])
+		} else {
+			maxOut = order.Max(maxOut, keys[id])
+		}
+	}
+	// With no outside nodes (k == n) the condition is vacuous.
+	if maxOut != order.NegInf && !tol.Separated(minTop, maxOut) {
+		return fmt.Errorf("filter: ε-separation violated: min top key %d vs max outside key %d at eps=%v", minTop, maxOut, tol.Eps())
 	}
 	return nil
 }

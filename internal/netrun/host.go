@@ -33,7 +33,11 @@ func newHost(a wire.Assign) (*host, error) {
 	if a.Lo < 0 || a.Hi > a.N || a.Lo >= a.Hi {
 		return nil, fmt.Errorf("netrun: bad assignment range [%d, %d) of %d", a.Lo, a.Hi, a.N)
 	}
-	return &host{bank: coord.NewNodes(a.N, a.Lo, a.Hi, a.Seed, a.Distinct)}, nil
+	tol, err := order.TolFromNum(a.EpsNum)
+	if err != nil {
+		return nil, fmt.Errorf("netrun: bad assignment: %w", err)
+	}
+	return &host{bank: coord.NewNodes(a.N, a.Lo, a.Hi, a.Seed, a.Distinct, tol)}, nil
 }
 
 // handle processes one decoded command frame, filling h.reply. It returns
@@ -56,7 +60,13 @@ func (h *host) handle(frame []byte) (cont bool, err error) {
 			return false, fmt.Errorf("netrun: observe carries %d values for range [%d, %d)", len(h.obs.Vals), lo, hi)
 		}
 		for i, v := range h.obs.Vals {
-			t, o := h.bank.Observe(lo+i, v, h.obs.Step)
+			t, o, err := h.bank.Observe(lo+i, v, h.obs.Step)
+			if err != nil {
+				// An out-of-domain value from the wire must not panic the
+				// host process; the serve loop surfaces the error and the
+				// coordinator sees the link die.
+				return false, err
+			}
 			h.reply.TopViol = h.reply.TopViol || t
 			h.reply.OutViol = h.reply.OutViol || o
 		}
@@ -69,7 +79,10 @@ func (h *host) handle(frame []byte) (cont bool, err error) {
 			if id < lo || id >= hi {
 				return false, fmt.Errorf("netrun: delta id %d outside range [%d, %d)", id, lo, hi)
 			}
-			t, o := h.bank.Observe(id, h.delta.Vals[j], h.delta.Step)
+			t, o, err := h.bank.Observe(id, h.delta.Vals[j], h.delta.Step)
+			if err != nil {
+				return false, err
+			}
 			h.reply.TopViol = h.reply.TopViol || t
 			h.reply.OutViol = h.reply.OutViol || o
 		}
@@ -100,6 +113,13 @@ func (h *host) handle(frame []byte) (cont bool, err error) {
 			return false, err
 		}
 		h.bank.Midpoint(order.Key(m.Mid), m.Full)
+
+	case wire.TypeApproxBounds:
+		m, err := wire.DecodeApproxBounds(frame)
+		if err != nil {
+			return false, err
+		}
+		h.bank.ApplyBounds(order.Key(m.Lo), order.Key(m.Hi))
 
 	case wire.TypeResetBegin:
 		if err := wire.DecodeBare(frame, wire.TypeResetBegin); err != nil {

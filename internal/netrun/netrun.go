@@ -18,6 +18,7 @@
 //	EffResetBegin             wire.ResetBegin
 //	EffWinner                 wire.Winner
 //	EffMidpoint               wire.Midpoint
+//	EffBounds (ε mode)        wire.ApproxBounds
 //	(reply to any command)    wire.Reply
 //
 // Every command is answered by exactly one Reply, so the links stay in
@@ -60,6 +61,11 @@ type Config struct {
 	N, K           int
 	Seed           uint64
 	DistinctValues bool
+	// Epsilon selects the ε-approximate mode, exactly as in core.Config.
+	// The tolerance rides to the peers in the Assign handshake (as its
+	// exact fixed-point numerator), so their samplers and band installs
+	// agree with the coordinator bit for bit.
+	Epsilon float64
 }
 
 // peer is the coordinator's view of one node-hosting link.
@@ -102,9 +108,13 @@ func New(cfg Config, links []transport.Link) (*Engine, error) {
 	if len(links) == 0 || len(links) > cfg.N {
 		panic(fmt.Sprintf("netrun: need 1 <= peers <= N, got %d peers for N=%d", len(links), cfg.N))
 	}
+	tol, err := order.NewTol(cfg.Epsilon)
+	if err != nil {
+		panic("netrun: " + err.Error())
+	}
 	e := &Engine{
 		cfg:     cfg,
-		mach:    coord.New(coord.Config{N: cfg.N, K: cfg.K}),
+		mach:    coord.New(coord.Config{N: cfg.N, K: cfg.K, Tol: tol}),
 		touched: make([]bool, len(links)),
 	}
 	// Contiguous near-even ranges: the first rem peers take one extra
@@ -129,7 +139,7 @@ func New(cfg Config, links []transport.Link) (*Engine, error) {
 	for _, p := range e.peers {
 		e.buf = wire.Assign{
 			Lo: p.lo, Hi: p.hi, N: cfg.N, K: cfg.K,
-			Seed: cfg.Seed, Distinct: cfg.DistinctValues,
+			Seed: cfg.Seed, EpsNum: tol.Num(), Distinct: cfg.DistinctValues,
 		}.Append(e.buf[:0])
 		if err := p.link.Send(e.buf); err != nil {
 			return fail(fmt.Errorf("netrun: assigning [%d, %d): %w", p.lo, p.hi, err))
@@ -403,6 +413,11 @@ func (e *Engine) finishStep(anyTopViol, anyOutViol bool) []int {
 		case coord.EffMidpoint:
 			e.buf = wire.Midpoint{Mid: int64(eff.Mid), Full: eff.Full}.Append(e.buf[:0])
 			if err = e.broadcast(e.buf, "midpoint"); err == nil {
+				eff = e.mach.Ack()
+			}
+		case coord.EffBounds:
+			e.buf = wire.ApproxBounds{Lo: int64(eff.Lo), Hi: int64(eff.Hi)}.Append(e.buf[:0])
+			if err = e.broadcast(e.buf, "bounds"); err == nil {
 				eff = e.mach.Ack()
 			}
 		default:

@@ -49,10 +49,25 @@ func NewCodec(n int) Codec {
 // N returns the number of nodes the codec was built for.
 func (c Codec) N() int { return int(c.n) }
 
-// MaxValue is the largest raw value Encode accepts without overflowing
-// int64 (symmetrically, -MaxValue is the smallest).
+// MaxValue is the largest raw value Encode accepts (symmetrically,
+// -MaxValue is the smallest): the key of any admissible (value, id) pair
+// neither overflows int64 nor lands on the PosInf/NegInf sentinels. The
+// budget is MaxInt64-1 rather than MaxInt64 because at power-of-two n
+// the extreme key value·n + (n-1) would otherwise equal PosInf exactly.
 func (c Codec) MaxValue() int64 {
-	return (math.MaxInt64 - (c.n - 1)) / c.n
+	return (math.MaxInt64 - 1 - (c.n - 1)) / c.n
+}
+
+// MaxValueFor is the one definition of the monitors' value-domain bound:
+// the largest observation magnitude admissible for n nodes under the
+// given tie-break mode. Every layer that validates observations — the
+// public topk boundary, the engines, the wire-facing node hosts — derives
+// its bound from here, so the layers cannot silently disagree.
+func MaxValueFor(n int, distinct bool) int64 {
+	if distinct {
+		return MaxDistinctValue
+	}
+	return NewCodec(n).MaxValue()
 }
 
 // Encode maps a raw observation v at node id into its key. It panics if id

@@ -95,6 +95,31 @@ func TestMaxValueBoundary(t *testing.T) {
 	}
 }
 
+// TestEncodeNeverProducesSentinels pins the sentinel-freedom contract at
+// the extreme corners of the admissible domain. Power-of-two node counts
+// are the regression: with the old bound (MaxInt64-(n-1))/n, the key of
+// (MaxValue, id 0) equalled PosInf exactly whenever n divides 2^63.
+func TestEncodeNeverProducesSentinels(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 7, 8, 64, 1000, 1 << 20} {
+		c := NewCodec(n)
+		mv := c.MaxValue()
+		for _, tc := range []struct {
+			v  int64
+			id int
+		}{{mv, 0}, {mv, n - 1}, {-mv, 0}, {-mv, n - 1}} {
+			if k := c.Encode(tc.v, tc.id); k == PosInf || k == NegInf {
+				t.Fatalf("n=%d: Encode(%d, %d) produced sentinel %d", n, tc.v, tc.id, k)
+			}
+		}
+		if MaxValueFor(n, false) != mv {
+			t.Fatalf("n=%d: MaxValueFor disagrees with Codec.MaxValue", n)
+		}
+	}
+	if MaxValueFor(5, true) != MaxDistinctValue {
+		t.Fatal("distinct-mode MaxValueFor mismatch")
+	}
+}
+
 func TestMidpoint(t *testing.T) {
 	cases := []struct{ lo, hi, want Key }{
 		{0, 10, 5},

@@ -17,6 +17,14 @@
 // sequential engine (this package's Maximum) and the sharded concurrent
 // runtime (internal/runtime) share one implementation and can be checked
 // for message-count equivalence under identical seeds.
+//
+// For the ε-approximate mode (arXiv:1601.04448), an execution may run
+// with a tolerance (NewSamplerTol, MaximumTol/MinimumTol): participants
+// retire from the remaining rounds early once the broadcast best is
+// within the (1±ε) band of their own key, trading the exactness of the
+// result — the winner is then only guaranteed ε-close to the true
+// extremum — for fewer expected bids. A zero tolerance is bit-identical
+// to the exact protocol, randomness consumption included.
 package protocol
 
 import (
@@ -72,16 +80,28 @@ func ceilLog2(n int) int {
 type Sampler struct {
 	key    order.Key
 	bound  uint64
+	tol    order.Tol
 	active bool
 }
 
-// NewSampler creates the node-side state for a protocol execution with the
-// given local key and population upper bound N (the protocol parameter).
+// NewSampler creates the node-side state for an exact protocol execution
+// with the given local key and population upper bound N (the protocol
+// parameter).
 func NewSampler(key order.Key, bound int) Sampler {
+	return NewSamplerTol(key, bound, order.Tol{})
+}
+
+// NewSamplerTol creates the node-side state for an ε-tolerant execution:
+// the node additionally retires from the remaining rounds as soon as the
+// broadcast best is within the (1±ε) band of its own key — it cannot
+// improve the result by more than the tolerance, so it stops bidding
+// early. With a zero tolerance the behaviour (and, crucially, the
+// randomness consumption) is bit-identical to NewSampler.
+func NewSamplerTol(key order.Key, bound int, tol order.Tol) Sampler {
 	if bound <= 0 {
 		panic("protocol: sampler bound must be positive")
 	}
-	return Sampler{key: key, bound: uint64(bound), active: true}
+	return Sampler{key: key, bound: uint64(bound), tol: tol, active: true}
 }
 
 // Active reports whether the node still participates.
@@ -90,13 +110,17 @@ func (s *Sampler) Active() bool { return s.active }
 // Round processes round r given the best key broadcast by the coordinator
 // so far (order.NegInf before the first round). It returns true when the
 // node sends its key this round. Nodes that observe a broadcast best above
-// their own key deactivate without sending (Algorithm 2 lines 8-10); nodes
-// that send deactivate immediately afterwards (line 14).
+// their own key — above the upper band end of the best, for tolerant
+// executions — deactivate without sending (Algorithm 2 lines 8-10); nodes
+// that send deactivate immediately afterwards (line 14). A tolerant
+// execution therefore guarantees that every participant's key is at most
+// WidenHi(winner key) in the comparison domain, rather than at most the
+// winner key exactly.
 func (s *Sampler) Round(best order.Key, r uint, rg *rng.RNG) bool {
 	if !s.active {
 		return false
 	}
-	if best > s.key {
+	if s.tol.WidenHi(best) > s.key {
 		s.active = false
 		return false
 	}
@@ -120,24 +144,37 @@ type Scratch struct {
 // simulation time. The empty participant set yields Result{OK: false} and
 // no messages.
 func Maximum(parts []Participant, bound int, rec comm.Recorder, tr *comm.Trace, step int64) Result {
-	return run(parts, bound, rec, tr, step, false, nil)
+	return run(parts, bound, order.Tol{}, rec, tr, step, false, nil)
 }
 
 // Minimum is the order-dual of Maximum: it executes Algorithm 2 on negated
 // keys, returning the participant holding the smallest key.
 func Minimum(parts []Participant, bound int, rec comm.Recorder, tr *comm.Trace, step int64) Result {
-	return run(parts, bound, rec, tr, step, true, nil)
+	return run(parts, bound, order.Tol{}, rec, tr, step, true, nil)
 }
 
 // Maximum is Maximum using s's buffers: allocation-free once the buffers
 // have grown to the largest participant count seen.
 func (s *Scratch) Maximum(parts []Participant, bound int, rec comm.Recorder, tr *comm.Trace, step int64) Result {
-	return run(parts, bound, rec, tr, step, false, s)
+	return run(parts, bound, order.Tol{}, rec, tr, step, false, s)
 }
 
 // Minimum is Minimum using s's buffers.
 func (s *Scratch) Minimum(parts []Participant, bound int, rec comm.Recorder, tr *comm.Trace, step int64) Result {
-	return run(parts, bound, rec, tr, step, true, s)
+	return run(parts, bound, order.Tol{}, rec, tr, step, true, s)
+}
+
+// MaximumTol is Maximum with ε-tolerant samplers: the winner's key is
+// within the (1±ε) band of the true maximum and every participant's key
+// is at most WidenHi(winner key), with correspondingly fewer expected
+// bids. A zero tolerance is bit-identical to Maximum.
+func (s *Scratch) MaximumTol(parts []Participant, bound int, tol order.Tol, rec comm.Recorder, tr *comm.Trace, step int64) Result {
+	return run(parts, bound, tol, rec, tr, step, false, s)
+}
+
+// MinimumTol is the order-dual of MaximumTol.
+func (s *Scratch) MinimumTol(parts []Participant, bound int, tol order.Tol, rec comm.Recorder, tr *comm.Trace, step int64) Result {
+	return run(parts, bound, tol, rec, tr, step, true, s)
 }
 
 // Exec is the coordinator-side round driver of one Algorithm 2 execution:
@@ -242,7 +279,7 @@ func (e *Exec) Result() Result {
 	return Result{OK: true, ID: e.winID, Key: e.winKey, Rounds: e.r}
 }
 
-func run(parts []Participant, bound int, rec comm.Recorder, tr *comm.Trace, step int64, negate bool, s *Scratch) Result {
+func run(parts []Participant, bound int, tol order.Tol, rec comm.Recorder, tr *comm.Trace, step int64, negate bool, s *Scratch) Result {
 	if len(parts) == 0 {
 		return Result{OK: false, ID: -1, Key: order.NegInf}
 	}
@@ -265,7 +302,7 @@ func run(parts []Participant, bound int, rec comm.Recorder, tr *comm.Trace, step
 		samplers = make([]Sampler, len(parts))
 	}
 	for i, p := range parts {
-		samplers[i] = NewSampler(key(p), bound)
+		samplers[i] = NewSamplerTol(key(p), bound, tol)
 	}
 	ex := NewExec(bound, negate, rec, tr, step)
 	for ex.More() {

@@ -54,6 +54,8 @@ type Config struct {
 	N, K           int
 	Seed           uint64
 	DistinctValues bool
+	// Epsilon selects the ε-approximate mode, exactly as in core.Config.
+	Epsilon float64
 	// Shards is the number of node-hosting goroutines. 0 selects
 	// min(N, GOMAXPROCS). The shard layout does not affect reports or
 	// message counts, only scheduling.
@@ -68,6 +70,7 @@ const (
 	cRound
 	cWinner
 	cMidpoint
+	cBounds // ε mode: install the band [lo, hi] instead of a midpoint
 	cResetBegin
 	cOrderCheck  // ordered variant: report if the order filter broke
 	cOrderBounds // ordered variant: install new order-filter bounds
@@ -88,7 +91,8 @@ type shardCmd struct {
 	tgt   int       // cWinner/cOrderCheck/cOrderBounds: target node id
 	isTop bool      // cWinner: winner belongs to the new top-k
 	mid   order.Key // cMidpoint; cOrderBounds upper bound
-	lo    order.Key // cOrderBounds lower bound
+	lo    order.Key // cBounds/cOrderBounds lower bound
+	hi    order.Key // cBounds upper band end
 	full  bool      // cMidpoint: k == n, install [-inf, +inf]
 }
 
@@ -126,7 +130,14 @@ func (sh *shard) run() {
 		switch c.kind {
 		case cObserve:
 			for id := sh.lo; id < sh.hi; id++ {
-				t, o := sh.bank.Observe(id, c.vals[id], c.step)
+				t, o, err := sh.bank.Observe(id, c.vals[id], c.step)
+				if err != nil {
+					// The public boundary (package topk) validates the value
+					// domain before any engine sees a step; reaching this is
+					// a caller bug in direct engine use, and the engine's
+					// input contract is to panic on those.
+					panic("runtime: " + err.Error())
+				}
 				rp.topViol = rp.topViol || t
 				rp.outViol = rp.outViol || o
 			}
@@ -137,7 +148,10 @@ func (sh *shard) run() {
 			// violate (per-step filter invariant).
 			start := sort.SearchInts(c.ids, sh.lo)
 			for j := start; j < len(c.ids) && c.ids[j] < sh.hi; j++ {
-				t, o := sh.bank.Observe(c.ids[j], c.dvals[j], c.step)
+				t, o, err := sh.bank.Observe(c.ids[j], c.dvals[j], c.step)
+				if err != nil {
+					panic("runtime: " + err.Error())
+				}
 				rp.topViol = rp.topViol || t
 				rp.outViol = rp.outViol || o
 			}
@@ -156,6 +170,9 @@ func (sh *shard) run() {
 
 		case cMidpoint:
 			sh.bank.Midpoint(c.mid, c.full)
+
+		case cBounds:
+			sh.bank.ApplyBounds(c.lo, c.hi)
 
 		case cOrderCheck:
 			if key, violated := sh.bank.OrderViolated(c.tgt); violated {
@@ -215,9 +232,13 @@ func New(cfg Config) *Runtime {
 	shardSize := (cfg.N + nshards - 1) / nshards
 	nshards = (cfg.N + shardSize - 1) / shardSize
 
+	tol, err := order.NewTol(cfg.Epsilon)
+	if err != nil {
+		panic("runtime: " + err.Error())
+	}
 	rt := &Runtime{
 		cfg:       cfg,
-		mach:      coord.New(coord.Config{N: cfg.N, K: cfg.K}),
+		mach:      coord.New(coord.Config{N: cfg.N, K: cfg.K, Tol: tol}),
 		shardSize: shardSize,
 		in:        make(chan shardReply, nshards),
 		replies:   make([]shardReply, nshards),
@@ -226,7 +247,7 @@ func New(cfg Config) *Runtime {
 	// One bank construction pays the RNG split walk; shards take disjoint
 	// views of it. The stream layout matches core.New exactly; engine
 	// equivalence depends on it.
-	bank := coord.NewNodes(cfg.N, 0, cfg.N, cfg.Seed, cfg.DistinctValues)
+	bank := coord.NewNodes(cfg.N, 0, cfg.N, cfg.Seed, cfg.DistinctValues, tol)
 	for s := 0; s < nshards; s++ {
 		lo := s * shardSize
 		hi := lo + shardSize
@@ -389,6 +410,9 @@ func (rt *Runtime) finishStep(anyTopViol, anyOutViol bool) []int {
 			eff = rt.mach.Ack()
 		case coord.EffMidpoint:
 			rt.broadcast(shardCmd{kind: cMidpoint, mid: eff.Mid, full: eff.Full})
+			eff = rt.mach.Ack()
+		case coord.EffBounds:
+			rt.broadcast(shardCmd{kind: cBounds, lo: eff.Lo, hi: eff.Hi})
 			eff = rt.mach.Ack()
 		default:
 			panic(fmt.Sprintf("runtime: unknown coordinator effect %d", eff.Kind))

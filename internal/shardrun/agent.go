@@ -76,7 +76,12 @@ func (a *agent) handle(frame []byte) (cont bool, err error) {
 			return false, fmt.Errorf("shardrun: observe carries %d values for range [%d, %d)", len(a.obs.Vals), lo, hi)
 		}
 		for i, v := range a.obs.Vals {
-			t, o := a.bank.Observe(lo+i, v, a.obs.Step)
+			t, o, err := a.bank.Observe(lo+i, v, a.obs.Step)
+			if err != nil {
+				// Out-of-domain values from the wire surface as a serve-loop
+				// error (the root sees the link die), never as a panic.
+				return false, err
+			}
 			a.reply.TopViol = a.reply.TopViol || t
 			a.reply.OutViol = a.reply.OutViol || o
 		}
@@ -89,7 +94,10 @@ func (a *agent) handle(frame []byte) (cont bool, err error) {
 			if id < lo || id >= hi {
 				return false, fmt.Errorf("shardrun: delta id %d outside range [%d, %d)", id, lo, hi)
 			}
-			t, o := a.bank.Observe(id, a.delta.Vals[j], a.delta.Step)
+			t, o, err := a.bank.Observe(id, a.delta.Vals[j], a.delta.Step)
+			if err != nil {
+				return false, err
+			}
 			a.reply.TopViol = a.reply.TopViol || t
 			a.reply.OutViol = a.reply.OutViol || o
 		}
@@ -121,6 +129,13 @@ func (a *agent) handle(frame []byte) (cont bool, err error) {
 			return false, err
 		}
 		a.bank.Midpoint(order.Key(m.Mid), m.Full)
+
+	case wire.TypeApproxBounds:
+		m, err := wire.DecodeApproxBounds(frame)
+		if err != nil {
+			return false, err
+		}
+		a.bank.ApplyBounds(order.Key(m.Lo), order.Key(m.Hi))
 
 	case wire.TypeResetBegin:
 		if err := wire.DecodeBare(frame, wire.TypeResetBegin); err != nil {
@@ -163,7 +178,11 @@ func ServeShard(link transport.Link) error {
 	if assign.Lo < 0 || assign.Hi > assign.N || assign.Lo >= assign.Hi {
 		return fmt.Errorf("shardrun: bad assignment range [%d, %d) of %d", assign.Lo, assign.Hi, assign.N)
 	}
-	a := &agent{bank: coord.NewNodes(assign.N, assign.Lo, assign.Hi, assign.Seed, assign.Distinct)}
+	tol, err := order.TolFromNum(assign.EpsNum)
+	if err != nil {
+		return fmt.Errorf("shardrun: bad assignment: %w", err)
+	}
+	a := &agent{bank: coord.NewNodes(assign.N, assign.Lo, assign.Hi, assign.Seed, assign.Distinct, tol)}
 	if err := link.Send(wire.AppendBare(a.buf[:0], wire.TypeReady)); err != nil {
 		return fmt.Errorf("shardrun: acking assignment: %w", err)
 	}

@@ -79,6 +79,9 @@ type Config struct {
 	N, K           int
 	Seed           uint64
 	DistinctValues bool
+	// Epsilon selects the ε-approximate mode, exactly as in core.Config;
+	// the tolerance rides to the shards in the Assign handshake.
+	Epsilon float64
 }
 
 // shardPeer is the root's view of one sub-coordinator link.
@@ -120,9 +123,13 @@ func New(cfg Config, links []transport.Link) (*Engine, error) {
 	if len(links) == 0 || len(links) > cfg.N {
 		panic(fmt.Sprintf("shardrun: need 1 <= shards <= N, got %d shards for N=%d", len(links), cfg.N))
 	}
+	tol, err := order.NewTol(cfg.Epsilon)
+	if err != nil {
+		panic("shardrun: " + err.Error())
+	}
 	e := &Engine{
 		cfg:     cfg,
-		mach:    coord.New(coord.Config{N: cfg.N, K: cfg.K}),
+		mach:    coord.New(coord.Config{N: cfg.N, K: cfg.K, Tol: tol}),
 		touched: make([]bool, len(links)),
 	}
 	base, rem := cfg.N/len(links), cfg.N%len(links)
@@ -144,7 +151,7 @@ func New(cfg Config, links []transport.Link) (*Engine, error) {
 	for _, p := range e.peers {
 		e.buf = wire.Assign{
 			Lo: p.lo, Hi: p.hi, N: cfg.N, K: cfg.K,
-			Seed: cfg.Seed, Distinct: cfg.DistinctValues,
+			Seed: cfg.Seed, EpsNum: tol.Num(), Distinct: cfg.DistinctValues,
 		}.Append(e.buf[:0])
 		if err := e.send(p, e.buf, "assign"); err != nil {
 			return fail(err)
@@ -432,6 +439,11 @@ func (e *Engine) finishStep(anyTopViol, anyOutViol bool) []int {
 		case coord.EffMidpoint:
 			e.buf = wire.Midpoint{Mid: int64(eff.Mid), Full: eff.Full}.Append(e.buf[:0])
 			if err = e.broadcast(e.buf, "midpoint"); err == nil {
+				eff = e.mach.Ack()
+			}
+		case coord.EffBounds:
+			e.buf = wire.ApproxBounds{Lo: int64(eff.Lo), Hi: int64(eff.Hi)}.Append(e.buf[:0])
+			if err = e.broadcast(e.buf, "bounds"); err == nil {
 				eff = e.mach.Ack()
 			}
 		default:

@@ -14,6 +14,8 @@ func FuzzDecode(f *testing.F) {
 		{},
 		{TypeAssign},
 		Assign{Lo: 0, Hi: 4, N: 8, K: 2, Seed: 99, Distinct: true}.Append(nil),
+		Assign{Lo: 0, Hi: 4, N: 8, K: 2, Seed: 99, EpsNum: 52428, Distinct: true}.Append(nil),
+		ApproxBounds{Lo: -1 << 30, Hi: 1 << 30}.Append(nil),
 		Observe{Step: 3, Vals: []int64{5, -5}}.Append(nil),
 		ObserveDelta{Step: 3, IDs: []int{1, 4}, Vals: []int64{-9, 9}}.Append(nil),
 		Round{Tag: 1, Round: 2, Best: -3, Bound: 8, Step: 4}.Append(nil),
@@ -87,6 +89,10 @@ func FuzzDecode(f *testing.F) {
 			}
 		case TypeShardDigest:
 			if m, err := DecodeShardDigest(data); err == nil {
+				roundTrip(t, data, m.Append(nil))
+			}
+		case TypeApproxBounds:
+			if m, err := DecodeApproxBounds(data); err == nil {
 				roundTrip(t, data, m.Append(nil))
 			}
 		case TypeReady, TypeResetBegin, TypeShutdown, TypeQuery:

@@ -47,7 +47,19 @@ const (
 	// protocol execution (internal/shardrun): the local winner plus a
 	// summary of the messages the local execution charged.
 	TypeShardDigest byte = 0x10
+	// TypeApproxBounds broadcasts the (1±ε) filter band of the
+	// ε-approximate mode: top-k nodes install [Lo, +inf], outsiders
+	// [-inf, Hi]. It replaces TypeMidpoint on monitors with a non-zero
+	// tolerance.
+	TypeApproxBounds byte = 0x11
 )
+
+// MaxTolNum is the exclusive upper bound on Assign.EpsNum: tolerance
+// numerators are fixed-point with denominator 2^order.TolShift, so a
+// valid ε < 1 has a numerator below 1<<order.TolShift. wire stays
+// dependency-free, so the value is duplicated here; a wire test pins it
+// to 1<<order.TolShift.
+const MaxTolNum uint64 = 1 << 20
 
 // Flag bits used by messages with a flags byte.
 const (
@@ -106,10 +118,13 @@ func varintField(p []byte) (int64, []byte, error) {
 
 // Assign is the coordinator→peer handshake message: the peer hosts nodes
 // [Lo, Hi) of a monitor over N nodes with top-set size K, seeded protocol
-// randomness, and the configured tie-break mode.
+// randomness, the configured tie-break mode, and the tolerance of the
+// ε-approximate mode as the exact fixed-point numerator EpsNum =
+// floor(ε·2^order.TolShift) (0 for exact monitoring).
 type Assign struct {
 	Lo, Hi, N, K int
 	Seed         uint64
+	EpsNum       uint64
 	Distinct     bool
 }
 
@@ -121,6 +136,7 @@ func (m Assign) Append(dst []byte) []byte {
 	dst = AppendUvarint(dst, uint64(m.N))
 	dst = AppendUvarint(dst, uint64(m.K))
 	dst = AppendUvarint(dst, m.Seed)
+	dst = AppendUvarint(dst, m.EpsNum)
 	var flags byte
 	if m.Distinct {
 		flags |= flagDistinct
@@ -154,6 +170,12 @@ func DecodeAssign(p []byte) (Assign, error) {
 	m.K = int(u)
 	if m.Seed, p, err = uvarintField(p); err != nil {
 		return m, err
+	}
+	if m.EpsNum, p, err = uvarintField(p); err != nil {
+		return m, err
+	}
+	if m.EpsNum >= MaxTolNum {
+		return m, fmt.Errorf("%w: assign tolerance numerator %d out of range", ErrMalformed, m.EpsNum)
 	}
 	if len(p) == 0 {
 		return m, ErrTruncated
@@ -476,6 +498,42 @@ func DecodeMidpoint(p []byte) (Midpoint, error) {
 	p = p[1:]
 	if m.Mid, p, err = varintField(p); err != nil {
 		return m, err
+	}
+	return m, fin(p)
+}
+
+// ApproxBounds broadcasts the (1±ε) filter band of the ε-approximate
+// mode: top-k nodes install [Lo, +inf], outsiders [-inf, Hi]. It is the
+// tolerance-mode replacement for Midpoint — one broadcast still lets
+// every node derive its new filter, it just carries both band ends
+// explicitly because the coordinator may center the band off the exact
+// midpoint.
+type ApproxBounds struct {
+	Lo, Hi int64
+}
+
+// Append encodes m after dst.
+func (m ApproxBounds) Append(dst []byte) []byte {
+	dst = append(dst, TypeApproxBounds)
+	dst = AppendVarint(dst, m.Lo)
+	return AppendVarint(dst, m.Hi)
+}
+
+// DecodeApproxBounds decodes a full ApproxBounds frame.
+func DecodeApproxBounds(p []byte) (ApproxBounds, error) {
+	var m ApproxBounds
+	p, err := header(p, TypeApproxBounds)
+	if err != nil {
+		return m, err
+	}
+	if m.Lo, p, err = varintField(p); err != nil {
+		return m, err
+	}
+	if m.Hi, p, err = varintField(p); err != nil {
+		return m, err
+	}
+	if m.Lo > m.Hi {
+		return m, fmt.Errorf("%w: approx bounds inverted: lo %d > hi %d", ErrMalformed, m.Lo, m.Hi)
 	}
 	return m, fin(p)
 }

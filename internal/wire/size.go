@@ -20,6 +20,13 @@ func SizeMidpoint(mid int64) int64 {
 	return int64(2 + SizeVarint(mid))
 }
 
+// SizeApproxBounds returns the encoded size of ApproxBounds{lo, hi} —
+// what the ε-approximate mode's band broadcast charges in place of a
+// midpoint broadcast.
+func SizeApproxBounds(lo, hi int64) int64 {
+	return int64(1 + SizeVarint(lo) + SizeVarint(hi))
+}
+
 // SizeQuery returns the encoded size of the bare gather-all query
 // broadcast (TypeQuery).
 func SizeQuery() int64 { return 1 }

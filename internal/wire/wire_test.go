@@ -6,6 +6,8 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/order"
 )
 
 func TestUvarintRoundTrip(t *testing.T) {
@@ -90,13 +92,53 @@ func TestUvarintNonCanonical(t *testing.T) {
 }
 
 func TestAssignRoundTrip(t *testing.T) {
-	check := func(lo, hi, n, k uint16, seed uint64, distinct bool) bool {
-		in := Assign{Lo: int(lo), Hi: int(hi), N: int(n), K: int(k), Seed: seed, Distinct: distinct}
+	check := func(lo, hi, n, k uint16, seed uint64, epsNum uint16, distinct bool) bool {
+		in := Assign{Lo: int(lo), Hi: int(hi), N: int(n), K: int(k), Seed: seed, EpsNum: uint64(epsNum), Distinct: distinct}
 		out, err := DecodeAssign(in.Append(nil))
 		return err == nil && out == in
 	}
 	if err := quick.Check(check, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestAssignRejectsBadTolerance(t *testing.T) {
+	// wire is dependency-free, so MaxTolNum duplicates order's fixed-point
+	// resolution; this pin keeps the two in lockstep.
+	if MaxTolNum != 1<<order.TolShift {
+		t.Fatalf("MaxTolNum = %d, order.TolShift implies %d", MaxTolNum, uint64(1)<<order.TolShift)
+	}
+	frame := Assign{Lo: 0, Hi: 4, N: 8, K: 2, Seed: 1, EpsNum: MaxTolNum}.Append(nil)
+	if _, err := DecodeAssign(frame); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("out-of-range tolerance numerator decoded: %v", err)
+	}
+	frame = Assign{Lo: 0, Hi: 4, N: 8, K: 2, Seed: 1, EpsNum: MaxTolNum - 1}.Append(nil)
+	if _, err := DecodeAssign(frame); err != nil {
+		t.Fatalf("maximal valid tolerance numerator rejected: %v", err)
+	}
+}
+
+func TestApproxBoundsRoundTrip(t *testing.T) {
+	check := func(lo int64, width uint32) bool {
+		hi := lo + int64(width)
+		if hi < lo {
+			hi = lo
+		}
+		in := ApproxBounds{Lo: lo, Hi: hi}
+		out, err := DecodeApproxBounds(in.Append(nil))
+		return err == nil && out == in
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeApproxBounds(ApproxBounds{Lo: 5, Hi: 4}.Append(nil)); !errors.Is(err, ErrMalformed) {
+		t.Fatal("inverted approx bounds decoded")
+	}
+	// The charged size must equal the encoded length.
+	for _, m := range []ApproxBounds{{0, 0}, {-1 << 50, 1 << 50}, {7, 1 << 20}} {
+		if got, want := SizeApproxBounds(m.Lo, m.Hi), int64(len(m.Append(nil))); got != want {
+			t.Fatalf("SizeApproxBounds(%d, %d) = %d, encoded %d", m.Lo, m.Hi, got, want)
+		}
 	}
 }
 
@@ -319,6 +361,7 @@ func TestTruncatedFrames(t *testing.T) {
 		Presence{ID: 99}.Append(nil),
 		Bounds{Target: 3, Lo: -10, Hi: 10}.Append(nil),
 		ShardDigest{OK: true, ID: 8, Key: -3, Ups: 6, UpBytes: 20, Bcasts: 4, BcastBytes: 12}.Append(nil),
+		ApproxBounds{Lo: -4000, Hi: 4400}.Append(nil),
 	}
 	for fi, frame := range frames {
 		for cut := 0; cut < len(frame); cut++ {
@@ -376,6 +419,8 @@ func decodeAny(p []byte) error {
 		_, err = DecodeBounds(p)
 	case TypeShardDigest:
 		_, err = DecodeShardDigest(p)
+	case TypeApproxBounds:
+		_, err = DecodeApproxBounds(p)
 	case TypeReady, TypeResetBegin, TypeShutdown, TypeQuery:
 		err = DecodeBare(p, typ)
 	default:

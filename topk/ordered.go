@@ -20,21 +20,34 @@ import (
 // measured gap. Both engines are available; as with Monitor, they produce
 // identical rankings and identical message counts for the same seed.
 type OrderedMonitor struct {
-	cfg  Config
-	seq  *core.OrderedMonitor
-	conc *runtime.OrderedRuntime
+	cfg    Config
+	maxVal int64
+	seq    *core.OrderedMonitor
+	conc   *runtime.OrderedRuntime
 }
 
 // NewOrdered validates cfg and creates an OrderedMonitor. Concurrent
-// monitors must be Closed to release their goroutines.
+// monitors must be Closed to release their goroutines. The ordered
+// variant supports the sequential and concurrent engines only, and does
+// not support Epsilon (ranks have no ε-approximate semantics yet; see
+// ROADMAP.md).
 func NewOrdered(cfg Config) (*OrderedMonitor, error) {
 	if cfg.Nodes <= 0 {
-		return nil, errors.New("topk: Nodes must be positive")
+		return nil, failNew(cfg, errors.New("topk: Nodes must be positive"))
 	}
 	if cfg.K < 1 || cfg.K > cfg.Nodes {
-		return nil, fmt.Errorf("topk: K must satisfy 1 <= K <= Nodes, got K=%d Nodes=%d", cfg.K, cfg.Nodes)
+		return nil, failNew(cfg, fmt.Errorf("topk: K must satisfy 1 <= K <= Nodes, got K=%d Nodes=%d", cfg.K, cfg.Nodes))
 	}
-	m := &OrderedMonitor{cfg: cfg}
+	if cfg.Epsilon != 0 {
+		return nil, failNew(cfg, errors.New("topk: Epsilon is not supported by the ordered monitor"))
+	}
+	if cfg.Transport != nil {
+		return nil, failNew(cfg, errors.New("topk: Transport is not supported by the ordered monitor"))
+	}
+	if cfg.Shards != 0 {
+		return nil, failNew(cfg, errors.New("topk: Shards is not supported by the ordered monitor"))
+	}
+	m := &OrderedMonitor{cfg: cfg, maxVal: maxValueFor(cfg.Nodes, cfg.DistinctValues)}
 	if cfg.Concurrent {
 		m.conc = runtime.NewOrdered(runtime.Config{N: cfg.Nodes, K: cfg.K, Seed: cfg.Seed, DistinctValues: cfg.DistinctValues})
 	} else {
@@ -45,9 +58,15 @@ func NewOrdered(cfg Config) (*OrderedMonitor, error) {
 
 // Observe feeds one time step and returns the top-k node ids ordered by
 // rank, largest value first. The returned slice is freshly allocated.
+// As with Monitor.Observe, a wrong-length input or a value outside
+// [-MaxValue, MaxValue] is rejected with an error before any state
+// changes; no input can panic the monitor.
 func (m *OrderedMonitor) Observe(vals []int64) ([]int, error) {
 	if len(vals) != m.cfg.Nodes {
 		return nil, fmt.Errorf("topk: observed %d values for %d nodes", len(vals), m.cfg.Nodes)
+	}
+	if err := checkValues(m.maxVal, nil, vals); err != nil {
+		return nil, err
 	}
 	switch {
 	case m.seq != nil:
@@ -58,6 +77,10 @@ func (m *OrderedMonitor) Observe(vals []int64) ([]int, error) {
 		return nil, errors.New("topk: monitor is closed")
 	}
 }
+
+// MaxValue returns the largest observation magnitude the monitor
+// accepts, exactly as Monitor.MaxValue.
+func (m *OrderedMonitor) MaxValue() int64 { return m.maxVal }
 
 // Top returns the most recently reported ranking without consuming a
 // step (empty before the first Observe).

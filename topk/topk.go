@@ -12,6 +12,11 @@
 // Las Vegas, randomness affects only the amount of communication — and the
 // Counts method exposes how many model messages (node→coordinator unicast,
 // coordinator→node unicast, broadcast) the system has exchanged so far.
+// Setting Config.Epsilon relaxes exactness to a guaranteed
+// ε-approximation (the tolerance variant of arXiv:1601.04448) for
+// substantially less communication; observation magnitudes are bounded by
+// Monitor.MaxValue, and no input to any method of this package can panic
+// the monitor.
 //
 // On "similar" inputs, where values change slowly, communication is orders
 // of magnitude below forwarding every observation: the coordinator assigns
@@ -58,6 +63,7 @@ import (
 	"repro/internal/coord"
 	"repro/internal/core"
 	"repro/internal/netrun"
+	"repro/internal/order"
 	"repro/internal/runtime"
 	"repro/internal/shardrun"
 	"repro/internal/sim"
@@ -117,6 +123,21 @@ type Config struct {
 	// default) the monitor breaks ties deterministically by smaller node
 	// id via an order-preserving key injection.
 	DistinctValues bool
+	// Epsilon selects ε-approximate monitoring (0 <= Epsilon < 1), after
+	// Mäcker et al., "On Competitive Algorithms for Approximations of
+	// Top-k-Position Monitoring" (arXiv:1601.04448): node filters widen to
+	// (1±ε) bands around the separating threshold, violations whose
+	// learned extrema still fit one band skip the expensive filter reset,
+	// and protocol participants retire early once they are within
+	// tolerance of the running best. Every report is then a valid
+	// ε-approximation of the true top-k — any reported node's key is
+	// within the (1±ε) band of a threshold that also bounds every
+	// unreported node — instead of exact, in exchange for substantially
+	// less communication on drifting workloads (see EXPERIMENTS.md E19).
+	// Tolerances are quantized to multiples of 2^-20. At 0 (the default)
+	// the monitor is bit-identical to the exact algorithm, ledgers
+	// included. All four engines support it.
+	Epsilon float64
 	// Concurrent selects the sharded concurrent engine. Monitors with
 	// Concurrent set must be Closed to release their goroutines.
 	Concurrent bool
@@ -149,41 +170,49 @@ type Config struct {
 // A Monitor is not safe for concurrent use: the model's time steps are
 // globally ordered.
 type Monitor struct {
-	cfg   Config
-	seq   *core.Monitor
-	conc  *runtime.Runtime
-	net   *netrun.Engine
-	shard *shardrun.Engine
+	cfg    Config
+	maxVal int64
+	seq    *core.Monitor
+	conc   *runtime.Runtime
+	net    *netrun.Engine
+	shard  *shardrun.Engine
+}
+
+// failNew rejects a configuration, releasing the Transport's links and
+// serve loops first: New and NewOrdered take ownership of the Transport,
+// so every error return must close it or a retrying caller accumulates
+// goroutines.
+func failNew(cfg Config, err error) error {
+	if cfg.Transport != nil {
+		cfg.Transport.Close()
+	}
+	return err
 }
 
 // New validates cfg and creates a Monitor.
 func New(cfg Config) (*Monitor, error) {
 	if cfg.Nodes <= 0 {
-		return nil, errors.New("topk: Nodes must be positive")
+		return nil, failNew(cfg, errors.New("topk: Nodes must be positive"))
 	}
 	if cfg.K < 1 || cfg.K > cfg.Nodes {
-		return nil, fmt.Errorf("topk: K must satisfy 1 <= K <= Nodes, got K=%d Nodes=%d", cfg.K, cfg.Nodes)
+		return nil, failNew(cfg, fmt.Errorf("topk: K must satisfy 1 <= K <= Nodes, got K=%d Nodes=%d", cfg.K, cfg.Nodes))
+	}
+	if !(cfg.Epsilon >= 0) || cfg.Epsilon >= 1 {
+		return nil, failNew(cfg, fmt.Errorf("topk: Epsilon must satisfy 0 <= Epsilon < 1, got %v", cfg.Epsilon))
 	}
 	if cfg.Concurrent && cfg.Transport != nil {
-		cfg.Transport.Close()
-		return nil, errors.New("topk: Concurrent and Transport are mutually exclusive")
+		return nil, failNew(cfg, errors.New("topk: Concurrent and Transport are mutually exclusive"))
 	}
 	if cfg.Shards < 0 || cfg.Shards > cfg.Nodes {
-		if cfg.Transport != nil {
-			cfg.Transport.Close()
-		}
-		return nil, fmt.Errorf("topk: Shards must satisfy 0 <= Shards <= Nodes, got Shards=%d Nodes=%d", cfg.Shards, cfg.Nodes)
+		return nil, failNew(cfg, fmt.Errorf("topk: Shards must satisfy 0 <= Shards <= Nodes, got Shards=%d Nodes=%d", cfg.Shards, cfg.Nodes))
 	}
 	if cfg.Shards > 0 && (cfg.Concurrent || cfg.Transport != nil) {
-		if cfg.Transport != nil {
-			cfg.Transport.Close()
-		}
-		return nil, errors.New("topk: Shards is mutually exclusive with Concurrent and Transport")
+		return nil, failNew(cfg, errors.New("topk: Shards is mutually exclusive with Concurrent and Transport"))
 	}
-	m := &Monitor{cfg: cfg}
+	m := &Monitor{cfg: cfg, maxVal: maxValueFor(cfg.Nodes, cfg.DistinctValues)}
 	switch {
 	case cfg.Shards > 0:
-		m.shard = shardrun.NewLoopback(shardrun.Config{N: cfg.Nodes, K: cfg.K, Seed: cfg.Seed, DistinctValues: cfg.DistinctValues}, cfg.Shards)
+		m.shard = shardrun.NewLoopback(shardrun.Config{N: cfg.Nodes, K: cfg.K, Seed: cfg.Seed, DistinctValues: cfg.DistinctValues, Epsilon: cfg.Epsilon}, cfg.Shards)
 	case cfg.Transport != nil:
 		eng, err := newNetEngine(cfg)
 		if err != nil {
@@ -195,11 +224,51 @@ func New(cfg Config) (*Monitor, error) {
 		}
 		m.net = eng
 	case cfg.Concurrent:
-		m.conc = runtime.New(runtime.Config{N: cfg.Nodes, K: cfg.K, Seed: cfg.Seed, DistinctValues: cfg.DistinctValues})
+		m.conc = runtime.New(runtime.Config{N: cfg.Nodes, K: cfg.K, Seed: cfg.Seed, DistinctValues: cfg.DistinctValues, Epsilon: cfg.Epsilon})
 	default:
-		m.seq = core.New(core.Config{N: cfg.Nodes, K: cfg.K, Seed: cfg.Seed, DistinctValues: cfg.DistinctValues})
+		m.seq = core.New(core.Config{N: cfg.Nodes, K: cfg.K, Seed: cfg.Seed, DistinctValues: cfg.DistinctValues, Epsilon: cfg.Epsilon})
 	}
 	return m, nil
+}
+
+// maxValueFor computes the value-domain bound of a monitor configuration:
+// the key-injection capacity for the default tie-break mode (which
+// shrinks with the node count, since keys are value·Nodes + tiebreak) or
+// the sentinel-free int64 range when the caller promised distinct values.
+// The single definition lives in order.MaxValueFor so the public boundary
+// and the engine-side checks cannot disagree.
+func maxValueFor(nodes int, distinct bool) int64 {
+	return order.MaxValueFor(nodes, distinct)
+}
+
+// MaxValue returns the largest observation magnitude the monitor accepts;
+// symmetrically, -MaxValue is the smallest. Values outside
+// [-MaxValue, MaxValue] make Observe and ObserveDelta return an error —
+// never panic, never wrap — because the order-preserving key injection
+// key = value·Nodes + tiebreak would overflow int64 (the bound therefore
+// shrinks as Nodes grows; it is above 4.6·10¹⁴ even at twenty thousand
+// nodes). With DistinctValues set, keys are the raw values and only the
+// two extreme magnitudes that collide with the internal ±∞ sentinels are
+// excluded. Callers ingesting unbounded counters should clamp to
+// [-MaxValue, MaxValue] before observing.
+func (m *Monitor) MaxValue() int64 { return m.maxVal }
+
+// checkValues validates one step's observations against the value
+// domain before any engine state is touched, so a rejected step leaves
+// the monitor fully usable. ids supplies the node id per value for error
+// reporting (nil means vals[i] belongs to node i). Both public monitors
+// share this one check so their rejection semantics cannot diverge.
+func checkValues(maxVal int64, ids []int, vals []int64) error {
+	for j, v := range vals {
+		if v > maxVal || v < -maxVal {
+			id := j
+			if ids != nil {
+				id = ids[j]
+			}
+			return fmt.Errorf("topk: node %d value %d outside the monitor's value domain [-%d, %d]; clamp to Monitor.MaxValue", id, v, maxVal, maxVal)
+		}
+	}
+	return nil
 }
 
 // Observe feeds one time step of observations (vals[i] is node i's new
@@ -207,12 +276,17 @@ func New(cfg Config) (*Monitor, error) {
 // the K largest values, in ascending id order. The returned slice is a
 // read-only view owned by the monitor, valid until the next step; use
 // AppendTop to retain a copy. It returns an error for a wrong-length
-// input, a closed monitor, or a networked/sharded engine whose link died
-// (the engine then stays wedged on its last-good report and every further
-// observation returns the same error).
+// input, a value outside [-MaxValue, MaxValue] (the step is then rejected
+// atomically: no engine state changes and the monitor stays usable), a
+// closed monitor, or a networked/sharded engine whose link died (the
+// engine then stays wedged on its last-good report and every further
+// observation returns the same error). No input can panic the monitor.
 func (m *Monitor) Observe(vals []int64) ([]int, error) {
 	if len(vals) != m.cfg.Nodes {
 		return nil, fmt.Errorf("topk: observed %d values for %d nodes", len(vals), m.cfg.Nodes)
+	}
+	if err := checkValues(m.maxVal, nil, vals); err != nil {
+		return nil, err
 	}
 	switch {
 	case m.seq != nil:
@@ -241,7 +315,12 @@ func (m *Monitor) Observe(vals []int64) ([]int, error) {
 // its previous value (0 before its first observation). ids must be
 // strictly increasing; both slices may be empty (a step where nothing
 // changed) and are not retained, so callers may reuse their buffers. The
-// returned slice is a read-only view, as with Observe.
+// returned slice is a read-only view, and errors behave as with Observe:
+// bad ids or a value outside [-MaxValue, MaxValue] reject the step
+// atomically before any engine state changes, so a long-running delta
+// feed whose accumulated per-node totals drift past the value domain gets
+// a descriptive error on exactly the step that crosses it — never a
+// panic, never a silently wrapped key.
 //
 // A violation-free delta step costs O(len(ids)) work and zero heap
 // allocations on the sequential engine, independent of Nodes.
@@ -255,6 +334,9 @@ func (m *Monitor) ObserveDelta(ids []int, vals []int64) ([]int, error) {
 			return nil, fmt.Errorf("topk: delta ids must be strictly increasing in [0, %d)", m.cfg.Nodes)
 		}
 		prev = id
+	}
+	if err := checkValues(m.maxVal, ids, vals); err != nil {
+		return nil, err
 	}
 	switch {
 	case m.seq != nil:
@@ -496,13 +578,18 @@ func (m *Monitor) Close() {
 // Oracle computes the exact top-k ids (ascending) of a single observation
 // vector with the same deterministic tie-break the Monitor uses (equal
 // values: smaller id wins). It is a convenience for verification and for
-// batch use; it involves no communication model.
+// batch use; it involves no communication model. Like Observe, it rejects
+// values outside the injection's capacity for len(vals) nodes with an
+// error instead of panicking.
 func Oracle(vals []int64, k int) ([]int, error) {
 	if len(vals) == 0 {
 		return nil, errors.New("topk: empty observation vector")
 	}
 	if k < 1 || k > len(vals) {
 		return nil, fmt.Errorf("topk: k must satisfy 1 <= k <= %d, got %d", len(vals), k)
+	}
+	if err := checkValues(order.MaxValueFor(len(vals), false), nil, vals); err != nil {
+		return nil, err
 	}
 	return sim.Oracle(vals, k), nil
 }

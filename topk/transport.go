@@ -54,10 +54,12 @@ type TransportStats struct {
 //
 //	mon, err := topk.New(topk.Config{Nodes: 64, K: 4, Transport: topk.Loopback(4)})
 //
-// Peers must satisfy 1 <= peers <= Nodes at New time.
+// Peers must satisfy 1 <= peers <= Nodes at New time; out-of-range peer
+// counts surface as an error from New (a Transport with no links), never
+// as a panic.
 func Loopback(peers int) Transport {
 	if peers < 1 {
-		panic("topk: Loopback needs at least one peer")
+		return &loopback{} // rejected by New with a descriptive error
 	}
 	lb := &loopback{}
 	for _, l := range netrun.LoopbackLinks(peers) {
@@ -94,5 +96,6 @@ func newNetEngine(cfg Config) (*netrun.Engine, error) {
 		K:              cfg.K,
 		Seed:           cfg.Seed,
 		DistinctValues: cfg.DistinctValues,
+		Epsilon:        cfg.Epsilon,
 	}, internal)
 }
