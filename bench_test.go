@@ -7,17 +7,20 @@ package repro
 // benchmarks run the same code as cmd/experiments at reduced scale.
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/bench"
 	"repro/internal/comm"
 	"repro/internal/core"
+	"repro/internal/netrun"
 	"repro/internal/order"
 	"repro/internal/protocol"
 	"repro/internal/rng"
 	"repro/internal/runtime"
 	"repro/internal/shardrun"
 	"repro/internal/stream"
+	"repro/internal/transport"
 )
 
 var sinkTable bench.Table
@@ -203,6 +206,140 @@ func BenchmarkShardOverhead(b *testing.B) {
 				b.ReportMetric(float64(msgs)/steps, "msgs/step")
 				b.ReportMetric(float64(frames)/steps, "coord-frames/step")
 				b.ReportMetric(float64(obytes)/steps, "coord-B/step")
+			})
+		}
+	}
+}
+
+// tcpNetEngine builds a networked engine over real loopback TCP links
+// with in-process Serve goroutines on the dialing side, mirroring the
+// topkmon -serve/-join topology. The cleanup closes the engine, the
+// listener and the serve loops.
+func tcpNetEngine(b *testing.B, cfg netrun.Config, peers int) *netrun.Engine {
+	b.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	ln, err := transport.Listen(ctx, "127.0.0.1:0")
+	if err != nil {
+		cancel()
+		b.Skipf("cannot listen on loopback: %v", err)
+	}
+	for i := 0; i < peers; i++ {
+		go func() {
+			link, err := transport.Dial(ctx, ln.Addr())
+			if err != nil {
+				return
+			}
+			_ = netrun.Serve(link)
+		}()
+	}
+	links, err := ln.AcceptN(peers)
+	if err != nil {
+		cancel()
+		b.Fatal(err)
+	}
+	eng, err := netrun.New(cfg, links)
+	if err != nil {
+		cancel()
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		eng.Close()
+		ln.Close()
+		cancel()
+	})
+	return eng
+}
+
+// BenchmarkNetStepLatency measures one observation step of the networked
+// engine across the peer count, over in-process pipes AND real loopback
+// TCP, with the pipelined fan-out against the sequential lockstep
+// baseline. The workload is an IID redraw, so nearly every step runs
+// protocol executions — the regime in which the pipelined engine's
+// concurrent gather and its Winner/ResetBegin/Midpoint coalescing pay:
+// step latency should follow the slowest peer rather than the peer
+// count, with the pipelined-vs-lockstep gap widening as peers grow. Both
+// modes are bit-identical in reports and ledgers (msgs/step is reported
+// to prove the runs comparable); only wall clock differs. This seeds the
+// wall-clock trajectory of EXPERIMENTS.md E20; CI runs it at
+// -benchtime=1x and archives the output as BENCH_net.json.
+func BenchmarkNetStepLatency(b *testing.B) {
+	const n, k = 256, 8
+	modes := []struct {
+		name     string
+		lockstep bool
+	}{
+		{"pipelined", false},
+		{"lockstep", true},
+	}
+	for _, tr := range []string{"pipe", "tcp"} {
+		for _, peers := range []int{1, 4, 8, 16} {
+			for _, mode := range modes {
+				b.Run(bench.F("%s/peers=%d/%s", tr, peers, mode.name), func(b *testing.B) {
+					cfg := netrun.Config{N: n, K: k, Seed: 7, Lockstep: mode.lockstep}
+					var eng *netrun.Engine
+					if tr == "tcp" {
+						eng = tcpNetEngine(b, cfg, peers)
+					} else {
+						eng = netrun.NewLoopback(cfg, peers)
+						b.Cleanup(eng.Close)
+					}
+					src := stream.NewIID(stream.IIDConfig{N: n, Seed: 11, Dist: stream.Uniform, Lo: 0, Hi: 1 << 20})
+					vals := make([]int64, n)
+					src.Step(vals)
+					eng.Observe(vals) // init reset outside the timer
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						src.Step(vals)
+						eng.Observe(vals)
+					}
+					b.StopTimer()
+					if err := eng.Err(); err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(float64(eng.Counts().Total())/float64(b.N+1), "msgs/step")
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkShardParallel measures the step latency of the sharded engine
+// against the shard count on a protocol-heavy workload (IID redraws, so
+// nearly every step delegates executions): with the pipelined root the S
+// local protocols of one delegated execution run concurrently, so a
+// fixed node population speeds up as S grows, while the lockstep
+// baseline pays every coordination round trip sequentially. Reported
+// msgs/step grows with S (each shard pays its own rounds) — that
+// trade-off is E18's; this benchmark tracks the wall-clock side for
+// EXPERIMENTS.md E20 and ships in CI's BENCH_net.json.
+func BenchmarkShardParallel(b *testing.B) {
+	const n, k = 1024, 8
+	modes := []struct {
+		name     string
+		lockstep bool
+	}{
+		{"pipelined", false},
+		{"lockstep", true},
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		for _, mode := range modes {
+			b.Run(bench.F("S=%d/%s", shards, mode.name), func(b *testing.B) {
+				eng := shardrun.NewLoopback(shardrun.Config{N: n, K: k, Seed: 7, Lockstep: mode.lockstep}, shards)
+				b.Cleanup(eng.Close)
+				src := stream.NewIID(stream.IIDConfig{N: n, Seed: 11, Dist: stream.Uniform, Lo: 0, Hi: 1 << 20})
+				vals := make([]int64, n)
+				src.Step(vals)
+				eng.Observe(vals) // init reset outside the timer
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					src.Step(vals)
+					eng.Observe(vals)
+				}
+				b.StopTimer()
+				if err := eng.Err(); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(eng.Counts().Total())/float64(b.N+1), "msgs/step")
 			})
 		}
 	}

@@ -64,6 +64,7 @@ func main() {
 		compare  = flag.Bool("compare", false, "also run all baseline algorithms on the same workload")
 		ordered  = flag.Bool("ordered", false, "monitor the exact ranking of the top-k (§5 extension)")
 		epsilon  = flag.Float64("epsilon", 0, "tolerance of ε-approximate monitoring in [0, 1): filters widen to (1±ε) bands and reports are ε-approximate instead of exact (arXiv:1601.04448)")
+		lockstep = flag.Bool("lockstep", false, "disable the pipelined transport fan-out of the net and sharded engines: send, flush and await every command peer by peer (bit-identical results, higher step latency)")
 	)
 	flag.Parse()
 
@@ -92,7 +93,7 @@ func main() {
 		if *ordered {
 			log.Fatal("-ordered is not supported by the networked engine yet")
 		}
-		runServe(*serve, *peers, nn, *k, *seed, *epsilon, matrix)
+		runServe(*serve, *peers, nn, *k, *seed, *epsilon, *lockstep, matrix)
 		return
 	}
 
@@ -112,7 +113,7 @@ func main() {
 		if *shards > nn {
 			log.Fatalf("-shards must be in [1, n], got %d for n=%d", *shards, nn)
 		}
-		se := shardrun.NewLoopback(shardrun.Config{N: nn, K: *k, Seed: *seed + 1, Epsilon: *epsilon}, *shards)
+		se := shardrun.NewLoopback(shardrun.Config{N: nn, K: *k, Seed: *seed + 1, Epsilon: *epsilon, Lockstep: *lockstep}, *shards)
 		defer se.Close()
 		alg = se
 		name = fmt.Sprintf("algorithm1(shard×%d)", *shards)
@@ -139,7 +140,7 @@ func main() {
 		if *peers < 1 || *peers > nn {
 			log.Fatalf("-peers must be in [1, n], got %d for n=%d", *peers, nn)
 		}
-		ne := netrun.NewLoopback(netrun.Config{N: nn, K: *k, Seed: *seed + 1, Epsilon: *epsilon}, *peers)
+		ne := netrun.NewLoopback(netrun.Config{N: nn, K: *k, Seed: *seed + 1, Epsilon: *epsilon, Lockstep: *lockstep}, *peers)
 		defer ne.Close()
 		alg = ne
 	default:
@@ -232,7 +233,7 @@ func printTransport(ts transport.LinkStats, peers int) {
 
 // runServe is the TCP coordinator: accept the peers, drive the workload,
 // report, shut down.
-func runServe(addr string, peers, n, k int, seed uint64, epsilon float64, matrix [][]int64) {
+func runServe(addr string, peers, n, k int, seed uint64, epsilon float64, lockstep bool, matrix [][]int64) {
 	if peers < 1 || peers > n {
 		log.Fatalf("-peers must be in [1, n], got %d for n=%d", peers, n)
 	}
@@ -248,7 +249,7 @@ func runServe(addr string, peers, n, k int, seed uint64, epsilon float64, matrix
 	if err != nil {
 		log.Fatalf("accepting peers: %v", err)
 	}
-	eng, err := netrun.New(netrun.Config{N: n, K: k, Seed: seed + 1, Epsilon: epsilon}, links)
+	eng, err := netrun.New(netrun.Config{N: n, K: k, Seed: seed + 1, Epsilon: epsilon, Lockstep: lockstep}, links)
 	if err != nil {
 		log.Fatalf("handshake: %v", err)
 	}

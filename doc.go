@@ -41,6 +41,17 @@
 // framed volume that actually crossed each link. DESIGN.md documents the
 // split.
 //
+// The networked and sharded engines pipeline their I/O by default
+// (topk.Config.Pipeline, topkmon -lockstep for the strict peer-by-peer
+// baseline): links buffer writes behind an explicit Flush, exchanges fan
+// out to every peer before the replies are gathered concurrently, and
+// ack-only commands coalesce into wire.Batch envelopes — so step latency
+// follows the slowest peer rather than the peer count, while reports and
+// all ledgers stay bit-identical to the lockstep cycle (DESIGN.md
+// "Pipelined substrate"; EXPERIMENTS.md E20). The zero-allocation
+// guarantee extends across the wire: a violation-free networked step
+// over loopback pipes performs no heap allocation.
+//
 // # One coordinator core, four substrates
 //
 // Algorithm 1's coordinator-side decision logic exists exactly once, as

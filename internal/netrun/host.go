@@ -18,8 +18,13 @@ type host struct {
 
 	obs   wire.Observe      // reusable decode scratch
 	delta wire.ObserveDelta //
+	batch wire.Batch        // reusable decode scratch for batched commands
 	reply wire.Reply        // reusable reply being built
 	buf   []byte            // reusable encode buffer
+
+	rbuf  []byte   // batched replies, encoded back to back
+	rlens []int    // their lengths
+	views [][]byte // scratch for assembling the batch reply
 }
 
 // newHost builds the node state for an assignment. The RNG stream layout
@@ -136,11 +141,57 @@ func (h *host) handle(frame []byte) (cont bool, err error) {
 	return true, nil
 }
 
+// respond processes one incoming transport frame — a single command, or a
+// wire.Batch of commands from a pipelined coordinator — and stages the
+// outgoing frame in h.buf. A batch of n commands is answered by a batch
+// of the n corresponding replies, so the link stays in lockstep at the
+// frame level and the coordinator can account acks sub-frame by
+// sub-frame. It returns false for TypeShutdown (bare or inside a batch).
+func (h *host) respond(frame []byte) (cont bool, err error) {
+	typ, err := wire.MsgType(frame)
+	if err != nil {
+		return false, err
+	}
+	if typ != wire.TypeBatch {
+		cont, err = h.handle(frame)
+		if err != nil || !cont {
+			return cont, err
+		}
+		h.buf = h.reply.Append(h.buf[:0])
+		return true, nil
+	}
+	if err := h.batch.Decode(frame); err != nil {
+		return false, err
+	}
+	h.rbuf, h.rlens = h.rbuf[:0], h.rlens[:0]
+	for _, sub := range h.batch.Frames {
+		cont, err := h.handle(sub)
+		if err != nil {
+			return false, err
+		}
+		if !cont {
+			return false, nil // Shutdown inside a batch: no reply owed
+		}
+		old := len(h.rbuf)
+		h.rbuf = h.reply.Append(h.rbuf)
+		h.rlens = append(h.rlens, len(h.rbuf)-old)
+	}
+	h.views = h.views[:0]
+	off := 0
+	for _, l := range h.rlens {
+		h.views = append(h.views, h.rbuf[off:off+l])
+		off += l
+	}
+	h.buf = wire.Batch{Frames: h.views}.Append(h.buf[:0])
+	return true, nil
+}
+
 // Serve runs the node-host side of the networked engine on one link: it
 // waits for the coordinator's Assign, builds the local node range, and
-// then answers every command with exactly one Reply until the coordinator
-// sends Shutdown (nil return) or the link dies. The coordinator hanging
-// up (transport.ErrClosed) is also a clean exit: the engine closes links
+// then answers every command with exactly one Reply — and every batch of
+// commands with one batch of Replies — until the coordinator sends
+// Shutdown (nil return) or the link dies. The coordinator hanging up
+// (transport.ErrClosed) is also a clean exit: the engine closes links
 // right after the shutdown frames.
 //
 // Serve never shares state with other goroutines; a process can host
@@ -176,14 +227,13 @@ func Serve(link transport.Link) error {
 			}
 			return fmt.Errorf("netrun: serve loop: %w", err)
 		}
-		cont, err := h.handle(frame)
+		cont, err := h.respond(frame)
 		if err != nil {
 			return err
 		}
 		if !cont {
 			return nil // Shutdown
 		}
-		h.buf = h.reply.Append(h.buf[:0])
 		if err := link.Send(h.buf); err != nil {
 			// The coordinator tearing the link down between our Recv and
 			// this reply is a hang-up, not a host failure.

@@ -21,10 +21,37 @@
 //	EffBounds (ε mode)        wire.ApproxBounds
 //	(reply to any command)    wire.Reply
 //
-// Every command is answered by exactly one Reply, so the links stay in
+// Every command is answered by exactly one Reply, so each link stays in
 // lockstep and replies are processed in ascending peer (hence node id)
 // order — the same deterministic order the other engines use, which is
 // what makes the engines' randomness consume identically.
+//
+// # Pipelined fan-out
+//
+// By default the engine pipelines its I/O (Config.Lockstep disables it,
+// restoring the strictly sequential per-peer request/reply cycle):
+//
+//   - Exchanges fan out first and gather afterwards: the engine sends one
+//     frame to every involved peer, then one reader goroutine per link
+//     collects the replies concurrently while the engine processes them
+//     in ascending peer order. Wall-clock per exchange follows the
+//     slowest peer, not the peer count.
+//   - Ack-only commands are deferred and coalesced: ResetBegin, Winner,
+//     Midpoint and ApproxBounds need no data back, so instead of paying a
+//     round trip each they are queued per peer and ride in one
+//     wire.Batch envelope with the next data-bearing frame to that peer
+//     (the next protocol Round), with any remainder drained in one final
+//     batched exchange at the end of the step. Hosts answer an n-frame
+//     batch with an n-frame batch of replies, so links remain in
+//     lockstep at the frame level.
+//
+// Determinism is unchanged: per link, commands and replies keep their
+// exact order (a batch is processed sub-frame by sub-frame in order);
+// across links the only join points are the gathers, which the engine
+// processes in ascending peer order. Every node therefore sees the same
+// command sequence, and the coordinator feeds the machine the same event
+// sequence, as in lockstep mode — reports, counts, bytes and randomness
+// consumption are bit-identical, which the equivalence tests pin.
 //
 // # Accounting
 //
@@ -47,6 +74,7 @@ package netrun
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/comm"
 	"repro/internal/coord"
@@ -55,6 +83,21 @@ import (
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
+
+// forceReaders makes pipelined engines spawn reader goroutines even
+// without runtime parallelism; tests set it to exercise the concurrent
+// gather deterministically on any machine.
+var forceReaders = false
+
+// useReaders reports whether the pipelined gather should run one reader
+// goroutine per link. With a single processor the readers cannot overlap
+// anything and their channel hops are pure context-switch overhead, so
+// the engine then drains the (already fanned-out) replies directly in
+// peer order instead — the frames are in flight either way, and the
+// command coalescing is unaffected.
+func useReaders() bool {
+	return forceReaders || runtime.GOMAXPROCS(0) > 1
+}
 
 // Config mirrors core.Config for the networked engine.
 type Config struct {
@@ -66,6 +109,17 @@ type Config struct {
 	// exact fixed-point numerator), so their samplers and band installs
 	// agree with the coordinator bit for bit.
 	Epsilon float64
+	// Lockstep disables the pipelined fan-out: every command is sent,
+	// flushed and answered peer by peer, sequentially. The default (false)
+	// is the pipelined engine; both modes are bit-identical in reports and
+	// ledgers and differ only in wall-clock latency and transport framing.
+	Lockstep bool
+}
+
+// recvResult is one reader goroutine's answer to a gather request.
+type recvResult struct {
+	frame []byte
+	err   error
 }
 
 // peer is the coordinator's view of one node-hosting link.
@@ -73,6 +127,31 @@ type peer struct {
 	link   transport.Link
 	lo, hi int
 	reply  wire.Reply // reusable decode target
+	batch  wire.Batch // reusable decode target for batched replies
+
+	// Pipelined gather: the reader goroutine performs one Recv per req
+	// token and delivers the result (the frame aliases the link's receive
+	// buffer, stable until the reader's next Recv — which cannot happen
+	// before the engine requests it).
+	req chan struct{}
+	res chan recvResult
+
+	// Deferred ack-only commands, encoded back to back in pendBuf with
+	// their lengths in pendLens; they ride in a wire.Batch ahead of the
+	// next data-bearing frame to this peer.
+	pendBuf  []byte
+	pendLens []int
+	views    [][]byte // scratch for assembling batch sub-frame views
+}
+
+// pending returns the number of queued ack-only commands.
+func (p *peer) pending() int { return len(p.pendLens) }
+
+// queue defers one encoded command until the next frame to this peer.
+func (p *peer) queue(enc func([]byte) []byte) {
+	old := len(p.pendBuf)
+	p.pendBuf = enc(p.pendBuf)
+	p.pendLens = append(p.pendLens, len(p.pendBuf)-old)
 }
 
 // Engine is the networked monitor's coordinator. It satisfies
@@ -89,6 +168,8 @@ type Engine struct {
 	err    error // first transport/protocol failure; sticky
 
 	buf     []byte // reusable encode buffer
+	bbuf    []byte // reusable batch-envelope encode buffer
+	acks    []int  // per-peer deferred-command count of the current gather
 	touched []bool // peers hit by the current delta
 }
 
@@ -115,6 +196,7 @@ func New(cfg Config, links []transport.Link) (*Engine, error) {
 	e := &Engine{
 		cfg:     cfg,
 		mach:    coord.New(coord.Config{N: cfg.N, K: cfg.K, Tol: tol}),
+		acks:    make([]int, len(links)),
 		touched: make([]bool, len(links)),
 	}
 	// Contiguous near-even ranges: the first rem peers take one extra
@@ -144,6 +226,9 @@ func New(cfg Config, links []transport.Link) (*Engine, error) {
 		if err := p.link.Send(e.buf); err != nil {
 			return fail(fmt.Errorf("netrun: assigning [%d, %d): %w", p.lo, p.hi, err))
 		}
+		if err := transport.Flush(p.link); err != nil {
+			return fail(fmt.Errorf("netrun: assigning [%d, %d): %w", p.lo, p.hi, err))
+		}
 	}
 	for _, p := range e.peers {
 		frame, err := p.link.Recv()
@@ -154,7 +239,31 @@ func New(cfg Config, links []transport.Link) (*Engine, error) {
 			return fail(fmt.Errorf("netrun: peer [%d, %d) handshake: %w", p.lo, p.hi, err))
 		}
 	}
+	if !cfg.Lockstep {
+		e.startReaders()
+	}
 	return e, nil
+}
+
+// startReaders spawns one gather goroutine per link (skipped without
+// runtime parallelism; see useReaders). Each performs exactly one Recv
+// per request token, so the frame it delivered stays untouched until the
+// engine asks for the next one; a reader exits when its request channel
+// closes (engine Close).
+func (e *Engine) startReaders() {
+	if !useReaders() {
+		return
+	}
+	for _, p := range e.peers {
+		p.req = make(chan struct{}, 1)
+		p.res = make(chan recvResult, 1)
+		go func(p *peer) {
+			for range p.req {
+				frame, err := p.link.Recv()
+				p.res <- recvResult{frame: frame, err: err}
+			}
+		}(p)
+	}
 }
 
 // LoopbackLinks builds one pipe pair per peer with a Serve goroutine on
@@ -187,8 +296,9 @@ func NewLoopback(cfg Config, peers int) *Engine {
 	return e
 }
 
-// Close sends every peer a Shutdown frame and closes the links.
-// Idempotent.
+// Close sends every peer a Shutdown frame, closes the links and stops the
+// reader goroutines. Queued ack-only commands are dropped — the hosts are
+// going away with the coordinator. Idempotent.
 func (e *Engine) Close() {
 	if e.closed {
 		return
@@ -198,7 +308,11 @@ func (e *Engine) Close() {
 		// Best effort: a peer that already vanished is being shut down
 		// anyway.
 		_ = p.link.Send(wire.AppendBare(e.buf[:0], wire.TypeShutdown))
+		_ = transport.Flush(p.link)
 		_ = p.link.Close()
+		if p.req != nil {
+			close(p.req)
+		}
 	}
 }
 
@@ -235,6 +349,9 @@ func (e *Engine) TransportStats() transport.LinkStats {
 // Peers returns the number of peer links.
 func (e *Engine) Peers() int { return len(e.peers) }
 
+// Pipelined reports whether the engine runs the pipelined fan-out.
+func (e *Engine) Pipelined() bool { return !e.cfg.Lockstep }
+
 // Top returns the current top-k ids ascending, as a read-only view owned
 // by the engine: it is invalidated by the next step that changes the top
 // set, and mutating it corrupts the engine (see AppendTop).
@@ -253,15 +370,19 @@ func (e *Engine) fail(p *peer, op string, err error) error {
 	return e.err
 }
 
-// send ships one pre-encoded frame to a peer.
+// send ships one pre-encoded frame to a peer and flushes it (the
+// lockstep data path, also used for the handshake).
 func (e *Engine) send(p *peer, frame []byte, op string) error {
 	if err := p.link.Send(frame); err != nil {
+		return e.fail(p, op, err)
+	}
+	if err := transport.Flush(p.link); err != nil {
 		return e.fail(p, op, err)
 	}
 	return nil
 }
 
-// recvReply reads and decodes a peer's mandatory Reply.
+// recvReply reads and decodes a peer's mandatory Reply (lockstep path).
 func (e *Engine) recvReply(p *peer, op string) error {
 	frame, err := p.link.Recv()
 	if err != nil {
@@ -273,15 +394,98 @@ func (e *Engine) recvReply(p *peer, op string) error {
 	return nil
 }
 
-// broadcast ships the same frame to every peer and collects the replies
-// in peer order.
+// sendCmd ships one data-bearing command to a peer on the pipelined path.
+// Queued ack-only commands ride ahead of it in a wire.Batch envelope; the
+// whole assembly is flushed as one transport frame. It records how many
+// ack replies the next gather from this peer owes in e.acks.
+func (e *Engine) sendCmd(pi int, frame []byte, op string) error {
+	p := e.peers[pi]
+	e.acks[pi] = p.pending()
+	out := frame
+	if p.pending() > 0 {
+		p.views = p.views[:0]
+		off := 0
+		for _, l := range p.pendLens {
+			p.views = append(p.views, p.pendBuf[off:off+l])
+			off += l
+		}
+		p.views = append(p.views, frame)
+		e.bbuf = wire.Batch{Frames: p.views}.Append(e.bbuf[:0])
+		out = e.bbuf
+		p.pendBuf, p.pendLens = p.pendBuf[:0], p.pendLens[:0]
+	}
+	if err := p.link.Send(out); err != nil {
+		return e.fail(p, op, err)
+	}
+	if err := transport.Flush(p.link); err != nil {
+		return e.fail(p, op, err)
+	}
+	if p.req != nil {
+		p.req <- struct{}{} // reader: start collecting the reply
+	}
+	return nil
+}
+
+// recvFrame collects one in-flight reply frame from a peer: from its
+// reader goroutine when one is running, directly off the link otherwise
+// (the fan-out already happened, so the frame is en route either way).
+func (e *Engine) recvFrame(p *peer, op string) ([]byte, error) {
+	if p.res != nil {
+		r := <-p.res
+		if r.err != nil {
+			return nil, e.fail(p, op, r.err)
+		}
+		return r.frame, nil
+	}
+	frame, err := p.link.Recv()
+	if err != nil {
+		return nil, e.fail(p, op, err)
+	}
+	return frame, nil
+}
+
+// gather consumes one reply from a peer sendCmd fanned out to: the acks
+// the batch owes first (empty Replies, decoded only to validate lockstep
+// framing), then the data-bearing Reply into p.reply. Gathers must be
+// consumed in ascending peer order.
+func (e *Engine) gather(pi int, op string) error {
+	p := e.peers[pi]
+	frame, err := e.recvFrame(p, op)
+	if err != nil {
+		return err
+	}
+	if want := e.acks[pi]; want > 0 {
+		if err := p.batch.Decode(frame); err != nil {
+			return e.fail(p, op, err)
+		}
+		if got := len(p.batch.Frames); got != want+1 {
+			return e.fail(p, op, fmt.Errorf("batched reply carries %d frames, want %d", got, want+1))
+		}
+		for _, ack := range p.batch.Frames[:want] {
+			if err := p.reply.Decode(ack); err != nil {
+				return e.fail(p, op, err)
+			}
+		}
+		frame = p.batch.Frames[want]
+	}
+	if err := p.reply.Decode(frame); err != nil {
+		return e.fail(p, op, err)
+	}
+	return nil
+}
+
+// broadcast ships the same frame to every peer strictly one peer at a
+// time — send, await the reply, move on (lockstep only; the pipelined
+// path fans out first, gathers concurrently, and defers its ack-only
+// broadcasts into the next data-bearing exchange). This is the paper's
+// literal command/ack cycle and the latency baseline the pipelined mode
+// is measured against: per exchange it pays the peers' round trips in
+// sum rather than in max.
 func (e *Engine) broadcast(frame []byte, op string) error {
 	for _, p := range e.peers {
 		if err := e.send(p, frame, op); err != nil {
 			return err
 		}
-	}
-	for _, p := range e.peers {
 		if err := e.recvReply(p, op); err != nil {
 			return err
 		}
@@ -289,7 +493,8 @@ func (e *Engine) broadcast(frame []byte, op string) error {
 	return nil
 }
 
-// unicast routes a frame to the peer owning node id and awaits its reply.
+// unicast routes a frame to the peer owning node id and awaits its reply
+// (lockstep only; the pipelined path defers ack-only unicasts instead).
 func (e *Engine) unicast(id int, frame []byte, op string) error {
 	for _, p := range e.peers {
 		if id >= p.lo && id < p.hi {
@@ -300,6 +505,91 @@ func (e *Engine) unicast(id int, frame []byte, op string) error {
 		}
 	}
 	panic(fmt.Sprintf("netrun: no peer owns node %d", id))
+}
+
+// owner returns the index of the peer hosting node id.
+func (e *Engine) owner(id int) int {
+	for pi, p := range e.peers {
+		if id >= p.lo && id < p.hi {
+			return pi
+		}
+	}
+	panic(fmt.Sprintf("netrun: no peer owns node %d", id))
+}
+
+// queueAll defers one encoded broadcast command on every peer.
+func (e *Engine) queueAll(enc func([]byte) []byte) {
+	for _, p := range e.peers {
+		p.queue(enc)
+	}
+}
+
+// drainPending flushes every peer's queued ack-only commands as one final
+// exchange: a single command goes out as a plain frame, several as one
+// wire.Batch, and the matching (batched) acks are gathered concurrently.
+// Called at the end of a pipelined step so that host state, reply framing
+// and ledgers are step-aligned with lockstep mode.
+func (e *Engine) drainPending() error {
+	any := false
+	for pi, p := range e.peers {
+		e.acks[pi] = p.pending()
+		if p.pending() == 0 {
+			continue
+		}
+		any = true
+		out := p.pendBuf
+		if p.pending() > 1 {
+			p.views = p.views[:0]
+			off := 0
+			for _, l := range p.pendLens {
+				p.views = append(p.views, p.pendBuf[off:off+l])
+				off += l
+			}
+			e.bbuf = wire.Batch{Frames: p.views}.Append(e.bbuf[:0])
+			out = e.bbuf
+		}
+		p.pendBuf, p.pendLens = p.pendBuf[:0], p.pendLens[:0]
+		if err := p.link.Send(out); err != nil {
+			return e.fail(p, "drain", err)
+		}
+		if err := transport.Flush(p.link); err != nil {
+			return e.fail(p, "drain", err)
+		}
+		if p.req != nil {
+			p.req <- struct{}{}
+		}
+	}
+	if !any {
+		return nil
+	}
+	for pi, p := range e.peers {
+		want := e.acks[pi]
+		if want == 0 {
+			continue
+		}
+		frame, err := e.recvFrame(p, "drain")
+		if err != nil {
+			return err
+		}
+		if want == 1 {
+			if err := p.reply.Decode(frame); err != nil {
+				return e.fail(p, "drain", err)
+			}
+			continue
+		}
+		if err := p.batch.Decode(frame); err != nil {
+			return e.fail(p, "drain", err)
+		}
+		if got := len(p.batch.Frames); got != want {
+			return e.fail(p, "drain", fmt.Errorf("batched ack carries %d frames, want %d", got, want))
+		}
+		for _, ack := range p.batch.Frames {
+			if err := p.reply.Decode(ack); err != nil {
+				return e.fail(p, "drain", err)
+			}
+		}
+	}
+	return nil
 }
 
 // Observe processes one dense time step and returns the reported top-k
@@ -316,21 +606,45 @@ func (e *Engine) Observe(vals []int64) []int {
 		return e.mach.Top()
 	}
 	e.step = e.mach.BeginStep()
-	for _, p := range e.peers {
+	for pi, p := range e.peers {
 		e.buf = wire.Observe{Step: e.step, Vals: vals[p.lo:p.hi]}.Append(e.buf[:0])
-		if err := e.send(p, e.buf, "observe"); err != nil {
+		if err := e.sendObs(pi, "observe"); err != nil {
 			return e.mach.Top()
 		}
 	}
 	anyTop, anyOut := false, false
-	for _, p := range e.peers {
-		if err := e.recvReply(p, "observe"); err != nil {
+	for pi, p := range e.peers {
+		if err := e.gatherObs(pi, "observe"); err != nil {
 			return e.mach.Top()
 		}
 		anyTop = anyTop || p.reply.TopViol
 		anyOut = anyOut || p.reply.OutViol
 	}
 	return e.finishStep(anyTop, anyOut)
+}
+
+// sendObs ships the observation frame staged in e.buf to peer pi. In
+// lockstep mode the peer's reply is awaited on the spot (strict
+// command/ack, one peer at a time); in pipelined mode the frame only
+// fans out and gatherObs collects the reply later.
+func (e *Engine) sendObs(pi int, op string) error {
+	if e.cfg.Lockstep {
+		if err := e.send(e.peers[pi], e.buf, op); err != nil {
+			return err
+		}
+		return e.recvReply(e.peers[pi], op)
+	}
+	return e.sendCmd(pi, e.buf, op)
+}
+
+// gatherObs consumes peer pi's observation reply into its reply scratch.
+// In lockstep mode sendObs already did; each peer holds its own decoded
+// reply, so the caller's flag aggregation reads the same data either way.
+func (e *Engine) gatherObs(pi int, op string) error {
+	if e.cfg.Lockstep {
+		return nil
+	}
+	return e.gather(pi, op)
 }
 
 // ObserveDelta processes one sparse time step: vals[j] is node ids[j]'s
@@ -368,7 +682,7 @@ func (e *Engine) ObserveDelta(ids []int, vals []int64) []int {
 		if stop > start {
 			e.touched[pi] = true
 			e.buf = wire.ObserveDelta{Step: e.step, IDs: ids[start:stop], Vals: vals[start:stop]}.Append(e.buf[:0])
-			if err := e.send(p, e.buf, "observe-delta"); err != nil {
+			if err := e.sendObs(pi, "observe-delta"); err != nil {
 				return e.mach.Top()
 			}
 		}
@@ -379,7 +693,7 @@ func (e *Engine) ObserveDelta(ids []int, vals []int64) []int {
 		if !e.touched[pi] {
 			continue
 		}
-		if err := e.recvReply(p, "observe-delta"); err != nil {
+		if err := e.gatherObs(pi, "observe-delta"); err != nil {
 			return e.mach.Top()
 		}
 		anyTop = anyTop || p.reply.TopViol
@@ -391,7 +705,20 @@ func (e *Engine) ObserveDelta(ids []int, vals []int64) []int {
 // finishStep drives the coordinator machine through the rest of the step,
 // executing its effects as frames. On a link failure it abandons the step
 // (the error is stored) and returns the last-good report.
+//
+// In pipelined mode the ack-only effects do not synchronize one by one:
+// their commands are queued per peer, the machine is advanced immediately
+// (the acks carry no information), and the queued frames ride with the
+// next data-bearing exchange to each peer — ResetBegin and the k+1
+// Winner notifications of a FILTERRESET coalesce into the first round of
+// the following protocol execution, saving their round trips outright —
+// while whatever is still queued when the machine reports EffDone (the
+// trailing midpoint/bounds install) drains as one final batched exchange.
+// Per-link command order is preserved exactly, so every node applies the
+// same state transitions in the same places, and the step ends with hosts
+// and ledgers in the same state as lockstep mode.
 func (e *Engine) finishStep(anyTopViol, anyOutViol bool) []int {
+	pipelined := !e.cfg.Lockstep
 	eff := e.mach.FinishStep(anyTopViol, anyOutViol)
 	for eff.Kind != coord.EffDone {
 		var err error
@@ -402,21 +729,44 @@ func (e *Engine) finishStep(anyTopViol, anyOutViol bool) []int {
 				eff = e.mach.ExecDone(res.OK, res.ID, res.Key)
 			}
 		case coord.EffResetBegin:
+			if pipelined {
+				e.queueAll(func(dst []byte) []byte { return wire.AppendBare(dst, wire.TypeResetBegin) })
+				eff = e.mach.Ack()
+				continue
+			}
 			if err = e.broadcast(wire.AppendBare(e.buf[:0], wire.TypeResetBegin), "reset-begin"); err == nil {
 				eff = e.mach.Ack()
 			}
 		case coord.EffWinner:
-			e.buf = wire.Winner{Target: eff.Target, IsTop: eff.IsTop}.Append(e.buf[:0])
+			m := wire.Winner{Target: eff.Target, IsTop: eff.IsTop}
+			if pipelined {
+				e.peers[e.owner(eff.Target)].queue(m.Append)
+				eff = e.mach.Ack()
+				continue
+			}
+			e.buf = m.Append(e.buf[:0])
 			if err = e.unicast(eff.Target, e.buf, "winner"); err == nil {
 				eff = e.mach.Ack()
 			}
 		case coord.EffMidpoint:
-			e.buf = wire.Midpoint{Mid: int64(eff.Mid), Full: eff.Full}.Append(e.buf[:0])
+			m := wire.Midpoint{Mid: int64(eff.Mid), Full: eff.Full}
+			if pipelined {
+				e.queueAll(m.Append)
+				eff = e.mach.Ack()
+				continue
+			}
+			e.buf = m.Append(e.buf[:0])
 			if err = e.broadcast(e.buf, "midpoint"); err == nil {
 				eff = e.mach.Ack()
 			}
 		case coord.EffBounds:
-			e.buf = wire.ApproxBounds{Lo: int64(eff.Lo), Hi: int64(eff.Hi)}.Append(e.buf[:0])
+			m := wire.ApproxBounds{Lo: int64(eff.Lo), Hi: int64(eff.Hi)}
+			if pipelined {
+				e.queueAll(m.Append)
+				eff = e.mach.Ack()
+				continue
+			}
+			e.buf = m.Append(e.buf[:0])
 			if err = e.broadcast(e.buf, "bounds"); err == nil {
 				eff = e.mach.Ack()
 			}
@@ -427,23 +777,42 @@ func (e *Engine) finishStep(anyTopViol, anyOutViol bool) []int {
 			return e.mach.Top()
 		}
 	}
+	if pipelined {
+		if err := e.drainPending(); err != nil {
+			return e.mach.Top()
+		}
+	}
 	return e.mach.Top()
 }
 
 // execProtocol runs one Algorithm 2 execution over the effect's cohort,
 // charging Up per bid and Bcast per round exactly like the other engines.
+// Each round is one fan-out/gather exchange; in pipelined mode the first
+// round's frames carry the commands queued since the last exchange.
 func (e *Engine) execProtocol(eff coord.Effect) (protocol.Result, error) {
 	ex := protocol.NewExec(eff.Bound, coord.MinimumTag(eff.Tag), e.mach.Recorder(eff.Phase), nil, e.step)
 	for ex.More() {
 		e.buf = wire.Round{Tag: eff.Tag, Round: ex.Round(), Best: int64(ex.Best()), Bound: eff.Bound, Step: e.step}.Append(e.buf[:0])
-		for _, p := range e.peers {
-			if err := e.send(p, e.buf, "round"); err != nil {
+		for pi, p := range e.peers {
+			var err error
+			if e.cfg.Lockstep {
+				// Strict command/ack: this peer's round completes before
+				// the next peer even sees the command.
+				if err = e.send(p, e.buf, "round"); err == nil {
+					err = e.recvReply(p, "round")
+				}
+			} else {
+				err = e.sendCmd(pi, e.buf, "round")
+			}
+			if err != nil {
 				return protocol.Result{}, err
 			}
 		}
-		for _, p := range e.peers {
-			if err := e.recvReply(p, "round"); err != nil {
-				return protocol.Result{}, err
+		for pi, p := range e.peers {
+			if !e.cfg.Lockstep {
+				if err := e.gather(pi, "round"); err != nil {
+					return protocol.Result{}, err
+				}
 			}
 			for j, id := range p.reply.IDs {
 				ex.Bid(id, order.Key(p.reply.Keys[j]))

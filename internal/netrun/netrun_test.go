@@ -22,11 +22,22 @@ func equal(a, b []int) bool {
 	return true
 }
 
+// modes names the two fan-out modes every equivalence case runs under:
+// the pipelined default and the sequential lockstep baseline, which must
+// be indistinguishable in everything but wall clock and framing.
+var modes = []struct {
+	name     string
+	lockstep bool
+}{
+	{"pipelined", false},
+	{"lockstep", true},
+}
+
 // TestEquivalenceWithSequentialEngine is the acceptance check of the
 // networked engine: over loopback links it must produce identical top-k
 // reports, identical message counts AND identical charged bytes as the
 // sequential engine at every step, for the same seed — per phase, not
-// just in total.
+// just in total — in both fan-out modes.
 func TestEquivalenceWithSequentialEngine(t *testing.T) {
 	cases := []struct {
 		name  string
@@ -56,45 +67,106 @@ func TestEquivalenceWithSequentialEngine(t *testing.T) {
 			return stream.NewIID(stream.IIDConfig{N: n, Seed: 6, Dist: stream.Uniform, Lo: 0, Hi: 1000})
 		}},
 	}
-	for _, tc := range cases {
-		t.Run(tc.name, func(t *testing.T) {
-			const seed, steps = 41, 200
-			seq := core.New(core.Config{N: tc.n, K: tc.k, Seed: seed})
-			net := NewLoopback(Config{N: tc.n, K: tc.k, Seed: seed}, tc.peers)
-			defer net.Close()
+	for _, mode := range modes {
+		for _, tc := range cases {
+			t.Run(mode.name+"/"+tc.name, func(t *testing.T) {
+				const seed, steps = 41, 200
+				seq := core.New(core.Config{N: tc.n, K: tc.k, Seed: seed})
+				net := NewLoopback(Config{N: tc.n, K: tc.k, Seed: seed, Lockstep: mode.lockstep}, tc.peers)
+				defer net.Close()
 
-			srcA, srcB := tc.src(tc.n), tc.src(tc.n)
-			va, vb := make([]int64, tc.n), make([]int64, tc.n)
-			for s := 0; s < steps; s++ {
-				srcA.Step(va)
-				srcB.Step(vb)
-				topSeq := seq.Observe(va)
-				topNet := net.Observe(vb)
-				if !equal(topSeq, topNet) {
-					t.Fatalf("step %d: reports differ: seq=%v net=%v", s, topSeq, topNet)
+				srcA, srcB := tc.src(tc.n), tc.src(tc.n)
+				va, vb := make([]int64, tc.n), make([]int64, tc.n)
+				for s := 0; s < steps; s++ {
+					srcA.Step(va)
+					srcB.Step(vb)
+					topSeq := seq.Observe(va)
+					topNet := net.Observe(vb)
+					if !equal(topSeq, topNet) {
+						t.Fatalf("step %d: reports differ: seq=%v net=%v", s, topSeq, topNet)
+					}
+					if cs, cn := seq.Counts(), net.Counts(); cs != cn {
+						t.Fatalf("step %d: counts differ: seq=%v net=%v", s, cs, cn)
+					}
+					if bs, bn := seq.Ledger().TotalBytes(), net.Bytes(); bs != bn {
+						t.Fatalf("step %d: bytes differ: seq=%v net=%v", s, bs, bn)
+					}
 				}
-				if cs, cn := seq.Counts(), net.Counts(); cs != cn {
-					t.Fatalf("step %d: counts differ: seq=%v net=%v", s, cs, cn)
+				for _, ph := range comm.Phases() {
+					if cs, cn := seq.Ledger().PhaseCounts(ph), net.Ledger().PhaseCounts(ph); cs != cn {
+						t.Fatalf("phase %v counts differ: seq=%v net=%v", ph, cs, cn)
+					}
+					if bs, bn := seq.Ledger().PhaseBytes(ph), net.Ledger().PhaseBytes(ph); bs != bn {
+						t.Fatalf("phase %v bytes differ: seq=%v net=%v", ph, bs, bn)
+					}
 				}
-				if bs, bn := seq.Ledger().TotalBytes(), net.Bytes(); bs != bn {
-					t.Fatalf("step %d: bytes differ: seq=%v net=%v", s, bs, bn)
+				if total := net.Bytes().Total(); total == 0 {
+					t.Fatal("charged byte ledger stayed empty")
 				}
-			}
-			for _, ph := range comm.Phases() {
-				if cs, cn := seq.Ledger().PhaseCounts(ph), net.Ledger().PhaseCounts(ph); cs != cn {
-					t.Fatalf("phase %v counts differ: seq=%v net=%v", ph, cs, cn)
+				if ts := net.TransportStats(); ts.SentFrames == 0 || ts.RecvFrames == 0 || ts.SentBytes == 0 {
+					t.Fatalf("transport stats empty: %+v", ts)
 				}
-				if bs, bn := seq.Ledger().PhaseBytes(ph), net.Ledger().PhaseBytes(ph); bs != bn {
-					t.Fatalf("phase %v bytes differ: seq=%v net=%v", ph, bs, bn)
-				}
-			}
-			if total := net.Bytes().Total(); total == 0 {
-				t.Fatal("charged byte ledger stayed empty")
-			}
-			if ts := net.TransportStats(); ts.SentFrames == 0 || ts.RecvFrames == 0 || ts.SentBytes == 0 {
-				t.Fatalf("transport stats empty: %+v", ts)
-			}
-		})
+			})
+		}
+	}
+}
+
+// TestReaderGatherEquivalence pins the reader-goroutine gather path
+// (normally engaged only with runtime parallelism) on any machine: with
+// readers forced, the pipelined engine must stay bit-identical to the
+// sequential engine through violations and resets.
+func TestReaderGatherEquivalence(t *testing.T) {
+	forceReaders = true
+	defer func() { forceReaders = false }()
+	const n, k, seed, steps, peers = 20, 4, 13, 200, 4
+	seq := core.New(core.Config{N: n, K: k, Seed: seed})
+	net := NewLoopback(Config{N: n, K: k, Seed: seed}, peers)
+	defer net.Close()
+	src := stream.NewIID(stream.IIDConfig{N: n, Seed: 3, Dist: stream.Uniform, Lo: 0, Hi: 1 << 20})
+	vals := make([]int64, n)
+	for s := 0; s < steps; s++ {
+		src.Step(vals)
+		if !equal(seq.Observe(vals), net.Observe(vals)) {
+			t.Fatalf("step %d: reports differ with forced readers", s)
+		}
+	}
+	if cs, cn := seq.Counts(), net.Counts(); cs != cn {
+		t.Fatalf("counts differ with forced readers: seq=%v net=%v", cs, cn)
+	}
+	if bs, bn := seq.Ledger().TotalBytes(), net.Bytes(); bs != bn {
+		t.Fatalf("bytes differ with forced readers: seq=%v net=%v", bs, bn)
+	}
+}
+
+// TestPipelinedFramingCoalesces pins the transport-level effect of the
+// batch envelope: on a violation-heavy workload the pipelined engine must
+// move strictly fewer frames than the lockstep engine for the same
+// (bit-identical) run, because ResetBegin/Winner/Midpoint commands ride
+// inside batched frames instead of paying one frame (and one ack frame)
+// each.
+func TestPipelinedFramingCoalesces(t *testing.T) {
+	const n, k, seed, steps, peers = 24, 4, 19, 150, 4
+	run := func(lockstep bool) (transport.LinkStats, comm.Counts) {
+		e := NewLoopback(Config{N: n, K: k, Seed: seed, Lockstep: lockstep}, peers)
+		defer e.Close()
+		src := stream.NewIID(stream.IIDConfig{N: n, Seed: 5, Dist: stream.Uniform, Lo: 0, Hi: 1 << 20})
+		vals := make([]int64, n)
+		for s := 0; s < steps; s++ {
+			src.Step(vals)
+			e.Observe(vals)
+		}
+		return e.TransportStats(), e.Counts()
+	}
+	pipe, pipeCounts := run(false)
+	lock, lockCounts := run(true)
+	if pipeCounts != lockCounts {
+		t.Fatalf("model ledgers diverged: pipelined=%v lockstep=%v", pipeCounts, lockCounts)
+	}
+	if pipe.SentFrames >= lock.SentFrames {
+		t.Fatalf("pipelined engine did not coalesce frames: %d sent vs lockstep %d", pipe.SentFrames, lock.SentFrames)
+	}
+	if pipe.RecvFrames >= lock.RecvFrames {
+		t.Fatalf("pipelined engine did not coalesce replies: %d received vs lockstep %d", pipe.RecvFrames, lock.RecvFrames)
 	}
 }
 
@@ -202,8 +274,15 @@ func TestEmptyDeltaStep(t *testing.T) {
 
 // TestTCPEngine runs the full engine over real localhost TCP links with
 // in-process Serve loops on the dialing side — the two-process topology
-// of `topkmon -serve` / `-join`, collapsed into one test binary.
+// of `topkmon -serve` / `-join`, collapsed into one test binary — in both
+// fan-out modes.
 func TestTCPEngine(t *testing.T) {
+	for _, mode := range modes {
+		t.Run(mode.name, func(t *testing.T) { testTCPEngine(t, mode.lockstep) })
+	}
+}
+
+func testTCPEngine(t *testing.T, lockstep bool) {
 	const n, k, seed, steps, peers = 10, 3, 17, 120, 2
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -228,7 +307,7 @@ func TestTCPEngine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	net, err := New(Config{N: n, K: k, Seed: seed}, links)
+	net, err := New(Config{N: n, K: k, Seed: seed, Lockstep: lockstep}, links)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -23,8 +23,13 @@ type agent struct {
 
 	obs   wire.Observe      // reusable decode scratch
 	delta wire.ObserveDelta //
+	batch wire.Batch        // reusable decode scratch for batched commands
 	reply wire.Reply        // reusable reply being built
-	buf   []byte            // reusable encode buffer
+	buf   []byte            // reusable encode buffer; holds the outgoing frame
+
+	bbuf  []byte   // second encode buffer for assembling batch replies
+	rlens []int    // batched reply lengths within the arena
+	views [][]byte // scratch for assembling the batch reply
 }
 
 // exec runs one full delegated protocol execution over the local cohort
@@ -57,11 +62,12 @@ func (a *agent) exec(m wire.Round) wire.ShardDigest {
 }
 
 // handle processes one decoded command frame and appends the outgoing
-// frame to a.buf. It returns false for TypeShutdown.
-func (a *agent) handle(frame []byte) (cont bool, err error) {
+// reply frame to dst, returning the extended slice. It returns false for
+// TypeShutdown.
+func (a *agent) handle(frame, dst []byte) (out []byte, cont bool, err error) {
 	typ, err := wire.MsgType(frame)
 	if err != nil {
-		return false, err
+		return dst, false, err
 	}
 	a.reply.TopViol, a.reply.OutViol = false, false
 	a.reply.IDs, a.reply.Keys = a.reply.IDs[:0], a.reply.Keys[:0]
@@ -70,17 +76,17 @@ func (a *agent) handle(frame []byte) (cont bool, err error) {
 	switch typ {
 	case wire.TypeObserve:
 		if err := a.obs.Decode(frame); err != nil {
-			return false, err
+			return dst, false, err
 		}
 		if len(a.obs.Vals) != hi-lo {
-			return false, fmt.Errorf("shardrun: observe carries %d values for range [%d, %d)", len(a.obs.Vals), lo, hi)
+			return dst, false, fmt.Errorf("shardrun: observe carries %d values for range [%d, %d)", len(a.obs.Vals), lo, hi)
 		}
 		for i, v := range a.obs.Vals {
 			t, o, err := a.bank.Observe(lo+i, v, a.obs.Step)
 			if err != nil {
 				// Out-of-domain values from the wire surface as a serve-loop
 				// error (the root sees the link die), never as a panic.
-				return false, err
+				return dst, false, err
 			}
 			a.reply.TopViol = a.reply.TopViol || t
 			a.reply.OutViol = a.reply.OutViol || o
@@ -88,15 +94,15 @@ func (a *agent) handle(frame []byte) (cont bool, err error) {
 
 	case wire.TypeObserveDelta:
 		if err := a.delta.Decode(frame); err != nil {
-			return false, err
+			return dst, false, err
 		}
 		for j, id := range a.delta.IDs {
 			if id < lo || id >= hi {
-				return false, fmt.Errorf("shardrun: delta id %d outside range [%d, %d)", id, lo, hi)
+				return dst, false, fmt.Errorf("shardrun: delta id %d outside range [%d, %d)", id, lo, hi)
 			}
 			t, o, err := a.bank.Observe(id, a.delta.Vals[j], a.delta.Step)
 			if err != nil {
-				return false, err
+				return dst, false, err
 			}
 			a.reply.TopViol = a.reply.TopViol || t
 			a.reply.OutViol = a.reply.OutViol || o
@@ -108,48 +114,90 @@ func (a *agent) handle(frame []byte) (cont bool, err error) {
 		// digest instead of a per-round Reply.
 		m, err := wire.DecodeRound(frame)
 		if err != nil {
-			return false, err
+			return dst, false, err
 		}
-		a.buf = a.exec(m).Append(a.buf[:0])
-		return true, nil
+		return a.exec(m).Append(dst), true, nil
 
 	case wire.TypeWinner:
 		m, err := wire.DecodeWinner(frame)
 		if err != nil {
-			return false, err
+			return dst, false, err
 		}
 		if m.Target < lo || m.Target >= hi {
-			return false, fmt.Errorf("shardrun: winner %d outside range [%d, %d)", m.Target, lo, hi)
+			return dst, false, fmt.Errorf("shardrun: winner %d outside range [%d, %d)", m.Target, lo, hi)
 		}
 		a.bank.Winner(m.Target, m.IsTop)
 
 	case wire.TypeMidpoint:
 		m, err := wire.DecodeMidpoint(frame)
 		if err != nil {
-			return false, err
+			return dst, false, err
 		}
 		a.bank.Midpoint(order.Key(m.Mid), m.Full)
 
 	case wire.TypeApproxBounds:
 		m, err := wire.DecodeApproxBounds(frame)
 		if err != nil {
-			return false, err
+			return dst, false, err
 		}
 		a.bank.ApplyBounds(order.Key(m.Lo), order.Key(m.Hi))
 
 	case wire.TypeResetBegin:
 		if err := wire.DecodeBare(frame, wire.TypeResetBegin); err != nil {
-			return false, err
+			return dst, false, err
 		}
 		a.bank.ResetBegin()
 
 	case wire.TypeShutdown:
-		return false, nil
+		return dst, false, nil
 
 	default:
-		return false, fmt.Errorf("%w: 0x%02x in shard serve loop", wire.ErrUnknownType, typ)
+		return dst, false, fmt.Errorf("%w: 0x%02x in shard serve loop", wire.ErrUnknownType, typ)
 	}
-	a.buf = a.reply.Append(a.buf[:0])
+	return a.reply.Append(dst), true, nil
+}
+
+// respond processes one incoming transport frame — a single command, or a
+// wire.Batch of commands from a pipelined root — and stages the outgoing
+// frame in a.buf. A batch of n commands is answered by a batch of the n
+// corresponding replies (acks first, then the digest or reply of the
+// data-bearing command), so the root can account every coordination
+// message individually. It returns false for TypeShutdown.
+func (a *agent) respond(frame []byte) (cont bool, err error) {
+	typ, err := wire.MsgType(frame)
+	if err != nil {
+		return false, err
+	}
+	if typ != wire.TypeBatch {
+		a.buf, cont, err = a.handle(frame, a.buf[:0])
+		return cont, err
+	}
+	if err := a.batch.Decode(frame); err != nil {
+		return false, err
+	}
+	a.buf, a.rlens = a.buf[:0], a.rlens[:0]
+	for _, sub := range a.batch.Frames {
+		old := len(a.buf)
+		var cont bool
+		a.buf, cont, err = a.handle(sub, a.buf)
+		if err != nil {
+			return false, err
+		}
+		if !cont {
+			return false, nil // Shutdown inside a batch: no reply owed
+		}
+		a.rlens = append(a.rlens, len(a.buf)-old)
+	}
+	a.views = a.views[:0]
+	off := 0
+	for _, l := range a.rlens {
+		a.views = append(a.views, a.buf[off:off+l])
+		off += l
+	}
+	// The sub-frames alias a.buf, so assemble the envelope in a second
+	// buffer and swap — a.buf must hold the outgoing frame on return.
+	a.bbuf = wire.Batch{Frames: a.views}.Append(a.bbuf[:0])
+	a.buf, a.bbuf = a.bbuf, a.buf
 	return true, nil
 }
 
@@ -157,9 +205,9 @@ func (a *agent) handle(frame []byte) (cont bool, err error) {
 // waits for the root's Assign, builds the local node range, and answers
 // every command — observation slices with violation-flag Replies,
 // delegated protocol executions (Round frames) with ShardDigests, and
-// Winner/Midpoint/ResetBegin installs with empty Replies — until the root
-// sends Shutdown (nil return) or the link dies. The root hanging up is a
-// clean exit, as in netrun.Serve.
+// Winner/Midpoint/ResetBegin installs with empty Replies, batches with
+// batches — until the root sends Shutdown (nil return) or the link dies.
+// The root hanging up is a clean exit, as in netrun.Serve.
 func ServeShard(link transport.Link) error {
 	frame, err := link.Recv()
 	if err != nil {
@@ -194,7 +242,7 @@ func ServeShard(link transport.Link) error {
 			}
 			return fmt.Errorf("shardrun: shard serve loop: %w", err)
 		}
-		cont, err := a.handle(frame)
+		cont, err := a.respond(frame)
 		if err != nil {
 			return err
 		}

@@ -20,6 +20,16 @@
 // FILTERRESET's k+1 repeated extractions is exactly a k-merge on
 // order.Key of the per-shard candidate streams.
 //
+// By default the root pipelines the delegation exactly like the networked
+// engine (Config.Lockstep disables it): one delegated-execution request
+// fans out to every shard first — each frame carrying the shard's queued
+// ack-only commands (ResetBegin, Winner, Midpoint, ApproxBounds) in a
+// wire.Batch envelope — and the digests are gathered concurrently by one
+// reader goroutine per link while the root merges them in ascending shard
+// order. Independent shards therefore run their local protocol executions
+// in parallel between digest merges, and a FILTERRESET costs one
+// synchronization point per extraction instead of one per command.
+//
 // Exactness is inherited from Algorithm 1: the hierarchical execution
 // computes the same extrema (each local protocol is Las Vegas-exact, and
 // max over shard maxima is the global max), so membership decisions,
@@ -56,16 +66,21 @@
 //     machinery: every root→shard command as a Down of its encoded size,
 //     every shard→root reply or digest as an Up. This is the price of
 //     sharding the coordinator, the quantity to weigh against the root's
-//     S-fold fan-in reduction.
+//     S-fold fan-in reduction. Coalesced commands are charged sub-frame
+//     by sub-frame — the batch envelope itself is transport framing,
+//     visible in TransportStats — so the overhead ledger is identical in
+//     pipelined and lockstep mode.
 //
 // Shards speak the existing wire protocol (Assign/Observe/ObserveDelta/
-// Winner/Midpoint/ResetBegin/Reply) plus two reinterpretations: a
-// wire.Round frame from the root means "run this whole execution locally"
-// and is answered by the one new message, wire.ShardDigest.
+// Winner/Midpoint/ResetBegin/Reply, batched or not) plus two
+// reinterpretations: a wire.Round frame from the root means "run this
+// whole execution locally" and is answered by the one new message,
+// wire.ShardDigest.
 package shardrun
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/comm"
 	"repro/internal/coord"
@@ -73,6 +88,18 @@ import (
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
+
+// forceReaders makes pipelined roots spawn reader goroutines even
+// without runtime parallelism; tests set it to exercise the concurrent
+// gather deterministically on any machine.
+var forceReaders = false
+
+// useReaders mirrors netrun's rule: reader goroutines only pay off when
+// the runtime can actually run them in parallel; otherwise the root
+// drains the fanned-out replies directly in shard order.
+func useReaders() bool {
+	return forceReaders || runtime.GOMAXPROCS(0) > 1
+}
 
 // Config mirrors core.Config for the sharded engine.
 type Config struct {
@@ -82,6 +109,17 @@ type Config struct {
 	// Epsilon selects the ε-approximate mode, exactly as in core.Config;
 	// the tolerance rides to the shards in the Assign handshake.
 	Epsilon float64
+	// Lockstep disables the pipelined fan-out: every command is sent,
+	// flushed and answered shard by shard, sequentially. Both modes are
+	// bit-identical in reports and in both ledgers; they differ only in
+	// wall-clock latency and transport framing.
+	Lockstep bool
+}
+
+// recvResult is one reader goroutine's answer to a gather request.
+type recvResult struct {
+	frame []byte
+	err   error
 }
 
 // shardPeer is the root's view of one sub-coordinator link.
@@ -89,6 +127,26 @@ type shardPeer struct {
 	link   transport.Link
 	lo, hi int
 	reply  wire.Reply // reusable decode target
+	batch  wire.Batch // reusable decode target for batched replies
+
+	// Pipelined gather: one Recv per request token (see netrun).
+	req chan struct{}
+	res chan recvResult
+
+	// Deferred ack-only commands awaiting the next data-bearing frame.
+	pendBuf  []byte
+	pendLens []int
+	views    [][]byte
+}
+
+// pending returns the number of queued ack-only commands.
+func (p *shardPeer) pending() int { return len(p.pendLens) }
+
+// queue defers one encoded command until the next frame to this shard.
+func (p *shardPeer) queue(enc func([]byte) []byte) {
+	old := len(p.pendBuf)
+	p.pendBuf = enc(p.pendBuf)
+	p.pendLens = append(p.pendLens, len(p.pendBuf)-old)
 }
 
 // Engine is the root coordinator of the sharded monitor. It satisfies
@@ -105,6 +163,8 @@ type Engine struct {
 	err    error // first transport/protocol failure; sticky
 
 	buf     []byte // reusable encode buffer
+	bbuf    []byte // reusable batch-envelope encode buffer
+	acks    []int  // per-shard deferred-command count of the current gather
 	touched []bool // shards hit by the current delta
 }
 
@@ -130,6 +190,7 @@ func New(cfg Config, links []transport.Link) (*Engine, error) {
 	e := &Engine{
 		cfg:     cfg,
 		mach:    coord.New(coord.Config{N: cfg.N, K: cfg.K, Tol: tol}),
+		acks:    make([]int, len(links)),
 		touched: make([]bool, len(links)),
 	}
 	base, rem := cfg.N/len(links), cfg.N%len(links)
@@ -166,7 +227,30 @@ func New(cfg Config, links []transport.Link) (*Engine, error) {
 			return fail(fmt.Errorf("shardrun: shard [%d, %d) handshake: %w", p.lo, p.hi, err))
 		}
 	}
+	if !cfg.Lockstep {
+		e.startReaders()
+	}
 	return e, nil
+}
+
+// startReaders spawns one gather goroutine per link (see netrun: one Recv
+// per request token; exits when the request channel closes). Skipped
+// without runtime parallelism — the root then drains the fanned-out
+// replies directly in shard order (netrun.useReaders explains why).
+func (e *Engine) startReaders() {
+	if !useReaders() {
+		return
+	}
+	for _, p := range e.peers {
+		p.req = make(chan struct{}, 1)
+		p.res = make(chan recvResult, 1)
+		go func(p *shardPeer) {
+			for range p.req {
+				frame, err := p.link.Recv()
+				p.res <- recvResult{frame: frame, err: err}
+			}
+		}(p)
+	}
 }
 
 // LoopbackLinks builds one pipe pair per shard with a ServeShard
@@ -197,7 +281,8 @@ func NewLoopback(cfg Config, shards int) *Engine {
 	return e
 }
 
-// Close sends every shard a Shutdown frame and closes the links.
+// Close sends every shard a Shutdown frame, closes the links and stops
+// the reader goroutines. Queued ack-only commands are dropped.
 // Idempotent.
 func (e *Engine) Close() {
 	if e.closed {
@@ -206,7 +291,11 @@ func (e *Engine) Close() {
 	e.closed = true
 	for _, p := range e.peers {
 		_ = p.link.Send(wire.AppendBare(e.buf[:0], wire.TypeShutdown))
+		_ = transport.Flush(p.link)
 		_ = p.link.Close()
+		if p.req != nil {
+			close(p.req)
+		}
 	}
 }
 
@@ -226,7 +315,8 @@ func (e *Engine) Stats() coord.Stats { return e.mach.Stats() }
 // Overhead returns the coordination frame counts of the root↔shard layer:
 // Down counts root→shard commands, Up counts shard→root replies and
 // digests. This traffic is what sharding the coordinator costs on top of
-// the algorithm ledger.
+// the algorithm ledger. Coalesced commands count individually, so the
+// numbers are mode-independent.
 func (e *Engine) Overhead() comm.Counts { return e.overhead.Snapshot() }
 
 // OverheadBytes returns the encoded byte volume of the coordination
@@ -251,6 +341,9 @@ func (e *Engine) TransportStats() transport.LinkStats {
 // Shards returns the number of shard sub-coordinators.
 func (e *Engine) Shards() int { return len(e.peers) }
 
+// Pipelined reports whether the root runs the pipelined fan-out.
+func (e *Engine) Pipelined() bool { return !e.cfg.Lockstep }
+
 // Top returns the current top-k ids ascending, as a read-only view owned
 // by the engine: it is invalidated by the next step that changes the top
 // set, and mutating it corrupts the engine (see AppendTop).
@@ -266,10 +359,14 @@ func (e *Engine) fail(p *shardPeer, op string, err error) error {
 	return e.err
 }
 
-// send ships one pre-encoded frame to a shard, charging it as one Down
-// coordination message of its encoded size.
+// send ships one pre-encoded frame to a shard and flushes it, charging it
+// as one Down coordination message of its encoded size (the lockstep data
+// path, also used for the handshake).
 func (e *Engine) send(p *shardPeer, frame []byte, op string) error {
 	if err := p.link.Send(frame); err != nil {
+		return e.fail(p, op, err)
+	}
+	if err := transport.Flush(p.link); err != nil {
 		return e.fail(p, op, err)
 	}
 	e.overhead.RecordSized(comm.Down, 1, int64(len(frame)))
@@ -277,7 +374,7 @@ func (e *Engine) send(p *shardPeer, frame []byte, op string) error {
 }
 
 // recv reads one frame from a shard, charging it as one Up coordination
-// message of its encoded size.
+// message of its encoded size (lockstep path).
 func (e *Engine) recv(p *shardPeer, op string) ([]byte, error) {
 	frame, err := p.link.Recv()
 	if err != nil {
@@ -287,7 +384,7 @@ func (e *Engine) recv(p *shardPeer, op string) ([]byte, error) {
 	return frame, nil
 }
 
-// recvReply reads and decodes a shard's plain Reply.
+// recvReply reads and decodes a shard's plain Reply (lockstep path).
 func (e *Engine) recvReply(p *shardPeer, op string) error {
 	frame, err := e.recv(p, op)
 	if err != nil {
@@ -299,15 +396,110 @@ func (e *Engine) recvReply(p *shardPeer, op string) error {
 	return nil
 }
 
-// broadcast ships the same frame to every shard and collects the plain
-// replies in shard order.
+// sendCmd ships one data-bearing command to a shard on the pipelined
+// path, with that shard's queued ack-only commands riding ahead of it in
+// a wire.Batch envelope. Every sub-frame is charged to the overhead
+// ledger individually, exactly as lockstep mode charges the same commands
+// as separate frames. e.acks records the acks the next gather owes.
+func (e *Engine) sendCmd(pi int, frame []byte, op string) error {
+	p := e.peers[pi]
+	e.acks[pi] = p.pending()
+	out := frame
+	if p.pending() > 0 {
+		p.views = p.views[:0]
+		off := 0
+		for _, l := range p.pendLens {
+			p.views = append(p.views, p.pendBuf[off:off+l])
+			e.overhead.RecordSized(comm.Down, 1, int64(l))
+			off += l
+		}
+		p.views = append(p.views, frame)
+		e.bbuf = wire.Batch{Frames: p.views}.Append(e.bbuf[:0])
+		out = e.bbuf
+		p.pendBuf, p.pendLens = p.pendBuf[:0], p.pendLens[:0]
+	}
+	if err := p.link.Send(out); err != nil {
+		return e.fail(p, op, err)
+	}
+	if err := transport.Flush(p.link); err != nil {
+		return e.fail(p, op, err)
+	}
+	e.overhead.RecordSized(comm.Down, 1, int64(len(frame)))
+	if p.req != nil {
+		p.req <- struct{}{}
+	}
+	return nil
+}
+
+// recvFrame collects one in-flight reply frame from a shard: from its
+// reader goroutine when one is running, directly off the link otherwise.
+func (e *Engine) recvFrame(p *shardPeer, op string) ([]byte, error) {
+	if p.res != nil {
+		r := <-p.res
+		if r.err != nil {
+			return nil, e.fail(p, op, r.err)
+		}
+		return r.frame, nil
+	}
+	frame, err := p.link.Recv()
+	if err != nil {
+		return nil, e.fail(p, op, err)
+	}
+	return frame, nil
+}
+
+// gather consumes one reply frame from a shard whose reader was signalled
+// by sendCmd: the owed acks first (validated, charged individually), then
+// the data-bearing payload, which is returned for the caller to decode
+// (a Reply for observation exchanges, a ShardDigest for delegated
+// executions). Gathers must be consumed in ascending shard order.
+func (e *Engine) gather(pi int, op string) ([]byte, error) {
+	p := e.peers[pi]
+	frame, err := e.recvFrame(p, op)
+	if err != nil {
+		return nil, err
+	}
+	if want := e.acks[pi]; want > 0 {
+		if err := p.batch.Decode(frame); err != nil {
+			return nil, e.fail(p, op, err)
+		}
+		if got := len(p.batch.Frames); got != want+1 {
+			return nil, e.fail(p, op, fmt.Errorf("batched reply carries %d frames, want %d", got, want+1))
+		}
+		for _, ack := range p.batch.Frames[:want] {
+			if err := p.reply.Decode(ack); err != nil {
+				return nil, e.fail(p, op, err)
+			}
+			e.overhead.RecordSized(comm.Up, 1, int64(len(ack)))
+		}
+		frame = p.batch.Frames[want]
+	}
+	e.overhead.RecordSized(comm.Up, 1, int64(len(frame)))
+	return frame, nil
+}
+
+// gatherReply consumes one gather and decodes its payload as a Reply.
+func (e *Engine) gatherReply(pi int, op string) error {
+	frame, err := e.gather(pi, op)
+	if err != nil {
+		return err
+	}
+	p := e.peers[pi]
+	if err := p.reply.Decode(frame); err != nil {
+		return e.fail(p, op, err)
+	}
+	return nil
+}
+
+// broadcast ships the same frame to every shard strictly one shard at a
+// time — send, await the reply, move on (lockstep only; the pipelined
+// path fans out first, gathers concurrently, and defers its ack-only
+// broadcasts into the next exchange).
 func (e *Engine) broadcast(frame []byte, op string) error {
 	for _, p := range e.peers {
 		if err := e.send(p, frame, op); err != nil {
 			return err
 		}
-	}
-	for _, p := range e.peers {
 		if err := e.recvReply(p, op); err != nil {
 			return err
 		}
@@ -316,7 +508,7 @@ func (e *Engine) broadcast(frame []byte, op string) error {
 }
 
 // unicast routes a frame to the shard owning node id and awaits its plain
-// reply.
+// reply (lockstep only).
 func (e *Engine) unicast(id int, frame []byte, op string) error {
 	for _, p := range e.peers {
 		if id >= p.lo && id < p.hi {
@@ -327,6 +519,118 @@ func (e *Engine) unicast(id int, frame []byte, op string) error {
 		}
 	}
 	panic(fmt.Sprintf("shardrun: no shard owns node %d", id))
+}
+
+// owner returns the index of the shard owning node id.
+func (e *Engine) owner(id int) int {
+	for pi, p := range e.peers {
+		if id >= p.lo && id < p.hi {
+			return pi
+		}
+	}
+	panic(fmt.Sprintf("shardrun: no shard owns node %d", id))
+}
+
+// queueAll defers one encoded broadcast command on every shard.
+func (e *Engine) queueAll(enc func([]byte) []byte) {
+	for _, p := range e.peers {
+		p.queue(enc)
+	}
+}
+
+// drainPending flushes every shard's queued ack-only commands as one
+// final exchange (see netrun.drainPending), charging commands and acks to
+// the overhead ledger sub-frame by sub-frame so the ledger matches
+// lockstep mode at every step boundary.
+func (e *Engine) drainPending() error {
+	any := false
+	for pi, p := range e.peers {
+		e.acks[pi] = p.pending()
+		if p.pending() == 0 {
+			continue
+		}
+		any = true
+		out := p.pendBuf
+		if p.pending() > 1 {
+			p.views = p.views[:0]
+			off := 0
+			for _, l := range p.pendLens {
+				p.views = append(p.views, p.pendBuf[off:off+l])
+				off += l
+			}
+			e.bbuf = wire.Batch{Frames: p.views}.Append(e.bbuf[:0])
+			out = e.bbuf
+		}
+		for _, l := range p.pendLens {
+			e.overhead.RecordSized(comm.Down, 1, int64(l))
+		}
+		p.pendBuf, p.pendLens = p.pendBuf[:0], p.pendLens[:0]
+		if err := p.link.Send(out); err != nil {
+			return e.fail(p, "drain", err)
+		}
+		if err := transport.Flush(p.link); err != nil {
+			return e.fail(p, "drain", err)
+		}
+		if p.req != nil {
+			p.req <- struct{}{}
+		}
+	}
+	if !any {
+		return nil
+	}
+	for pi, p := range e.peers {
+		want := e.acks[pi]
+		if want == 0 {
+			continue
+		}
+		frame, err := e.recvFrame(p, "drain")
+		if err != nil {
+			return err
+		}
+		if want == 1 {
+			if err := p.reply.Decode(frame); err != nil {
+				return e.fail(p, "drain", err)
+			}
+			e.overhead.RecordSized(comm.Up, 1, int64(len(frame)))
+			continue
+		}
+		if err := p.batch.Decode(frame); err != nil {
+			return e.fail(p, "drain", err)
+		}
+		if got := len(p.batch.Frames); got != want {
+			return e.fail(p, "drain", fmt.Errorf("batched ack carries %d frames, want %d", got, want))
+		}
+		for _, ack := range p.batch.Frames {
+			if err := p.reply.Decode(ack); err != nil {
+				return e.fail(p, "drain", err)
+			}
+			e.overhead.RecordSized(comm.Up, 1, int64(len(ack)))
+		}
+	}
+	return nil
+}
+
+// sendObs ships the observation frame staged in e.buf to shard pi. In
+// lockstep mode the shard's reply is awaited on the spot (strict
+// command/ack, one shard at a time); in pipelined mode the frame only
+// fans out and gatherObs collects the reply later.
+func (e *Engine) sendObs(pi int, op string) error {
+	if e.cfg.Lockstep {
+		if err := e.send(e.peers[pi], e.buf, op); err != nil {
+			return err
+		}
+		return e.recvReply(e.peers[pi], op)
+	}
+	return e.sendCmd(pi, e.buf, op)
+}
+
+// gatherObs consumes shard pi's observation reply into its reply
+// scratch; in lockstep mode sendObs already did.
+func (e *Engine) gatherObs(pi int, op string) error {
+	if e.cfg.Lockstep {
+		return nil
+	}
+	return e.gatherReply(pi, op)
 }
 
 // Observe processes one dense time step and returns the reported top-k
@@ -343,15 +647,15 @@ func (e *Engine) Observe(vals []int64) []int {
 		return e.mach.Top()
 	}
 	e.step = e.mach.BeginStep()
-	for _, p := range e.peers {
+	for pi, p := range e.peers {
 		e.buf = wire.Observe{Step: e.step, Vals: vals[p.lo:p.hi]}.Append(e.buf[:0])
-		if err := e.send(p, e.buf, "observe"); err != nil {
+		if err := e.sendObs(pi, "observe"); err != nil {
 			return e.mach.Top()
 		}
 	}
 	anyTop, anyOut := false, false
-	for _, p := range e.peers {
-		if err := e.recvReply(p, "observe"); err != nil {
+	for pi, p := range e.peers {
+		if err := e.gatherObs(pi, "observe"); err != nil {
 			return e.mach.Top()
 		}
 		anyTop = anyTop || p.reply.TopViol
@@ -393,7 +697,7 @@ func (e *Engine) ObserveDelta(ids []int, vals []int64) []int {
 		if stop > start {
 			e.touched[pi] = true
 			e.buf = wire.ObserveDelta{Step: e.step, IDs: ids[start:stop], Vals: vals[start:stop]}.Append(e.buf[:0])
-			if err := e.send(p, e.buf, "observe-delta"); err != nil {
+			if err := e.sendObs(pi, "observe-delta"); err != nil {
 				return e.mach.Top()
 			}
 		}
@@ -404,7 +708,7 @@ func (e *Engine) ObserveDelta(ids []int, vals []int64) []int {
 		if !e.touched[pi] {
 			continue
 		}
-		if err := e.recvReply(p, "observe-delta"); err != nil {
+		if err := e.gatherObs(pi, "observe-delta"); err != nil {
 			return e.mach.Top()
 		}
 		anyTop = anyTop || p.reply.TopViol
@@ -414,8 +718,14 @@ func (e *Engine) ObserveDelta(ids []int, vals []int64) []int {
 }
 
 // finishStep drives the coordinator machine, delegating every protocol
-// execution to the shards and merging their digests.
+// execution to the shards and merging their digests. In pipelined mode
+// the ack-only effects are queued per shard and ride ahead of the next
+// delegated execution — a FILTERRESET costs one exchange per extraction
+// instead of 2k+4 — with the trailing midpoint/bounds install drained as
+// one final batched exchange, exactly as in netrun (see that package's
+// determinism argument).
 func (e *Engine) finishStep(anyTopViol, anyOutViol bool) []int {
+	pipelined := !e.cfg.Lockstep
 	eff := e.mach.FinishStep(anyTopViol, anyOutViol)
 	for eff.Kind != coord.EffDone {
 		var err error
@@ -428,21 +738,44 @@ func (e *Engine) finishStep(anyTopViol, anyOutViol bool) []int {
 				eff = e.mach.ExecDone(ok, id, key)
 			}
 		case coord.EffResetBegin:
+			if pipelined {
+				e.queueAll(func(dst []byte) []byte { return wire.AppendBare(dst, wire.TypeResetBegin) })
+				eff = e.mach.Ack()
+				continue
+			}
 			if err = e.broadcast(wire.AppendBare(e.buf[:0], wire.TypeResetBegin), "reset-begin"); err == nil {
 				eff = e.mach.Ack()
 			}
 		case coord.EffWinner:
-			e.buf = wire.Winner{Target: eff.Target, IsTop: eff.IsTop}.Append(e.buf[:0])
+			m := wire.Winner{Target: eff.Target, IsTop: eff.IsTop}
+			if pipelined {
+				e.peers[e.owner(eff.Target)].queue(m.Append)
+				eff = e.mach.Ack()
+				continue
+			}
+			e.buf = m.Append(e.buf[:0])
 			if err = e.unicast(eff.Target, e.buf, "winner"); err == nil {
 				eff = e.mach.Ack()
 			}
 		case coord.EffMidpoint:
-			e.buf = wire.Midpoint{Mid: int64(eff.Mid), Full: eff.Full}.Append(e.buf[:0])
+			m := wire.Midpoint{Mid: int64(eff.Mid), Full: eff.Full}
+			if pipelined {
+				e.queueAll(m.Append)
+				eff = e.mach.Ack()
+				continue
+			}
+			e.buf = m.Append(e.buf[:0])
 			if err = e.broadcast(e.buf, "midpoint"); err == nil {
 				eff = e.mach.Ack()
 			}
 		case coord.EffBounds:
-			e.buf = wire.ApproxBounds{Lo: int64(eff.Lo), Hi: int64(eff.Hi)}.Append(e.buf[:0])
+			m := wire.ApproxBounds{Lo: int64(eff.Lo), Hi: int64(eff.Hi)}
+			if pipelined {
+				e.queueAll(m.Append)
+				eff = e.mach.Ack()
+				continue
+			}
+			e.buf = m.Append(e.buf[:0])
 			if err = e.broadcast(e.buf, "bounds"); err == nil {
 				eff = e.mach.Ack()
 			}
@@ -453,26 +786,49 @@ func (e *Engine) finishStep(anyTopViol, anyOutViol bool) []int {
 			return e.mach.Top()
 		}
 	}
+	if pipelined {
+		if err := e.drainPending(); err != nil {
+			return e.mach.Top()
+		}
+	}
 	return e.mach.Top()
 }
 
 // execDelegated fans one protocol execution out to all shards and merges
 // the digests in ascending shard (hence node id) order: the merged
 // extremum of per-shard extrema is the global extremum, and each shard's
-// local charges are folded into the algorithm ledger.
+// local charges are folded into the algorithm ledger. In pipelined mode
+// the S local executions run concurrently — the fan-out completes before
+// the first digest is awaited — which is what lets a fixed node
+// population speed up with the shard count.
 func (e *Engine) execDelegated(eff coord.Effect) (ok bool, id int, key order.Key, err error) {
 	e.buf = wire.Round{Tag: eff.Tag, Round: 0, Best: int64(order.NegInf), Bound: eff.Bound, Step: e.step}.Append(e.buf[:0])
-	for _, p := range e.peers {
-		if err := e.send(p, e.buf, "exec"); err != nil {
-			return false, 0, 0, err
+	if !e.cfg.Lockstep {
+		// Fan out first: every shard starts its local protocol before the
+		// first digest is awaited, so the S executions run concurrently.
+		for pi := range e.peers {
+			if err := e.sendCmd(pi, e.buf, "exec"); err != nil {
+				return false, 0, 0, err
+			}
 		}
 	}
 	rec := e.mach.Recorder(eff.Phase)
 	minimum := coord.MinimumTag(eff.Tag)
 	best := order.NegInf // comparison domain
 	id = -1
-	for _, p := range e.peers {
-		frame, err := e.recv(p, "exec")
+	for pi, p := range e.peers {
+		var frame []byte
+		var err error
+		if e.cfg.Lockstep {
+			// Strict delegation: visit the shards sequentially, each local
+			// execution completing before the next one starts.
+			if err = e.send(p, e.buf, "exec"); err != nil {
+				return false, 0, 0, err
+			}
+			frame, err = e.recv(p, "exec")
+		} else {
+			frame, err = e.gather(pi, "exec")
+		}
 		if err != nil {
 			return false, 0, 0, err
 		}

@@ -22,14 +22,29 @@ func equal(a, b []int) bool {
 	return true
 }
 
+// modes names the two fan-out modes the equivalence cases run under.
+var modes = []struct {
+	name     string
+	lockstep bool
+}{
+	{"pipelined", false},
+	{"lockstep", true},
+}
+
 // TestSingleShardBitIdentical is the anchor of the sharded engine: with
 // S=1 the delegation layer must be completely transparent — reports,
 // message counts, charged bytes and the per-phase ledgers all equal the
-// sequential engine's bit for bit, at every step.
+// sequential engine's bit for bit, at every step, in both fan-out modes.
 func TestSingleShardBitIdentical(t *testing.T) {
+	for _, mode := range modes {
+		t.Run(mode.name, func(t *testing.T) { testSingleShardBitIdentical(t, mode.lockstep) })
+	}
+}
+
+func testSingleShardBitIdentical(t *testing.T, lockstep bool) {
 	const n, k, seed, steps = 13, 4, 41, 250
 	seq := core.New(core.Config{N: n, K: k, Seed: seed})
-	sh := NewLoopback(Config{N: n, K: k, Seed: seed}, 1)
+	sh := NewLoopback(Config{N: n, K: k, Seed: seed, Lockstep: lockstep}, 1)
 	defer sh.Close()
 
 	srcA := stream.NewRandomWalk(stream.WalkConfig{N: n, Lo: 0, Hi: 100000, MaxStep: 400, Seed: 2})
@@ -92,32 +107,92 @@ func TestMultiShardReportEquivalence(t *testing.T) {
 			return stream.NewIID(stream.IIDConfig{N: n, Seed: 6, Dist: stream.Uniform, Lo: 0, Hi: 1000})
 		}},
 	}
-	for _, tc := range cases {
-		for _, shards := range []int{1, 2, 4} {
-			if shards > tc.n {
-				continue
-			}
-			t.Run(tc.name, func(t *testing.T) {
-				const seed, steps = 41, 200
-				seq := core.New(core.Config{N: tc.n, K: tc.k, Seed: seed})
-				sh := NewLoopback(Config{N: tc.n, K: tc.k, Seed: seed}, shards)
-				defer sh.Close()
+	for _, mode := range modes {
+		for _, tc := range cases {
+			for _, shards := range []int{1, 2, 4} {
+				if shards > tc.n {
+					continue
+				}
+				t.Run(mode.name+"/"+tc.name, func(t *testing.T) {
+					const seed, steps = 41, 200
+					seq := core.New(core.Config{N: tc.n, K: tc.k, Seed: seed})
+					sh := NewLoopback(Config{N: tc.n, K: tc.k, Seed: seed, Lockstep: mode.lockstep}, shards)
+					defer sh.Close()
 
-				srcA, srcB := tc.src(tc.n), tc.src(tc.n)
-				va, vb := make([]int64, tc.n), make([]int64, tc.n)
-				for s := 0; s < steps; s++ {
-					srcA.Step(va)
-					srcB.Step(vb)
-					topSeq := seq.Observe(va)
-					topSh := sh.Observe(vb)
-					if !equal(topSeq, topSh) {
-						t.Fatalf("S=%d step %d: reports differ: seq=%v shard=%v", shards, s, topSeq, topSh)
+					srcA, srcB := tc.src(tc.n), tc.src(tc.n)
+					va, vb := make([]int64, tc.n), make([]int64, tc.n)
+					for s := 0; s < steps; s++ {
+						srcA.Step(va)
+						srcB.Step(vb)
+						topSeq := seq.Observe(va)
+						topSh := sh.Observe(vb)
+						if !equal(topSeq, topSh) {
+							t.Fatalf("S=%d step %d: reports differ: seq=%v shard=%v", shards, s, topSeq, topSh)
+						}
 					}
-				}
-				if sh.Err() != nil {
-					t.Fatalf("S=%d: engine error: %v", shards, sh.Err())
-				}
-			})
+					if sh.Err() != nil {
+						t.Fatalf("S=%d: engine error: %v", shards, sh.Err())
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestReaderGatherEquivalence pins the reader-goroutine gather path
+// (normally engaged only with runtime parallelism) on any machine: with
+// readers forced, the pipelined root must stay bit-identical to the
+// sequential engine at S=1 and report-exact at S=4.
+func TestReaderGatherEquivalence(t *testing.T) {
+	forceReaders = true
+	defer func() { forceReaders = false }()
+	const n, k, seed, steps = 20, 4, 13, 200
+	for _, shards := range []int{1, 4} {
+		seq := core.New(core.Config{N: n, K: k, Seed: seed})
+		sh := NewLoopback(Config{N: n, K: k, Seed: seed}, shards)
+		src := stream.NewIID(stream.IIDConfig{N: n, Seed: 3, Dist: stream.Uniform, Lo: 0, Hi: 1 << 20})
+		vals := make([]int64, n)
+		for s := 0; s < steps; s++ {
+			src.Step(vals)
+			if !equal(seq.Observe(vals), sh.Observe(vals)) {
+				t.Fatalf("S=%d step %d: reports differ with forced readers", shards, s)
+			}
+		}
+		if shards == 1 {
+			if cs, cn := seq.Counts(), sh.Counts(); cs != cn {
+				t.Fatalf("counts differ with forced readers: seq=%v shard=%v", cs, cn)
+			}
+		}
+		sh.Close()
+	}
+}
+
+// TestOverheadModeIndependent pins the sub-frame charging rule: the
+// root↔shard overhead ledger must be identical in pipelined and lockstep
+// mode — batching coalesces transport frames, never coordination
+// messages.
+func TestOverheadModeIndependent(t *testing.T) {
+	const n, k, seed, steps = 16, 4, 3, 200
+	for _, shards := range []int{1, 2, 4} {
+		run := func(lockstep bool) (comm.Counts, comm.Bytes, transport.LinkStats) {
+			sh := NewLoopback(Config{N: n, K: k, Seed: seed, Lockstep: lockstep}, shards)
+			defer sh.Close()
+			src := stream.NewIID(stream.IIDConfig{N: n, Seed: 8, Dist: stream.Uniform, Lo: 0, Hi: 1 << 20})
+			vals := make([]int64, n)
+			for s := 0; s < steps; s++ {
+				src.Step(vals)
+				sh.Observe(vals)
+			}
+			return sh.Overhead(), sh.OverheadBytes(), sh.TransportStats()
+		}
+		pc, pb, pt := run(false)
+		lc, lb, lt := run(true)
+		if pc != lc || pb != lb {
+			t.Fatalf("S=%d: overhead differs across modes: pipelined=%v/%v lockstep=%v/%v", shards, pc, pb, lc, lb)
+		}
+		// The transport, by contrast, must show the coalescing.
+		if pt.SentFrames >= lt.SentFrames {
+			t.Fatalf("S=%d: pipelined root did not coalesce frames: %d vs %d", shards, pt.SentFrames, lt.SentFrames)
 		}
 	}
 }
@@ -180,9 +255,15 @@ func TestDistinctValuesEquivalence(t *testing.T) {
 
 // TestTCPShards runs the full matrix S ∈ {1, 2, 4} over real localhost
 // TCP links with ServeShard loops on the dialing side — the distributed
-// deployment topology, collapsed into one test binary. At S=1 the ledger
-// equality extends over TCP.
+// deployment topology, collapsed into one test binary — in both fan-out
+// modes. At S=1 the ledger equality extends over TCP.
 func TestTCPShards(t *testing.T) {
+	for _, mode := range modes {
+		t.Run(mode.name, func(t *testing.T) { testTCPShards(t, mode.lockstep) })
+	}
+}
+
+func testTCPShards(t *testing.T, lockstep bool) {
 	for _, shards := range []int{1, 2, 4} {
 		const n, k, seed, steps = 10, 3, 17, 120
 		ctx, cancel := context.WithCancel(context.Background())
@@ -207,7 +288,7 @@ func TestTCPShards(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sh, err := New(Config{N: n, K: k, Seed: seed}, links)
+		sh, err := New(Config{N: n, K: k, Seed: seed, Lockstep: lockstep}, links)
 		if err != nil {
 			t.Fatal(err)
 		}

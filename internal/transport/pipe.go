@@ -12,24 +12,45 @@ import (
 //
 // The pipe charges its LinkStats as if each frame had crossed a
 // length-prefixed stream (uvarint prefix plus payload), so loopback runs
-// report transport volumes comparable to the TCP implementation.
+// report transport volumes comparable to the TCP implementation. Frame
+// buffers are recycled between the two ends: the slice Recv returns is
+// valid until the receiver's next Recv (the same contract as the TCP
+// link), after which it is handed back to the sending side for reuse —
+// a steady-state request/reply cycle allocates nothing.
+//
+// A pipe never buffers writes, so its Flush is a no-op.
 func Pipe() (Link, Link) {
-	const buffer = 16 // the engine is lockstep request/reply; tiny is plenty
-	ab := make(chan []byte, buffer)
-	ba := make(chan []byte, buffer)
+	const buffer = 16 // a fan-out sends at most a frame or two per gather
+	fwd := newDirection(buffer)
+	rev := newDirection(buffer)
 	done := make(chan struct{})
 	once := &sync.Once{}
-	a := &pipeLink{out: ab, in: ba, done: done, once: once}
-	b := &pipeLink{out: ba, in: ab, done: done, once: once}
+	a := &pipeLink{out: fwd, in: rev, done: done, once: once}
+	b := &pipeLink{out: rev, in: fwd, done: done, once: once}
 	return a, b
+}
+
+// direction is one side of the pipe: a frame channel plus a free list the
+// receiver returns consumed buffers to.
+type direction struct {
+	ch   chan []byte
+	free chan []byte
+}
+
+func newDirection(buffer int) *direction {
+	return &direction{
+		ch:   make(chan []byte, buffer),
+		free: make(chan []byte, buffer+1),
+	}
 }
 
 type pipeLink struct {
 	stats
-	out  chan<- []byte
-	in   <-chan []byte
+	out  *direction
+	in   *direction
 	done chan struct{}
 	once *sync.Once // shared: either end closes both directions
+	prev []byte     // frame returned by the last Recv, recycled on the next
 }
 
 // frameLen is the on-stream size of one frame: prefix plus payload.
@@ -37,16 +58,22 @@ func frameLen(payload int) int64 {
 	return int64(wire.SizeUvarint(uint64(payload)) + payload)
 }
 
-// Send implements Link.
+// Send implements Link. Pipes transmit immediately; there is nothing for
+// Flush to release.
 func (l *pipeLink) Send(payload []byte) error {
-	cp := append([]byte(nil), payload...)
+	var cp []byte
+	select {
+	case cp = <-l.out.free:
+	default:
+	}
+	cp = append(cp[:0], payload...)
 	select {
 	case <-l.done:
 		return ErrClosed
 	default:
 	}
 	select {
-	case l.out <- cp:
+	case l.out.ch <- cp:
 		l.sent(frameLen(len(payload)))
 		return nil
 	case <-l.done:
@@ -54,22 +81,38 @@ func (l *pipeLink) Send(payload []byte) error {
 	}
 }
 
+// Flush implements Flusher as a no-op: Send already delivered.
+func (l *pipeLink) Flush() error { return nil }
+
 // Recv implements Link. Frames already in flight when the pipe closes are
-// still delivered; ErrClosed follows once the direction is drained.
+// still delivered; ErrClosed follows once the direction is drained. The
+// returned slice is valid until the next Recv on this end.
 func (l *pipeLink) Recv() ([]byte, error) {
 	select {
-	case p := <-l.in:
-		l.received(frameLen(len(p)))
-		return p, nil
+	case p := <-l.in.ch:
+		return l.deliver(p), nil
 	default:
 	}
 	select {
-	case p := <-l.in:
-		l.received(frameLen(len(p)))
-		return p, nil
+	case p := <-l.in.ch:
+		return l.deliver(p), nil
 	case <-l.done:
 		return nil, ErrClosed
 	}
+}
+
+// deliver recycles the previously returned frame into the sender's free
+// list and hands the new one out.
+func (l *pipeLink) deliver(p []byte) []byte {
+	if l.prev != nil {
+		select {
+		case l.in.free <- l.prev:
+		default: // free list full; let the buffer go
+		}
+	}
+	l.prev = p
+	l.received(frameLen(len(p)))
+	return p
 }
 
 // Close implements Link. It closes both directions and is idempotent.

@@ -129,38 +129,48 @@ func Dial(ctx context.Context, addr string) (Link, error) {
 }
 
 // tcpLink frames payloads onto a TCP stream as uvarint length prefixes
-// followed by the payload bytes.
+// followed by the payload bytes. Writes are buffered until Flush (or the
+// next Recv — the flush-before-read guard); reads go through one owned
+// buffer, so an incoming frame is copied exactly once, kernel to rbuf,
+// and Recv returns a view into it.
 type tcpLink struct {
 	stats
 	conn net.Conn
-	br   *bufio.Reader
-	bw   *bufio.Writer
 	done chan struct{}
 
-	sendMu  sync.Mutex
-	prefix  []byte
-	recvBuf []byte
+	sendMu sync.Mutex // guards bw, prefix, dirty
+	bw     *bufio.Writer
+	prefix []byte
+	dirty  bool // bytes buffered since the last flush
+
+	rbuf       []byte // read buffer; [rpos, rend) is unconsumed stream data
+	rpos, rend int
 
 	closeMu sync.Mutex
 	closed  bool
 }
 
+const readBufSize = 1 << 12
+
 func newTCPLink(c net.Conn) *tcpLink {
 	if tc, ok := c.(*net.TCPConn); ok {
-		// The engine's frames are small request/reply pairs; waiting for
+		// Both ends — accepted and dialing — disable Nagle: the engine's
+		// frames are latency-bound request/reply traffic, and waiting for
 		// segment coalescing would serialize every protocol round on the
-		// delayed-ACK clock.
+		// delayed-ACK clock. Coalescing is done deliberately instead, by
+		// the write buffer and the wire batch envelope.
 		tc.SetNoDelay(true)
 	}
 	return &tcpLink{
 		conn: c,
-		br:   bufio.NewReader(c),
 		bw:   bufio.NewWriter(c),
+		rbuf: make([]byte, readBufSize),
 		done: make(chan struct{}),
 	}
 }
 
-// Send implements Link.
+// Send implements Link: it frames the payload into the write buffer and
+// returns without transmitting. Flush or the next Recv pushes it out.
 func (l *tcpLink) Send(payload []byte) error {
 	if len(payload) > MaxFrame {
 		return fmt.Errorf("transport: frame of %d bytes exceeds MaxFrame", len(payload))
@@ -174,10 +184,22 @@ func (l *tcpLink) Send(payload []byte) error {
 	if _, err := l.bw.Write(payload); err != nil {
 		return l.sendErr(err)
 	}
+	l.dirty = true
+	l.sent(frameLen(len(payload)))
+	return nil
+}
+
+// Flush implements Flusher: it writes out every frame buffered by Send.
+func (l *tcpLink) Flush() error {
+	l.sendMu.Lock()
+	defer l.sendMu.Unlock()
+	if !l.dirty {
+		return nil
+	}
+	l.dirty = false
 	if err := l.bw.Flush(); err != nil {
 		return l.sendErr(err)
 	}
-	l.sent(frameLen(len(payload)))
 	return nil
 }
 
@@ -188,9 +210,14 @@ func (l *tcpLink) sendErr(err error) error {
 	return err
 }
 
-// Recv implements Link. The returned payload aliases an internal buffer
-// that the next Recv overwrites.
+// Recv implements Link. The returned payload aliases the read buffer and
+// is overwritten by the next Recv. Pending writes are flushed first, so a
+// request/reply caller that never calls Flush cannot deadlock waiting for
+// the reply to a request still sitting in the write buffer.
 func (l *tcpLink) Recv() ([]byte, error) {
+	if err := l.Flush(); err != nil {
+		return nil, err
+	}
 	n, err := l.readPrefix()
 	if err != nil {
 		return nil, l.recvErr(err)
@@ -198,32 +225,33 @@ func (l *tcpLink) Recv() ([]byte, error) {
 	if n > MaxFrame {
 		return nil, fmt.Errorf("transport: incoming frame of %d bytes exceeds MaxFrame", n)
 	}
-	if cap(l.recvBuf) < int(n) {
-		l.recvBuf = make([]byte, n)
-	}
-	buf := l.recvBuf[:n]
-	if _, err := io.ReadFull(l.br, buf); err != nil {
+	if err := l.ensure(int(n)); err != nil {
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF // prefix promised more bytes
 		}
 		return nil, l.recvErr(err)
 	}
+	buf := l.rbuf[l.rpos : l.rpos+int(n)]
+	l.rpos += int(n)
 	l.received(frameLen(int(n)))
 	return buf, nil
 }
 
-// readPrefix reads the uvarint length prefix byte-by-byte off the stream.
+// readPrefix parses the uvarint length prefix from the buffered stream.
 func (l *tcpLink) readPrefix() (uint64, error) {
 	var x uint64
 	var shift uint
 	for i := 0; ; i++ {
-		b, err := l.br.ReadByte()
-		if err != nil {
-			if err == io.EOF && i > 0 {
-				return 0, io.ErrUnexpectedEOF // truncated mid-prefix
+		if l.rpos == l.rend {
+			if err := l.fill(); err != nil {
+				if err == io.EOF && i > 0 {
+					return 0, io.ErrUnexpectedEOF // truncated mid-prefix
+				}
+				return 0, err
 			}
-			return 0, err
 		}
+		b := l.rbuf[l.rpos]
+		l.rpos++
 		if i >= 10 || (i == 9 && b > 1) {
 			return 0, wire.ErrOverflow
 		}
@@ -233,6 +261,52 @@ func (l *tcpLink) readPrefix() (uint64, error) {
 		x |= uint64(b&0x7f) << shift
 		shift += 7
 	}
+}
+
+// ensure makes at least n unconsumed bytes available at rbuf[rpos:],
+// compacting and growing the buffer as needed and reading the remainder
+// directly off the connection — one copy, no intermediate reader.
+func (l *tcpLink) ensure(n int) error {
+	if l.rend-l.rpos >= n {
+		return nil
+	}
+	if l.rpos > 0 {
+		copy(l.rbuf, l.rbuf[l.rpos:l.rend])
+		l.rend -= l.rpos
+		l.rpos = 0
+	}
+	if len(l.rbuf) < n {
+		grown := make([]byte, n)
+		copy(grown, l.rbuf[:l.rend])
+		l.rbuf = grown
+	}
+	for l.rend < n {
+		m, err := l.conn.Read(l.rbuf[l.rend:])
+		l.rend += m
+		if err != nil {
+			if err == io.EOF && l.rend >= n {
+				return nil
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// fill reads more stream data into the buffer. It is called only by the
+// prefix parser, and only when the buffer ran dry (rpos == rend) — every
+// other refill path is ensure(), which compacts.
+func (l *tcpLink) fill() error {
+	l.rpos, l.rend = 0, 0
+	m, err := l.conn.Read(l.rbuf[l.rend:])
+	l.rend += m
+	if m > 0 {
+		return nil
+	}
+	if err == nil {
+		err = io.ErrNoProgress
+	}
+	return err
 }
 
 func (l *tcpLink) recvErr(err error) error {

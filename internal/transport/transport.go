@@ -6,7 +6,8 @@
 //   - Pipe: an in-process loopback that delivers frames over channels,
 //     used by the loopback engine and the equivalence tests. It simulates
 //     the same length-prefix framing cost as TCP so byte statistics are
-//     comparable.
+//     comparable, and recycles frame buffers so a steady-state
+//     request/reply cycle allocates nothing.
 //   - TCP: a length-prefixed stream protocol — one coordinator listener,
 //     n dialing peers, one goroutine-free synchronous read loop per
 //     connection, graceful shutdown via context cancellation.
@@ -14,6 +15,20 @@
 // A frame is a uvarint payload length followed by the payload (one
 // internal/wire message). Frames are capped at MaxFrame bytes so a
 // garbage or hostile stream fails fast instead of exhausting memory.
+//
+// # Flush semantics
+//
+// Send may buffer: a link is free to hold framed bytes back until they are
+// explicitly released with Flush (see Flusher) — that is what lets the
+// pipelined engines coalesce a whole fan-out into one write per link. Two
+// rules keep buffering safe for every caller:
+//
+//   - Recv on a link with unflushed writes flushes them before blocking
+//     (the flush-before-read guard), so a strict request/reply loop that
+//     never calls Flush cannot deadlock itself waiting for a reply to a
+//     request that never left the buffer.
+//   - Flush(l) on a link that does not buffer (Pipe, or an external
+//     implementation without the Flusher method) is a no-op.
 //
 // Links only move bytes; they neither interpret frames nor count model
 // messages. Model accounting lives in internal/comm, fed by the engines;
@@ -41,16 +56,33 @@ const MaxFrame = 1 << 26
 // different goroutines (the engine's natural usage), but neither is safe
 // for concurrent use with itself.
 type Link interface {
-	// Send frames and transmits one payload. The payload is not retained.
+	// Send frames one payload. The payload is not retained. Send may
+	// buffer the framed bytes; Flush (or the next Recv) releases them.
 	Send(payload []byte) error
-	// Recv blocks for the next frame and returns its payload. The
-	// returned slice is owned by the caller until the next Recv on
-	// implementations that reuse buffers; treat it as valid only until
-	// then.
+	// Recv blocks for the next frame and returns its payload, after
+	// flushing any bytes Send buffered on this link. The returned slice
+	// is owned by the caller until the next Recv on implementations that
+	// reuse buffers; treat it as valid only until then.
 	Recv() ([]byte, error)
 	// Close tears the link down; pending and future operations fail.
 	// Close is idempotent.
 	Close() error
+}
+
+// Flusher is implemented by links whose Send buffers: Flush writes out
+// everything buffered so far. Safe to call concurrently with Recv (but
+// not with Send or another Flush, mirroring Send's contract).
+type Flusher interface {
+	Flush() error
+}
+
+// Flush releases l's buffered writes; it is a no-op for links that
+// transmit on Send.
+func Flush(l Link) error {
+	if f, ok := l.(Flusher); ok {
+		return f.Flush()
+	}
+	return nil
 }
 
 // LinkStats counts the traffic that crossed one link, as framed on the

@@ -257,6 +257,180 @@ func TestTCPTruncatedFrame(t *testing.T) {
 	}
 }
 
+// TestTCPFlushDelivers pins the buffered-send contract: frames buffered
+// by Send cross the wire once Flush is called, and several Sends coalesce
+// into one flush.
+func TestTCPFlushDelivers(t *testing.T) {
+	ln, _ := startTCP(t)
+	got := make(chan []byte, 3)
+	go func() {
+		lk, err := ln.Accept()
+		if err != nil {
+			close(got)
+			return
+		}
+		for i := 0; i < 3; i++ {
+			p, err := lk.Recv()
+			if err != nil {
+				close(got)
+				return
+			}
+			got <- append([]byte(nil), p...)
+		}
+	}()
+	client, err := Dial(context.Background(), ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	for i := byte(0); i < 3; i++ {
+		if err := client.Send([]byte{i, i + 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := Flush(client); err != nil {
+		t.Fatal(err)
+	}
+	for i := byte(0); i < 3; i++ {
+		p, ok := <-got
+		if !ok {
+			t.Fatal("server side failed")
+		}
+		if !bytes.Equal(p, []byte{i, i + 1}) {
+			t.Fatalf("frame %d: got %v", i, p)
+		}
+	}
+}
+
+// TestTCPFlushBeforeRead pins the deadlock guard: a strict request/reply
+// cycle that never calls Flush must still make progress, because Recv
+// flushes the link's own buffered writes before blocking. Without the
+// guard both sides would block forever, each waiting for a request or
+// reply still sitting in the other side's write buffer.
+func TestTCPFlushBeforeRead(t *testing.T) {
+	ln, _ := startTCP(t)
+	serverErr := make(chan error, 1)
+	go func() {
+		lk, err := ln.Accept()
+		if err != nil {
+			serverErr <- err
+			return
+		}
+		for {
+			p, err := lk.Recv()
+			if err != nil {
+				serverErr <- nil // client hung up: clean exit
+				return
+			}
+			// Send buffers the reply; the loop's next Recv must push it
+			// out before blocking for the next request.
+			if err := lk.Send(append([]byte{0xaa}, p...)); err != nil {
+				serverErr <- err
+				return
+			}
+		}
+	}()
+	client, err := Dial(context.Background(), ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		for i := byte(0); i < 20; i++ {
+			// No explicit Flush anywhere: Recv must release the request.
+			if err := client.Send([]byte{i}); err != nil {
+				done <- err
+				return
+			}
+			p, err := client.Recv()
+			if err != nil {
+				done <- err
+				return
+			}
+			if !bytes.Equal(p, []byte{0xaa, i}) {
+				done <- errors.New("echo mismatch")
+				return
+			}
+		}
+		done <- nil
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("request/reply cycle deadlocked: Recv did not flush buffered writes")
+	}
+	client.Close()
+	if err := <-serverErr; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPipeFlushNoop: pipes transmit on Send, so Flush is a no-op and the
+// generic Flush helper accepts them.
+func TestPipeFlushNoop(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	if err := a.Send([]byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Flush(a); err != nil {
+		t.Fatal(err)
+	}
+	if p, err := b.Recv(); err != nil || !bytes.Equal(p, []byte{1}) {
+		t.Fatalf("got %v, %v", p, err)
+	}
+}
+
+// TestPipeRecvRecycles pins the buffer-reuse contract the engines' hot
+// path relies on: a steady-state request/reply cycle over a pipe performs
+// no heap allocation, and the slice Recv returned stays untouched until
+// the receiver's next Recv.
+func TestPipeRecvRecycles(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	payload := []byte{1, 2, 3, 4}
+	echo := func() {
+		if err := a.Send(payload); err != nil {
+			t.Fatal(err)
+		}
+		p, err := b.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Send(p); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := a.Recv(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 8; i++ { // warm the free lists up
+		echo()
+	}
+	if avg := testing.AllocsPerRun(200, echo); avg != 0 {
+		t.Fatalf("steady-state pipe round trip allocates %.2f per cycle, want 0", avg)
+	}
+	// Stability until the next Recv: the frame must not be recycled out
+	// from under the caller while it still holds it.
+	if err := a.Send([]byte{9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	held, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := append([]byte(nil), held...)
+	if err := a.Send([]byte{7, 7}); err != nil { // sender may reuse other buffers
+		t.Fatal(err)
+	}
+	if !bytes.Equal(held, snapshot) {
+		t.Fatalf("held frame mutated before next Recv: %v vs %v", held, snapshot)
+	}
+}
+
 // TestTCPContextShutdown exercises the graceful-exit path: cancelling the
 // listen context closes the listener and every accepted link.
 func TestTCPContextShutdown(t *testing.T) {

@@ -27,6 +27,10 @@ func FuzzDecode(f *testing.F) {
 		Presence{ID: 3}.Append(nil),
 		Bounds{Target: 2, Lo: -4, Hi: 4}.Append(nil),
 		ShardDigest{OK: true, ID: 5, Key: -17, Ups: 3, UpBytes: 11, Bcasts: 4, BcastBytes: 13}.Append(nil),
+		Batch{Frames: [][]byte{
+			Winner{Target: 6, IsTop: true}.Append(nil),
+			Round{Tag: 4, Round: 0, Best: -9, Bound: 16, Step: 5}.Append(nil),
+		}}.Append(nil),
 		AppendBare(nil, TypeShutdown),
 		bytes.Repeat([]byte{0x80}, 32),
 		bytes.Repeat([]byte{0xff}, 32),
@@ -93,6 +97,11 @@ func FuzzDecode(f *testing.F) {
 			}
 		case TypeApproxBounds:
 			if m, err := DecodeApproxBounds(data); err == nil {
+				roundTrip(t, data, m.Append(nil))
+			}
+		case TypeBatch:
+			var m Batch
+			if err := m.Decode(data); err == nil {
 				roundTrip(t, data, m.Append(nil))
 			}
 		case TypeReady, TypeResetBegin, TypeShutdown, TypeQuery:

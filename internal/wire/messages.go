@@ -52,6 +52,11 @@ const (
 	// [-inf, Hi]. It replaces TypeMidpoint on monitors with a non-zero
 	// tolerance.
 	TypeApproxBounds byte = 0x11
+	// TypeBatch is the multi-frame envelope of the pipelined engines: a
+	// sequence of complete protocol messages delivered and processed in
+	// order, coalescing several commands (or their replies) into one
+	// transport frame per link. Batches do not nest.
+	TypeBatch byte = 0x12
 )
 
 // MaxTolNum is the exclusive upper bound on Assign.EpsNum: tolerance
@@ -744,6 +749,71 @@ func DecodeShardDigest(p []byte) (ShardDigest, error) {
 	}
 	m.BcastBytes = int64(u)
 	return m, fin(p)
+}
+
+// Batch is the multi-frame envelope: Frames holds complete encoded
+// protocol messages that the receiver processes in order, exactly as if
+// each had arrived in its own transport frame. The pipelined engines use
+// it to ride queued ack-only commands (Winner, ResetBegin, Midpoint,
+// ApproxBounds) along with the next command on the same link, and hosts
+// answer an n-frame batch with an n-frame batch of the corresponding
+// replies. Sub-frames must be non-empty and must not be batches
+// themselves (no nesting).
+type Batch struct {
+	Frames [][]byte
+}
+
+// Append encodes m after dst. It panics on an empty or nested sub-frame,
+// matching the engines' construction contract.
+func (m Batch) Append(dst []byte) []byte {
+	dst = append(dst, TypeBatch)
+	dst = AppendUvarint(dst, uint64(len(m.Frames)))
+	for _, f := range m.Frames {
+		if len(f) == 0 {
+			panic("wire: empty batch sub-frame")
+		}
+		if f[0] == TypeBatch {
+			panic("wire: nested batch")
+		}
+		dst = AppendUvarint(dst, uint64(len(f)))
+		dst = append(dst, f...)
+	}
+	return dst
+}
+
+// Decode decodes a full Batch frame into m, reusing Frames' capacity. The
+// sub-frame slices alias p and are valid only as long as p is.
+func (m *Batch) Decode(p []byte) error {
+	p, err := header(p, TypeBatch)
+	if err != nil {
+		return err
+	}
+	var u uint64
+	if u, p, err = uvarintField(p); err != nil {
+		return err
+	}
+	if 2*u > uint64(len(p))+1 { // every sub-frame takes >= 2 bytes (len + type)
+		return fmt.Errorf("%w: %d batch frames in %d bytes", ErrMalformed, u, len(p))
+	}
+	m.Frames = m.Frames[:0]
+	for i := uint64(0); i < u; i++ {
+		var l uint64
+		if l, p, err = uvarintField(p); err != nil {
+			return err
+		}
+		if l == 0 {
+			return fmt.Errorf("%w: empty batch sub-frame", ErrMalformed)
+		}
+		if l > uint64(len(p)) {
+			return fmt.Errorf("%w: batch sub-frame of %d bytes in %d", ErrMalformed, l, len(p))
+		}
+		if p[0] == TypeBatch {
+			return fmt.Errorf("%w: nested batch", ErrMalformed)
+		}
+		m.Frames = append(m.Frames, p[:l])
+		p = p[l:]
+	}
+	return fin(p)
 }
 
 // AppendBare encodes one of the field-less messages (TypeReady,

@@ -362,6 +362,10 @@ func TestTruncatedFrames(t *testing.T) {
 		Bounds{Target: 3, Lo: -10, Hi: 10}.Append(nil),
 		ShardDigest{OK: true, ID: 8, Key: -3, Ups: 6, UpBytes: 20, Bcasts: 4, BcastBytes: 12}.Append(nil),
 		ApproxBounds{Lo: -4000, Hi: 4400}.Append(nil),
+		Batch{Frames: [][]byte{
+			Winner{Target: 3, IsTop: true}.Append(nil),
+			Round{Tag: 4, Round: 0, Best: -1, Bound: 8, Step: 2}.Append(nil),
+		}}.Append(nil),
 	}
 	for fi, frame := range frames {
 		for cut := 0; cut < len(frame); cut++ {
@@ -421,6 +425,9 @@ func decodeAny(p []byte) error {
 		_, err = DecodeShardDigest(p)
 	case TypeApproxBounds:
 		_, err = DecodeApproxBounds(p)
+	case TypeBatch:
+		var m Batch
+		err = m.Decode(p)
 	case TypeReady, TypeResetBegin, TypeShutdown, TypeQuery:
 		err = DecodeBare(p, typ)
 	default:
@@ -457,6 +464,74 @@ func TestSizesMatchEncodings(t *testing.T) {
 	}
 	if got := SizeQuery(); got != int64(len(AppendBare(nil, TypeQuery))) {
 		t.Fatalf("SizeQuery() = %d", got)
+	}
+}
+
+// TestBatchRoundTrip covers the multi-frame envelope: arbitrary message
+// mixes survive a round trip with sub-frame boundaries intact, and the
+// decoder reuses its Frames capacity.
+func TestBatchRoundTrip(t *testing.T) {
+	cases := [][][]byte{
+		{}, // an empty batch is valid, if useless
+		{AppendBare(nil, TypeResetBegin)},
+		{
+			Winner{Target: 5, IsTop: true}.Append(nil),
+			Round{Tag: 4, Round: 0, Best: math.MinInt64, Bound: 1 << 16, Step: 77}.Append(nil),
+		},
+		{
+			Midpoint{Mid: -9}.Append(nil),
+			Observe{Step: 3, Vals: []int64{1, 2, 3}}.Append(nil),
+			Reply{TopViol: true}.Append(nil),
+		},
+	}
+	var m Batch
+	for ci, frames := range cases {
+		enc := Batch{Frames: frames}.Append(nil)
+		if err := m.Decode(enc); err != nil {
+			t.Fatalf("case %d: %v", ci, err)
+		}
+		if len(m.Frames) != len(frames) {
+			t.Fatalf("case %d: %d sub-frames, want %d", ci, len(m.Frames), len(frames))
+		}
+		for i := range frames {
+			if !bytes.Equal(m.Frames[i], frames[i]) {
+				t.Fatalf("case %d sub-frame %d: %x vs %x", ci, i, m.Frames[i], frames[i])
+			}
+			if err := decodeAny(m.Frames[i]); err != nil {
+				t.Fatalf("case %d sub-frame %d does not decode: %v", ci, i, err)
+			}
+		}
+	}
+}
+
+// TestBatchRejectsMalformed: oversized counts, over-long sub-frames,
+// empty sub-frames and nested batches all fail cleanly.
+func TestBatchRejectsMalformed(t *testing.T) {
+	var m Batch
+	huge := append([]byte{TypeBatch}, AppendUvarint(nil, math.MaxUint32)...)
+	if err := m.Decode(huge); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("huge count: %v, want ErrMalformed", err)
+	}
+	overlong := append([]byte{TypeBatch, 0x01}, AppendUvarint(nil, 100)...)
+	overlong = append(overlong, TypeReady)
+	if err := m.Decode(overlong); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("over-long sub-frame: %v, want ErrMalformed", err)
+	}
+	empty := []byte{TypeBatch, 0x01, 0x00}
+	if err := m.Decode(empty); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("empty sub-frame: %v, want ErrMalformed", err)
+	}
+	inner := Batch{Frames: [][]byte{AppendBare(nil, TypeReady)}}.Append(nil)
+	nested := Batch{}.Append(nil)[:1] // header only
+	nested = AppendUvarint(nested, 1)
+	nested = AppendUvarint(nested, uint64(len(inner)))
+	nested = append(nested, inner...)
+	if err := m.Decode(nested); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("nested batch: %v, want ErrMalformed", err)
+	}
+	trailing := append(Batch{Frames: [][]byte{AppendBare(nil, TypeReady)}}.Append(nil), 0x00)
+	if err := m.Decode(trailing); !errors.Is(err, ErrTrailingBytes) {
+		t.Fatalf("trailing bytes: %v, want ErrTrailingBytes", err)
 	}
 }
 

@@ -1,0 +1,83 @@
+package topk_test
+
+import (
+	"testing"
+
+	"repro/topk"
+)
+
+// TestPipelineModesBitIdentical drives the networked and sharded engines
+// in both pipeline modes against the sequential reference: the Pipeline
+// knob may change wall-clock latency and transport framing, never
+// reports, counts or charged bytes.
+func TestPipelineModesBitIdentical(t *testing.T) {
+	const n, k, seed, steps = 24, 4, 33, 200
+	mk := func(cfg topk.Config) *topk.Monitor {
+		t.Helper()
+		m, err := topk.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	seq := mk(topk.Config{Nodes: n, K: k, Seed: seed})
+	monitors := map[string]*topk.Monitor{
+		"net-on":    mk(topk.Config{Nodes: n, K: k, Seed: seed, Transport: topk.Loopback(3)}),
+		"net-off":   mk(topk.Config{Nodes: n, K: k, Seed: seed, Transport: topk.Loopback(3), Pipeline: topk.PipelineOff}),
+		"shard-on":  mk(topk.Config{Nodes: n, K: k, Seed: seed, Shards: 1}),
+		"shard-off": mk(topk.Config{Nodes: n, K: k, Seed: seed, Shards: 1, Pipeline: topk.PipelineOff}),
+	}
+	for _, m := range monitors {
+		defer m.Close()
+	}
+
+	vals := make([]int64, n)
+	for s := 0; s < steps; s++ {
+		for i := range vals {
+			vals[i] = int64((i*29+s*17)%500) * int64(1+i%4)
+		}
+		want, err := seq.Observe(vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, m := range monitors {
+			got, err := m.Observe(vals)
+			if err != nil {
+				t.Fatalf("%s step %d: %v", name, s, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s step %d: report %v, want %v", name, s, got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s step %d: report %v, want %v", name, s, got, want)
+				}
+			}
+		}
+	}
+	for name, m := range monitors {
+		if cs, cm := seq.Counts(), m.Counts(); cs != cm {
+			t.Fatalf("%s: counts differ: seq=%+v got=%+v", name, cs, cm)
+		}
+		if bs, bm := seq.Bytes(), m.Bytes(); bs != bm {
+			t.Fatalf("%s: bytes differ: seq=%+v got=%+v", name, bs, bm)
+		}
+		if ps, pm := seq.BytesByPhase(), m.BytesByPhase(); ps != pm {
+			t.Fatalf("%s: phase bytes differ", name)
+		}
+	}
+	// The two sharded monitors must also agree on the overhead ledger:
+	// coalesced coordination frames are charged sub-frame by sub-frame.
+	onC, onB := monitors["shard-on"].Overhead()
+	offC, offB := monitors["shard-off"].Overhead()
+	if onC != offC || onB != offB {
+		t.Fatalf("shard overhead differs across pipeline modes: on=%+v/%+v off=%+v/%+v", onC, onB, offC, offB)
+	}
+}
+
+// TestPipelineModeValidation rejects out-of-range Pipeline values.
+func TestPipelineModeValidation(t *testing.T) {
+	if _, err := topk.New(topk.Config{Nodes: 4, K: 2, Pipeline: topk.PipelineMode(7)}); err == nil {
+		t.Fatal("unknown Pipeline mode accepted")
+	}
+}

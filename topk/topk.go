@@ -149,6 +149,16 @@ type Config struct {
 	// ownership of the Transport: it is closed on any New error (the
 	// links are unusable after a failed handshake) and by Monitor.Close.
 	Transport Transport
+	// Pipeline controls the I/O pipelining of the networked and sharded
+	// engines (it has no effect on the in-process engines). The zero
+	// value, PipelineOn, is the default: fan-outs send to every peer
+	// before gathering the replies concurrently, and ack-only commands
+	// coalesce into batched frames, so step latency follows the slowest
+	// peer instead of the peer count. PipelineOff restores the strictly
+	// sequential per-peer request/reply cycle. Both modes produce
+	// bit-identical reports, message counts and charged bytes; only
+	// wall-clock latency and transport framing differ.
+	Pipeline PipelineMode
 	// Shards selects the multi-coordinator engine: the node space is
 	// split into this many contiguous ranges, each owned by its own
 	// sub-coordinator, with a root merge layer maintaining the global
@@ -165,6 +175,21 @@ type Config struct {
 	// Transport. Sharded monitors must be Closed.
 	Shards int
 }
+
+// PipelineMode selects how the networked and sharded engines drive their
+// links; see Config.Pipeline.
+type PipelineMode uint8
+
+const (
+	// PipelineOn (the default) fans commands out to all peers before
+	// gathering replies concurrently, and coalesces ack-only commands
+	// into batched frames.
+	PipelineOn PipelineMode = iota
+	// PipelineOff drives every link in a strictly sequential per-peer
+	// request/reply cycle. Useful as a latency baseline and for
+	// debugging transports one frame at a time.
+	PipelineOff
+)
 
 // Monitor continuously tracks the top-k positions. Create one with New.
 // A Monitor is not safe for concurrent use: the model's time steps are
@@ -209,10 +234,13 @@ func New(cfg Config) (*Monitor, error) {
 	if cfg.Shards > 0 && (cfg.Concurrent || cfg.Transport != nil) {
 		return nil, failNew(cfg, errors.New("topk: Shards is mutually exclusive with Concurrent and Transport"))
 	}
+	if cfg.Pipeline > PipelineOff {
+		return nil, failNew(cfg, fmt.Errorf("topk: unknown Pipeline mode %d", cfg.Pipeline))
+	}
 	m := &Monitor{cfg: cfg, maxVal: maxValueFor(cfg.Nodes, cfg.DistinctValues)}
 	switch {
 	case cfg.Shards > 0:
-		m.shard = shardrun.NewLoopback(shardrun.Config{N: cfg.Nodes, K: cfg.K, Seed: cfg.Seed, DistinctValues: cfg.DistinctValues, Epsilon: cfg.Epsilon}, cfg.Shards)
+		m.shard = shardrun.NewLoopback(shardrun.Config{N: cfg.Nodes, K: cfg.K, Seed: cfg.Seed, DistinctValues: cfg.DistinctValues, Epsilon: cfg.Epsilon, Lockstep: cfg.Pipeline == PipelineOff}, cfg.Shards)
 	case cfg.Transport != nil:
 		eng, err := newNetEngine(cfg)
 		if err != nil {

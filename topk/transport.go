@@ -11,11 +11,19 @@ import (
 // peer process hosting a range of the monitored nodes. It mirrors the
 // internal transport abstraction so external callers can plug in their
 // own substrate; internal/transport's TCP and pipe links satisfy it.
+//
+// A Link may additionally implement Flush() error: the engine then
+// treats Send as buffered and calls Flush when a fan-out is complete, so
+// several frames to the same peer coalesce into one write. Links without
+// the method must transmit on Send; the engine probes dynamically and
+// never requires Flush.
 type Link interface {
-	// Send frames and transmits one payload; the payload is not retained.
+	// Send frames one payload; the payload is not retained.
 	Send(payload []byte) error
 	// Recv blocks for the next frame. The returned slice may alias an
-	// internal buffer valid only until the next Recv.
+	// internal buffer valid only until the next Recv. Implementations
+	// with buffered Sends must flush them before blocking (see
+	// internal/transport's flush-before-read guard).
 	Recv() ([]byte, error)
 	// Close tears the link down. Idempotent.
 	Close() error
@@ -97,5 +105,6 @@ func newNetEngine(cfg Config) (*netrun.Engine, error) {
 		Seed:           cfg.Seed,
 		DistinctValues: cfg.DistinctValues,
 		Epsilon:        cfg.Epsilon,
+		Lockstep:       cfg.Pipeline == PipelineOff,
 	}, internal)
 }
