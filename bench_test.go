@@ -9,6 +9,7 @@ package repro
 import (
 	"context"
 	"testing"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/comm"
@@ -192,7 +193,10 @@ func BenchmarkShardOverhead(b *testing.B) {
 				vals := make([]int64, n)
 				var msgs, frames, obytes int64
 				for i := 0; i < b.N; i++ {
-					eng := shardrun.NewLoopback(shardrun.Config{N: n, K: 8, Seed: 7}, shards)
+					eng, err := shardrun.NewLoopback(shardrun.Config{N: n, K: 8, Seed: 7}, shards)
+					if err != nil {
+						b.Fatal(err)
+					}
 					src := stream.NewRandomWalk(stream.WalkConfig{N: n, Lo: 0, Hi: 1 << 24, MaxStep: 1 << 12, Seed: 11})
 					for s := 0; s < steps; s++ {
 						src.Step(vals)
@@ -280,7 +284,11 @@ func BenchmarkNetStepLatency(b *testing.B) {
 					if tr == "tcp" {
 						eng = tcpNetEngine(b, cfg, peers)
 					} else {
-						eng = netrun.NewLoopback(cfg, peers)
+						var err error
+						eng, err = netrun.NewLoopback(cfg, peers)
+						if err != nil {
+							b.Fatal(err)
+						}
 						b.Cleanup(eng.Close)
 					}
 					src := stream.NewIID(stream.IIDConfig{N: n, Seed: 11, Dist: stream.Uniform, Lo: 0, Hi: 1 << 20})
@@ -324,7 +332,10 @@ func BenchmarkShardParallel(b *testing.B) {
 	for _, shards := range []int{1, 2, 4, 8} {
 		for _, mode := range modes {
 			b.Run(bench.F("S=%d/%s", shards, mode.name), func(b *testing.B) {
-				eng := shardrun.NewLoopback(shardrun.Config{N: n, K: k, Seed: 7, Lockstep: mode.lockstep}, shards)
+				eng, err := shardrun.NewLoopback(shardrun.Config{N: n, K: k, Seed: 7, Lockstep: mode.lockstep}, shards)
+				if err != nil {
+					b.Fatal(err)
+				}
 				b.Cleanup(eng.Close)
 				src := stream.NewIID(stream.IIDConfig{N: n, Seed: 11, Dist: stream.Uniform, Lo: 0, Hi: 1 << 20})
 				vals := make([]int64, n)
@@ -373,6 +384,65 @@ func BenchmarkApproxComm(b *testing.B) {
 			b.ReportMetric(float64(msgs)/steps, "msgs/step")
 			b.ReportMetric(float64(bytes)/steps, "B/step")
 			b.ReportMetric(float64(viol)/steps, "viol-steps/step")
+		})
+	}
+}
+
+// BenchmarkRecovery measures what one peer failure costs the networked
+// engine across cohort sizes: the wall clock from the kill to the first
+// re-converged report, the observation calls it took (detection plus the
+// recovering step), and the transport frames the reassignment handshake,
+// value replay and forced reset moved. The dead peer's range is merged
+// into a survivor (no Redial), so the figure tracks how reassignment
+// scales with the number of surviving peers. CI runs it at -benchtime=1x
+// and archives the output as BENCH_recover.json.
+func BenchmarkRecovery(b *testing.B) {
+	const n, k = 256, 8
+	for _, peers := range []int{2, 4, 8, 16} {
+		b.Run(bench.F("peers=%d", peers), func(b *testing.B) {
+			var steps, frames float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				links := netrun.LoopbackLinks(peers)
+				eng, err := netrun.New(netrun.Config{N: n, K: k, Seed: 7, RetryBackoff: time.Millisecond}, links)
+				if err != nil {
+					b.Fatal(err)
+				}
+				src := stream.NewIID(stream.IIDConfig{N: n, Seed: 11, Dist: stream.Uniform, Lo: 0, Hi: 1 << 20})
+				vals := make([]int64, n)
+				for s := 0; s < 30; s++ {
+					src.Step(vals)
+					eng.Observe(vals)
+				}
+				// Sum frames over the original link handles: the engine's own
+				// TransportStats drops a merged-away peer's counters, which
+				// would make the recovery delta negative.
+				sumFrames := func() int64 {
+					var total int64
+					for _, l := range links {
+						st := transport.StatsOf(l)
+						total += st.SentFrames + st.RecvFrames
+					}
+					return total
+				}
+				links[peers-1].Close() // fail-stop one peer under the engine
+				before := sumFrames()
+				b.StartTimer()
+				for h := eng.Health(); h.Recoveries == 0 || h.Degraded; h = eng.Health() {
+					src.Step(vals)
+					eng.Observe(vals)
+					steps++
+					if err := eng.Err(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				frames += float64(sumFrames() - before)
+				eng.Close()
+			}
+			b.ReportMetric(steps/float64(b.N), "steps/recover")
+			b.ReportMetric(frames/float64(b.N), "frames/recover")
 		})
 	}
 }

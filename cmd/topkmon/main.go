@@ -32,9 +32,11 @@ import (
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/comm"
+	"repro/internal/coord"
 	"repro/internal/core"
 	"repro/internal/netrun"
 	"repro/internal/runtime"
@@ -113,7 +115,10 @@ func main() {
 		if *shards > nn {
 			log.Fatalf("-shards must be in [1, n], got %d for n=%d", *shards, nn)
 		}
-		se := shardrun.NewLoopback(shardrun.Config{N: nn, K: *k, Seed: *seed + 1, Epsilon: *epsilon, Lockstep: *lockstep}, *shards)
+		se, err := shardrun.NewLoopback(shardrun.Config{N: nn, K: *k, Seed: *seed + 1, Epsilon: *epsilon, Lockstep: *lockstep}, *shards)
+		if err != nil {
+			log.Fatalf("sharded engine: %v", err)
+		}
 		defer se.Close()
 		alg = se
 		name = fmt.Sprintf("algorithm1(shard×%d)", *shards)
@@ -140,7 +145,10 @@ func main() {
 		if *peers < 1 || *peers > nn {
 			log.Fatalf("-peers must be in [1, n], got %d for n=%d", *peers, nn)
 		}
-		ne := netrun.NewLoopback(netrun.Config{N: nn, K: *k, Seed: *seed + 1, Epsilon: *epsilon, Lockstep: *lockstep}, *peers)
+		ne, err := netrun.NewLoopback(netrun.Config{N: nn, K: *k, Seed: *seed + 1, Epsilon: *epsilon, Lockstep: *lockstep}, *peers)
+		if err != nil {
+			log.Fatalf("networked engine: %v", err)
+		}
 		defer ne.Close()
 		alg = ne
 	default:
@@ -249,7 +257,23 @@ func runServe(addr string, peers, n, k int, seed uint64, epsilon float64, lockst
 	if err != nil {
 		log.Fatalf("accepting peers: %v", err)
 	}
-	eng, err := netrun.New(netrun.Config{N: n, K: k, Seed: seed + 1, Epsilon: epsilon, Lockstep: lockstep}, links)
+	eng, err := netrun.New(netrun.Config{
+		N: n, K: k, Seed: seed + 1, Epsilon: epsilon, Lockstep: lockstep,
+		// A dead peer is replaced by the next process that runs
+		// `topkmon -join`; the coordinator blocks mid-recovery until one
+		// arrives (Ctrl-C the coordinator to give up instead).
+		Redial: func() (transport.Link, error) {
+			fmt.Printf("peer lost; waiting for a replacement (topkmon -join %s)...\n", ln.Addr())
+			return ln.Accept()
+		},
+		OnEvent: func(ev coord.Event) {
+			if ev.Err != nil {
+				fmt.Printf("failover: %s [%d, %d): %v\n", ev.Kind, ev.Lo, ev.Hi, ev.Err)
+			} else {
+				fmt.Printf("failover: %s [%d, %d)\n", ev.Kind, ev.Lo, ev.Hi)
+			}
+		},
+	}, links)
 	if err != nil {
 		log.Fatalf("handshake: %v", err)
 	}
@@ -267,10 +291,12 @@ func runServe(addr string, peers, n, k int, seed uint64, epsilon float64, lockst
 }
 
 // runJoin is the TCP node host: dial the coordinator and serve its node
-// range until shutdown.
+// range until shutdown. DialRetry tolerates a coordinator that is not
+// listening yet (or is between runs), so the two sides can start in
+// either order.
 func runJoin(addr string) {
 	ctx := context.Background()
-	link, err := transport.Dial(ctx, addr)
+	link, err := transport.DialRetry(ctx, addr, 20, 250*time.Millisecond)
 	if err != nil {
 		log.Fatalf("dial %s: %v", addr, err)
 	}

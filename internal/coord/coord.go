@@ -527,6 +527,37 @@ func (m *Machine) ExecDone(ok bool, id int, key order.Key) Effect {
 	}
 }
 
+// Abort discards an in-flight step or protocol execution and returns the
+// machine to idle. It exists for failover: when a peer dies mid-step the
+// adapter cannot deliver the events the machine is waiting for, so it
+// aborts, reassigns the dead peer's range, and drives a ForceReset to
+// re-converge. Top() still reports the last completed membership (the
+// report stream never regresses), but the membership flags may be
+// mid-rebuild — an abort must be followed by ForceReset before the next
+// regular step, which clears and rebuilds them. Statistics of the aborted
+// step remain charged; failover is observable in the counters by design.
+func (m *Machine) Abort() {
+	m.state = stIdle
+}
+
+// ForceReset starts an out-of-band FILTERRESET from the idle state: the
+// recovery primitive the ROADMAP names. The adapter drives the returned
+// effect exactly like a FinishStep effect chain (extractions, winner
+// notifications, the closing filter install). After the chain completes
+// the machine's membership, filters and T+/T− bounds are freshly derived
+// from current node values, so reports re-converge to the oracle within
+// this one reset regardless of what state a failed peer took with it.
+// ForceReset panics if a step is in flight (Abort first).
+func (m *Machine) ForceReset() Effect {
+	if m.state != stIdle {
+		panic("coord: ForceReset with a step in flight")
+	}
+	// A forced reset is also valid initialization: if it runs before the
+	// first observation step, the time-0 reset of FinishStep is subsumed.
+	m.init = true
+	return m.startReset()
+}
+
 // Ack answers an EffResetBegin, EffWinner or EffMidpoint and returns the
 // next effect.
 func (m *Machine) Ack() Effect {

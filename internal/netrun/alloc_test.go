@@ -17,7 +17,7 @@ func TestNetworkedObserveZeroAllocs(t *testing.T) {
 	for _, mode := range modes {
 		t.Run(mode.name, func(t *testing.T) {
 			const n, peers = 256, 4
-			e := NewLoopback(Config{N: n, K: 4, Seed: 21, Lockstep: mode.lockstep}, peers)
+			e := mustLoopback(t, Config{N: n, K: 4, Seed: 21, Lockstep: mode.lockstep}, peers)
 			defer e.Close()
 
 			// Dense steps on a calm walk: mostly violation-free, with the
@@ -37,7 +37,7 @@ func TestNetworkedObserveZeroAllocs(t *testing.T) {
 
 			// The sparse path over a delta-native workload must be clean
 			// as well.
-			d := NewLoopback(Config{N: n, K: 4, Seed: 23, Lockstep: mode.lockstep}, peers)
+			d := mustLoopback(t, Config{N: n, K: 4, Seed: 23, Lockstep: mode.lockstep}, peers)
 			defer d.Close()
 			dsrc := stream.NewSparseWalk(stream.SparseWalkConfig{
 				N: n, Lo: 0, Hi: 1 << 24, MaxStep: 8, Changed: 3, Seed: 24,

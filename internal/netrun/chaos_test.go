@@ -1,0 +1,263 @@
+package netrun
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// The chaos suite drives the engine over fault-injecting links and
+// enforces the failure contract end to end: every observation call
+// returns promptly (a Faulty turns every fault into a cut, so nothing
+// can hang), reports are never silently stale, and the engine either
+// re-converges to the oracle after recovery or wedges with a clean
+// terminal error.
+
+const (
+	chaosN     = 16
+	chaosK     = 4
+	chaosPeers = 4
+)
+
+// chaosEngine builds a loopback engine whose victim link is wrapped in
+// the given fault plan.
+func chaosEngine(lockstep, redial bool, victim int, plan transport.FaultPlan) (*Engine, error) {
+	links := LoopbackLinks(chaosPeers)
+	links[victim] = transport.NewFaulty(links[victim], plan)
+	cfg := Config{N: chaosN, K: chaosK, Seed: 5, Lockstep: lockstep, RetryBackoff: time.Millisecond}
+	if redial {
+		cfg.Redial = func() (transport.Link, error) { return LoopbackLink(), nil }
+	}
+	return New(cfg, links)
+}
+
+// runChaos drives e for steps observation calls under the chaos
+// contract. Healthy steps must match the oracle, except for a bounded
+// corruption window right around a fault: an injected duplicate can
+// poison the step it lands in and the step that detects the cut, never
+// more. Degraded steps must return the last-good report; terminal
+// engines must stay wedged on it.
+func runChaos(t *testing.T, e *Engine, steps int) {
+	t.Helper()
+	vals := make([]int64, chaosN)
+	suspect := 0
+	var last []int
+	for s := 0; s < steps; s++ {
+		driven(s, vals)
+		got := e.Observe(vals)
+		if e.Err() != nil {
+			for s2 := 1; s2 <= 5; s2++ {
+				driven(steps+s2, vals)
+				if again := e.Observe(vals); !equal(again, got) {
+					t.Fatalf("terminal engine moved its report: %v -> %v", got, again)
+				}
+			}
+			return
+		}
+		switch {
+		case e.Health().Degraded:
+			if last != nil && !equal(got, last) {
+				t.Fatalf("step %d: degraded step returned %v, want last-good %v", s, got, last)
+			}
+			suspect = 0
+		case equal(got, sim.Oracle(vals, chaosK)):
+			suspect = 0
+			last = append(last[:0], got...)
+		default:
+			suspect++
+			if suspect > 2 {
+				t.Fatalf("step %d: report stale for %d healthy steps: got %v, want %v",
+					s, suspect, got, sim.Oracle(vals, chaosK))
+			}
+			last = append(last[:0], got...)
+		}
+	}
+	if e.Health().Degraded {
+		t.Fatal("run ended degraded: recovery never completed")
+	}
+	for s := steps; s < steps+5; s++ {
+		driven(s, vals)
+		if got := e.Observe(vals); !equal(got, sim.Oracle(vals, chaosK)) {
+			t.Fatalf("step %d: post-run report %v != oracle %v", s, got, sim.Oracle(vals, chaosK))
+		}
+	}
+}
+
+// TestChaosFaultMatrix runs every fault flavor — cut, silent frame loss,
+// duplicated frame, pure latency, loss under latency — against both
+// fan-out modes. The op indices land mid-run, after the handshake's two
+// operations. A delay-only plan injects no failure, so that run must
+// stay fault-free and oracle-exact throughout.
+func TestChaosFaultMatrix(t *testing.T) {
+	plans := []struct {
+		name  string
+		plan  transport.FaultPlan
+		steps int // delayed runs pay OS sleep granularity per op: keep them short
+	}{
+		{"kill", transport.FaultPlan{KillAt: 40}, 80},
+		{"drop", transport.FaultPlan{DropAt: 41}, 80},
+		{"dup", transport.FaultPlan{DupAt: 42}, 80},
+		{"delay", transport.FaultPlan{Delay: 10 * time.Microsecond, Seed: 1}, 15},
+		{"drop+delay", transport.FaultPlan{DropAt: 43, Delay: 10 * time.Microsecond, Seed: 2}, 30},
+	}
+	for _, mode := range modes {
+		for _, tc := range plans {
+			t.Run(mode.name+"/"+tc.name, func(t *testing.T) {
+				e, err := chaosEngine(mode.lockstep, false, 2, tc.plan)
+				if err != nil {
+					t.Fatalf("fault fired during the handshake: %v", err)
+				}
+				defer e.Close()
+				runChaos(t, e, tc.steps)
+				h := e.Health()
+				injects := tc.plan.KillAt != 0 || tc.plan.DropAt != 0 || tc.plan.DupAt != 0
+				if injects && h.Failures == 0 {
+					t.Fatalf("fault plan %+v never fired in 80 driven steps", tc.plan)
+				}
+				if !injects && (h.Failures != 0 || h.Recoveries != 0) {
+					t.Fatalf("delay-only plan registered failures: %+v", h)
+				}
+			})
+		}
+	}
+}
+
+// TestChaosKillAtRandomStep kills one peer at a seeded random operation
+// index, across fan-out modes, merge-vs-redial recovery, and the forced
+// reader-goroutine gather path. A kill that lands inside the Assign
+// handshake must surface as a clean constructor error.
+func TestChaosKillAtRandomStep(t *testing.T) {
+	for _, mode := range modes {
+		for _, redial := range []bool{false, true} {
+			for _, readers := range []bool{false, true} {
+				name := mode.name + "/merge"
+				if redial {
+					name = mode.name + "/redial"
+				}
+				if readers {
+					name += "/readers"
+				}
+				t.Run(name, func(t *testing.T) {
+					if readers {
+						if mode.lockstep {
+							t.Skip("reader goroutines are a pipelined-only path")
+						}
+						forceReaders = true
+						defer func() { forceReaders = false }()
+					}
+					r := rng.New(0xc4a05, uint64(len(name)))
+					for trial := 0; trial < 4; trial++ {
+						killOp := int64(1 + r.Uint64n(200))
+						e, err := chaosEngine(mode.lockstep, redial, int(r.Uint64n(chaosPeers)), transport.FaultPlan{KillAt: killOp})
+						if err != nil {
+							continue // killed mid-handshake: clean error is the contract
+						}
+						runChaos(t, e, 100)
+						e.Close()
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestChaosKillDuringHandshake pins the mid-Assign kill explicitly: the
+// constructor must return an error (never hang or panic) whether the cut
+// lands on the Assign send or on the Ready receive.
+func TestChaosKillDuringHandshake(t *testing.T) {
+	for _, killAt := range []int64{1, 2} {
+		if _, err := chaosEngine(false, false, 0, transport.FaultPlan{KillAt: killAt}); err == nil {
+			t.Fatalf("KillAt=%d during the handshake: New succeeded", killAt)
+		}
+	}
+}
+
+// TestJoinMidStream grows the cohort while the monitor runs: the widest
+// range is split in half for the joiner, membership re-converges before
+// the next report, and reports stay oracle-exact.
+func TestJoinMidStream(t *testing.T) {
+	for _, mode := range modes {
+		t.Run(mode.name, func(t *testing.T) {
+			const n, k = 12, 3
+			e := mustLoopback(t, Config{N: n, K: k, Seed: 5, Lockstep: mode.lockstep, RetryBackoff: time.Millisecond}, 2)
+			defer e.Close()
+			vals := make([]int64, n)
+			for s := 0; s < 15; s++ {
+				driven(s, vals)
+				e.Observe(vals)
+			}
+			if err := e.Join(LoopbackLink()); err != nil {
+				t.Fatalf("Join: %v", err)
+			}
+			h := e.Health()
+			if len(h.Peers) != 3 {
+				t.Fatalf("join left %d peers, want 3: %+v", len(h.Peers), h.Peers)
+			}
+			lo := 0
+			for _, p := range h.Peers {
+				if p.Lo != lo {
+					t.Fatalf("peer ranges not contiguous after join: %+v", h.Peers)
+				}
+				lo = p.Hi
+			}
+			if lo != n {
+				t.Fatalf("peer ranges do not cover [0, %d) after join: %+v", n, h.Peers)
+			}
+			for s := 15; s < 40; s++ {
+				driven(s, vals)
+				if got := e.Observe(vals); !equal(got, sim.Oracle(vals, k)) {
+					t.Fatalf("step %d after join: got %v, want oracle %v", s, got, sim.Oracle(vals, k))
+				}
+			}
+		})
+	}
+}
+
+// TestJoinDeadLinkRecovers: a joiner whose link dies inside the Join
+// handshake must not wedge the engine — Join errors, the next
+// observation call merges the stillborn peer away, and reports
+// re-converge.
+func TestJoinDeadLinkRecovers(t *testing.T) {
+	const n, k = 12, 3
+	e := mustLoopback(t, Config{N: n, K: k, Seed: 5, RetryBackoff: time.Millisecond}, 2)
+	defer e.Close()
+	vals := make([]int64, n)
+	for s := 0; s < 10; s++ {
+		driven(s, vals)
+		e.Observe(vals)
+	}
+	a, b := transport.Pipe()
+	b.Close()
+	if err := e.Join(a); err == nil {
+		t.Fatal("Join over a dead link succeeded")
+	}
+	for s := 10; s < 30; s++ {
+		driven(s, vals)
+		got := e.Observe(vals)
+		if e.Err() != nil {
+			t.Fatalf("step %d: failed join went terminal: %v", s, e.Err())
+		}
+		if !e.Health().Degraded {
+			if want := sim.Oracle(vals, k); !equal(got, want) {
+				t.Fatalf("step %d after failed join: got %v, want oracle %v", s, got, want)
+			}
+		}
+	}
+	h := e.Health()
+	if h.Failures == 0 {
+		t.Fatalf("failed join registered no failure: %+v", h)
+	}
+	lo := 0
+	for _, p := range h.Peers {
+		if p.Lo != lo {
+			t.Fatalf("ranges not contiguous after failed join: %+v", h.Peers)
+		}
+		lo = p.Hi
+	}
+	if lo != n {
+		t.Fatalf("ranges do not cover [0, %d) after failed join: %+v", n, h.Peers)
+	}
+}

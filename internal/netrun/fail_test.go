@@ -1,57 +1,328 @@
 package netrun
 
 import (
+	"strings"
 	"testing"
+	"time"
 
+	"repro/internal/coord"
 	"repro/internal/core"
+	"repro/internal/sim"
 	"repro/internal/stream"
+	"repro/internal/transport"
 )
 
-// TestDeadLinkSurfacesError pins the failure contract: a link that dies
-// mid-run must not panic the engine. The error is stored (Err), the
-// last-good report keeps being returned, the ledger freezes, and Close
-// stays safe.
-func TestDeadLinkSurfacesError(t *testing.T) {
-	const n, k, seed = 12, 3, 7
-	e := NewLoopback(Config{N: n, K: k, Seed: seed}, 3)
+// driven produces observation vectors that force communication every
+// step: large, fast-moving values guarantee filter violations, so every
+// peer's link carries traffic and a dead link is noticed promptly.
+func driven(s int, vals []int64) {
+	for i := range vals {
+		vals[i] = int64((s*31+i*17)%1000) * 50
+	}
+}
+
+// TestDeadLinkRecoversByMerge pins the recovery contract without a
+// Redial factory: a link that dies mid-run must not panic or wedge the
+// engine. The detecting step returns the last-good report and flags
+// Health().Degraded; the next observation call merges the dead range
+// into a survivor, replays values, forces a reset, and from that step
+// on reports track the oracle again.
+func TestDeadLinkRecoversByMerge(t *testing.T) {
+	for _, mode := range modes {
+		t.Run(mode.name, func(t *testing.T) {
+			const n, k, seed = 12, 3, 7
+			var events []coord.Event
+			e, err := NewLoopback(Config{
+				N: n, K: k, Seed: seed, Lockstep: mode.lockstep,
+				RetryBackoff: time.Millisecond, // keep the backoff sleep out of the test budget
+				OnEvent:      func(ev coord.Event) { events = append(events, ev) },
+			}, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer e.Close()
+
+			src := stream.NewRandomWalk(stream.WalkConfig{N: n, Lo: 0, Hi: 1 << 16, MaxStep: 400, Seed: 9})
+			vals := make([]int64, n)
+			var lastGood []int
+			for s := 0; s < 20; s++ {
+				src.Step(vals)
+				lastGood = append(lastGood[:0], e.Observe(vals)...)
+			}
+			if e.Err() != nil {
+				t.Fatalf("healthy run reported error: %v", e.Err())
+			}
+
+			// Kill one peer's link underneath the engine, then force
+			// communication until the failure is detected.
+			e.peers[1].link.Close()
+			detected := false
+			for s := 0; s < 5 && !detected; s++ {
+				driven(s, vals)
+				got := e.Observe(vals)
+				if h := e.Health(); h.Degraded {
+					// The detecting step must hand back the last-good set,
+					// never a half-updated one.
+					if !equal(got, lastGood) {
+						t.Fatalf("detecting step returned %v, want last-good %v", got, lastGood)
+					}
+					detected = true
+				} else {
+					lastGood = append(lastGood[:0], got...)
+				}
+			}
+			if !detected {
+				t.Fatal("dead link never surfaced as Degraded health")
+			}
+
+			// The next observation call recovers and processes its step:
+			// reports must match the oracle from here on.
+			for s := 5; s < 25; s++ {
+				driven(s, vals)
+				got := e.Observe(vals)
+				if e.Err() != nil {
+					t.Fatalf("step %d: recovery went terminal: %v", s, e.Err())
+				}
+				if want := sim.Oracle(vals, k); !equal(got, want) {
+					t.Fatalf("step %d after recovery: got %v, want oracle %v", s, got, want)
+				}
+			}
+
+			h := e.Health()
+			if h.Terminal != nil || h.Degraded {
+				t.Fatalf("recovered engine reports unhealthy: %+v", h)
+			}
+			if h.Failures == 0 || h.Recoveries != 1 {
+				t.Fatalf("health counters off: %+v", h)
+			}
+			if len(h.Peers) != 2 {
+				t.Fatalf("merge left %d peers, want 2: %+v", len(h.Peers), h.Peers)
+			}
+			lo := 0
+			for _, p := range h.Peers {
+				if p.Lo != lo {
+					t.Fatalf("peer ranges not contiguous: %+v", h.Peers)
+				}
+				lo = p.Hi
+			}
+			if lo != n {
+				t.Fatalf("peer ranges do not cover [0, %d): %+v", n, h.Peers)
+			}
+			wantKinds := map[coord.EventKind]bool{
+				coord.EventPeerDown: false, coord.EventRangeMerged: false, coord.EventRecovered: false,
+			}
+			for _, ev := range events {
+				if _, ok := wantKinds[ev.Kind]; ok {
+					wantKinds[ev.Kind] = true
+				}
+			}
+			for kind, seen := range wantKinds {
+				if !seen {
+					t.Errorf("event %v never delivered (got %v)", kind, events)
+				}
+			}
+
+			// The sparse path must keep working on the merged membership.
+			if d := e.ObserveDelta([]int{0}, []int64{1 << 30}); !equal(d, sim.Oracle(e.last, k)) {
+				t.Fatalf("delta after recovery: got %v, want oracle %v", d, sim.Oracle(e.last, k))
+			}
+		})
+	}
+}
+
+// TestDeadLinkRecoversByRedial: with a Redial factory the dead peer's
+// exact range is handed to a fresh replacement link instead of being
+// merged away, and the cohort size is preserved.
+func TestDeadLinkRecoversByRedial(t *testing.T) {
+	const n, k, seed = 12, 3, 5
+	var events []coord.Event
+	e, err := NewLoopback(Config{
+		N: n, K: k, Seed: seed,
+		Redial:       func() (transport.Link, error) { return LoopbackLink(), nil },
+		RetryBackoff: time.Millisecond,
+		OnEvent:      func(ev coord.Event) { events = append(events, ev) },
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer e.Close()
 
-	src := stream.NewRandomWalk(stream.WalkConfig{N: n, Lo: 0, Hi: 1 << 16, MaxStep: 400, Seed: 9})
+	vals := make([]int64, n)
+	for s := 0; s < 10; s++ {
+		driven(s, vals)
+		e.Observe(vals)
+	}
+	before := e.Health()
+	e.peers[2].link.Close()
+	for s := 10; s < 30; s++ {
+		driven(s, vals)
+		got := e.Observe(vals)
+		if e.Err() != nil {
+			t.Fatalf("step %d: redial recovery went terminal: %v", s, e.Err())
+		}
+		if h := e.Health(); !h.Degraded {
+			if want := sim.Oracle(vals, k); !equal(got, want) {
+				t.Fatalf("step %d: got %v, want oracle %v", s, got, want)
+			}
+		}
+	}
+	h := e.Health()
+	if h.Recoveries != 1 || len(h.Peers) != len(before.Peers) {
+		t.Fatalf("redial recovery health off: %+v (before %+v)", h, before)
+	}
+	for i, p := range h.Peers {
+		if p.Lo != before.Peers[i].Lo || p.Hi != before.Peers[i].Hi {
+			t.Fatalf("redial changed ranges: %+v -> %+v", before.Peers, h.Peers)
+		}
+	}
+	replaced := false
+	for _, ev := range events {
+		if ev.Kind == coord.EventPeerReplaced {
+			replaced = true
+		}
+		if ev.Kind == coord.EventRangeMerged {
+			t.Fatalf("redial recovery merged a range: %v", events)
+		}
+	}
+	if !replaced {
+		t.Fatalf("no EventPeerReplaced delivered: %v", events)
+	}
+}
+
+// TestAllPeersLostIsTerminal: with no survivors and no Redial there is
+// nothing to recover onto. The engine wedges cleanly: sticky Err, the
+// last-good report keeps being returned, the ledger freezes, and Close
+// stays safe.
+func TestAllPeersLostIsTerminal(t *testing.T) {
+	const n, k = 8, 2
+	var events []coord.Event
+	e, err := NewLoopback(Config{
+		N: n, K: k, Seed: 3, RetryBackoff: time.Millisecond,
+		OnEvent: func(ev coord.Event) { events = append(events, ev) },
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
 	vals := make([]int64, n)
 	var lastGood []int
-	for s := 0; s < 20; s++ {
-		src.Step(vals)
-		lastGood = e.AppendTop(lastGood[:0])
+	for s := 0; s < 10; s++ {
+		driven(s, vals)
 		lastGood = append(lastGood[:0], e.Observe(vals)...)
 	}
-	if e.Err() != nil {
-		t.Fatalf("healthy run reported error: %v", e.Err())
-	}
-
-	// Kill one peer's link underneath the engine, then keep observing
-	// values chosen to force communication.
-	e.peers[1].link.Close()
-	countsBefore := e.Counts()
-	for s := 0; s < 5; s++ {
-		for i := range vals {
-			vals[i] = int64((s*31+i*17)%1000) * 50
-		}
-		got := e.Observe(vals)
-		if !equal(got, lastGood) {
-			t.Fatalf("report after dead link: got %v, want last-good %v", got, lastGood)
+	e.peers[0].link.Close()
+	for s := 10; s < 16; s++ {
+		driven(s, vals)
+		if got := e.Observe(vals); !equal(got, lastGood) {
+			t.Fatalf("step %d: wedged engine changed its report: %v vs %v", s, got, lastGood)
 		}
 	}
 	if e.Err() == nil {
-		t.Fatal("dead link did not surface as an error")
+		t.Fatal("losing the only peer did not go terminal")
 	}
-	if d := e.ObserveDelta([]int{0}, []int64{1 << 30}); !equal(d, lastGood) {
-		t.Fatalf("delta after dead link: got %v, want last-good %v", d, lastGood)
+	h := e.Health()
+	if h.Terminal == nil {
+		t.Fatalf("terminal engine reports healthy: %+v", h)
 	}
-	// A wedged engine must not keep charging model messages.
-	if after := e.Counts(); after != countsBefore {
-		t.Fatalf("wedged engine kept charging: %v -> %v", countsBefore, after)
+	counts := e.Counts()
+	if got := e.ObserveDelta([]int{0}, []int64{1 << 30}); !equal(got, lastGood) {
+		t.Fatalf("delta on wedged engine: got %v, want last-good %v", got, lastGood)
 	}
-	e.Close() // must not panic with one link already dead
+	if after := e.Counts(); after != counts {
+		t.Fatalf("wedged engine kept charging: %v -> %v", counts, after)
+	}
+	terminal := false
+	for _, ev := range events {
+		if ev.Kind == coord.EventTerminal {
+			terminal = true
+		}
+	}
+	if !terminal {
+		t.Fatalf("no EventTerminal delivered: %v", events)
+	}
+	e.Close() // must not panic with the link already dead
+}
+
+// TestRetryBudgetExhaustion: a Redial factory that only produces dead
+// links burns the whole retry budget and the engine then goes terminal
+// with a descriptive error instead of retrying forever.
+func TestRetryBudgetExhaustion(t *testing.T) {
+	const n, k = 8, 2
+	redials := 0
+	e, err := NewLoopback(Config{
+		N: n, K: k, Seed: 11,
+		RetryBudget:  2,
+		RetryBackoff: time.Millisecond,
+		Redial: func() (transport.Link, error) {
+			redials++
+			a, b := transport.Pipe()
+			b.Close() // born dead: the Assign handshake must fail
+			return a, nil
+		},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	vals := make([]int64, n)
+	for s := 0; s < 5; s++ {
+		driven(s, vals)
+		e.Observe(vals)
+	}
+	e.peers[0].link.Close()
+	for s := 5; s < 10 && e.Err() == nil; s++ {
+		driven(s, vals)
+		e.Observe(vals)
+	}
+	if e.Err() == nil {
+		t.Fatal("exhausted budget did not go terminal")
+	}
+	if !strings.Contains(e.Err().Error(), "recovery abandoned") {
+		t.Fatalf("terminal error %q does not name the abandoned recovery", e.Err())
+	}
+	if redials < 2 {
+		t.Fatalf("budget of 2 produced only %d redial attempts", redials)
+	}
+}
+
+// TestConstructorRejectsBadConfig pins the panic-free constructor
+// contract: invalid shapes surface as errors, and the engine closes the
+// links it was handed so serve loops terminate.
+func TestConstructorRejectsBadConfig(t *testing.T) {
+	cases := []struct {
+		name  string
+		cfg   Config
+		peers int
+	}{
+		{"zero-n", Config{N: 0, K: 1, Seed: 1}, 1},
+		{"zero-k", Config{N: 4, K: 0, Seed: 1}, 1},
+		{"k-gt-n", Config{N: 4, K: 5, Seed: 1}, 1},
+		{"no-peers", Config{N: 4, K: 2, Seed: 1}, 0},
+		{"peers-gt-n", Config{N: 4, K: 2, Seed: 1}, 5},
+		{"bad-eps", Config{N: 4, K: 2, Seed: 1, Epsilon: -0.5}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			links := make([]transport.Link, tc.peers)
+			for i := range links {
+				a, b := transport.Pipe()
+				go Serve(b)
+				links[i] = a
+			}
+			e, err := New(tc.cfg, links)
+			if err == nil {
+				e.Close()
+				t.Fatal("invalid config accepted")
+			}
+			for i, l := range links {
+				if sendErr := l.Send([]byte{0}); sendErr == nil {
+					t.Fatalf("link %d left open after rejected New", i)
+				}
+			}
+		})
+	}
 }
 
 // TestAppendTopIsACopy is the aliasing regression: the slice AppendTop
@@ -61,7 +332,7 @@ func TestDeadLinkSurfacesError(t *testing.T) {
 // run in lockstep detects any corruption.
 func TestAppendTopIsACopy(t *testing.T) {
 	const n, k, seed = 10, 3, 5
-	e := NewLoopback(Config{N: n, K: k, Seed: seed}, 2)
+	e := mustLoopback(t, Config{N: n, K: k, Seed: seed}, 2)
 	defer e.Close()
 	twin := core.New(core.Config{N: n, K: k, Seed: seed})
 

@@ -27,11 +27,11 @@ type host struct {
 	views [][]byte // scratch for assembling the batch reply
 }
 
-// newHost builds the node state for an assignment. The RNG stream layout
-// must match core.New / runtime.New exactly — every engine derives node
-// i's generator as the i-th Split of the same root — which coord.NewNodes
-// guarantees by construction.
-func newHost(a wire.Assign) (*host, error) {
+// newBank validates an assignment and builds its node bank. The RNG
+// stream layout must match core.New / runtime.New exactly — every engine
+// derives node i's generator as the i-th Split of the same root — which
+// coord.NewNodes guarantees by construction.
+func newBank(a wire.Assign) (*coord.Nodes, error) {
 	if a.N <= 0 || a.K < 1 || a.K > a.N {
 		return nil, fmt.Errorf("netrun: bad assignment n=%d k=%d", a.N, a.K)
 	}
@@ -42,7 +42,16 @@ func newHost(a wire.Assign) (*host, error) {
 	if err != nil {
 		return nil, fmt.Errorf("netrun: bad assignment: %w", err)
 	}
-	return &host{bank: coord.NewNodes(a.N, a.Lo, a.Hi, a.Seed, a.Distinct, tol)}, nil
+	return coord.NewNodes(a.N, a.Lo, a.Hi, a.Seed, a.Distinct, tol), nil
+}
+
+// newHost builds the node state for an assignment.
+func newHost(a wire.Assign) (*host, error) {
+	bank, err := newBank(a)
+	if err != nil {
+		return nil, err
+	}
+	return &host{bank: bank}, nil
 }
 
 // handle processes one decoded command frame, filling h.reply. It returns
@@ -151,6 +160,23 @@ func (h *host) respond(frame []byte) (cont bool, err error) {
 	typ, err := wire.MsgType(frame)
 	if err != nil {
 		return false, err
+	}
+	if typ == wire.TypeAssign {
+		// Mid-stream reassignment (failover or a joining peer): rebuild the
+		// bank from scratch for the new range and ack with Ready. The
+		// coordinator quiesces the link first, so an Assign never arrives
+		// inside a batch.
+		a, err := wire.DecodeAssign(frame)
+		if err != nil {
+			return false, err
+		}
+		nb, err := newBank(a)
+		if err != nil {
+			return false, err
+		}
+		h.bank = nb
+		h.buf = wire.AppendBare(h.buf[:0], wire.TypeReady)
+		return true, nil
 	}
 	if typ != wire.TypeBatch {
 		cont, err = h.handle(frame)

@@ -63,23 +63,40 @@
 // through TransportStats. The paper's Theorem 4.2 bounds the former; a
 // deployment pays the latter.
 //
-// # Failure
+// # Failure and recovery
 //
-// A link that dies or misbehaves mid-step does not panic: the engine
-// records the error, abandons the step, and keeps returning the last
-// successfully computed report. Err exposes the stored error so callers
-// can decide — rebalancing ranges away from dead peers is future work
-// (see ROADMAP).
+// Peers are fail-stop: a link that dies or misbehaves mid-step makes the
+// engine abandon the step (returning the last-good report) and schedule
+// recovery, which runs at the start of the next observation call. Recovery
+// (1) redials a replacement for each dead peer when Config.Redial is set,
+// or merges the dead range into a surviving neighbor otherwise, (2)
+// re-runs the Assign handshake on every peer — hosts rebuild their node
+// banks from scratch — (3) replays the coordinator-side mirror of the
+// current node values, and (4) forces a FILTERRESET, after which reports
+// match the oracle again. Failures and recoveries are surfaced through
+// Health and the Config.OnEvent callback; Err reports only terminal
+// degradation (retry budget exhausted, or no peers left). Late joiners
+// attach mid-stream through Join, which splits the widest range using the
+// same machinery.
+//
+// Rebuilt banks draw fresh RNG streams from the configured seed. The
+// protocols are Las Vegas — randomness affects message counts, never
+// reported sets — so post-recovery reports still match the oracle exactly,
+// while ledgers may diverge from an undisturbed run (recovery cost is
+// visible in the counters by design).
 package netrun
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
+	"time"
 
 	"repro/internal/comm"
 	"repro/internal/coord"
 	"repro/internal/order"
 	"repro/internal/protocol"
+	"repro/internal/rng"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -114,6 +131,40 @@ type Config struct {
 	// is the pipelined engine; both modes are bit-identical in reports and
 	// ledgers and differ only in wall-clock latency and transport framing.
 	Lockstep bool
+
+	// Redial, when set, is called during failover to obtain a replacement
+	// link for a dead peer; the replacement adopts the dead peer's exact
+	// node range. When nil (or when a redial fails), the range is merged
+	// into a surviving neighbor instead.
+	Redial func() (transport.Link, error)
+	// RetryBudget bounds how many full recovery attempts the engine makes
+	// before declaring itself terminally degraded. Zero selects the
+	// default of 3.
+	RetryBudget int
+	// RetryBackoff is the base delay between recovery attempts; waits are
+	// jittered around it and double per attempt. Zero selects 10ms.
+	RetryBackoff time.Duration
+	// OnEvent, when set, receives failover events (peer death, range
+	// reassignment, recovery, terminal degradation) synchronously from the
+	// engine's own goroutine. The callback must not call back into the
+	// engine.
+	OnEvent func(coord.Event)
+}
+
+// retryBudget returns the configured recovery-attempt bound.
+func (c Config) retryBudget() int {
+	if c.RetryBudget > 0 {
+		return c.RetryBudget
+	}
+	return 3
+}
+
+// retryBackoff returns the configured base recovery backoff.
+func (c Config) retryBackoff() time.Duration {
+	if c.RetryBackoff > 0 {
+		return c.RetryBackoff
+	}
+	return 10 * time.Millisecond
 }
 
 // recvResult is one reader goroutine's answer to a gather request.
@@ -142,6 +193,14 @@ type peer struct {
 	pendBuf  []byte
 	pendLens []int
 	views    [][]byte // scratch for assembling batch sub-frame views
+
+	// Failover bookkeeping. owed counts outstanding replies on the link
+	// (the strict request/reply discipline keeps it 0 or 1 at any failure
+	// point), so recovery knows whether a survivor's next frame is a stale
+	// reply to drain before the reassignment handshake.
+	owed     int
+	dead     bool
+	failures int64
 }
 
 // pending returns the number of queued ack-only commands.
@@ -163,9 +222,20 @@ type Engine struct {
 	mach  *coord.Machine
 	peers []*peer
 
-	step   int64
-	closed bool
-	err    error // first transport/protocol failure; sticky
+	step    int64
+	closed  bool
+	readers bool  // pipelined gather runs reader goroutines
+	err     error // terminal failure (recovery abandoned); sticky
+
+	// Failover state: last mirrors every node's most recent value (what
+	// recovery replays into rebuilt banks), pendingRecovery schedules a
+	// recovery pass for the next observation call, and the counters feed
+	// Health.
+	last            []int64
+	pendingRecovery bool
+	failures        int64
+	recoveries      int64
+	rrng            *rng.RNG // jitters the recovery backoff schedule
 
 	buf     []byte // reusable encode buffer
 	bbuf    []byte // reusable batch-envelope encode buffer
@@ -176,26 +246,35 @@ type Engine struct {
 // New performs the Assign/Ready handshake over the given links — peer i
 // hosts the i-th contiguous node range — and returns the coordinator.
 // It requires 1 <= len(links) <= N so every peer hosts at least one node.
-// Callers must Close the engine to release the peers. On a handshake
-// error New closes every link before returning: a half-handshaken link
-// is in an indeterminate protocol state and cannot be reused.
+// Callers must Close the engine to release the peers. On a bad
+// configuration or a handshake error New closes every link before
+// returning: a half-handshaken link is in an indeterminate protocol state
+// and cannot be reused.
 func New(cfg Config, links []transport.Link) (*Engine, error) {
+	fail := func(err error) (*Engine, error) {
+		for _, l := range links {
+			l.Close()
+		}
+		return nil, err
+	}
 	if cfg.N <= 0 {
-		panic("netrun: need N > 0")
+		return fail(errors.New("netrun: need N > 0"))
 	}
 	if cfg.K < 1 || cfg.K > cfg.N {
-		panic("netrun: need 1 <= K <= N")
+		return fail(fmt.Errorf("netrun: need 1 <= K <= N, got K=%d N=%d", cfg.K, cfg.N))
 	}
 	if len(links) == 0 || len(links) > cfg.N {
-		panic(fmt.Sprintf("netrun: need 1 <= peers <= N, got %d peers for N=%d", len(links), cfg.N))
+		return fail(fmt.Errorf("netrun: need 1 <= peers <= N, got %d peers for N=%d", len(links), cfg.N))
 	}
 	tol, err := order.NewTol(cfg.Epsilon)
 	if err != nil {
-		panic("netrun: " + err.Error())
+		return fail(fmt.Errorf("netrun: %w", err))
 	}
 	e := &Engine{
 		cfg:     cfg,
 		mach:    coord.New(coord.Config{N: cfg.N, K: cfg.K, Tol: tol}),
+		last:    make([]int64, cfg.N),
+		rrng:    rng.New(cfg.Seed, 0xbacc),
 		acks:    make([]int, len(links)),
 		touched: make([]bool, len(links)),
 	}
@@ -211,12 +290,6 @@ func New(cfg Config, links []transport.Link) (*Engine, error) {
 		}
 		e.peers = append(e.peers, &peer{link: link, lo: lo, hi: hi})
 		lo = hi
-	}
-	fail := func(err error) (*Engine, error) {
-		for _, l := range links {
-			l.Close()
-		}
-		return nil, err
 	}
 	for _, p := range e.peers {
 		e.buf = wire.Assign{
@@ -249,51 +322,65 @@ func New(cfg Config, links []transport.Link) (*Engine, error) {
 // runtime parallelism; see useReaders). Each performs exactly one Recv
 // per request token, so the frame it delivered stays untouched until the
 // engine asks for the next one; a reader exits when its request channel
-// closes (engine Close).
+// closes (engine Close, or the peer's replacement during failover).
 func (e *Engine) startReaders() {
-	if !useReaders() {
+	e.readers = useReaders()
+	if !e.readers {
 		return
 	}
 	for _, p := range e.peers {
-		p.req = make(chan struct{}, 1)
-		p.res = make(chan recvResult, 1)
-		go func(p *peer) {
-			for range p.req {
-				frame, err := p.link.Recv()
-				p.res <- recvResult{frame: frame, err: err}
-			}
-		}(p)
+		e.startReader(p)
 	}
+}
+
+// startReader attaches a fresh reader goroutine to one peer. The result
+// channel's capacity of one plus the owed <= 1 reply discipline guarantee
+// the goroutine's final send never blocks, so closing the request channel
+// always releases it.
+func (e *Engine) startReader(p *peer) {
+	p.req = make(chan struct{}, 1)
+	p.res = make(chan recvResult, 1)
+	go func(p *peer) {
+		for range p.req {
+			frame, err := p.link.Recv()
+			p.res <- recvResult{frame: frame, err: err}
+		}
+	}(p)
 }
 
 // LoopbackLinks builds one pipe pair per peer with a Serve goroutine on
 // the far end and returns the coordinator ends. It is the link factory
 // behind both NewLoopback and topk.Loopback. A Serve goroutine exits
-// cleanly when its link closes; any other serve error is a bug and
-// panics.
+// cleanly when its link closes; on a host error it closes its link, which
+// the coordinator observes as a dead peer and handles through the regular
+// failover path — a hostile or buggy frame can no longer panic the
+// process.
 func LoopbackLinks(peers int) []transport.Link {
 	links := make([]transport.Link, peers)
 	for i := range links {
-		coordEnd, node := transport.Pipe()
-		links[i] = coordEnd
-		go func() {
-			if err := Serve(node); err != nil {
-				panic(fmt.Sprintf("netrun: loopback host: %v", err))
-			}
-		}()
+		links[i] = LoopbackLink()
 	}
 	return links
+}
+
+// LoopbackLink builds a single in-process host behind a pipe and returns
+// the coordinator end: the loopback analogue of one remote peer dialing
+// in, usable as a Config.Redial factory or a Join argument.
+func LoopbackLink() transport.Link {
+	coordEnd, node := transport.Pipe()
+	go func() {
+		if err := Serve(node); err != nil {
+			node.Close()
+		}
+	}()
+	return coordEnd
 }
 
 // NewLoopback builds an in-process engine over LoopbackLinks. It is the
 // networked engine's default mode (topkmon -engine net) and the
 // configuration the equivalence tests run.
-func NewLoopback(cfg Config, peers int) *Engine {
-	e, err := New(cfg, LoopbackLinks(peers))
-	if err != nil {
-		panic(fmt.Sprintf("netrun: loopback handshake: %v", err)) // pipes cannot fail benignly
-	}
-	return e
+func NewLoopback(cfg Config, peers int) (*Engine, error) {
+	return New(cfg, LoopbackLinks(peers))
 }
 
 // Close sends every peer a Shutdown frame, closes the links and stops the
@@ -329,11 +416,29 @@ func (e *Engine) Bytes() comm.Bytes { return e.mach.Bytes() }
 // core, identical across engines for the same seed).
 func (e *Engine) Stats() coord.Stats { return e.mach.Stats() }
 
-// Err returns the first transport or protocol failure the engine hit, or
-// nil. Once set, the engine is wedged: observation calls return the last
+// Err returns the engine's terminal failure, or nil. Recoverable peer
+// failures do not set it (see Health); it becomes non-nil only once
+// recovery is abandoned — retry budget exhausted or no peers left. Once
+// set, the engine is wedged: observation calls return the last
 // successfully computed report without touching the links, and the ledger
 // stops advancing. Close remains safe.
 func (e *Engine) Err() error { return e.err }
+
+// Health reports the engine's failover state: terminal error (if any),
+// whether a recovery is pending, cumulative failure/recovery counters and
+// the live peer ranges.
+func (e *Engine) Health() coord.Health {
+	h := coord.Health{
+		Terminal:   e.err,
+		Degraded:   e.pendingRecovery,
+		Failures:   e.failures,
+		Recoveries: e.recoveries,
+	}
+	for _, p := range e.peers {
+		h.Peers = append(h.Peers, coord.PeerHealth{Lo: p.lo, Hi: p.hi, Failures: p.failures})
+	}
+	return h
+}
 
 // TransportStats sums the per-link transport statistics over all peers:
 // the frames and framed bytes that actually crossed the links, control
@@ -363,15 +468,36 @@ func (e *Engine) Top() []int { return e.mach.Top() }
 // engine.
 func (e *Engine) AppendTop(dst []int) []int { return e.mach.AppendTop(dst) }
 
-// fail records an unrecoverable transport or protocol error; the engine
-// returns last-good reports from here on.
+// emit delivers one failover event to the configured callback.
+func (e *Engine) emit(ev coord.Event) {
+	if e.cfg.OnEvent != nil {
+		e.cfg.OnEvent(ev)
+	}
+}
+
+// fail records a peer failure and schedules recovery: the peer is marked
+// dead, the current step is abandoned (callers unwind returning the
+// last-good report), and the next observation call runs the recovery
+// pass. The engine stays usable — only abandoned recovery sets Err.
 func (e *Engine) fail(p *peer, op string, err error) error {
-	e.err = fmt.Errorf("netrun: peer [%d, %d): %s: %w", p.lo, p.hi, op, err)
-	return e.err
+	p.dead = true
+	p.failures++
+	e.failures++
+	e.pendingRecovery = true
+	e.emit(coord.Event{Kind: coord.EventPeerDown, Lo: p.lo, Hi: p.hi, Err: err})
+	return fmt.Errorf("netrun: peer [%d, %d): %s: %w", p.lo, p.hi, op, err)
+}
+
+// terminal records an unrecoverable failure; the engine returns last-good
+// reports from here on.
+func (e *Engine) terminal(err error) {
+	e.err = err
+	e.emit(coord.Event{Kind: coord.EventTerminal, Lo: 0, Hi: e.cfg.N, Err: err})
 }
 
 // send ships one pre-encoded frame to a peer and flushes it (the
-// lockstep data path, also used for the handshake).
+// lockstep data path, also used for the handshake). Every frame sent this
+// way is a command owed exactly one reply.
 func (e *Engine) send(p *peer, frame []byte, op string) error {
 	if err := p.link.Send(frame); err != nil {
 		return e.fail(p, op, err)
@@ -379,6 +505,7 @@ func (e *Engine) send(p *peer, frame []byte, op string) error {
 	if err := transport.Flush(p.link); err != nil {
 		return e.fail(p, op, err)
 	}
+	p.owed = 1
 	return nil
 }
 
@@ -388,6 +515,7 @@ func (e *Engine) recvReply(p *peer, op string) error {
 	if err != nil {
 		return e.fail(p, op, err)
 	}
+	p.owed = 0
 	if err := p.reply.Decode(frame); err != nil {
 		return e.fail(p, op, err)
 	}
@@ -420,6 +548,7 @@ func (e *Engine) sendCmd(pi int, frame []byte, op string) error {
 	if err := transport.Flush(p.link); err != nil {
 		return e.fail(p, op, err)
 	}
+	p.owed = 1
 	if p.req != nil {
 		p.req <- struct{}{} // reader: start collecting the reply
 	}
@@ -432,12 +561,14 @@ func (e *Engine) sendCmd(pi int, frame []byte, op string) error {
 func (e *Engine) recvFrame(p *peer, op string) ([]byte, error) {
 	if p.res != nil {
 		r := <-p.res
+		p.owed = 0
 		if r.err != nil {
 			return nil, e.fail(p, op, r.err)
 		}
 		return r.frame, nil
 	}
 	frame, err := p.link.Recv()
+	p.owed = 0
 	if err != nil {
 		return nil, e.fail(p, op, err)
 	}
@@ -555,6 +686,7 @@ func (e *Engine) drainPending() error {
 		if err := transport.Flush(p.link); err != nil {
 			return e.fail(p, "drain", err)
 		}
+		p.owed = 1
 		if p.req != nil {
 			p.req <- struct{}{}
 		}
@@ -605,6 +737,10 @@ func (e *Engine) Observe(vals []int64) []int {
 	if e.err != nil {
 		return e.mach.Top()
 	}
+	if e.pendingRecovery && e.recoverNow() != nil {
+		return e.mach.Top()
+	}
+	copy(e.last, vals)
 	e.step = e.mach.BeginStep()
 	for pi, p := range e.peers {
 		e.buf = wire.Observe{Step: e.step, Vals: vals[p.lo:p.hi]}.Append(e.buf[:0])
@@ -670,6 +806,12 @@ func (e *Engine) ObserveDelta(ids []int, vals []int64) []int {
 	if e.err != nil {
 		return e.mach.Top()
 	}
+	if e.pendingRecovery && e.recoverNow() != nil {
+		return e.mach.Top()
+	}
+	for j, id := range ids {
+		e.last[id] = vals[j]
+	}
 	e.step = e.mach.BeginStep()
 	// Ship each peer its slice of the (sorted) delta.
 	clear(e.touched)
@@ -718,8 +860,16 @@ func (e *Engine) ObserveDelta(ids []int, vals []int64) []int {
 // same state transitions in the same places, and the step ends with hosts
 // and ledgers in the same state as lockstep mode.
 func (e *Engine) finishStep(anyTopViol, anyOutViol bool) []int {
+	_ = e.runEffects(e.mach.FinishStep(anyTopViol, anyOutViol))
+	return e.mach.Top()
+}
+
+// runEffects drives one effect chain — a step's FinishStep chain, or the
+// forced FILTERRESET of a recovery — to EffDone, executing effects as
+// frames and draining deferred commands at the end (pipelined mode). On a
+// link failure it abandons the chain with the error recorded.
+func (e *Engine) runEffects(eff coord.Effect) error {
 	pipelined := !e.cfg.Lockstep
-	eff := e.mach.FinishStep(anyTopViol, anyOutViol)
 	for eff.Kind != coord.EffDone {
 		var err error
 		switch eff.Kind {
@@ -774,15 +924,259 @@ func (e *Engine) finishStep(anyTopViol, anyOutViol bool) []int {
 			panic(fmt.Sprintf("netrun: unknown coordinator effect %d", eff.Kind))
 		}
 		if err != nil {
-			return e.mach.Top()
+			return err
 		}
 	}
 	if pipelined {
-		if err := e.drainPending(); err != nil {
-			return e.mach.Top()
+		return e.drainPending()
+	}
+	return nil
+}
+
+// recoverNow runs the recovery pass scheduled by fail: abort whatever the
+// machine had in flight, restore the peer set (redial or merge), rerun
+// the Assign handshake everywhere, replay the mirrored node values, and
+// force a FILTERRESET so membership is re-derived from live state. Each
+// full attempt is retried with jittered exponential backoff up to the
+// retry budget; exhausting it (or losing every peer) is terminal.
+func (e *Engine) recoverNow() error {
+	budget := e.cfg.retryBudget()
+	backoff := e.cfg.retryBackoff()
+	for attempt := 0; attempt < budget; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff/2 + time.Duration(e.rrng.Uint64n(uint64(backoff))))
+			if backoff < time.Second {
+				backoff *= 2
+			}
+		}
+		e.mach.Abort()
+		if err := e.restorePeers(); err != nil {
+			return err // all peers lost: already terminal
+		}
+		if err := e.reassignReplayReset(); err != nil {
+			continue // a peer died during the attempt; retry
+		}
+		e.pendingRecovery = false
+		e.recoveries++
+		e.emit(coord.Event{Kind: coord.EventRecovered, Lo: 0, Hi: e.cfg.N})
+		return nil
+	}
+	e.terminal(fmt.Errorf("netrun: recovery abandoned after %d attempts", budget))
+	return e.err
+}
+
+// restorePeers fixes the peer set: every dead peer is either replaced by
+// a freshly dialed link adopting its exact range (Config.Redial) or its
+// range is merged into a surviving neighbor. Ranges stay contiguous and
+// cover [0, N). Returns the terminal error if no peers survive.
+func (e *Engine) restorePeers() error {
+	for _, p := range e.peers {
+		if !p.dead {
+			continue
+		}
+		if p.req != nil {
+			close(p.req)
+			p.req, p.res = nil, nil
+		}
+		p.link.Close()
+		if e.cfg.Redial == nil {
+			continue
+		}
+		nl, err := e.cfg.Redial()
+		if err != nil {
+			continue // merge below
+		}
+		p.link = nl
+		p.dead = false
+		p.owed = 0
+		p.pendBuf, p.pendLens = p.pendBuf[:0], p.pendLens[:0]
+		if e.readers && !e.cfg.Lockstep {
+			e.startReader(p)
+		}
+		e.emit(coord.Event{Kind: coord.EventPeerReplaced, Lo: p.lo, Hi: p.hi})
+	}
+	// Merge the still-dead ranges: into the preceding survivor when one
+	// exists, otherwise into the next (a leading dead run extends the
+	// first survivor's range downward).
+	survivors := make([]*peer, 0, len(e.peers))
+	orphanLo := -1
+	for _, p := range e.peers {
+		if p.dead {
+			e.emit(coord.Event{Kind: coord.EventRangeMerged, Lo: p.lo, Hi: p.hi})
+			if len(survivors) > 0 {
+				survivors[len(survivors)-1].hi = p.hi
+			} else if orphanLo == -1 {
+				orphanLo = p.lo
+			}
+			continue
+		}
+		if orphanLo != -1 {
+			p.lo = orphanLo
+			orphanLo = -1
+		}
+		survivors = append(survivors, p)
+	}
+	if len(survivors) == 0 {
+		e.terminal(errors.New("netrun: all peers lost"))
+		return e.err
+	}
+	e.peers = survivors
+	if len(e.acks) != len(e.peers) {
+		e.acks = make([]int, len(e.peers))
+		e.touched = make([]bool, len(e.peers))
+	}
+	return nil
+}
+
+// recoverRecv collects one frame during recovery, honoring a running
+// reader goroutine's ownership of the link's receive side.
+func (e *Engine) recoverRecv(p *peer) ([]byte, error) {
+	if p.res != nil {
+		r := <-p.res
+		p.owed = 0
+		return r.frame, r.err
+	}
+	frame, err := p.link.Recv()
+	p.owed = 0
+	return frame, err
+}
+
+// drainOwed consumes a survivor's outstanding reply to a command sent
+// before the failure, so the link is quiescent ahead of the reassignment
+// handshake. The strict request/reply discipline bounds this to one frame.
+func (e *Engine) drainOwed(p *peer) error {
+	if p.owed == 0 {
+		return nil
+	}
+	if p.res != nil && p.req != nil {
+		// The reader received its token when the command was sent; the
+		// reply (or the link error) is already on its way to res.
+		_, err := e.recoverRecv(p)
+		return err
+	}
+	_, err := e.recoverRecv(p)
+	return err
+}
+
+// reassignReplayReset is the uniform reconfiguration step shared by
+// recovery and Join: quiesce every link, re-run the Assign handshake (the
+// hosts rebuild their banks from scratch), replay the mirrored node
+// values, and drive a forced FILTERRESET. Any peer failing here is marked
+// dead and the error returned; the caller retries or gives up.
+func (e *Engine) reassignReplayReset() error {
+	tol := e.mach.Tol()
+	for _, p := range e.peers {
+		p.pendBuf, p.pendLens = p.pendBuf[:0], p.pendLens[:0]
+		if err := e.drainOwed(p); err != nil {
+			return e.fail(p, "recovery drain", err)
 		}
 	}
-	return e.mach.Top()
+	// Assign fan-out: every host rebuilds its bank for its (possibly new)
+	// range and answers Ready.
+	for _, p := range e.peers {
+		e.buf = wire.Assign{
+			Lo: p.lo, Hi: p.hi, N: e.cfg.N, K: e.cfg.K,
+			Seed: e.cfg.Seed, EpsNum: tol.Num(), Distinct: e.cfg.DistinctValues,
+		}.Append(e.buf[:0])
+		if err := p.link.Send(e.buf); err != nil {
+			return e.fail(p, "reassign", err)
+		}
+		if err := transport.Flush(p.link); err != nil {
+			return e.fail(p, "reassign", err)
+		}
+		p.owed = 1
+		if p.req != nil {
+			p.req <- struct{}{}
+		}
+	}
+	for _, p := range e.peers {
+		frame, err := e.recoverRecv(p)
+		if err != nil {
+			return e.fail(p, "reassign ready", err)
+		}
+		if err := wire.DecodeBare(frame, wire.TypeReady); err != nil {
+			return e.fail(p, "reassign ready", err)
+		}
+	}
+	// Replay the current value of every node from the coordinator-side
+	// mirror. Rebuilt banks hold full filters, so no violations fire; the
+	// replies' flags are deliberately discarded.
+	for _, p := range e.peers {
+		e.buf = wire.Observe{Step: e.mach.Step(), Vals: e.last[p.lo:p.hi]}.Append(e.buf[:0])
+		if err := p.link.Send(e.buf); err != nil {
+			return e.fail(p, "replay", err)
+		}
+		if err := transport.Flush(p.link); err != nil {
+			return e.fail(p, "replay", err)
+		}
+		p.owed = 1
+		if p.req != nil {
+			p.req <- struct{}{}
+		}
+	}
+	for _, p := range e.peers {
+		frame, err := e.recoverRecv(p)
+		if err != nil {
+			return e.fail(p, "replay reply", err)
+		}
+		if err := p.reply.Decode(frame); err != nil {
+			return e.fail(p, "replay reply", err)
+		}
+	}
+	// Re-derive membership, filters and bounds from the replayed values.
+	e.step = e.mach.Step()
+	return e.runEffects(e.mach.ForceReset())
+}
+
+// Join attaches a late-joining peer mid-stream: the widest surviving
+// range is split and its upper half handed to the new link, then the
+// engine runs the same reassign/replay/reset cycle as failover so every
+// bank and filter is consistent before the next step. Call it between
+// observation calls only. On error the link is closed; a failure during
+// the cycle leaves recovery pending for the next observation call.
+func (e *Engine) Join(link transport.Link) error {
+	if e.closed {
+		link.Close()
+		return errors.New("netrun: Join after Close")
+	}
+	if e.err != nil {
+		link.Close()
+		return e.err
+	}
+	if e.pendingRecovery {
+		if err := e.recoverNow(); err != nil {
+			link.Close()
+			return err
+		}
+	}
+	wi, width := -1, 1
+	for i, p := range e.peers {
+		if w := p.hi - p.lo; w > width {
+			wi, width = i, w
+		}
+	}
+	if wi == -1 {
+		link.Close()
+		return errors.New("netrun: no splittable range (every peer hosts a single node)")
+	}
+	w := e.peers[wi]
+	mid := (w.lo + w.hi) / 2
+	np := &peer{link: link, lo: mid, hi: w.hi}
+	w.hi = mid
+	e.peers = append(e.peers, nil)
+	copy(e.peers[wi+2:], e.peers[wi+1:])
+	e.peers[wi+1] = np
+	e.acks = make([]int, len(e.peers))
+	e.touched = make([]bool, len(e.peers))
+	if e.readers && !e.cfg.Lockstep {
+		e.startReader(np)
+	}
+	e.emit(coord.Event{Kind: coord.EventPeerJoined, Lo: np.lo, Hi: np.hi})
+	e.mach.Abort()
+	if err := e.reassignReplayReset(); err != nil {
+		return fmt.Errorf("netrun: join: %w", err)
+	}
+	return nil
 }
 
 // execProtocol runs one Algorithm 2 execution over the effect's cohort,

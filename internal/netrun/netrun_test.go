@@ -10,6 +10,17 @@ import (
 	"repro/internal/transport"
 )
 
+// mustLoopback builds a loopback engine, failing the test on
+// constructor errors (impossible for the valid configs used here).
+func mustLoopback(tb testing.TB, cfg Config, peers int) *Engine {
+	tb.Helper()
+	e, err := NewLoopback(cfg, peers)
+	if err != nil {
+		tb.Fatalf("NewLoopback: %v", err)
+	}
+	return e
+}
+
 func equal(a, b []int) bool {
 	if len(a) != len(b) {
 		return false
@@ -72,7 +83,7 @@ func TestEquivalenceWithSequentialEngine(t *testing.T) {
 			t.Run(mode.name+"/"+tc.name, func(t *testing.T) {
 				const seed, steps = 41, 200
 				seq := core.New(core.Config{N: tc.n, K: tc.k, Seed: seed})
-				net := NewLoopback(Config{N: tc.n, K: tc.k, Seed: seed, Lockstep: mode.lockstep}, tc.peers)
+				net := mustLoopback(t, Config{N: tc.n, K: tc.k, Seed: seed, Lockstep: mode.lockstep}, tc.peers)
 				defer net.Close()
 
 				srcA, srcB := tc.src(tc.n), tc.src(tc.n)
@@ -120,7 +131,7 @@ func TestReaderGatherEquivalence(t *testing.T) {
 	defer func() { forceReaders = false }()
 	const n, k, seed, steps, peers = 20, 4, 13, 200, 4
 	seq := core.New(core.Config{N: n, K: k, Seed: seed})
-	net := NewLoopback(Config{N: n, K: k, Seed: seed}, peers)
+	net := mustLoopback(t, Config{N: n, K: k, Seed: seed}, peers)
 	defer net.Close()
 	src := stream.NewIID(stream.IIDConfig{N: n, Seed: 3, Dist: stream.Uniform, Lo: 0, Hi: 1 << 20})
 	vals := make([]int64, n)
@@ -147,7 +158,7 @@ func TestReaderGatherEquivalence(t *testing.T) {
 func TestPipelinedFramingCoalesces(t *testing.T) {
 	const n, k, seed, steps, peers = 24, 4, 19, 150, 4
 	run := func(lockstep bool) (transport.LinkStats, comm.Counts) {
-		e := NewLoopback(Config{N: n, K: k, Seed: seed, Lockstep: lockstep}, peers)
+		e := mustLoopback(t, Config{N: n, K: k, Seed: seed, Lockstep: lockstep}, peers)
 		defer e.Close()
 		src := stream.NewIID(stream.IIDConfig{N: n, Seed: 5, Dist: stream.Uniform, Lo: 0, Hi: 1 << 20})
 		vals := make([]int64, n)
@@ -177,7 +188,7 @@ func TestPipelinedFramingCoalesces(t *testing.T) {
 func TestDistinctValuesEquivalence(t *testing.T) {
 	const n, k, seed, steps = 11, 3, 29, 250
 	seq := core.New(core.Config{N: n, K: k, Seed: seed, DistinctValues: true})
-	net := NewLoopback(Config{N: n, K: k, Seed: seed, DistinctValues: true}, 3)
+	net := mustLoopback(t, Config{N: n, K: k, Seed: seed, DistinctValues: true}, 3)
 	defer net.Close()
 
 	vals := make([]int64, n)
@@ -216,7 +227,7 @@ func TestNewClosesLinksOnHandshakeFailure(t *testing.T) {
 func TestDeltaEquivalence(t *testing.T) {
 	const n, k, seed, steps = 16, 4, 9, 300
 	seq := core.New(core.Config{N: n, K: k, Seed: seed})
-	net := NewLoopback(Config{N: n, K: k, Seed: seed}, 3)
+	net := mustLoopback(t, Config{N: n, K: k, Seed: seed}, 3)
 	defer net.Close()
 
 	srcA := stream.NewSparseWalk(stream.SparseWalkConfig{N: n, Changed: 3, MaxStep: 500, Lo: 0, Hi: 1 << 20, Seed: 11})
@@ -258,7 +269,7 @@ func TestDeltaEquivalence(t *testing.T) {
 // TestEmptyDeltaStep: a step in which nothing changed still advances time
 // and must not touch any link beyond the first initialization step.
 func TestEmptyDeltaStep(t *testing.T) {
-	net := NewLoopback(Config{N: 8, K: 2, Seed: 1}, 2)
+	net := mustLoopback(t, Config{N: 8, K: 2, Seed: 1}, 2)
 	defer net.Close()
 	net.Observe(make([]int64, 8)) // init reset
 	before := net.TransportStats()
@@ -344,7 +355,7 @@ func testTCPEngine(t *testing.T, lockstep bool) {
 // TestCloseIdempotent double-closes and verifies post-close observes
 // panic.
 func TestCloseIdempotent(t *testing.T) {
-	net := NewLoopback(Config{N: 4, K: 1, Seed: 3}, 2)
+	net := mustLoopback(t, Config{N: 4, K: 1, Seed: 3}, 2)
 	net.Observe([]int64{4, 3, 2, 1})
 	net.Close()
 	net.Close()

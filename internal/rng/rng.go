@@ -15,7 +15,10 @@
 // bit-for-bit reproducible across Go versions.
 package rng
 
-import "math"
+import (
+	"errors"
+	"math"
+)
 
 // Multiplier of the PCG-XSH-RR linear congruential core (from the PCG
 // reference implementation).
@@ -44,6 +47,24 @@ func New(seed, stream uint64) *RNG {
 // repeated Split calls with the same child ids are reproducible.
 func (r *RNG) Split(child uint64) *RNG {
 	return New(r.Uint64(), child<<1^r.inc)
+}
+
+// State returns the generator's internal (state, increment) pair. Together
+// with FromState it lets checkpoint/restore machinery persist a generator
+// mid-sequence: the restored generator continues the original's output
+// exactly, which is what keeps a restored coordinator bit-identical to an
+// uninterrupted run.
+func (r *RNG) State() (state, inc uint64) { return r.state, r.inc }
+
+// FromState rebuilds a generator from a State snapshot. The increment must
+// be odd — every generator built by New or Split has one — so that the
+// LCG core keeps its full period; restoring from untrusted bytes surfaces
+// a bad increment as an error, never as a silently degraded generator.
+func FromState(state, inc uint64) (*RNG, error) {
+	if inc&1 == 0 {
+		return nil, errors.New("rng: restored increment must be odd")
+	}
+	return &RNG{state: state, inc: inc}, nil
 }
 
 // next advances the LCG core and returns the pre-advance state.

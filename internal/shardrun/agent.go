@@ -32,6 +32,22 @@ type agent struct {
 	views [][]byte // scratch for assembling the batch reply
 }
 
+// newShardBank validates an assignment and builds its node bank, exactly
+// as netrun's hosts do.
+func newShardBank(a wire.Assign) (*coord.Nodes, error) {
+	if a.N <= 0 || a.K < 1 || a.K > a.N {
+		return nil, fmt.Errorf("shardrun: bad assignment n=%d k=%d", a.N, a.K)
+	}
+	if a.Lo < 0 || a.Hi > a.N || a.Lo >= a.Hi {
+		return nil, fmt.Errorf("shardrun: bad assignment range [%d, %d) of %d", a.Lo, a.Hi, a.N)
+	}
+	tol, err := order.TolFromNum(a.EpsNum)
+	if err != nil {
+		return nil, fmt.Errorf("shardrun: bad assignment: %w", err)
+	}
+	return coord.NewNodes(a.N, a.Lo, a.Hi, a.Seed, a.Distinct, tol), nil
+}
+
 // exec runs one full delegated protocol execution over the local cohort
 // and returns its digest. The local rounds follow Algorithm 2 with the
 // global population bound the root supplies, so at S=1 the execution —
@@ -168,6 +184,22 @@ func (a *agent) respond(frame []byte) (cont bool, err error) {
 	if err != nil {
 		return false, err
 	}
+	if typ == wire.TypeAssign {
+		// Mid-stream reassignment (failover or a joining shard): rebuild the
+		// bank for the new range and ack with Ready. The root quiesces the
+		// link first, so an Assign never arrives inside a batch.
+		m, err := wire.DecodeAssign(frame)
+		if err != nil {
+			return false, err
+		}
+		nb, err := newShardBank(m)
+		if err != nil {
+			return false, err
+		}
+		a.bank = nb
+		a.buf = wire.AppendBare(a.buf[:0], wire.TypeReady)
+		return true, nil
+	}
 	if typ != wire.TypeBatch {
 		a.buf, cont, err = a.handle(frame, a.buf[:0])
 		return cont, err
@@ -220,17 +252,11 @@ func ServeShard(link transport.Link) error {
 	if err != nil {
 		return fmt.Errorf("shardrun: bad assignment: %w", err)
 	}
-	if assign.N <= 0 || assign.K < 1 || assign.K > assign.N {
-		return fmt.Errorf("shardrun: bad assignment n=%d k=%d", assign.N, assign.K)
-	}
-	if assign.Lo < 0 || assign.Hi > assign.N || assign.Lo >= assign.Hi {
-		return fmt.Errorf("shardrun: bad assignment range [%d, %d) of %d", assign.Lo, assign.Hi, assign.N)
-	}
-	tol, err := order.TolFromNum(assign.EpsNum)
+	bank, err := newShardBank(assign)
 	if err != nil {
-		return fmt.Errorf("shardrun: bad assignment: %w", err)
+		return err
 	}
-	a := &agent{bank: coord.NewNodes(assign.N, assign.Lo, assign.Hi, assign.Seed, assign.Distinct, tol)}
+	a := &agent{bank: bank}
 	if err := link.Send(wire.AppendBare(a.buf[:0], wire.TypeReady)); err != nil {
 		return fmt.Errorf("shardrun: acking assignment: %w", err)
 	}

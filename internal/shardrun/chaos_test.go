@@ -1,0 +1,203 @@
+package shardrun
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// The sharded engine's chaos suite mirrors netrun's: fault-injected
+// links must never hang, panic, or leave reports silently stale — every
+// run either re-converges to the oracle after recovery or wedges with a
+// clean terminal error.
+
+const (
+	chaosN      = 16
+	chaosK      = 4
+	chaosShards = 4
+)
+
+// driven fills vals with large fast-moving values that force
+// communication on every shard every step.
+func driven(s int, vals []int64) {
+	for i := range vals {
+		vals[i] = int64((s*31+i*17)%1000) * 50
+	}
+}
+
+// chaosEngine builds a loopback engine whose victim shard link is
+// wrapped in the given fault plan.
+func chaosEngine(lockstep, redial bool, victim int, plan transport.FaultPlan) (*Engine, error) {
+	links := LoopbackLinks(chaosShards)
+	links[victim] = transport.NewFaulty(links[victim], plan)
+	cfg := Config{N: chaosN, K: chaosK, Seed: 5, Lockstep: lockstep, RetryBackoff: time.Millisecond}
+	if redial {
+		cfg.Redial = func() (transport.Link, error) { return LoopbackLink(), nil }
+	}
+	return New(cfg, links)
+}
+
+// runChaos drives e under the chaos contract (see netrun's runChaos):
+// healthy steps track the oracle outside a two-step corruption window
+// around a fault, degraded steps return last-good, terminal engines stay
+// wedged.
+func runChaos(t *testing.T, e *Engine, steps int) {
+	t.Helper()
+	vals := make([]int64, chaosN)
+	suspect := 0
+	var last []int
+	for s := 0; s < steps; s++ {
+		driven(s, vals)
+		got := e.Observe(vals)
+		if e.Err() != nil {
+			for s2 := 1; s2 <= 5; s2++ {
+				driven(steps+s2, vals)
+				if again := e.Observe(vals); !equal(again, got) {
+					t.Fatalf("terminal engine moved its report: %v -> %v", got, again)
+				}
+			}
+			return
+		}
+		switch {
+		case e.Health().Degraded:
+			if last != nil && !equal(got, last) {
+				t.Fatalf("step %d: degraded step returned %v, want last-good %v", s, got, last)
+			}
+			suspect = 0
+		case equal(got, sim.Oracle(vals, chaosK)):
+			suspect = 0
+			last = append(last[:0], got...)
+		default:
+			suspect++
+			if suspect > 2 {
+				t.Fatalf("step %d: report stale for %d healthy steps: got %v, want %v",
+					s, suspect, got, sim.Oracle(vals, chaosK))
+			}
+			last = append(last[:0], got...)
+		}
+	}
+	if e.Health().Degraded {
+		t.Fatal("run ended degraded: recovery never completed")
+	}
+	for s := steps; s < steps+5; s++ {
+		driven(s, vals)
+		if got := e.Observe(vals); !equal(got, sim.Oracle(vals, chaosK)) {
+			t.Fatalf("step %d: post-run report %v != oracle %v", s, got, sim.Oracle(vals, chaosK))
+		}
+	}
+}
+
+// TestChaosFaultMatrix runs every fault flavor against both fan-out
+// modes of the sharded root.
+func TestChaosFaultMatrix(t *testing.T) {
+	plans := []struct {
+		name  string
+		plan  transport.FaultPlan
+		steps int // delayed runs pay OS sleep granularity per op: keep them short
+	}{
+		{"kill", transport.FaultPlan{KillAt: 40}, 80},
+		{"drop", transport.FaultPlan{DropAt: 41}, 80},
+		{"dup", transport.FaultPlan{DupAt: 42}, 80},
+		{"delay", transport.FaultPlan{Delay: 10 * time.Microsecond, Seed: 1}, 15},
+		{"drop+delay", transport.FaultPlan{DropAt: 43, Delay: 10 * time.Microsecond, Seed: 2}, 30},
+	}
+	for _, mode := range modes {
+		for _, tc := range plans {
+			t.Run(mode.name+"/"+tc.name, func(t *testing.T) {
+				e, err := chaosEngine(mode.lockstep, false, 2, tc.plan)
+				if err != nil {
+					t.Fatalf("fault fired during the handshake: %v", err)
+				}
+				defer e.Close()
+				runChaos(t, e, tc.steps)
+				h := e.Health()
+				injects := tc.plan.KillAt != 0 || tc.plan.DropAt != 0 || tc.plan.DupAt != 0
+				if injects && h.Failures == 0 {
+					t.Fatalf("fault plan %+v never fired in %d driven steps", tc.plan, tc.steps)
+				}
+				if !injects && (h.Failures != 0 || h.Recoveries != 0) {
+					t.Fatalf("delay-only plan registered failures: %+v", h)
+				}
+			})
+		}
+	}
+}
+
+// TestChaosKillAtRandomStep kills one shard at a seeded random operation
+// index across fan-out modes and merge-vs-redial recovery. A kill inside
+// the Assign handshake must surface as a clean constructor error.
+func TestChaosKillAtRandomStep(t *testing.T) {
+	for _, mode := range modes {
+		for _, redial := range []bool{false, true} {
+			name := mode.name + "/merge"
+			if redial {
+				name = mode.name + "/redial"
+			}
+			t.Run(name, func(t *testing.T) {
+				r := rng.New(0xc4a06, uint64(len(name)))
+				for trial := 0; trial < 3; trial++ {
+					killOp := int64(1 + r.Uint64n(200))
+					e, err := chaosEngine(mode.lockstep, redial, int(r.Uint64n(chaosShards)), transport.FaultPlan{KillAt: killOp})
+					if err != nil {
+						continue // killed mid-handshake: clean error is the contract
+					}
+					runChaos(t, e, 80)
+					e.Close()
+				}
+			})
+		}
+	}
+}
+
+// TestChaosKillDuringHandshake pins the mid-Assign kill on the sharded
+// constructor.
+func TestChaosKillDuringHandshake(t *testing.T) {
+	for _, killAt := range []int64{1, 2} {
+		if _, err := chaosEngine(false, false, 0, transport.FaultPlan{KillAt: killAt}); err == nil {
+			t.Fatalf("KillAt=%d during the handshake: New succeeded", killAt)
+		}
+	}
+}
+
+// TestJoinMidStream grows the shard cohort mid-run: the widest range is
+// split for the joiner and reports stay oracle-exact afterwards.
+func TestJoinMidStream(t *testing.T) {
+	for _, mode := range modes {
+		t.Run(mode.name, func(t *testing.T) {
+			const n, k = 12, 3
+			e := mustLoopback(t, Config{N: n, K: k, Seed: 5, Lockstep: mode.lockstep, RetryBackoff: time.Millisecond}, 2)
+			defer e.Close()
+			vals := make([]int64, n)
+			for s := 0; s < 15; s++ {
+				driven(s, vals)
+				e.Observe(vals)
+			}
+			if err := e.Join(LoopbackLink()); err != nil {
+				t.Fatalf("Join: %v", err)
+			}
+			h := e.Health()
+			if len(h.Peers) != 3 {
+				t.Fatalf("join left %d shards, want 3: %+v", len(h.Peers), h.Peers)
+			}
+			lo := 0
+			for _, p := range h.Peers {
+				if p.Lo != lo {
+					t.Fatalf("shard ranges not contiguous after join: %+v", h.Peers)
+				}
+				lo = p.Hi
+			}
+			if lo != n {
+				t.Fatalf("shard ranges do not cover [0, %d) after join: %+v", n, h.Peers)
+			}
+			for s := 15; s < 40; s++ {
+				driven(s, vals)
+				if got := e.Observe(vals); !equal(got, sim.Oracle(vals, k)) {
+					t.Fatalf("step %d after join: got %v, want oracle %v", s, got, sim.Oracle(vals, k))
+				}
+			}
+		})
+	}
+}

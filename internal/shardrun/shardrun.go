@@ -76,15 +76,27 @@
 // reinterpretations: a wire.Round frame from the root means "run this
 // whole execution locally" and is answered by the one new message,
 // wire.ShardDigest.
+//
+// # Failure and recovery
+//
+// Shards are fail-stop and the root recovers from their loss exactly as
+// netrun does from a peer's (see that package's "Failure and recovery"
+// section): a dead link abandons the step, and the next observation call
+// redials or merges the dead range, re-runs the Assign handshake, replays
+// the mirrored node values and forces a FILTERRESET. Health, Err, Join and
+// the Config failover knobs carry the same contracts as netrun's.
 package shardrun
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
+	"time"
 
 	"repro/internal/comm"
 	"repro/internal/coord"
 	"repro/internal/order"
+	"repro/internal/rng"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -114,6 +126,29 @@ type Config struct {
 	// bit-identical in reports and in both ledgers; they differ only in
 	// wall-clock latency and transport framing.
 	Lockstep bool
+
+	// Redial, RetryBudget, RetryBackoff and OnEvent carry netrun's failover
+	// contracts, applied to shard links.
+	Redial       func() (transport.Link, error)
+	RetryBudget  int
+	RetryBackoff time.Duration
+	OnEvent      func(coord.Event)
+}
+
+// retryBudget returns the configured recovery-attempt bound.
+func (c Config) retryBudget() int {
+	if c.RetryBudget > 0 {
+		return c.RetryBudget
+	}
+	return 3
+}
+
+// retryBackoff returns the configured base recovery backoff.
+func (c Config) retryBackoff() time.Duration {
+	if c.RetryBackoff > 0 {
+		return c.RetryBackoff
+	}
+	return 10 * time.Millisecond
 }
 
 // recvResult is one reader goroutine's answer to a gather request.
@@ -137,6 +172,12 @@ type shardPeer struct {
 	pendBuf  []byte
 	pendLens []int
 	views    [][]byte
+
+	// Failover bookkeeping (see netrun.peer): strict request/reply keeps
+	// owed 0 or 1 at any failure point.
+	owed     int
+	dead     bool
+	failures int64
 }
 
 // pending returns the number of queued ack-only commands.
@@ -158,9 +199,17 @@ type Engine struct {
 	peers    []*shardPeer
 	overhead comm.Counter // root↔shard coordination frames
 
-	step   int64
-	closed bool
-	err    error // first transport/protocol failure; sticky
+	step    int64
+	closed  bool
+	readers bool  // pipelined gather runs reader goroutines
+	err     error // terminal failure (recovery abandoned); sticky
+
+	// Failover state, mirroring netrun.Engine's.
+	last            []int64
+	pendingRecovery bool
+	failures        int64
+	recoveries      int64
+	rrng            *rng.RNG
 
 	buf     []byte // reusable encode buffer
 	bbuf    []byte // reusable batch-envelope encode buffer
@@ -174,22 +223,30 @@ type Engine struct {
 // must Close the engine. On a handshake error New closes every link
 // before returning.
 func New(cfg Config, links []transport.Link) (*Engine, error) {
+	fail := func(err error) (*Engine, error) {
+		for _, l := range links {
+			l.Close()
+		}
+		return nil, err
+	}
 	if cfg.N <= 0 {
-		panic("shardrun: need N > 0")
+		return fail(errors.New("shardrun: need N > 0"))
 	}
 	if cfg.K < 1 || cfg.K > cfg.N {
-		panic("shardrun: need 1 <= K <= N")
+		return fail(fmt.Errorf("shardrun: need 1 <= K <= N, got K=%d N=%d", cfg.K, cfg.N))
 	}
 	if len(links) == 0 || len(links) > cfg.N {
-		panic(fmt.Sprintf("shardrun: need 1 <= shards <= N, got %d shards for N=%d", len(links), cfg.N))
+		return fail(fmt.Errorf("shardrun: need 1 <= shards <= N, got %d shards for N=%d", len(links), cfg.N))
 	}
 	tol, err := order.NewTol(cfg.Epsilon)
 	if err != nil {
-		panic("shardrun: " + err.Error())
+		return fail(fmt.Errorf("shardrun: %w", err))
 	}
 	e := &Engine{
 		cfg:     cfg,
 		mach:    coord.New(coord.Config{N: cfg.N, K: cfg.K, Tol: tol}),
+		last:    make([]int64, cfg.N),
+		rrng:    rng.New(cfg.Seed, 0xbacd),
 		acks:    make([]int, len(links)),
 		touched: make([]bool, len(links)),
 	}
@@ -202,12 +259,6 @@ func New(cfg Config, links []transport.Link) (*Engine, error) {
 		}
 		e.peers = append(e.peers, &shardPeer{link: link, lo: lo, hi: hi})
 		lo = hi
-	}
-	fail := func(err error) (*Engine, error) {
-		for _, l := range links {
-			l.Close()
-		}
-		return nil, err
 	}
 	for _, p := range e.peers {
 		e.buf = wire.Assign{
@@ -238,47 +289,57 @@ func New(cfg Config, links []transport.Link) (*Engine, error) {
 // without runtime parallelism — the root then drains the fanned-out
 // replies directly in shard order (netrun.useReaders explains why).
 func (e *Engine) startReaders() {
-	if !useReaders() {
+	e.readers = useReaders()
+	if !e.readers {
 		return
 	}
 	for _, p := range e.peers {
-		p.req = make(chan struct{}, 1)
-		p.res = make(chan recvResult, 1)
-		go func(p *shardPeer) {
-			for range p.req {
-				frame, err := p.link.Recv()
-				p.res <- recvResult{frame: frame, err: err}
-			}
-		}(p)
+		e.startReader(p)
 	}
+}
+
+// startReader attaches a fresh reader goroutine to one shard link (see
+// netrun.startReader for the release argument).
+func (e *Engine) startReader(p *shardPeer) {
+	p.req = make(chan struct{}, 1)
+	p.res = make(chan recvResult, 1)
+	go func(p *shardPeer) {
+		for range p.req {
+			frame, err := p.link.Recv()
+			p.res <- recvResult{frame: frame, err: err}
+		}
+	}(p)
 }
 
 // LoopbackLinks builds one pipe pair per shard with a ServeShard
 // goroutine on the far end and returns the root ends. A serve goroutine
-// exits cleanly when its link closes; any other serve error is a bug and
-// panics.
+// exits cleanly when its link closes; on a shard error it closes its
+// link, which the root observes as a dead shard and handles through the
+// regular failover path.
 func LoopbackLinks(shards int) []transport.Link {
 	links := make([]transport.Link, shards)
 	for i := range links {
-		rootEnd, shardEnd := transport.Pipe()
-		links[i] = rootEnd
-		go func() {
-			if err := ServeShard(shardEnd); err != nil {
-				panic(fmt.Sprintf("shardrun: loopback shard: %v", err))
-			}
-		}()
+		links[i] = LoopbackLink()
 	}
 	return links
 }
 
+// LoopbackLink builds a single in-process shard behind a pipe and returns
+// the root end, usable as a Config.Redial factory or a Join argument.
+func LoopbackLink() transport.Link {
+	rootEnd, shardEnd := transport.Pipe()
+	go func() {
+		if err := ServeShard(shardEnd); err != nil {
+			shardEnd.Close()
+		}
+	}()
+	return rootEnd
+}
+
 // NewLoopback builds an in-process sharded engine over LoopbackLinks. It
 // is the engine behind topk.Config.Shards and topkmon -shards.
-func NewLoopback(cfg Config, shards int) *Engine {
-	e, err := New(cfg, LoopbackLinks(shards))
-	if err != nil {
-		panic(fmt.Sprintf("shardrun: loopback handshake: %v", err)) // pipes cannot fail benignly
-	}
-	return e
+func NewLoopback(cfg Config, shards int) (*Engine, error) {
+	return New(cfg, LoopbackLinks(shards))
 }
 
 // Close sends every shard a Shutdown frame, closes the links and stops
@@ -323,11 +384,26 @@ func (e *Engine) Overhead() comm.Counts { return e.overhead.Snapshot() }
 // frames.
 func (e *Engine) OverheadBytes() comm.Bytes { return e.overhead.BytesSnapshot() }
 
-// Err returns the first transport or protocol failure the engine hit, or
-// nil. Once set, the engine is wedged: observation calls return the last
-// successfully computed report without touching the links. Close remains
-// safe.
+// Err returns the engine's terminal failure, or nil. Recoverable shard
+// failures do not set it (see Health); it becomes non-nil only once
+// recovery is abandoned. Once set, the engine is wedged: observation
+// calls return the last successfully computed report without touching the
+// links. Close remains safe.
 func (e *Engine) Err() error { return e.err }
+
+// Health reports the root's failover state, as netrun.Engine.Health does.
+func (e *Engine) Health() coord.Health {
+	h := coord.Health{
+		Terminal:   e.err,
+		Degraded:   e.pendingRecovery,
+		Failures:   e.failures,
+		Recoveries: e.recoveries,
+	}
+	for _, p := range e.peers {
+		h.Peers = append(h.Peers, coord.PeerHealth{Lo: p.lo, Hi: p.hi, Failures: p.failures})
+	}
+	return h
+}
 
 // TransportStats sums the per-link transport statistics over all shards.
 func (e *Engine) TransportStats() transport.LinkStats {
@@ -353,10 +429,28 @@ func (e *Engine) Top() []int { return e.mach.Top() }
 // the extended slice. The appended values are copies owned by the caller.
 func (e *Engine) AppendTop(dst []int) []int { return e.mach.AppendTop(dst) }
 
-// fail records an unrecoverable transport or protocol error.
+// emit delivers one failover event to the configured callback.
+func (e *Engine) emit(ev coord.Event) {
+	if e.cfg.OnEvent != nil {
+		e.cfg.OnEvent(ev)
+	}
+}
+
+// fail records a shard failure and schedules recovery (see netrun.fail):
+// only abandoned recovery sets Err.
 func (e *Engine) fail(p *shardPeer, op string, err error) error {
-	e.err = fmt.Errorf("shardrun: shard [%d, %d): %s: %w", p.lo, p.hi, op, err)
-	return e.err
+	p.dead = true
+	p.failures++
+	e.failures++
+	e.pendingRecovery = true
+	e.emit(coord.Event{Kind: coord.EventPeerDown, Lo: p.lo, Hi: p.hi, Err: err})
+	return fmt.Errorf("shardrun: shard [%d, %d): %s: %w", p.lo, p.hi, op, err)
+}
+
+// terminal records an unrecoverable failure.
+func (e *Engine) terminal(err error) {
+	e.err = err
+	e.emit(coord.Event{Kind: coord.EventTerminal, Lo: 0, Hi: e.cfg.N, Err: err})
 }
 
 // send ships one pre-encoded frame to a shard and flushes it, charging it
@@ -369,6 +463,7 @@ func (e *Engine) send(p *shardPeer, frame []byte, op string) error {
 	if err := transport.Flush(p.link); err != nil {
 		return e.fail(p, op, err)
 	}
+	p.owed = 1
 	e.overhead.RecordSized(comm.Down, 1, int64(len(frame)))
 	return nil
 }
@@ -377,6 +472,7 @@ func (e *Engine) send(p *shardPeer, frame []byte, op string) error {
 // message of its encoded size (lockstep path).
 func (e *Engine) recv(p *shardPeer, op string) ([]byte, error) {
 	frame, err := p.link.Recv()
+	p.owed = 0
 	if err != nil {
 		return nil, e.fail(p, op, err)
 	}
@@ -424,6 +520,7 @@ func (e *Engine) sendCmd(pi int, frame []byte, op string) error {
 	if err := transport.Flush(p.link); err != nil {
 		return e.fail(p, op, err)
 	}
+	p.owed = 1
 	e.overhead.RecordSized(comm.Down, 1, int64(len(frame)))
 	if p.req != nil {
 		p.req <- struct{}{}
@@ -436,12 +533,14 @@ func (e *Engine) sendCmd(pi int, frame []byte, op string) error {
 func (e *Engine) recvFrame(p *shardPeer, op string) ([]byte, error) {
 	if p.res != nil {
 		r := <-p.res
+		p.owed = 0
 		if r.err != nil {
 			return nil, e.fail(p, op, r.err)
 		}
 		return r.frame, nil
 	}
 	frame, err := p.link.Recv()
+	p.owed = 0
 	if err != nil {
 		return nil, e.fail(p, op, err)
 	}
@@ -571,6 +670,7 @@ func (e *Engine) drainPending() error {
 		if err := transport.Flush(p.link); err != nil {
 			return e.fail(p, "drain", err)
 		}
+		p.owed = 1
 		if p.req != nil {
 			p.req <- struct{}{}
 		}
@@ -646,6 +746,10 @@ func (e *Engine) Observe(vals []int64) []int {
 	if e.err != nil {
 		return e.mach.Top()
 	}
+	if e.pendingRecovery && e.recoverNow() != nil {
+		return e.mach.Top()
+	}
+	copy(e.last, vals)
 	e.step = e.mach.BeginStep()
 	for pi, p := range e.peers {
 		e.buf = wire.Observe{Step: e.step, Vals: vals[p.lo:p.hi]}.Append(e.buf[:0])
@@ -686,6 +790,12 @@ func (e *Engine) ObserveDelta(ids []int, vals []int64) []int {
 	if e.err != nil {
 		return e.mach.Top()
 	}
+	if e.pendingRecovery && e.recoverNow() != nil {
+		return e.mach.Top()
+	}
+	for j, id := range ids {
+		e.last[id] = vals[j]
+	}
 	e.step = e.mach.BeginStep()
 	clear(e.touched)
 	start := 0
@@ -725,8 +835,14 @@ func (e *Engine) ObserveDelta(ids []int, vals []int64) []int {
 // one final batched exchange, exactly as in netrun (see that package's
 // determinism argument).
 func (e *Engine) finishStep(anyTopViol, anyOutViol bool) []int {
+	_ = e.runEffects(e.mach.FinishStep(anyTopViol, anyOutViol))
+	return e.mach.Top()
+}
+
+// runEffects drives one effect chain — a step's FinishStep chain, or the
+// forced FILTERRESET of a recovery — to EffDone (see netrun.runEffects).
+func (e *Engine) runEffects(eff coord.Effect) error {
 	pipelined := !e.cfg.Lockstep
-	eff := e.mach.FinishStep(anyTopViol, anyOutViol)
 	for eff.Kind != coord.EffDone {
 		var err error
 		switch eff.Kind {
@@ -783,15 +899,236 @@ func (e *Engine) finishStep(anyTopViol, anyOutViol bool) []int {
 			panic(fmt.Sprintf("shardrun: unknown coordinator effect %d", eff.Kind))
 		}
 		if err != nil {
-			return e.mach.Top()
+			return err
 		}
 	}
 	if pipelined {
-		if err := e.drainPending(); err != nil {
-			return e.mach.Top()
+		return e.drainPending()
+	}
+	return nil
+}
+
+// recoverNow runs the recovery pass scheduled by fail, with netrun's
+// contract: redial or merge, reassign, replay, forced FILTERRESET, under
+// a jittered-backoff retry budget.
+func (e *Engine) recoverNow() error {
+	budget := e.cfg.retryBudget()
+	backoff := e.cfg.retryBackoff()
+	for attempt := 0; attempt < budget; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff/2 + time.Duration(e.rrng.Uint64n(uint64(backoff))))
+			if backoff < time.Second {
+				backoff *= 2
+			}
+		}
+		e.mach.Abort()
+		if err := e.restorePeers(); err != nil {
+			return err // all shards lost: already terminal
+		}
+		if err := e.reassignReplayReset(); err != nil {
+			continue // a shard died during the attempt; retry
+		}
+		e.pendingRecovery = false
+		e.recoveries++
+		e.emit(coord.Event{Kind: coord.EventRecovered, Lo: 0, Hi: e.cfg.N})
+		return nil
+	}
+	e.terminal(fmt.Errorf("shardrun: recovery abandoned after %d attempts", budget))
+	return e.err
+}
+
+// restorePeers replaces or merges every dead shard (see
+// netrun.restorePeers; the logic is identical).
+func (e *Engine) restorePeers() error {
+	for _, p := range e.peers {
+		if !p.dead {
+			continue
+		}
+		if p.req != nil {
+			close(p.req)
+			p.req, p.res = nil, nil
+		}
+		p.link.Close()
+		if e.cfg.Redial == nil {
+			continue
+		}
+		nl, err := e.cfg.Redial()
+		if err != nil {
+			continue // merge below
+		}
+		p.link = nl
+		p.dead = false
+		p.owed = 0
+		p.pendBuf, p.pendLens = p.pendBuf[:0], p.pendLens[:0]
+		if e.readers && !e.cfg.Lockstep {
+			e.startReader(p)
+		}
+		e.emit(coord.Event{Kind: coord.EventPeerReplaced, Lo: p.lo, Hi: p.hi})
+	}
+	survivors := make([]*shardPeer, 0, len(e.peers))
+	orphanLo := -1
+	for _, p := range e.peers {
+		if p.dead {
+			e.emit(coord.Event{Kind: coord.EventRangeMerged, Lo: p.lo, Hi: p.hi})
+			if len(survivors) > 0 {
+				survivors[len(survivors)-1].hi = p.hi
+			} else if orphanLo == -1 {
+				orphanLo = p.lo
+			}
+			continue
+		}
+		if orphanLo != -1 {
+			p.lo = orphanLo
+			orphanLo = -1
+		}
+		survivors = append(survivors, p)
+	}
+	if len(survivors) == 0 {
+		e.terminal(errors.New("shardrun: all shards lost"))
+		return e.err
+	}
+	e.peers = survivors
+	if len(e.acks) != len(e.peers) {
+		e.acks = make([]int, len(e.peers))
+		e.touched = make([]bool, len(e.peers))
+	}
+	return nil
+}
+
+// recoverRecv collects one frame during recovery, honoring a running
+// reader goroutine's ownership of the link's receive side.
+func (e *Engine) recoverRecv(p *shardPeer) ([]byte, error) {
+	if p.res != nil {
+		r := <-p.res
+		p.owed = 0
+		return r.frame, r.err
+	}
+	frame, err := p.link.Recv()
+	p.owed = 0
+	return frame, err
+}
+
+// drainOwed consumes a survivor's outstanding pre-failure reply so the
+// link is quiescent ahead of the reassignment handshake.
+func (e *Engine) drainOwed(p *shardPeer) error {
+	if p.owed == 0 {
+		return nil
+	}
+	_, err := e.recoverRecv(p)
+	return err
+}
+
+// reassignReplayReset is the uniform reconfiguration step shared by
+// recovery and Join (see netrun.reassignReplayReset). Recovery frames are
+// charged to the overhead ledger like any other coordination traffic.
+func (e *Engine) reassignReplayReset() error {
+	tol := e.mach.Tol()
+	for _, p := range e.peers {
+		p.pendBuf, p.pendLens = p.pendBuf[:0], p.pendLens[:0]
+		if err := e.drainOwed(p); err != nil {
+			return e.fail(p, "recovery drain", err)
 		}
 	}
-	return e.mach.Top()
+	for _, p := range e.peers {
+		e.buf = wire.Assign{
+			Lo: p.lo, Hi: p.hi, N: e.cfg.N, K: e.cfg.K,
+			Seed: e.cfg.Seed, EpsNum: tol.Num(), Distinct: e.cfg.DistinctValues,
+		}.Append(e.buf[:0])
+		if err := p.link.Send(e.buf); err != nil {
+			return e.fail(p, "reassign", err)
+		}
+		if err := transport.Flush(p.link); err != nil {
+			return e.fail(p, "reassign", err)
+		}
+		p.owed = 1
+		e.overhead.RecordSized(comm.Down, 1, int64(len(e.buf)))
+		if p.req != nil {
+			p.req <- struct{}{}
+		}
+	}
+	for _, p := range e.peers {
+		frame, err := e.recoverRecv(p)
+		if err != nil {
+			return e.fail(p, "reassign ready", err)
+		}
+		if err := wire.DecodeBare(frame, wire.TypeReady); err != nil {
+			return e.fail(p, "reassign ready", err)
+		}
+		e.overhead.RecordSized(comm.Up, 1, int64(len(frame)))
+	}
+	for _, p := range e.peers {
+		e.buf = wire.Observe{Step: e.mach.Step(), Vals: e.last[p.lo:p.hi]}.Append(e.buf[:0])
+		if err := p.link.Send(e.buf); err != nil {
+			return e.fail(p, "replay", err)
+		}
+		if err := transport.Flush(p.link); err != nil {
+			return e.fail(p, "replay", err)
+		}
+		p.owed = 1
+		e.overhead.RecordSized(comm.Down, 1, int64(len(e.buf)))
+		if p.req != nil {
+			p.req <- struct{}{}
+		}
+	}
+	for _, p := range e.peers {
+		frame, err := e.recoverRecv(p)
+		if err != nil {
+			return e.fail(p, "replay reply", err)
+		}
+		if err := p.reply.Decode(frame); err != nil {
+			return e.fail(p, "replay reply", err)
+		}
+		e.overhead.RecordSized(comm.Up, 1, int64(len(frame)))
+	}
+	e.step = e.mach.Step()
+	return e.runEffects(e.mach.ForceReset())
+}
+
+// Join attaches a late-joining shard mid-stream by splitting the widest
+// surviving range, with netrun.Join's contract.
+func (e *Engine) Join(link transport.Link) error {
+	if e.closed {
+		link.Close()
+		return errors.New("shardrun: Join after Close")
+	}
+	if e.err != nil {
+		link.Close()
+		return e.err
+	}
+	if e.pendingRecovery {
+		if err := e.recoverNow(); err != nil {
+			link.Close()
+			return err
+		}
+	}
+	wi, width := -1, 1
+	for i, p := range e.peers {
+		if w := p.hi - p.lo; w > width {
+			wi, width = i, w
+		}
+	}
+	if wi == -1 {
+		link.Close()
+		return errors.New("shardrun: no splittable range (every shard hosts a single node)")
+	}
+	w := e.peers[wi]
+	mid := (w.lo + w.hi) / 2
+	np := &shardPeer{link: link, lo: mid, hi: w.hi}
+	w.hi = mid
+	e.peers = append(e.peers, nil)
+	copy(e.peers[wi+2:], e.peers[wi+1:])
+	e.peers[wi+1] = np
+	e.acks = make([]int, len(e.peers))
+	e.touched = make([]bool, len(e.peers))
+	if e.readers && !e.cfg.Lockstep {
+		e.startReader(np)
+	}
+	e.emit(coord.Event{Kind: coord.EventPeerJoined, Lo: np.lo, Hi: np.hi})
+	e.mach.Abort()
+	if err := e.reassignReplayReset(); err != nil {
+		return fmt.Errorf("shardrun: join: %w", err)
+	}
+	return nil
 }
 
 // execDelegated fans one protocol execution out to all shards and merges

@@ -3,12 +3,25 @@ package shardrun
 import (
 	"context"
 	"testing"
+	"time"
 
 	"repro/internal/comm"
 	"repro/internal/core"
+	"repro/internal/sim"
 	"repro/internal/stream"
 	"repro/internal/transport"
 )
+
+// mustLoopback builds a loopback engine, failing the test on
+// constructor errors (impossible for the valid configs used here).
+func mustLoopback(tb testing.TB, cfg Config, shards int) *Engine {
+	tb.Helper()
+	e, err := NewLoopback(cfg, shards)
+	if err != nil {
+		tb.Fatalf("NewLoopback: %v", err)
+	}
+	return e
+}
 
 func equal(a, b []int) bool {
 	if len(a) != len(b) {
@@ -44,7 +57,7 @@ func TestSingleShardBitIdentical(t *testing.T) {
 func testSingleShardBitIdentical(t *testing.T, lockstep bool) {
 	const n, k, seed, steps = 13, 4, 41, 250
 	seq := core.New(core.Config{N: n, K: k, Seed: seed})
-	sh := NewLoopback(Config{N: n, K: k, Seed: seed, Lockstep: lockstep}, 1)
+	sh := mustLoopback(t, Config{N: n, K: k, Seed: seed, Lockstep: lockstep}, 1)
 	defer sh.Close()
 
 	srcA := stream.NewRandomWalk(stream.WalkConfig{N: n, Lo: 0, Hi: 100000, MaxStep: 400, Seed: 2})
@@ -116,7 +129,7 @@ func TestMultiShardReportEquivalence(t *testing.T) {
 				t.Run(mode.name+"/"+tc.name, func(t *testing.T) {
 					const seed, steps = 41, 200
 					seq := core.New(core.Config{N: tc.n, K: tc.k, Seed: seed})
-					sh := NewLoopback(Config{N: tc.n, K: tc.k, Seed: seed, Lockstep: mode.lockstep}, shards)
+					sh := mustLoopback(t, Config{N: tc.n, K: tc.k, Seed: seed, Lockstep: mode.lockstep}, shards)
 					defer sh.Close()
 
 					srcA, srcB := tc.src(tc.n), tc.src(tc.n)
@@ -149,7 +162,7 @@ func TestReaderGatherEquivalence(t *testing.T) {
 	const n, k, seed, steps = 20, 4, 13, 200
 	for _, shards := range []int{1, 4} {
 		seq := core.New(core.Config{N: n, K: k, Seed: seed})
-		sh := NewLoopback(Config{N: n, K: k, Seed: seed}, shards)
+		sh := mustLoopback(t, Config{N: n, K: k, Seed: seed}, shards)
 		src := stream.NewIID(stream.IIDConfig{N: n, Seed: 3, Dist: stream.Uniform, Lo: 0, Hi: 1 << 20})
 		vals := make([]int64, n)
 		for s := 0; s < steps; s++ {
@@ -175,7 +188,7 @@ func TestOverheadModeIndependent(t *testing.T) {
 	const n, k, seed, steps = 16, 4, 3, 200
 	for _, shards := range []int{1, 2, 4} {
 		run := func(lockstep bool) (comm.Counts, comm.Bytes, transport.LinkStats) {
-			sh := NewLoopback(Config{N: n, K: k, Seed: seed, Lockstep: lockstep}, shards)
+			sh := mustLoopback(t, Config{N: n, K: k, Seed: seed, Lockstep: lockstep}, shards)
 			defer sh.Close()
 			src := stream.NewIID(stream.IIDConfig{N: n, Seed: 8, Dist: stream.Uniform, Lo: 0, Hi: 1 << 20})
 			vals := make([]int64, n)
@@ -202,7 +215,7 @@ func TestOverheadModeIndependent(t *testing.T) {
 func TestDeltaEquivalence(t *testing.T) {
 	const n, k, seed, steps = 16, 4, 9, 300
 	seq := core.New(core.Config{N: n, K: k, Seed: seed})
-	sh := NewLoopback(Config{N: n, K: k, Seed: seed}, 2)
+	sh := mustLoopback(t, Config{N: n, K: k, Seed: seed}, 2)
 	defer sh.Close()
 
 	srcA := stream.NewSparseWalk(stream.SparseWalkConfig{N: n, Changed: 3, MaxStep: 500, Lo: 0, Hi: 1 << 20, Seed: 11})
@@ -238,7 +251,7 @@ func TestDeltaEquivalence(t *testing.T) {
 func TestDistinctValuesEquivalence(t *testing.T) {
 	const n, k, seed, steps = 11, 3, 29, 250
 	seq := core.New(core.Config{N: n, K: k, Seed: seed, DistinctValues: true})
-	sh := NewLoopback(Config{N: n, K: k, Seed: seed, DistinctValues: true}, 3)
+	sh := mustLoopback(t, Config{N: n, K: k, Seed: seed, DistinctValues: true}, 3)
 	defer sh.Close()
 
 	vals := make([]int64, n)
@@ -332,7 +345,7 @@ func TestOverheadGrowsWithShards(t *testing.T) {
 	const n, k, seed, steps = 16, 4, 3, 150
 	frames := make([]int64, 0, 3)
 	for _, shards := range []int{1, 2, 4} {
-		sh := NewLoopback(Config{N: n, K: k, Seed: seed}, shards)
+		sh := mustLoopback(t, Config{N: n, K: k, Seed: seed}, shards)
 		src := stream.NewRandomWalk(stream.WalkConfig{N: n, Lo: 0, Hi: 1 << 16, MaxStep: 500, Seed: 8})
 		vals := make([]int64, n)
 		for s := 0; s < steps; s++ {
@@ -347,11 +360,14 @@ func TestOverheadGrowsWithShards(t *testing.T) {
 	}
 }
 
-// TestDeadShardSurfacesError mirrors the netrun failure contract for the
-// sharded engine.
-func TestDeadShardSurfacesError(t *testing.T) {
+// TestDeadShardRecovers mirrors the netrun recovery contract for the
+// sharded engine: a dead shard link degrades health for one observation
+// call, then the next call merges its range into a survivor and reports
+// track the oracle again. Losing the only shard with no Redial goes
+// terminal instead.
+func TestDeadShardRecovers(t *testing.T) {
 	const n, k = 12, 3
-	sh := NewLoopback(Config{N: n, K: k, Seed: 7}, 3)
+	sh := mustLoopback(t, Config{N: n, K: k, Seed: 7, RetryBackoff: time.Millisecond}, 3)
 	defer sh.Close()
 	src := stream.NewRandomWalk(stream.WalkConfig{N: n, Lo: 0, Hi: 1 << 16, MaxStep: 400, Seed: 9})
 	vals := make([]int64, n)
@@ -361,23 +377,83 @@ func TestDeadShardSurfacesError(t *testing.T) {
 		lastGood = append(lastGood[:0], sh.Observe(vals)...)
 	}
 	sh.peers[2].link.Close()
-	for s := 0; s < 5; s++ {
+	drive := func(s int) {
+		for i := range vals {
+			vals[i] = int64((s*13+i*7)%100) * 500
+		}
+	}
+	detected := false
+	for s := 0; s < 5 && !detected; s++ {
+		drive(s)
+		got := sh.Observe(vals)
+		if sh.Health().Degraded {
+			if !equal(got, lastGood) {
+				t.Fatalf("detecting step returned %v, want last-good %v", got, lastGood)
+			}
+			detected = true
+		} else {
+			lastGood = append(lastGood[:0], got...)
+		}
+	}
+	if !detected {
+		t.Fatal("dead shard never surfaced as Degraded health")
+	}
+	for s := 5; s < 25; s++ {
+		drive(s)
+		got := sh.Observe(vals)
+		if sh.Err() != nil {
+			t.Fatalf("step %d: recovery went terminal: %v", s, sh.Err())
+		}
+		if want := sim.Oracle(vals, k); !equal(got, want) {
+			t.Fatalf("step %d after recovery: got %v, want oracle %v", s, got, want)
+		}
+	}
+	h := sh.Health()
+	if h.Recoveries != 1 || len(h.Peers) != 2 {
+		t.Fatalf("recovery health off: %+v", h)
+	}
+	// Recovery coordination is charged to the overhead ledger, never the
+	// model ledger: overall counts must still satisfy the model's shape.
+	if sh.Overhead().Total() == 0 {
+		t.Fatal("recovery charged nothing to the overhead ledger")
+	}
+}
+
+// TestLastShardLostIsTerminal: no survivors and no Redial wedges the
+// sharded engine cleanly.
+func TestLastShardLostIsTerminal(t *testing.T) {
+	const n, k = 8, 2
+	sh := mustLoopback(t, Config{N: n, K: k, Seed: 3, RetryBackoff: time.Millisecond}, 1)
+	defer sh.Close()
+	vals := make([]int64, n)
+	var lastGood []int
+	for s := 0; s < 8; s++ {
+		for i := range vals {
+			vals[i] = int64((s*13+i*7)%100) * 500
+		}
+		lastGood = append(lastGood[:0], sh.Observe(vals)...)
+	}
+	sh.peers[0].link.Close()
+	for s := 8; s < 14; s++ {
 		for i := range vals {
 			vals[i] = int64((s*13+i*7)%100) * 500
 		}
 		if got := sh.Observe(vals); !equal(got, lastGood) {
-			t.Fatalf("report after dead shard: got %v, want last-good %v", got, lastGood)
+			t.Fatalf("wedged engine changed its report: %v vs %v", got, lastGood)
 		}
 	}
 	if sh.Err() == nil {
-		t.Fatal("dead shard did not surface as an error")
+		t.Fatal("losing the only shard did not go terminal")
+	}
+	if sh.Health().Terminal == nil {
+		t.Fatal("terminal engine reports healthy")
 	}
 }
 
 // TestCloseIdempotent double-closes and verifies post-close observes
 // panic.
 func TestCloseIdempotent(t *testing.T) {
-	sh := NewLoopback(Config{N: 4, K: 1, Seed: 3}, 2)
+	sh := mustLoopback(t, Config{N: 4, K: 1, Seed: 3}, 2)
 	sh.Observe([]int64{4, 3, 2, 1})
 	sh.Close()
 	sh.Close()

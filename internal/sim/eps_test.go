@@ -26,14 +26,34 @@ func epsWalk(n int, seed uint64) *stream.RandomWalk {
 // closer is implemented by the engines that own goroutines or links.
 type closer interface{ Close() }
 
+// mustNet and mustShard build loopback engines, failing the test on
+// constructor errors (impossible for the valid configs used here).
+func mustNet(tb testing.TB, cfg netrun.Config, peers int) *netrun.Engine {
+	tb.Helper()
+	e, err := netrun.NewLoopback(cfg, peers)
+	if err != nil {
+		tb.Fatalf("netrun.NewLoopback: %v", err)
+	}
+	return e
+}
+
+func mustShard(tb testing.TB, cfg shardrun.Config, shards int) *shardrun.Engine {
+	tb.Helper()
+	e, err := shardrun.NewLoopback(cfg, shards)
+	if err != nil {
+		tb.Fatalf("shardrun.NewLoopback: %v", err)
+	}
+	return e
+}
+
 // epsEngines builds one instance of every engine at the given tolerance.
-func epsEngines(n, k int, seed uint64, eps float64) map[string]sim.Algorithm {
+func epsEngines(tb testing.TB, n, k int, seed uint64, eps float64) map[string]sim.Algorithm {
 	return map[string]sim.Algorithm{
 		"core":    core.New(core.Config{N: n, K: k, Seed: seed, Epsilon: eps}),
 		"runtime": runtime.New(runtime.Config{N: n, K: k, Seed: seed, Epsilon: eps}),
-		"netrun":  netrun.NewLoopback(netrun.Config{N: n, K: k, Seed: seed, Epsilon: eps}, 3),
-		"shard=1": shardrun.NewLoopback(shardrun.Config{N: n, K: k, Seed: seed, Epsilon: eps}, 1),
-		"shard=3": shardrun.NewLoopback(shardrun.Config{N: n, K: k, Seed: seed, Epsilon: eps}, 3),
+		"netrun":  mustNet(tb, netrun.Config{N: n, K: k, Seed: seed, Epsilon: eps}, 3),
+		"shard=1": mustShard(tb, shardrun.Config{N: n, K: k, Seed: seed, Epsilon: eps}, 1),
+		"shard=3": mustShard(tb, shardrun.Config{N: n, K: k, Seed: seed, Epsilon: eps}, 3),
 	}
 }
 
@@ -44,7 +64,7 @@ func epsEngines(n, k int, seed uint64, eps float64) map[string]sim.Algorithm {
 func TestEpsOracleAllEngines(t *testing.T) {
 	const n, k, seed, steps = 24, 4, 9, 400
 	for _, eps := range []float64{0.01, 0.05, 0.1} {
-		for name, alg := range epsEngines(n, k, seed, eps) {
+		for name, alg := range epsEngines(t, n, k, seed, eps) {
 			rep := sim.Run(alg, epsWalk(n, 5), sim.Config{Steps: steps, K: k, CheckEvery: 1, Epsilon: eps})
 			if c, ok := alg.(closer); ok {
 				c.Close()
@@ -68,8 +88,8 @@ func TestEpsOracleDelta(t *testing.T) {
 		algs := map[string]sim.DeltaAlgorithm{
 			"core":    core.New(core.Config{N: n, K: k, Seed: seed, Epsilon: eps}),
 			"runtime": runtime.New(runtime.Config{N: n, K: k, Seed: seed, Epsilon: eps}),
-			"netrun":  netrun.NewLoopback(netrun.Config{N: n, K: k, Seed: seed, Epsilon: eps}, 3),
-			"shard=2": shardrun.NewLoopback(shardrun.Config{N: n, K: k, Seed: seed, Epsilon: eps}, 2),
+			"netrun":  mustNet(t, netrun.Config{N: n, K: k, Seed: seed, Epsilon: eps}, 3),
+			"shard=2": mustShard(t, shardrun.Config{N: n, K: k, Seed: seed, Epsilon: eps}, 2),
 		}
 		for name, alg := range algs {
 			rep := sim.RunDelta(alg, src(), sim.Config{Steps: steps, K: k, CheckEvery: 1, Epsilon: eps})
@@ -94,7 +114,7 @@ func TestEpsEngineEquivalence(t *testing.T) {
 		count comm.Counts
 	}
 	got := map[string]snap{}
-	for name, alg := range epsEngines(n, k, seed, eps) {
+	for name, alg := range epsEngines(t, n, k, seed, eps) {
 		rep := sim.Run(alg, epsWalk(n, 11), sim.Config{Steps: steps, K: k, CheckEvery: 1, Epsilon: eps})
 		count := alg.Counts()
 		if c, ok := alg.(closer); ok {

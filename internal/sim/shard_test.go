@@ -22,7 +22,7 @@ func TestShardedEngineExactInSim(t *testing.T) {
 		seq := core.New(core.Config{N: n, K: k, Seed: seed})
 		seqRep := sim.Run(seq, stream.NewRandomWalk(stream.WalkConfig{N: n, Lo: 0, Hi: 1 << 18, MaxStep: 700, Seed: 5}), cfg)
 
-		sh := shardrun.NewLoopback(shardrun.Config{N: n, K: k, Seed: seed}, shards)
+		sh := mustShard(t, shardrun.Config{N: n, K: k, Seed: seed}, shards)
 		shRep := sim.Run(sh, stream.NewRandomWalk(stream.WalkConfig{N: n, Lo: 0, Hi: 1 << 18, MaxStep: 700, Seed: 5}), cfg)
 		sh.Close()
 
@@ -39,7 +39,7 @@ func TestShardedEngineExactInSim(t *testing.T) {
 		}
 
 		// Sparse path under the delta harness, oracle-checked every step.
-		shd := shardrun.NewLoopback(shardrun.Config{N: n, K: k, Seed: seed}, shards)
+		shd := mustShard(t, shardrun.Config{N: n, K: k, Seed: seed}, shards)
 		deltaRep := sim.RunDelta(shd, stream.NewSparseWalk(stream.SparseWalkConfig{
 			N: n, Changed: 2, MaxStep: 900, Lo: 0, Hi: 1 << 18, Seed: 6,
 		}), cfg)

@@ -7,7 +7,9 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
+	"repro/internal/rng"
 	"repro/internal/wire"
 )
 
@@ -126,6 +128,56 @@ func Dial(ctx context.Context, addr string) (Link, error) {
 		}()
 	}
 	return lk, nil
+}
+
+// maxDialBackoff caps DialRetry's exponential backoff: past a couple of
+// seconds, longer waits only delay recovery without reducing load.
+const maxDialBackoff = 2 * time.Second
+
+// DialRetry dials addr like Dial, retrying failed attempts up to attempts
+// times with jittered exponential backoff starting at base (each wait is
+// uniform in [backoff/2, backoff*3/2), doubling up to a cap). It exists
+// for peers that start before their coordinator listens — topkmon -join —
+// where the first dial's "connection refused" is expected, not fatal.
+// Cancelling ctx aborts both in-flight dials and backoff waits promptly.
+// attempts < 1 means one attempt; base <= 0 selects 50ms.
+func DialRetry(ctx context.Context, addr string, attempts int, base time.Duration) (Link, error) {
+	if attempts < 1 {
+		attempts = 1
+	}
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// The jitter spreads reconnection stampedes; it needs no reproducible
+	// seed, so wall-clock seeding is fine here (unlike protocol RNGs).
+	r := rng.New(uint64(time.Now().UnixNano()), 0xd1a1)
+	backoff := base
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			wait := backoff/2 + time.Duration(r.Uint64n(uint64(backoff)))
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if backoff < maxDialBackoff {
+				backoff *= 2
+			}
+		}
+		lk, err := Dial(ctx, addr)
+		if err == nil {
+			return lk, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, lastErr
+		}
+	}
+	return nil, fmt.Errorf("transport: dial %s failed after %d attempts: %w", addr, attempts, lastErr)
 }
 
 // tcpLink frames payloads onto a TCP stream as uvarint length prefixes

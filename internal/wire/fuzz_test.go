@@ -31,6 +31,21 @@ func FuzzDecode(f *testing.F) {
 			Winner{Target: 6, IsTop: true}.Append(nil),
 			Round{Tag: 4, Round: 0, Best: -9, Bound: 16, Step: 5}.Append(nil),
 		}}.Append(nil),
+		MachineState{
+			N: 8, K: 2, EpsNum: 52428, Step: 17, Init: true,
+			Steps: 17, ViolationSteps: 4, HandlerCalls: 3, Resets: 2, TopChanges: 2,
+			TPlus: 41, TMinus: 17, CurLo: 20, CurHi: 38,
+			Top:    []int{1, 5},
+			Counts: [MachineLedgerCells]int64{3, 0, 2, 5, 0, 1, 9, 0, 4},
+			Bytes:  [MachineLedgerCells]int64{12, 0, 8, 20, 0, 4, 36, 0, 16},
+		}.Append(nil),
+		NodesState{
+			N: 8, Lo: 2, Hi: 4, EpsNum: 0, Distinct: true,
+			Keys: []int64{7, -3}, IvLo: []int64{5, -9}, IvHi: []int64{9, 0},
+			OrdLo: []int64{-1 << 40, 0}, OrdHi: []int64{1 << 40, 0},
+			Flags: []byte{1, 2}, ViolStep: []int64{-1, 16},
+			RngState: []uint64{0xdeadbeef, 1}, RngInc: []uint64{3, 5},
+		}.Append(nil),
 		AppendBare(nil, TypeShutdown),
 		bytes.Repeat([]byte{0x80}, 32),
 		bytes.Repeat([]byte{0xff}, 32),
@@ -101,6 +116,16 @@ func FuzzDecode(f *testing.F) {
 			}
 		case TypeBatch:
 			var m Batch
+			if err := m.Decode(data); err == nil {
+				roundTrip(t, data, m.Append(nil))
+			}
+		case TypeMachineState:
+			var m MachineState
+			if err := m.Decode(data); err == nil {
+				roundTrip(t, data, m.Append(nil))
+			}
+		case TypeNodesState:
+			var m NodesState
 			if err := m.Decode(data); err == nil {
 				roundTrip(t, data, m.Append(nil))
 			}

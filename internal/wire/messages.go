@@ -57,6 +57,13 @@ const (
 	// order, coalescing several commands (or their replies) into one
 	// transport frame per link. Batches do not nest.
 	TypeBatch byte = 0x12
+	// TypeMachineState is a coordinator checkpoint: the idle-state fields
+	// of a coord.Machine, canonically encoded so a restored coordinator
+	// resumes bit-identically (see snapshot.go).
+	TypeMachineState byte = 0x13
+	// TypeNodesState is the node-side checkpoint companion: the per-node
+	// state of one coord.Nodes bank between steps.
+	TypeNodesState byte = 0x14
 )
 
 // MaxTolNum is the exclusive upper bound on Assign.EpsNum: tolerance

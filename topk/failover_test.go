@@ -1,0 +1,174 @@
+package topk_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netrun"
+	"repro/internal/shardrun"
+	"repro/internal/transport"
+	"repro/topk"
+)
+
+// faultyTransport is a Transport whose links the test pre-wrapped with
+// fault plans, standing in for an external caller's own substrate.
+type faultyTransport struct{ links []topk.Link }
+
+func (f *faultyTransport) Links() []topk.Link { return f.links }
+func (f *faultyTransport) Close() error       { return nil }
+
+// churn fills vals with large fast-moving values that force
+// communication on every peer every step.
+func churn(s int, vals []int64) {
+	for i := range vals {
+		vals[i] = int64((s*31+i*17)%1000) * 50
+	}
+}
+
+// TestHealthSurface pins the zero-value contract of Health across the
+// engines: in-process monitors have no links to lose, networked and
+// sharded monitors list their live peer ranges.
+func TestHealthSurface(t *testing.T) {
+	const n, k = 8, 2
+	seq, err := topk.New(topk.Config{Nodes: n, K: k, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := seq.Health(); h.Terminal != nil || h.Degraded || h.Failures != 0 || len(h.Peers) != 0 {
+		t.Fatalf("sequential monitor unhealthy at birth: %+v", h)
+	}
+	if err := seq.Join(netrun.LoopbackLink()); err == nil {
+		t.Fatal("Join on a sequential monitor succeeded")
+	}
+
+	sh, err := topk.New(topk.Config{Nodes: n, K: k, Seed: 1, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	if h := sh.Health(); len(h.Peers) != 2 || h.Peers[0].Lo != 0 || h.Peers[1].Hi != n {
+		t.Fatalf("sharded monitor peer ranges off: %+v", h.Peers)
+	}
+
+	net, err := topk.New(topk.Config{Nodes: n, K: k, Seed: 1, Transport: topk.Loopback(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	if h := net.Health(); len(h.Peers) != 3 {
+		t.Fatalf("networked monitor peer ranges off: %+v", h.Peers)
+	}
+}
+
+// TestFailoverThroughPublicAPI runs the whole failure story over the
+// public surface: a peer link dies mid-run, Observe keeps returning
+// reports without error, Health degrades then recovers, the Redial
+// factory supplies the replacement, and OnEvent sees the lifecycle.
+func TestFailoverThroughPublicAPI(t *testing.T) {
+	const n, k = 12, 3
+	links := []topk.Link{
+		netrun.LoopbackLink(),
+		netrun.LoopbackLink(),
+		transport.NewFaulty(netrun.LoopbackLink(), transport.FaultPlan{KillAt: 60}),
+	}
+	var events []topk.Event
+	mon, err := topk.New(topk.Config{
+		Nodes: n, K: k, Seed: 7,
+		Transport:    &faultyTransport{links: links},
+		Redial:       func() (topk.Link, error) { return topk.Link(netrun.LoopbackLink()), nil },
+		RetryBackoff: time.Millisecond,
+		OnEvent:      func(ev topk.Event) { events = append(events, ev) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+
+	vals := make([]int64, n)
+	sawDegraded := false
+	for s := 0; s < 60; s++ {
+		churn(s, vals)
+		if _, err := mon.Observe(vals); err != nil {
+			t.Fatalf("step %d: Observe errored through a recoverable failure: %v", s, err)
+		}
+		if mon.Health().Degraded {
+			sawDegraded = true
+		}
+	}
+	if !sawDegraded {
+		t.Fatal("the scripted kill never degraded health")
+	}
+	h := mon.Health()
+	if h.Terminal != nil || h.Degraded {
+		t.Fatalf("monitor did not recover: %+v", h)
+	}
+	if h.Failures == 0 || h.Recoveries == 0 {
+		t.Fatalf("health counters off after recovery: %+v", h)
+	}
+	if len(h.Peers) != 3 {
+		t.Fatalf("redial recovery changed the cohort size: %+v", h.Peers)
+	}
+	wantKinds := map[topk.EventKind]bool{
+		topk.EventPeerDown: false, topk.EventPeerReplaced: false, topk.EventRecovered: false,
+	}
+	for _, ev := range events {
+		if _, ok := wantKinds[ev.Kind]; ok {
+			wantKinds[ev.Kind] = true
+		}
+		if ev.Kind.String() == "" {
+			t.Fatalf("event kind %d has no name", ev.Kind)
+		}
+	}
+	for kind, seen := range wantKinds {
+		if !seen {
+			t.Errorf("event %v never delivered (got %v)", kind, events)
+		}
+	}
+}
+
+// TestJoinThroughPublicAPI attaches late joiners to both engines that
+// accept them and verifies membership and continued operation.
+func TestJoinThroughPublicAPI(t *testing.T) {
+	const n, k = 12, 3
+	cases := []struct {
+		name string
+		cfg  topk.Config
+		link func() topk.Link
+	}{
+		{"networked", topk.Config{Nodes: n, K: k, Seed: 5, Transport: topk.Loopback(2)},
+			func() topk.Link { return topk.Link(netrun.LoopbackLink()) }},
+		{"sharded", topk.Config{Nodes: n, K: k, Seed: 5, Shards: 2},
+			func() topk.Link { return topk.Link(shardrun.LoopbackLink()) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mon, err := topk.New(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer mon.Close()
+			vals := make([]int64, n)
+			for s := 0; s < 10; s++ {
+				churn(s, vals)
+				if _, err := mon.Observe(vals); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := mon.Join(tc.link()); err != nil {
+				t.Fatalf("Join: %v", err)
+			}
+			if h := mon.Health(); len(h.Peers) != 3 {
+				t.Fatalf("join left %d peers, want 3: %+v", len(h.Peers), h.Peers)
+			}
+			for s := 10; s < 25; s++ {
+				churn(s, vals)
+				if _, err := mon.Observe(vals); err != nil {
+					t.Fatalf("step %d after join: %v", s, err)
+				}
+			}
+			if h := mon.Health(); h.Failures != 0 || h.Degraded || h.Terminal != nil {
+				t.Fatalf("join degraded health: %+v", h)
+			}
+		})
+	}
+}

@@ -58,6 +58,7 @@ package topk
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/comm"
 	"repro/internal/coord"
@@ -159,6 +160,24 @@ type Config struct {
 	// bit-identical reports, message counts and charged bytes; only
 	// wall-clock latency and transport framing differ.
 	Pipeline PipelineMode
+	// Redial, when set, is called by the networked and sharded engines
+	// during failover to obtain a replacement link for a dead peer (the far
+	// end must run the matching serve loop); the replacement adopts the
+	// dead peer's exact node range. When nil, or when a redial fails, the
+	// range is merged into a surviving neighbor instead. In-process engines
+	// ignore it.
+	Redial func() (Link, error)
+	// RetryBudget bounds how many full recovery attempts the engine makes
+	// before declaring itself terminally degraded (see Health). Zero
+	// selects the default of 3.
+	RetryBudget int
+	// RetryBackoff is the base delay between recovery attempts; waits are
+	// jittered around it and double per attempt. Zero selects 10ms.
+	RetryBackoff time.Duration
+	// OnEvent, when set, receives failover events synchronously from the
+	// monitor's own goroutine; the callback must not call back into the
+	// monitor. In-process engines never emit events.
+	OnEvent func(Event)
 	// Shards selects the multi-coordinator engine: the node space is
 	// split into this many contiguous ranges, each owned by its own
 	// sub-coordinator, with a root merge layer maintaining the global
@@ -240,7 +259,17 @@ func New(cfg Config) (*Monitor, error) {
 	m := &Monitor{cfg: cfg, maxVal: maxValueFor(cfg.Nodes, cfg.DistinctValues)}
 	switch {
 	case cfg.Shards > 0:
-		m.shard = shardrun.NewLoopback(shardrun.Config{N: cfg.Nodes, K: cfg.K, Seed: cfg.Seed, DistinctValues: cfg.DistinctValues, Epsilon: cfg.Epsilon, Lockstep: cfg.Pipeline == PipelineOff}, cfg.Shards)
+		eng, err := shardrun.NewLoopback(shardrun.Config{
+			N: cfg.Nodes, K: cfg.K, Seed: cfg.Seed,
+			DistinctValues: cfg.DistinctValues, Epsilon: cfg.Epsilon,
+			Lockstep: cfg.Pipeline == PipelineOff,
+			Redial:   cfg.redialInternal(), RetryBudget: cfg.RetryBudget,
+			RetryBackoff: cfg.RetryBackoff, OnEvent: cfg.onEventInternal(),
+		}, cfg.Shards)
+		if err != nil {
+			return nil, err
+		}
+		m.shard = eng
 	case cfg.Transport != nil:
 		eng, err := newNetEngine(cfg)
 		if err != nil {
@@ -306,9 +335,12 @@ func checkValues(maxVal int64, ids []int, vals []int64) error {
 // AppendTop to retain a copy. It returns an error for a wrong-length
 // input, a value outside [-MaxValue, MaxValue] (the step is then rejected
 // atomically: no engine state changes and the monitor stays usable), a
-// closed monitor, or a networked/sharded engine whose link died (the
-// engine then stays wedged on its last-good report and every further
-// observation returns the same error). No input can panic the monitor.
+// closed monitor, or a networked/sharded engine that is terminally
+// degraded (recovery abandoned; the engine then stays wedged on its
+// last-good report and every further observation returns the same error).
+// A recoverable peer failure does not error: the step reports the
+// last-good set, Health().Degraded turns true, and the next observation
+// call runs recovery. No input can panic the monitor.
 func (m *Monitor) Observe(vals []int64) ([]int, error) {
 	if len(vals) != m.cfg.Nodes {
 		return nil, fmt.Errorf("topk: observed %d values for %d nodes", len(vals), m.cfg.Nodes)

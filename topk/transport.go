@@ -106,5 +106,9 @@ func newNetEngine(cfg Config) (*netrun.Engine, error) {
 		DistinctValues: cfg.DistinctValues,
 		Epsilon:        cfg.Epsilon,
 		Lockstep:       cfg.Pipeline == PipelineOff,
+		Redial:         cfg.redialInternal(),
+		RetryBudget:    cfg.RetryBudget,
+		RetryBackoff:   cfg.RetryBackoff,
+		OnEvent:        cfg.onEventInternal(),
 	}, internal)
 }
