@@ -22,6 +22,7 @@ import (
 	"repro/internal/shardrun"
 	"repro/internal/stream"
 	"repro/internal/transport"
+	"repro/topk"
 )
 
 var sinkTable bench.Table
@@ -444,6 +445,127 @@ func BenchmarkRecovery(b *testing.B) {
 			b.ReportMetric(steps/float64(b.N), "steps/recover")
 			b.ReportMetric(frames/float64(b.N), "frames/recover")
 		})
+	}
+}
+
+// tcpTopkTransport builds a topk.Transport over real loopback TCP links
+// with in-process Serve goroutines on the dialing side — the public-API
+// twin of tcpNetEngine. The Monitor takes ownership and closes it.
+type tcpTopkTransport struct {
+	links  []topk.Link
+	ln     *transport.Listener
+	cancel context.CancelFunc
+}
+
+func (t *tcpTopkTransport) Links() []topk.Link { return t.links }
+func (t *tcpTopkTransport) Close() error {
+	err := t.ln.Close()
+	t.cancel()
+	return err
+}
+
+func newTCPTopkTransport(b *testing.B, peers int) topk.Transport {
+	b.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	ln, err := transport.Listen(ctx, "127.0.0.1:0")
+	if err != nil {
+		cancel()
+		b.Skipf("cannot listen on loopback: %v", err)
+	}
+	for i := 0; i < peers; i++ {
+		go func() {
+			link, err := transport.Dial(ctx, ln.Addr())
+			if err == nil {
+				_ = netrun.Serve(link)
+			}
+		}()
+	}
+	links, err := ln.AcceptN(peers)
+	if err != nil {
+		cancel()
+		b.Fatal(err)
+	}
+	tl := make([]topk.Link, len(links))
+	for i, l := range links {
+		tl[i] = l
+	}
+	return &tcpTopkTransport{links: tl, ln: ln, cancel: cancel}
+}
+
+// BenchmarkAsyncThroughput measures sustained observation calls per
+// second through the public asynchronous ingestion path: one producer
+// feeds sparse delta calls (8 of 256 nodes move per call) through the
+// bounded coalescing queue, across every engine — including the
+// networked engine over both in-process pipes and real loopback TCP —
+// and across queue depths, with depth=0 as the synchronous blocking
+// baseline on the same workload. Next to the wall clock it reports
+// obs/s, the coalescing ratio (updates superseded before execution, the
+// work the queue saved), and steps/call (protocol steps actually run
+// per observation call; 1.0 means no collapsing happened). Every run
+// ends with a Drain so the measurement includes completing the backlog,
+// not just staging it. On a single core the async gain is bounded —
+// producer and worker share the CPU, so the win comes from coalescing,
+// not overlap; see EXPERIMENTS.md E21 for the caveats. CI runs this at
+// -benchtime=1x and archives the output as BENCH_async.json.
+func BenchmarkAsyncThroughput(b *testing.B) {
+	const n, k, changed = 256, 8, 8
+	engines := []struct {
+		name string
+		cfg  func(b *testing.B) topk.Config
+	}{
+		{"seq", func(b *testing.B) topk.Config { return topk.Config{Nodes: n, K: k, Seed: 7} }},
+		{"conc", func(b *testing.B) topk.Config { return topk.Config{Nodes: n, K: k, Seed: 7, Concurrent: true} }},
+		{"net-pipe", func(b *testing.B) topk.Config {
+			return topk.Config{Nodes: n, K: k, Seed: 7, Transport: topk.Loopback(4)}
+		}},
+		{"net-tcp", func(b *testing.B) topk.Config {
+			return topk.Config{Nodes: n, K: k, Seed: 7, Transport: newTCPTopkTransport(b, 4)}
+		}},
+		{"shard", func(b *testing.B) topk.Config { return topk.Config{Nodes: n, K: k, Seed: 7, Shards: 2} }},
+	}
+	for _, eng := range engines {
+		for _, depth := range []int{0, 16, n} {
+			name := bench.F("%s/sync", eng.name)
+			if depth > 0 {
+				name = bench.F("%s/queue=%d", eng.name, depth)
+			}
+			b.Run(name, func(b *testing.B) {
+				cfg := eng.cfg(b)
+				cfg.Ingest = topk.Ingest{QueueDepth: depth, Overflow: topk.OverflowBlock}
+				mon, err := topk.New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.Cleanup(mon.Close)
+				src := stream.NewSparseWalk(stream.SparseWalkConfig{
+					N: n, Changed: changed, MaxStep: 1 << 11, Lo: 1 << 18, Hi: 1 << 24, Seed: 6,
+				})
+				ids := make([]int, n)
+				vals := make([]int64, n)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					c := src.StepDelta(ids, vals)
+					if _, err := mon.ObserveDelta(ids[:c], vals[:c]); err != nil {
+						b.Fatal(err)
+					}
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+				err = mon.Drain(ctx)
+				cancel()
+				b.StopTimer()
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "obs/s")
+				if depth > 0 {
+					st := mon.IngestStats()
+					if st.Enqueued > 0 {
+						b.ReportMetric(float64(st.Coalesced)/float64(st.Enqueued), "coalesce-ratio")
+					}
+					b.ReportMetric(float64(st.Batches)/float64(b.N), "steps/call")
+				}
+			})
+		}
 	}
 }
 

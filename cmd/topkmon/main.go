@@ -16,6 +16,7 @@
 //	topkmon -n 64 -k 4 -engine net -peers 4
 //	topkmon -n 256 -k 8 -shards 4
 //	topkmon -n 64 -k 8 -epsilon 0.05
+//	topkmon -n 256 -k 8 -async -queue 128 -engine net
 //
 // Two-process demo (run the joins in separate terminals or machines; the
 // coordinator waits for all peers before streaming the workload):
@@ -38,6 +39,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/coord"
 	"repro/internal/core"
+	"repro/internal/ingest"
 	"repro/internal/netrun"
 	"repro/internal/runtime"
 	"repro/internal/shardrun"
@@ -67,6 +69,8 @@ func main() {
 		ordered  = flag.Bool("ordered", false, "monitor the exact ranking of the top-k (§5 extension)")
 		epsilon  = flag.Float64("epsilon", 0, "tolerance of ε-approximate monitoring in [0, 1): filters widen to (1±ε) bands and reports are ε-approximate instead of exact (arXiv:1601.04448)")
 		lockstep = flag.Bool("lockstep", false, "disable the pipelined transport fan-out of the net and sharded engines: send, flush and await every command peer by peer (bit-identical results, higher step latency)")
+		async    = flag.Bool("async", false, "decouple ingestion from protocol execution: stage observations in a bounded coalescing queue, Drain once at the end, and verify the final report against the oracle")
+		queue    = flag.Int("queue", 64, "per-node ingest queue depth for -async (capped at n)")
 	)
 	flag.Parse()
 
@@ -75,6 +79,18 @@ func main() {
 	}
 	if *epsilon != 0 && *ordered {
 		log.Fatal("-epsilon is not supported with -ordered")
+	}
+	if *async {
+		switch {
+		case *ordered:
+			log.Fatal("-async is not supported with -ordered (the ordered monitor is strictly lockstep)")
+		case *opt || *compare:
+			log.Fatal("-async skips per-step reports, so -opt and -compare have nothing to grade")
+		case *serve != "" || *join != "":
+			log.Fatal("-async is not wired into the -serve/-join demo; use -engine net for async over loopback links")
+		case *queue < 1:
+			log.Fatalf("-queue must be >= 1, got %d", *queue)
+		}
 	}
 
 	if *join != "" {
@@ -155,6 +171,11 @@ func main() {
 		log.Fatalf("unknown engine %q", *engine)
 	}
 
+	if *async {
+		runAsync(alg, matrix, *k, *queue, *epsilon, name)
+		return
+	}
+
 	cfg := sim.Config{Steps: ss, K: *k, CheckEvery: 1, ComputeOpt: *opt, Epsilon: *epsilon}
 	if *ordered {
 		// The set oracle in sim expects ascending ids; the ordered monitor
@@ -209,6 +230,99 @@ func main() {
 			r := sim.Run(b.alg, stream.NewTraceSource(matrix), cfg)
 			fmt.Println(sim.Describe(b.name, r))
 		}
+	}
+}
+
+// runAsync drives the -async mode: each step's changed values are staged
+// into a bounded last-write-wins ingest queue (Block overflow policy, so
+// a slow protocol round applies backpressure instead of dropping data),
+// a single Drain barrier flushes the tail, and the final report is
+// verified against the offline oracle. Because queued updates of the
+// same node coalesce, the worker usually executes far fewer protocol
+// steps than the producer enqueued calls — the printed coalesce ratio is
+// the whole point of the mode.
+func runAsync(alg sim.Algorithm, matrix [][]int64, k, queue int, epsilon float64, name string) {
+	type deltaEngine interface {
+		ObserveDelta(ids []int, vals []int64) []int
+		AppendTop(dst []int) []int
+	}
+	de, ok := alg.(deltaEngine)
+	if !ok {
+		log.Fatalf("engine %s does not support async ingestion", name)
+	}
+	n := len(matrix[0])
+	if queue > n {
+		queue = n
+	}
+	drv, err := ingest.New(ingest.Config{
+		N: n, Depth: queue, Policy: ingest.Block,
+		Apply: func(ids []int, vals []int64) error {
+			de.ObserveDelta(ids, vals)
+			if fe, ok := alg.(interface{ Err() error }); ok {
+				return fe.Err()
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		log.Fatalf("ingest driver: %v", err)
+	}
+	defer drv.Close()
+
+	ids := make([]int, n)
+	vals := make([]int64, n)
+	prev := make([]int64, n)
+	start := time.Now()
+	for s, row := range matrix {
+		c := 0
+		for i, v := range row {
+			if s == 0 || v != prev[i] {
+				ids[c], vals[c] = i, v
+				c++
+			}
+		}
+		copy(prev, row)
+		if err := drv.Enqueue(ids[:c], vals[:c]); err != nil {
+			log.Fatalf("step %d: enqueue: %v", s, err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	err = drv.Drain(ctx)
+	cancel()
+	if err != nil {
+		log.Fatalf("drain: %v", err)
+	}
+	elapsed := time.Since(start)
+	checkEngineErr(alg)
+
+	final := matrix[len(matrix)-1]
+	got := de.AppendTop(nil)
+	if epsilon == 0 {
+		want := sim.Oracle(final, k)
+		if len(got) != len(want) {
+			log.Fatalf("final report %v != oracle %v (this is a bug)", got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				log.Fatalf("final report %v != oracle %v (this is a bug)", got, want)
+			}
+		}
+	} else if !sim.EpsValid(final, got, k, epsilon) {
+		log.Fatalf("final report %v is not ε-valid for ε=%g (this is a bug)", got, epsilon)
+	}
+
+	st := drv.Stats()
+	fmt.Printf("%s async: %d calls -> %d protocol steps in %s (queue %d, policy block)\n",
+		name, len(matrix), st.Steps, elapsed.Round(time.Microsecond), queue)
+	ratio := 0.0
+	if st.Enqueued > 0 {
+		ratio = float64(st.Coalesced) / float64(st.Enqueued)
+	}
+	fmt.Printf("ingest: enqueued=%d coalesced=%d (ratio %.3f) dropped=%d max-queue=%d\n",
+		st.Enqueued, st.Coalesced, ratio, st.Dropped, st.MaxQueue)
+	fmt.Printf("final top-%d %v verified against the oracle\n", k, got)
+	if led, ok := alg.(interface{ Ledger() *comm.Ledger }); ok {
+		printLedger(led.Ledger())
 	}
 }
 

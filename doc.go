@@ -78,6 +78,21 @@
 // drifting inputs (EXPERIMENTS.md E19, BenchmarkApproxComm); Epsilon 0
 // is bit-identical to the exact algorithm on every engine.
 //
+// # Asynchronous ingestion and the Drain barrier
+//
+// topk.Config.Ingest decouples ingestion from protocol execution on any
+// engine: observation calls stage updates into a bounded last-write-wins
+// queue (one slot per node — the algorithm only needs current values, so
+// a later observation coalesces with a queued one) while a worker runs
+// the protocol, with overflow as an explicit policy (block, drop-oldest,
+// or a typed ErrQueueFull rejection). Monitor.Drain is the barrier that
+// recovers synchronous semantics: after it returns, reports, counts,
+// bytes and per-phase ledgers are bit-identical to a synchronous monitor
+// fed the applied trace, which the equivalence-under-async suites
+// enforce per engine under randomized barrier schedules (DESIGN.md
+// "Asynchronous ingestion & the Drain barrier"; EXPERIMENTS.md E21;
+// topkmon -async -queue N).
+//
 // # The value-domain boundary
 //
 // No input to the public topk API can panic the monitor. Keys are the

@@ -1,14 +1,33 @@
 package coord
 
 import (
+	"sort"
 	"testing"
 
 	"repro/internal/comm"
 	"repro/internal/order"
 	"repro/internal/protocol"
-	"repro/internal/sim"
 	"repro/internal/stream"
 )
+
+// oracle computes the exact top-k ids (ascending) under the shared
+// tie-break injection, mirroring sim.Oracle — which this package cannot
+// import since sim's async runner now builds on coord.Pending.
+func oracle(vals []int64, k int) []int {
+	codec := order.NewCodec(len(vals))
+	keys := make([]order.Key, len(vals))
+	for i, v := range vals {
+		keys[i] = codec.Encode(v, i)
+	}
+	ids := make([]int, len(vals))
+	for i := range ids {
+		ids[i] = i
+	}
+	sort.Slice(ids, func(a, b int) bool { return keys[ids[a]] > keys[ids[b]] })
+	top := append([]int(nil), ids[:k]...)
+	sort.Ints(top)
+	return top
+}
 
 // driver is the smallest possible adapter: one Machine over one Nodes
 // bank, effects executed by direct calls. It is the skeleton every real
@@ -93,7 +112,7 @@ func TestMachineExactness(t *testing.T) {
 		for s := 0; s < 300; s++ {
 			src.Step(vals)
 			got := d.observe(vals)
-			if want := sim.Oracle(vals, tc.k); !equal(got, want) {
+			if want := oracle(vals, tc.k); !equal(got, want) {
 				t.Fatalf("n=%d k=%d step %d: got %v want %v", tc.n, tc.k, s, got, want)
 			}
 		}

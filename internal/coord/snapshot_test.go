@@ -7,7 +7,6 @@ import (
 	"repro/internal/comm"
 	"repro/internal/order"
 	"repro/internal/protocol"
-	"repro/internal/sim"
 	"repro/internal/stream"
 	"repro/internal/wire"
 )
@@ -150,13 +149,13 @@ func TestAbortForceResetReconverges(t *testing.T) {
 	if got := d.mach.Stats().Resets; got != resets+1 {
 		t.Fatalf("forced reset not counted: %d -> %d", resets, got)
 	}
-	if want := sim.Oracle(vals, k); !equal(d.mach.Top(), want) {
+	if want := oracle(vals, k); !equal(d.mach.Top(), want) {
 		t.Fatalf("after forced reset: got %v want %v", d.mach.Top(), want)
 	}
 	for s := 0; s < 50; s++ {
 		src.Step(vals)
 		got := d.observe(vals)
-		if want := sim.Oracle(vals, k); !equal(got, want) {
+		if want := oracle(vals, k); !equal(got, want) {
 			t.Fatalf("post-recovery step %d: got %v want %v", s, got, want)
 		}
 	}

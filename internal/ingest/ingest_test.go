@@ -1,0 +1,370 @@
+package ingest
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+// gatedApply is the test harness's engine stand-in: it announces each
+// Apply on started, then blocks until released, so tests can
+// deterministically hold a step in flight while producers enqueue
+// against the now-busy worker.
+type gatedApply struct {
+	mu      sync.Mutex
+	batches [][]int
+	vals    [][]int64
+	started chan struct{} // one send per Apply entry (buffered)
+	release chan struct{} // one receive per Apply; closed = free-running
+	err     error
+}
+
+func newGated() *gatedApply {
+	return &gatedApply{started: make(chan struct{}, 64), release: make(chan struct{})}
+}
+
+func (g *gatedApply) apply(ids []int, vals []int64) error {
+	g.started <- struct{}{}
+	<-g.release
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.batches = append(g.batches, append([]int(nil), ids...))
+	g.vals = append(g.vals, append([]int64(nil), vals...))
+	return g.err
+}
+
+func (g *gatedApply) applied() [][]int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.batches
+}
+
+func newDriver(t *testing.T, g *gatedApply, depth int, pol Policy) *Driver {
+	t.Helper()
+	d, err := New(Config{N: 8, Depth: depth, Policy: pol, Apply: g.apply})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	return d
+}
+
+func drain(t *testing.T, d *Driver) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := d.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+}
+
+func TestDriverConfigValidation(t *testing.T) {
+	apply := func([]int, []int64) error { return nil }
+	for _, cfg := range []Config{
+		{N: 0, Depth: 1, Apply: apply},
+		{N: 4, Depth: 0, Apply: apply},
+		{N: 4, Depth: 1, Policy: Error + 1, Apply: apply},
+		{N: 4, Depth: 1},
+	} {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("New(%+v) accepted", cfg)
+		}
+	}
+}
+
+// TestDriverCoalescesUnderBacklog holds one step in flight and pins the
+// tentpole's behavior: a burst of observations of the same node
+// collapses into ONE fresher step, not a queue of stale ones.
+func TestDriverCoalescesUnderBacklog(t *testing.T) {
+	g := newGated()
+	d := newDriver(t, g, 8, Block)
+	if err := d.Enqueue([]int{0}, []int64{1}); err != nil {
+		t.Fatal(err)
+	}
+	<-g.started // step 1 := {0:1} is in flight; the worker is busy
+	for v := int64(2); v <= 5; v++ {
+		if err := d.Enqueue([]int{3}, []int64{v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.release <- struct{}{} // finish step 1
+	<-g.started             // step 2 takes the coalesced {3:5}
+	g.release <- struct{}{}
+	drain(t, d)
+	got := g.applied()
+	if len(got) != 2 {
+		t.Fatalf("applied %d steps, want 2 (burst must coalesce): %v", len(got), got)
+	}
+	if len(got[1]) != 1 || got[1][0] != 3 || g.vals[1][0] != 5 {
+		t.Fatalf("step 2 = %v/%v, want the last write [3]/[5]", got[1], g.vals[1])
+	}
+	st := d.Stats()
+	if st.Coalesced != 3 || st.Steps != 2 || st.Enqueued != 5 {
+		t.Fatalf("stats %+v, want Coalesced=3 Steps=2 Enqueued=5", st)
+	}
+}
+
+// TestDriverEmptyCallMarksStep pins that an empty observation call still
+// schedules an (empty) protocol step — the synchronous path runs one, so
+// the asynchronous path must too for drain-equivalence.
+func TestDriverEmptyCallMarksStep(t *testing.T) {
+	g := newGated()
+	close(g.release)
+	d := newDriver(t, g, 4, Block)
+	if err := d.Enqueue(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	drain(t, d)
+	if got := g.applied(); len(got) != 1 || len(got[0]) != 0 {
+		t.Fatalf("applied %v, want one empty batch", got)
+	}
+}
+
+func TestDriverErrorPolicyAtomic(t *testing.T) {
+	g := newGated()
+	d := newDriver(t, g, 2, Error)
+	// A sacrificial step keeps the worker busy so the buffer stays full.
+	if err := d.Enqueue([]int{7}, []int64{1}); err != nil {
+		t.Fatal(err)
+	}
+	<-g.started
+	if err := d.Enqueue([]int{0, 1}, []int64{10, 11}); err != nil {
+		t.Fatal(err)
+	}
+	// Two queued + two new nodes > depth: the whole call must bounce...
+	err := d.Enqueue([]int{2, 3}, []int64{12, 13})
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow returned %v, want ErrQueueFull", err)
+	}
+	// ...without admitting its first update (atomic rejection).
+	if st := d.Stats(); st.Enqueued != 3 || st.MaxQueue != 2 {
+		t.Fatalf("rejected call leaked updates: %+v", st)
+	}
+	// Coalescing-only calls still succeed while full.
+	if err := d.Enqueue([]int{1, 0}, []int64{21, 20}); err != nil {
+		t.Fatalf("coalescing call rejected: %v", err)
+	}
+	close(g.release)
+	drain(t, d)
+	if got := g.applied(); len(got) != 2 || len(got[1]) != 2 || g.vals[1][0] != 20 || g.vals[1][1] != 21 {
+		t.Fatalf("applied %v/%v, want the full batch [0 1]/[20 21] second", got, g.vals)
+	}
+}
+
+func TestDriverDropOldest(t *testing.T) {
+	var dropped []int
+	g := newGated()
+	d, err := New(Config{N: 8, Depth: 2, Policy: DropOldest, Apply: g.apply,
+		OnDrop: func(id int, _ int64) { dropped = append(dropped, id) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	// A sacrificial step keeps the worker busy while the buffer overflows.
+	if err := d.Enqueue([]int{0}, []int64{0}); err != nil {
+		t.Fatal(err)
+	}
+	<-g.started
+	for i, id := range []int{4, 5, 6, 7} { // depth 2: 4 then 5 must be evicted
+		if err := d.Enqueue([]int{id}, []int64{int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(g.release)
+	drain(t, d)
+	if len(dropped) != 2 || dropped[0] != 4 || dropped[1] != 5 {
+		t.Fatalf("dropped %v, want oldest-first [4 5]", dropped)
+	}
+	if st := d.Stats(); st.Dropped != 2 {
+		t.Fatalf("stats %+v, want Dropped=2", st)
+	}
+	if got := g.applied(); len(got) != 2 || len(got[1]) != 2 || got[1][0] != 6 || got[1][1] != 7 {
+		t.Fatalf("applied %v, want the surviving [6 7] second", got)
+	}
+}
+
+// TestDriverBlockBackpressure pins the lossless policy: a producer
+// hitting a full buffer waits for the worker instead of losing updates.
+func TestDriverBlockBackpressure(t *testing.T) {
+	g := newGated()
+	d := newDriver(t, g, 1, Block)
+	if err := d.Enqueue([]int{0}, []int64{1}); err != nil {
+		t.Fatal(err)
+	}
+	<-g.started // worker busy with {0:1}; buffer empty again
+	if err := d.Enqueue([]int{1}, []int64{2}); err != nil {
+		t.Fatal(err) // fills the depth-1 buffer without blocking
+	}
+	unblocked := make(chan error, 1)
+	go func() { unblocked <- d.Enqueue([]int{2}, []int64{3}) }()
+	select {
+	case err := <-unblocked:
+		t.Fatalf("producer did not block on a full buffer (err=%v)", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(g.release) // free-running: the worker drains, the producer gets in
+	if err := <-unblocked; err != nil {
+		t.Fatal(err)
+	}
+	drain(t, d)
+	if st := d.Stats(); st.Dropped != 0 || st.Enqueued != 3 {
+		t.Fatalf("Block lost updates: %+v", st)
+	}
+}
+
+// TestDriverStickyError pins the terminal-error contract: after Apply
+// fails once, the worker stops and every Enqueue, Drain and Err surfaces
+// that same error.
+func TestDriverStickyError(t *testing.T) {
+	boom := errors.New("boom")
+	g := newGated()
+	g.err = boom
+	close(g.release)
+	d := newDriver(t, g, 4, Block)
+	if err := d.Enqueue([]int{0}, []int64{1}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := d.Drain(ctx); !errors.Is(err, boom) {
+		t.Fatalf("Drain = %v, want the terminal error", err)
+	}
+	if err := d.Enqueue([]int{0}, []int64{2}); !errors.Is(err, boom) {
+		t.Fatalf("Enqueue after failure = %v, want the terminal error", err)
+	}
+	if err := d.Err(); !errors.Is(err, boom) {
+		t.Fatalf("Err = %v", err)
+	}
+}
+
+func TestDriverDrainContext(t *testing.T) {
+	g := newGated() // the in-flight step only finishes once released
+	d := newDriver(t, g, 4, Block)
+	if err := d.Enqueue([]int{0}, []int64{1}); err != nil {
+		t.Fatal(err)
+	}
+	<-g.started
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := d.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Drain = %v, want DeadlineExceeded", err)
+	}
+	close(g.release) // let Cleanup's Close finish the step
+}
+
+func TestDriverClose(t *testing.T) {
+	applied := make(chan struct{})
+	block := make(chan struct{})
+	d, err := New(Config{N: 4, Depth: 4, Apply: func([]int, []int64) error {
+		close(applied)
+		<-block
+		return nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Enqueue([]int{0}, []int64{1}); err != nil {
+		t.Fatal(err)
+	}
+	<-applied
+	closed := make(chan struct{})
+	go func() { d.Close(); close(closed) }()
+	select {
+	case <-closed:
+		t.Fatal("Close returned while a step was in flight")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(block)
+	<-closed
+	if err := d.Enqueue([]int{0}, []int64{2}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Enqueue after Close = %v, want ErrClosed", err)
+	}
+	if err := d.Drain(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Drain after Close = %v, want ErrClosed", err)
+	}
+	d.Close() // idempotent
+}
+
+// TestDriverConcurrentProducersSoak is the -race soak the async tentpole
+// demands: many producers with disjoint node sets hammer one driver
+// whose worker drains into a real core engine, with Drain barriers and
+// stats reads racing the whole time. Besides surviving the race
+// detector, the final drained report must be the oracle of the last
+// written values, and Block must have lost nothing.
+func TestDriverConcurrentProducersSoak(t *testing.T) {
+	const producers, perProducer, rounds = 4, 4, 300
+	n := producers * perProducer
+	eng := core.New(core.Config{N: n, K: 3, Seed: 7})
+	var mu sync.Mutex // core.Monitor is not concurrency-safe
+	d, err := New(Config{N: n, Depth: 5, Policy: Block, Apply: func(ids []int, vals []int64) error {
+		mu.Lock()
+		defer mu.Unlock()
+		eng.ObserveDelta(ids, vals)
+		return nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	final := make([]int64, n)
+	var enqueued atomic.Int64
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			r := rng.New(uint64(p)+1, 99)
+			base := p * perProducer
+			for i := 0; i < rounds; i++ {
+				id := base + int(r.Uint64n(perProducer))
+				v := int64(r.Uint64n(1 << 20))
+				if err := d.Enqueue([]int{id}, []int64{v}); err != nil {
+					t.Errorf("producer %d: %v", p, err)
+					return
+				}
+				final[id] = v // disjoint node sets: no write races
+				enqueued.Add(1)
+				if i%64 == 0 {
+					_ = d.Stats()
+					ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+					_ = d.Drain(ctx)
+					cancel()
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	drain(t, d)
+	st := d.Stats()
+	if st.Dropped != 0 {
+		t.Fatalf("Block policy dropped %d updates", st.Dropped)
+	}
+	if st.Enqueued != enqueued.Load() {
+		t.Fatalf("driver admitted %d updates, producers sent %d", st.Enqueued, enqueued.Load())
+	}
+	if st.MaxQueue > 5 {
+		t.Fatalf("queue high-water %d exceeded depth 5", st.MaxQueue)
+	}
+	// After the final barrier the engine must sit on the oracle of the
+	// last written values: Block + coalescing lost nothing but staleness.
+	twin := core.New(core.Config{N: n, K: 3, Seed: 7})
+	want := twin.Observe(final)
+	mu.Lock()
+	got := eng.AppendTop(nil)
+	mu.Unlock()
+	if len(got) != len(want) {
+		t.Fatalf("drained report %v, oracle-fed twin %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("drained report %v, oracle-fed twin %v", got, want)
+		}
+	}
+}

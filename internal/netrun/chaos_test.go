@@ -1,9 +1,12 @@
 package netrun
 
 import (
+	"context"
+	"errors"
 	"testing"
 	"time"
 
+	"repro/internal/ingest"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/transport"
@@ -160,6 +163,77 @@ func TestChaosKillAtRandomStep(t *testing.T) {
 					}
 				})
 			}
+		}
+	}
+}
+
+// TestChaosKillDuringDrain pins the asynchronous-ingestion × failover
+// interaction: a peer dies while the ingest queue is non-empty and a
+// protocol step is in flight (each dense call stages 16 nodes through a
+// depth-4 Block buffer, so producers sit in mid-call waits whenever the
+// worker stalls on a slow recovering step). The contract: no Drain may
+// outlive its deadline — a kill during a drain must never hang the
+// barrier — and after the driver is retired the engine must either
+// re-converge to the oracle or stay wedged on a clean terminal error,
+// which runChaos enforces.
+func TestChaosKillDuringDrain(t *testing.T) {
+	allIDs := make([]int, chaosN)
+	for i := range allIDs {
+		allIDs[i] = i
+	}
+	for _, mode := range modes {
+		for _, redial := range []bool{false, true} {
+			name := mode.name + "/merge"
+			if redial {
+				name = mode.name + "/redial"
+			}
+			t.Run(name, func(t *testing.T) {
+				r := rng.New(0xd6a1, uint64(len(name)))
+				for trial := 0; trial < 3; trial++ {
+					killOp := int64(1 + r.Uint64n(250))
+					e, err := chaosEngine(mode.lockstep, redial, int(r.Uint64n(chaosPeers)), transport.FaultPlan{KillAt: killOp})
+					if err != nil {
+						continue // killed mid-handshake: clean error is the contract
+					}
+					drv, err := ingest.New(ingest.Config{
+						N: chaosN, Depth: 4, Policy: ingest.Block,
+						Apply: func(ids []int, vals []int64) error {
+							e.ObserveDelta(ids, vals)
+							return e.Err()
+						},
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					vals := make([]int64, chaosN)
+					for s := 0; s < 60; s++ {
+						driven(s, vals)
+						if err := drv.Enqueue(allIDs, vals); err != nil {
+							break // engine went terminal mid-burst; checked below
+						}
+						if s%13 == 5 {
+							ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+							err := drv.Drain(ctx)
+							cancel()
+							if errors.Is(err, context.DeadlineExceeded) {
+								t.Fatal("mid-run Drain hung with a killed peer")
+							}
+						}
+					}
+					ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+					err = drv.Drain(ctx)
+					cancel()
+					if errors.Is(err, context.DeadlineExceeded) {
+						t.Fatal("final Drain hung: kill during drain wedged the worker")
+					}
+					if err != nil && e.Err() == nil {
+						t.Fatalf("Drain failed without a terminal engine error: %v", err)
+					}
+					drv.Close()
+					runChaos(t, e, 40)
+					e.Close()
+				}
+			})
 		}
 	}
 }

@@ -1,9 +1,12 @@
 package shardrun
 
 import (
+	"context"
+	"errors"
 	"testing"
 	"time"
 
+	"repro/internal/ingest"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/transport"
@@ -145,6 +148,73 @@ func TestChaosKillAtRandomStep(t *testing.T) {
 						continue // killed mid-handshake: clean error is the contract
 					}
 					runChaos(t, e, 80)
+					e.Close()
+				}
+			})
+		}
+	}
+}
+
+// TestChaosKillDuringDrain mirrors netrun's async × failover regression
+// on the sharded root: a shard dies while the ingest queue is non-empty
+// and a step is in flight, no Drain barrier may outlive its deadline,
+// and the engine must end re-converged to the oracle or cleanly
+// terminal (runChaos enforces both outcomes).
+func TestChaosKillDuringDrain(t *testing.T) {
+	allIDs := make([]int, chaosN)
+	for i := range allIDs {
+		allIDs[i] = i
+	}
+	for _, mode := range modes {
+		for _, redial := range []bool{false, true} {
+			name := mode.name + "/merge"
+			if redial {
+				name = mode.name + "/redial"
+			}
+			t.Run(name, func(t *testing.T) {
+				r := rng.New(0xd6a2, uint64(len(name)))
+				for trial := 0; trial < 3; trial++ {
+					killOp := int64(1 + r.Uint64n(250))
+					e, err := chaosEngine(mode.lockstep, redial, int(r.Uint64n(chaosShards)), transport.FaultPlan{KillAt: killOp})
+					if err != nil {
+						continue // killed mid-handshake: clean error is the contract
+					}
+					drv, err := ingest.New(ingest.Config{
+						N: chaosN, Depth: 4, Policy: ingest.Block,
+						Apply: func(ids []int, vals []int64) error {
+							e.ObserveDelta(ids, vals)
+							return e.Err()
+						},
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					vals := make([]int64, chaosN)
+					for s := 0; s < 60; s++ {
+						driven(s, vals)
+						if err := drv.Enqueue(allIDs, vals); err != nil {
+							break // engine went terminal mid-burst; checked below
+						}
+						if s%13 == 5 {
+							ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+							err := drv.Drain(ctx)
+							cancel()
+							if errors.Is(err, context.DeadlineExceeded) {
+								t.Fatal("mid-run Drain hung with a killed shard")
+							}
+						}
+					}
+					ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+					err = drv.Drain(ctx)
+					cancel()
+					if errors.Is(err, context.DeadlineExceeded) {
+						t.Fatal("final Drain hung: kill during drain wedged the worker")
+					}
+					if err != nil && e.Err() == nil {
+						t.Fatalf("Drain failed without a terminal engine error: %v", err)
+					}
+					drv.Close()
+					runChaos(t, e, 40)
 					e.Close()
 				}
 			})

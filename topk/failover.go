@@ -111,6 +111,10 @@ func (c Config) onEventInternal() func(coord.Event) {
 // engines (sequential, concurrent) have no links to lose and always
 // report the zero Health.
 func (m *Monitor) Health() Health {
+	if m.drv != nil {
+		m.engineMu.Lock()
+		defer m.engineMu.Unlock()
+	}
 	switch {
 	case m.net != nil:
 		return convertHealth(m.net.Health())

@@ -28,24 +28,30 @@ type OrderedMonitor struct {
 
 // NewOrdered validates cfg and creates an OrderedMonitor. Concurrent
 // monitors must be Closed to release their goroutines. The ordered
-// variant supports the sequential and concurrent engines only, and does
-// not support Epsilon (ranks have no ε-approximate semantics yet; see
-// ROADMAP.md).
+// variant supports the sequential and concurrent engines only, and
+// supports neither Epsilon (ranks have no ε-approximate semantics yet;
+// see ROADMAP.md) nor asynchronous ingestion. As with New, a rejected
+// configuration is reported as a *ConfigError naming the offending
+// field, and a Transport the constructor took ownership of is closed
+// before the error returns.
 func NewOrdered(cfg Config) (*OrderedMonitor, error) {
 	if cfg.Nodes <= 0 {
-		return nil, failNew(cfg, errors.New("topk: Nodes must be positive"))
+		return nil, badConfig(cfg, "Nodes", "must be positive, got %d", cfg.Nodes)
 	}
 	if cfg.K < 1 || cfg.K > cfg.Nodes {
-		return nil, failNew(cfg, fmt.Errorf("topk: K must satisfy 1 <= K <= Nodes, got K=%d Nodes=%d", cfg.K, cfg.Nodes))
+		return nil, badConfig(cfg, "K", "must satisfy 1 <= K <= Nodes, got K=%d Nodes=%d", cfg.K, cfg.Nodes)
 	}
 	if cfg.Epsilon != 0 {
-		return nil, failNew(cfg, errors.New("topk: Epsilon is not supported by the ordered monitor"))
+		return nil, badConfig(cfg, "Epsilon", "not supported by the ordered monitor (got %v); see ROADMAP.md for the ε-aware ordered variant", cfg.Epsilon)
 	}
 	if cfg.Transport != nil {
-		return nil, failNew(cfg, errors.New("topk: Transport is not supported by the ordered monitor"))
+		return nil, badConfig(cfg, "Transport", "not supported by the ordered monitor")
 	}
 	if cfg.Shards != 0 {
-		return nil, failNew(cfg, errors.New("topk: Shards is not supported by the ordered monitor"))
+		return nil, badConfig(cfg, "Shards", "not supported by the ordered monitor, got %d", cfg.Shards)
+	}
+	if cfg.Ingest.QueueDepth != 0 || cfg.Ingest.Overflow != OverflowBlock {
+		return nil, badConfig(cfg, "Ingest", "asynchronous ingestion is not supported by the ordered monitor")
 	}
 	m := &OrderedMonitor{cfg: cfg, maxVal: maxValueFor(cfg.Nodes, cfg.DistinctValues)}
 	if cfg.Concurrent {

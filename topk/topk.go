@@ -58,11 +58,13 @@ package topk
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/comm"
 	"repro/internal/coord"
 	"repro/internal/core"
+	"repro/internal/ingest"
 	"repro/internal/netrun"
 	"repro/internal/order"
 	"repro/internal/runtime"
@@ -139,6 +141,14 @@ type Config struct {
 	// the monitor is bit-identical to the exact algorithm, ledgers
 	// included. All four engines support it.
 	Epsilon float64
+	// Ingest configures asynchronous ingestion: with a positive
+	// QueueDepth, Observe and ObserveDelta stage their updates in a
+	// bounded per-node coalescing queue and return immediately while a
+	// background worker executes the protocol steps, and Drain recovers
+	// synchronous semantics on demand. The zero value keeps every
+	// observation call blocking. All four engines support it; see the
+	// Ingest type for the coalescing and overflow semantics.
+	Ingest Ingest
 	// Concurrent selects the sharded concurrent engine. Monitors with
 	// Concurrent set must be Closed to release their goroutines.
 	Concurrent bool
@@ -211,8 +221,11 @@ const (
 )
 
 // Monitor continuously tracks the top-k positions. Create one with New.
-// A Monitor is not safe for concurrent use: the model's time steps are
-// globally ordered.
+// A synchronous Monitor is not safe for concurrent use: the model's
+// time steps are globally ordered. In asynchronous mode (a positive
+// Config.Ingest.QueueDepth) the observation methods, Drain and every
+// read accessor are safe for concurrent use — the ingest queue is the
+// serialization point — and only Close must wait for producers to stop.
 type Monitor struct {
 	cfg    Config
 	maxVal int64
@@ -220,6 +233,14 @@ type Monitor struct {
 	conc   *runtime.Runtime
 	net    *netrun.Engine
 	shard  *shardrun.Engine
+
+	// Asynchronous ingestion (Config.Ingest.QueueDepth > 0): drv owns
+	// the coalescing queue and the worker goroutine; engineMu
+	// serializes the worker's protocol steps against the read
+	// accessors; allIDs is the dense id list Observe stages.
+	drv      *ingest.Driver
+	engineMu sync.Mutex
+	allIDs   []int
 }
 
 // failNew rejects a configuration, releasing the Transport's links and
@@ -233,28 +254,34 @@ func failNew(cfg Config, err error) error {
 	return err
 }
 
-// New validates cfg and creates a Monitor.
+// New validates cfg and creates a Monitor. A rejected configuration is
+// reported as a *ConfigError naming the offending field; New never
+// panics, and a Transport it took ownership of is closed on every error
+// path.
 func New(cfg Config) (*Monitor, error) {
 	if cfg.Nodes <= 0 {
-		return nil, failNew(cfg, errors.New("topk: Nodes must be positive"))
+		return nil, badConfig(cfg, "Nodes", "must be positive, got %d", cfg.Nodes)
 	}
 	if cfg.K < 1 || cfg.K > cfg.Nodes {
-		return nil, failNew(cfg, fmt.Errorf("topk: K must satisfy 1 <= K <= Nodes, got K=%d Nodes=%d", cfg.K, cfg.Nodes))
+		return nil, badConfig(cfg, "K", "must satisfy 1 <= K <= Nodes, got K=%d Nodes=%d", cfg.K, cfg.Nodes)
 	}
 	if !(cfg.Epsilon >= 0) || cfg.Epsilon >= 1 {
-		return nil, failNew(cfg, fmt.Errorf("topk: Epsilon must satisfy 0 <= Epsilon < 1, got %v", cfg.Epsilon))
+		return nil, badConfig(cfg, "Epsilon", "must satisfy 0 <= Epsilon < 1, got %v", cfg.Epsilon)
 	}
 	if cfg.Concurrent && cfg.Transport != nil {
-		return nil, failNew(cfg, errors.New("topk: Concurrent and Transport are mutually exclusive"))
+		return nil, badConfig(cfg, "Transport", "mutually exclusive with Concurrent")
 	}
 	if cfg.Shards < 0 || cfg.Shards > cfg.Nodes {
-		return nil, failNew(cfg, fmt.Errorf("topk: Shards must satisfy 0 <= Shards <= Nodes, got Shards=%d Nodes=%d", cfg.Shards, cfg.Nodes))
+		return nil, badConfig(cfg, "Shards", "must satisfy 0 <= Shards <= Nodes, got Shards=%d Nodes=%d", cfg.Shards, cfg.Nodes)
 	}
 	if cfg.Shards > 0 && (cfg.Concurrent || cfg.Transport != nil) {
-		return nil, failNew(cfg, errors.New("topk: Shards is mutually exclusive with Concurrent and Transport"))
+		return nil, badConfig(cfg, "Shards", "mutually exclusive with Concurrent and Transport")
 	}
 	if cfg.Pipeline > PipelineOff {
-		return nil, failNew(cfg, fmt.Errorf("topk: unknown Pipeline mode %d", cfg.Pipeline))
+		return nil, badConfig(cfg, "Pipeline", "unknown mode %d", cfg.Pipeline)
+	}
+	if err := validateIngest(cfg); err != nil {
+		return nil, err
 	}
 	m := &Monitor{cfg: cfg, maxVal: maxValueFor(cfg.Nodes, cfg.DistinctValues)}
 	switch {
@@ -284,6 +311,12 @@ func New(cfg Config) (*Monitor, error) {
 		m.conc = runtime.New(runtime.Config{N: cfg.Nodes, K: cfg.K, Seed: cfg.Seed, DistinctValues: cfg.DistinctValues, Epsilon: cfg.Epsilon})
 	default:
 		m.seq = core.New(core.Config{N: cfg.Nodes, K: cfg.K, Seed: cfg.Seed, DistinctValues: cfg.DistinctValues, Epsilon: cfg.Epsilon})
+	}
+	if cfg.Ingest.QueueDepth > 0 {
+		if err := m.startIngest(); err != nil {
+			m.Close()
+			return nil, err
+		}
 	}
 	return m, nil
 }
@@ -341,12 +374,24 @@ func checkValues(maxVal int64, ids []int, vals []int64) error {
 // A recoverable peer failure does not error: the step reports the
 // last-good set, Health().Degraded turns true, and the next observation
 // call runs recovery. No input can panic the monitor.
+//
+// In asynchronous mode (Config.Ingest.QueueDepth > 0) Observe validates
+// the step the same way, stages it on the ingest queue and returns a
+// nil report immediately — the protocol step runs in the background,
+// and later observations of the same node may coalesce with this one.
+// Read reports through Top or AppendTop, after a Drain for
+// read-your-writes; a full queue blocks, drops the oldest staged
+// update, or returns ErrQueueFull per the configured overflow policy,
+// and a terminal background failure is returned here and from Drain.
 func (m *Monitor) Observe(vals []int64) ([]int, error) {
 	if len(vals) != m.cfg.Nodes {
 		return nil, fmt.Errorf("topk: observed %d values for %d nodes", len(vals), m.cfg.Nodes)
 	}
 	if err := checkValues(m.maxVal, nil, vals); err != nil {
 		return nil, err
+	}
+	if m.drv != nil {
+		return nil, m.enqueue(m.allIDs, vals)
 	}
 	switch {
 	case m.seq != nil:
@@ -384,6 +429,11 @@ func (m *Monitor) Observe(vals []int64) ([]int, error) {
 //
 // A violation-free delta step costs O(len(ids)) work and zero heap
 // allocations on the sequential engine, independent of Nodes.
+//
+// In asynchronous mode the call stages the delta and returns a nil
+// report immediately, exactly as Observe; since the staged slices are
+// copied into the per-node queue, callers may reuse their buffers as
+// in synchronous mode.
 func (m *Monitor) ObserveDelta(ids []int, vals []int64) ([]int, error) {
 	if len(ids) != len(vals) {
 		return nil, fmt.Errorf("topk: delta has %d ids but %d values", len(ids), len(vals))
@@ -397,6 +447,9 @@ func (m *Monitor) ObserveDelta(ids []int, vals []int64) ([]int, error) {
 	}
 	if err := checkValues(m.maxVal, ids, vals); err != nil {
 		return nil, err
+	}
+	if m.drv != nil {
+		return nil, m.enqueue(ids, vals)
 	}
 	switch {
 	case m.seq != nil:
@@ -422,8 +475,14 @@ func (m *Monitor) ObserveDelta(ids []int, vals []int64) ([]int, error) {
 
 // Top returns the most recently reported top-k ids without consuming a
 // step, as a read-only view (see Observe). Before the first observation
-// it returns an empty slice.
+// it returns an empty slice. In asynchronous mode it returns a fresh
+// caller-owned copy instead of a view — the background worker may
+// invalidate a view at any time — reflecting the latest applied step
+// (every staged observation, after a Drain).
 func (m *Monitor) Top() []int {
+	if m.drv != nil {
+		return m.AppendTop(nil)
+	}
 	switch {
 	case m.seq != nil:
 		return m.seq.Top()
@@ -442,6 +501,10 @@ func (m *Monitor) Top() []int {
 // dst and returns the extended slice. With a dst of capacity >= K it
 // performs no allocation.
 func (m *Monitor) AppendTop(dst []int) []int {
+	if m.drv != nil {
+		m.engineMu.Lock()
+		defer m.engineMu.Unlock()
+	}
 	switch {
 	case m.seq != nil:
 		return m.seq.AppendTop(dst)
@@ -458,6 +521,10 @@ func (m *Monitor) AppendTop(dst []int) []int {
 
 // Counts returns the total messages exchanged so far.
 func (m *Monitor) Counts() Counts {
+	if m.drv != nil {
+		m.engineMu.Lock()
+		defer m.engineMu.Unlock()
+	}
 	var c comm.Counts
 	switch {
 	case m.seq != nil:
@@ -474,6 +541,10 @@ func (m *Monitor) Counts() Counts {
 
 // Phases returns the per-phase message breakdown.
 func (m *Monitor) Phases() PhaseCounts {
+	if m.drv != nil {
+		m.engineMu.Lock()
+		defer m.engineMu.Unlock()
+	}
 	var led *comm.Ledger
 	switch {
 	case m.seq != nil:
@@ -524,6 +595,10 @@ type PhaseBytes struct {
 
 // Bytes returns the total charged model bytes exchanged so far.
 func (m *Monitor) Bytes() Bytes {
+	if m.drv != nil {
+		m.engineMu.Lock()
+		defer m.engineMu.Unlock()
+	}
 	var b comm.Bytes
 	switch {
 	case m.seq != nil:
@@ -540,6 +615,10 @@ func (m *Monitor) Bytes() Bytes {
 
 // BytesByPhase returns the per-phase charged byte breakdown.
 func (m *Monitor) BytesByPhase() PhaseBytes {
+	if m.drv != nil {
+		m.engineMu.Lock()
+		defer m.engineMu.Unlock()
+	}
 	var led *comm.Ledger
 	switch {
 	case m.seq != nil:
@@ -565,6 +644,10 @@ func (m *Monitor) BytesByPhase() PhaseBytes {
 // links of a networked or sharded monitor, control plane included. The
 // in-process engines report the zero value.
 func (m *Monitor) TransportStats() TransportStats {
+	if m.drv != nil {
+		m.engineMu.Lock()
+		defer m.engineMu.Unlock()
+	}
 	var s transport.LinkStats
 	switch {
 	case m.net != nil:
@@ -587,6 +670,10 @@ func (m *Monitor) TransportStats() TransportStats {
 // algorithm's own message ledger (which at Shards == 1 equals the
 // sequential engine's exactly). Non-sharded monitors report zeroes.
 func (m *Monitor) Overhead() (Counts, Bytes) {
+	if m.drv != nil {
+		m.engineMu.Lock()
+		defer m.engineMu.Unlock()
+	}
 	if m.shard == nil {
 		return Counts{}, Bytes{}
 	}
@@ -599,6 +686,10 @@ func (m *Monitor) Overhead() (Counts, Bytes) {
 // shared coordinator core, so they are identical across engines for the
 // same seed.
 func (m *Monitor) Stats() Stats {
+	if m.drv != nil {
+		m.engineMu.Lock()
+		defer m.engineMu.Unlock()
+	}
 	var s coord.Stats
 	switch {
 	case m.seq != nil:
@@ -614,9 +705,17 @@ func (m *Monitor) Stats() Stats {
 }
 
 // Close releases the goroutines of a concurrent monitor and the peers of
-// a networked or sharded one. It is a no-op for the sequential engine and
-// idempotent everywhere. The monitor cannot observe after Close.
+// a networked or sharded one, stopping the ingest worker of an
+// asynchronous monitor first (observations still staged are discarded —
+// Drain before Close for a graceful flush). It is a no-op for the
+// synchronous sequential engine and idempotent everywhere. The monitor
+// cannot observe after Close; in asynchronous mode it must be the last
+// call, after every producer goroutine has stopped.
 func (m *Monitor) Close() {
+	if m.drv != nil {
+		m.drv.Close()
+		m.drv = nil
+	}
 	if m.conc != nil {
 		m.conc.Close()
 		m.conc = nil
