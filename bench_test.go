@@ -357,6 +357,74 @@ func BenchmarkShardParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkTreeFanIn measures the hierarchical coordinator tree against
+// the flat star serving the same leaf population: for each branch factor
+// b and depth d the tree run drives a b^d-leaf tree (root holds exactly
+// b links) and the flat run drives S=b^d shards hanging directly off the
+// root. Both execute the identical protocol trajectory — same reports,
+// same algorithm ledger — so the comparison isolates coordination
+// topology: root-links is the root's fan-in, root-frames/step and
+// root-B/step are the frames and bytes the root itself moved (the tree's
+// interior levels pay the rest; see Engine.TreeStats), and ns/op is the
+// step latency including every tree level's round trip. At equal total ε
+// the tree's root sees strictly less traffic than the flat root — depth
+// buys fan-in at the price of per-step latency. This seeds EXPERIMENTS.md
+// E22; CI runs it at -benchtime=1x and archives the output as
+// BENCH_tree.json.
+func BenchmarkTreeFanIn(b *testing.B) {
+	const n, k, steps = 512, 8, 150
+	const eps = 0.05
+	for _, branch := range []int{2, 4, 8} {
+		for _, depth := range []int{1, 2, 3} {
+			leaves := 1
+			for i := 0; i < depth; i++ {
+				leaves *= branch
+			}
+			if leaves > n {
+				continue
+			}
+			run := func(name string, mk func() (*shardrun.Engine, error), links int) {
+				b.Run(bench.F("b=%d/d=%d/%s", branch, depth, name), func(b *testing.B) {
+					vals := make([]int64, n)
+					var frames, obytes int64
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						b.StopTimer()
+						eng, err := mk()
+						if err != nil {
+							b.Fatal(err)
+						}
+						src := stream.NewRandomWalk(stream.WalkConfig{N: n, Lo: 1 << 20, Hi: 1 << 21, MaxStep: 1 << 13, Seed: 11})
+						b.StartTimer()
+						for s := 0; s < steps; s++ {
+							src.Step(vals)
+							eng.Observe(vals)
+						}
+						b.StopTimer()
+						if err := eng.Err(); err != nil {
+							b.Fatal(err)
+						}
+						frames = eng.Overhead().Total()
+						obytes = eng.OverheadBytes().Total()
+						eng.Close()
+						b.StartTimer()
+					}
+					b.ReportMetric(float64(links), "root-links")
+					b.ReportMetric(float64(frames)/steps, "root-frames/step")
+					b.ReportMetric(float64(obytes)/steps, "root-B/step")
+				})
+			}
+			cfg := shardrun.Config{N: n, K: k, Seed: 7, Epsilon: eps}
+			run("tree", func() (*shardrun.Engine, error) {
+				return shardrun.NewLoopbackTree(cfg, branch, depth)
+			}, branch)
+			run("flat", func() (*shardrun.Engine, error) {
+				return shardrun.NewLoopback(cfg, leaves)
+			}, leaves)
+		}
+	}
+}
+
 // BenchmarkApproxComm sweeps the tolerance of the ε-approximate mode on
 // one drifting workload and reports the communication next to the wall
 // clock: model messages and charged bytes per step, and the violation

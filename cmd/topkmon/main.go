@@ -15,6 +15,7 @@
 //	topkmon -n 16 -k 2 -compare
 //	topkmon -n 64 -k 4 -engine net -peers 4
 //	topkmon -n 256 -k 8 -shards 4
+//	topkmon -n 256 -k 8 -tree 2^3
 //	topkmon -n 64 -k 8 -epsilon 0.05
 //	topkmon -n 256 -k 8 -async -queue 128 -engine net
 //
@@ -32,6 +33,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -62,6 +64,7 @@ func main() {
 		engine   = flag.String("engine", "seq", "seq (sequential) | conc (sharded concurrent) | net (wire protocol over loopback links)")
 		peers    = flag.Int("peers", 4, "peer count: node hosts for -engine net, expected -join connections for -serve")
 		shards   = flag.Int("shards", 0, "split the coordinator into this many sub-coordinators with a root merge layer (0 = single coordinator)")
+		tree     = flag.String("tree", "", "coordinator tree shape branch^depth (e.g. 2^3): interior coordinators merge digests so the root serves branch^depth leaf shards through branch links; prints the per-level traffic table")
 		serve    = flag.String("serve", "", "run as TCP coordinator on this address and wait for -peers joins")
 		join     = flag.String("join", "", "run as TCP node host: dial this coordinator address and serve until shutdown")
 		opt      = flag.Bool("opt", false, "compute offline OPT segments and the competitive ratio")
@@ -121,6 +124,30 @@ func main() {
 		name = fmt.Sprintf("algorithm1(%s,ε=%g)", *engine, *epsilon)
 	}
 	switch {
+	case *tree != "":
+		shape, err := parseTree(*tree)
+		if err != nil {
+			log.Fatalf("-tree: %v", err)
+		}
+		if *ordered {
+			log.Fatal("-ordered is not supported by the tree engine yet")
+		}
+		if *shards > 0 {
+			log.Fatalf("-tree implies the shard split; drop -shards %d", *shards)
+		}
+		if *engine != "seq" {
+			log.Fatalf("-tree runs its own engine; drop -engine %s", *engine)
+		}
+		te, err := shardrun.NewLoopbackTree(shardrun.Config{N: nn, K: *k, Seed: *seed + 1, Epsilon: *epsilon, Lockstep: *lockstep}, shape.Branch, shape.Depth)
+		if err != nil {
+			log.Fatalf("tree engine: %v", err)
+		}
+		defer te.Close()
+		alg = te
+		name = fmt.Sprintf("algorithm1(tree %d^%d)", shape.Branch, shape.Depth)
+		if *epsilon != 0 {
+			name = fmt.Sprintf("algorithm1(tree %d^%d,ε=%g)", shape.Branch, shape.Depth, *epsilon)
+		}
 	case *shards > 0:
 		if *ordered {
 			log.Fatal("-ordered is not supported by the sharded engine yet")
@@ -209,8 +236,14 @@ func main() {
 	}
 	if se, ok := alg.(*shardrun.Engine); ok {
 		oc, ob := se.Overhead(), se.OverheadBytes()
-		fmt.Printf("shard coordination overhead (%d shards): %d frames (%d down / %d up), %d bytes\n",
-			se.Shards(), oc.Total(), oc.Down, oc.Up, ob.Total())
+		if tr := se.Tree(); tr.Depth >= 1 {
+			fmt.Printf("tree %d^%d: %d leaf shards through %d root links; root overhead: %d frames (%d down / %d up), %d bytes\n",
+				tr.Branch, tr.Depth, se.Leaves(), se.Shards(), oc.Total(), oc.Down, oc.Up, ob.Total())
+			printTreeStats(se)
+		} else {
+			fmt.Printf("shard coordination overhead (%d shards): %d frames (%d down / %d up), %d bytes\n",
+				se.Shards(), oc.Total(), oc.Down, oc.Up, ob.Total())
+		}
 		printTransport(se.TransportStats(), se.Shards())
 	}
 
@@ -323,6 +356,49 @@ func runAsync(alg sim.Algorithm, matrix [][]int64, k, queue int, epsilon float64
 	fmt.Printf("final top-%d %v verified against the oracle\n", k, got)
 	if led, ok := alg.(interface{ Ledger() *comm.Ledger }); ok {
 		printLedger(led.Ledger())
+	}
+}
+
+// parseTree decodes the -tree shape "branch^depth".
+func parseTree(s string) (shardrun.Tree, error) {
+	bs, ds, ok := strings.Cut(s, "^")
+	if !ok {
+		return shardrun.Tree{}, fmt.Errorf("want branch^depth (e.g. 2^3), got %q", s)
+	}
+	branch, err := strconv.Atoi(bs)
+	if err != nil {
+		return shardrun.Tree{}, fmt.Errorf("branch %q: %v", bs, err)
+	}
+	depth, err := strconv.Atoi(ds)
+	if err != nil {
+		return shardrun.Tree{}, fmt.Errorf("depth %q: %v", ds, err)
+	}
+	return shardrun.Tree{Branch: branch, Depth: depth}, nil
+}
+
+// printTreeStats renders the per-level traffic of a coordinator tree —
+// who carried the frames at each level, leaf-most level first, with the
+// root's own overhead ledger as the last row — and, in ε mode, the
+// per-level band-exit counters of the tightened ladder.
+func printTreeStats(se *shardrun.Engine) {
+	ts, err := se.TreeStats()
+	if err != nil {
+		fmt.Printf("tree stats unavailable: %v\n", err)
+		return
+	}
+	fmt.Println("per-level traffic:     down-frames  up-frames  down-bytes  up-bytes")
+	for i, lv := range ts.Levels {
+		label := fmt.Sprintf("level %d", i)
+		switch {
+		case i == len(ts.Levels)-1:
+			label += " (root)"
+		case i == 0:
+			label += " (leaf-most)"
+		}
+		fmt.Printf("  %-20s %11d %10d %11d %9d\n", label, lv.Down, lv.Up, lv.DownBytes, lv.UpBytes)
+	}
+	if len(ts.Absorbs) > 0 {
+		fmt.Printf("ε ladder band exits per level (leaf-most first): %v\n", ts.Absorbs)
 	}
 }
 

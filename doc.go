@@ -63,7 +63,15 @@
 // or topkmon -shards splits the node space across S sub-coordinators
 // under a root merge layer, report-exact at any S and bit-identical to
 // the sequential engine at S=1, with the root-to-shard coordination cost
-// ledgered separately (EXPERIMENTS.md E18).
+// ledgered separately (EXPERIMENTS.md E18). topk.Config.Tree (topkmon
+// -tree b^d) stacks that split into a coordinator tree: interior
+// coordinators merge their children's digests and forward one digest up,
+// so the root serves Branch^Depth leaf shards through Branch links —
+// bit-identical to the flat star in reports and every model ledger, with
+// each level's coordination traffic reported separately
+// (Monitor.TreeStats) and, under Epsilon, a per-level tightened band
+// ladder whose absorption counters show how much drift each level hides
+// from its parent (EXPERIMENTS.md E22).
 //
 // # Approximate monitoring (ε tolerance)
 //

@@ -22,6 +22,7 @@ type nodeState struct {
 	wasTop    bool  // membership at the time of the last violation
 	violStep  int64 // observation step of the last filter violation
 	extracted bool
+	level     uint8 // current ladder level (hierarchical ε mode)
 	sampler   protocol.Sampler
 }
 
@@ -62,6 +63,17 @@ type Nodes struct {
 	tol      order.Tol
 	maxVal   int64 // cached value-domain bound; Observe checks it per value
 	ns       []nodeState
+
+	// Per-level ε ladder of the hierarchical engine (SetLadder): level l's
+	// tolerance induces the band bands[l], nested inside the installed
+	// root filter; absorbs[l] counts observations that left the level-l
+	// band. The ladder never changes which violations the protocol sees —
+	// reported flags always come from the installed root filter — it
+	// tracks, per level, how many band exits a level-(l+1) coordinator
+	// would have absorbed without any traffic above it.
+	ladder  []order.Tol
+	bands   []filter.Interval
+	absorbs []int64
 }
 
 // NewNodes builds the node state for the range [lo, hi) of an n-node
@@ -145,6 +157,86 @@ func (b *Nodes) node(id int) *nodeState {
 	return &b.ns[id-b.lo]
 }
 
+// SetLadder installs the per-level tolerance ladder of the hierarchical
+// ε mode (tightest level first; order.Tol.Ladder builds a valid one).
+// The ladder is pure bookkeeping on top of the protocol: reported
+// violation flags still come from the installed root filter alone, so a
+// laddered bank is bit-identical to a plain one in everything the
+// coordinator observes. What the ladder adds is the per-level absorption
+// profile (Absorbs): at each filter install the bank derives the nested
+// bands B_0 ⊆ … ⊆ B_{L-1} ⊆ [lo, hi] around the installed band's
+// midpoint, every node starts at level 0, and an observation that exits
+// the node's current band deterministically escalates it to the first
+// level whose band still holds it, counting one exit per level crossed.
+// A nil ladder (or one installed on an exact-tolerance bank) disables
+// the bookkeeping.
+func (b *Nodes) SetLadder(tols []order.Tol) {
+	b.ladder = tols
+	b.bands = nil
+	b.absorbs = make([]int64, len(tols))
+	for i := range b.ns {
+		b.ns[i].level = 0
+	}
+}
+
+// Ladder returns the installed per-level tolerances (nil when the
+// hierarchical ε mode is off).
+func (b *Nodes) Ladder() []order.Tol { return b.ladder }
+
+// Absorbs returns the per-level band-exit counters as a read-only view:
+// Absorbs[l] counts observations that left the level-l band, so
+// Absorbs[l] - Absorbs[l+1] of them were absorbed by level l+1 without
+// climbing further, and the installed root filter's own violations (the
+// ones the protocol acts on) are counted by the coordinator as always.
+func (b *Nodes) Absorbs() []int64 { return b.absorbs }
+
+// ladderBands derives the nested per-level bands for an installed root
+// band [lo, hi], anchored at its midpoint and clamped inside it, and
+// re-arms every node at level 0.
+func (b *Nodes) ladderBands(lo, hi order.Key) {
+	if len(b.ladder) == 0 {
+		return
+	}
+	root := filter.Interval{Lo: lo, Hi: hi}
+	mid := order.Midpoint(lo, hi)
+	b.bands = b.bands[:0]
+	for _, tol := range b.ladder {
+		b.bands = append(b.bands, filter.Band(mid, tol).Clamp(root))
+	}
+	for i := range b.ns {
+		b.ns[i].level = 0
+	}
+}
+
+// ladderTrack walks one observation through the ladder: from the node's
+// current level upward, every band the key has left counts one exit and
+// escalates the node; a root-filter violation exits every remaining
+// level (nothing below the root could have absorbed it). Membership
+// decides the binding side, exactly as for the installed filter: top
+// nodes are only constrained from below, outsiders only from above.
+func (b *Nodes) ladderTrack(nd *nodeState, rootViol bool) {
+	levels := uint8(len(b.ladder))
+	if rootViol {
+		for l := nd.level; l < levels; l++ {
+			b.absorbs[l]++
+		}
+		nd.level = levels
+		return
+	}
+	for nd.level < levels {
+		band := b.bands[nd.level]
+		exited := nd.key > band.Hi
+		if nd.inTop {
+			exited = nd.key < band.Lo
+		}
+		if !exited {
+			return
+		}
+		b.absorbs[nd.level]++
+		nd.level++
+	}
+}
+
 // MaxValue returns the largest observation magnitude the bank accepts
 // (symmetrically, -MaxValue is the smallest): order.MaxValueFor of the
 // bank's configuration — the codec capacity for the default tie-break
@@ -171,7 +263,11 @@ func (b *Nodes) Observe(id int, v int64, step int64) (topViol, outViol bool, err
 	} else {
 		nd.key = b.codec.Encode(v, id)
 	}
-	if violated, _ := nd.iv.Violates(nd.key); violated {
+	violated, _ := nd.iv.Violates(nd.key)
+	if len(b.bands) == len(b.ladder) && len(b.ladder) > 0 {
+		b.ladderTrack(nd, violated)
+	}
+	if violated {
 		nd.violStep = step
 		nd.wasTop = nd.inTop
 		return nd.inTop, !nd.inTop, nil
@@ -222,6 +318,7 @@ func (b *Nodes) Winner(target int, isTop bool) {
 // +inf] for top-k members, [-inf, mid] for outsiders — or [-inf, +inf]
 // everywhere when full is set (k == n).
 func (b *Nodes) Midpoint(mid order.Key, full bool) {
+	b.bands = b.bands[:0] // point installs have no band to split
 	for i := range b.ns {
 		nd := &b.ns[i]
 		switch {
@@ -239,6 +336,7 @@ func (b *Nodes) Midpoint(mid order.Key, full bool) {
 // top-k members, [-inf, hi] for outsiders (the node-side execution of
 // coord.EffBounds / wire.ApproxBounds).
 func (b *Nodes) ApplyBounds(lo, hi order.Key) {
+	b.ladderBands(lo, hi)
 	for i := range b.ns {
 		nd := &b.ns[i]
 		if nd.inTop {

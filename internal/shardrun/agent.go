@@ -45,7 +45,21 @@ func newShardBank(a wire.Assign) (*coord.Nodes, error) {
 	if err != nil {
 		return nil, fmt.Errorf("shardrun: bad assignment: %w", err)
 	}
-	return coord.NewNodes(a.N, a.Lo, a.Hi, a.Seed, a.Distinct, tol), nil
+	bank := coord.NewNodes(a.N, a.Lo, a.Hi, a.Seed, a.Distinct, tol)
+	if len(a.Ladder) > 0 {
+		// Hierarchical ε mode: the leaf tracks the tightened per-level
+		// bands of the coordinator tree above it. The ladder only feeds
+		// the absorption diagnostics — the protocol filters stay anchored
+		// on the root tolerance, so reports are unchanged.
+		ladder := make([]order.Tol, len(a.Ladder))
+		for i, num := range a.Ladder {
+			if ladder[i], err = order.TolFromNum(num); err != nil {
+				return nil, fmt.Errorf("shardrun: bad assignment ladder: %w", err)
+			}
+		}
+		bank.SetLadder(ladder)
+	}
+	return bank, nil
 }
 
 // exec runs one full delegated protocol execution over the local cohort
@@ -163,6 +177,15 @@ func (a *agent) handle(frame, dst []byte) (out []byte, cont bool, err error) {
 			return dst, false, err
 		}
 		a.bank.ResetBegin()
+
+	case wire.TypeStatsPoll:
+		// Diagnostics: report the per-level absorption counters. A leaf
+		// contributes no link counters of its own — interior relays add a
+		// LevelIO entry per tree level on the way up.
+		if err := wire.DecodeBare(frame, wire.TypeStatsPoll); err != nil {
+			return dst, false, err
+		}
+		return wire.TreeStats{Absorbs: a.bank.Absorbs()}.Append(dst), true, nil
 
 	case wire.TypeShutdown:
 		return dst, false, nil

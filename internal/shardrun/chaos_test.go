@@ -271,3 +271,90 @@ func TestJoinMidStream(t *testing.T) {
 		})
 	}
 }
+
+// chaosTree builds a loopback depth-2 tree engine whose victim subtree
+// link — the root↔interior hop — is wrapped in the given fault plan, so
+// a fired fault takes out a whole interior coordinator and everything
+// below it. Redial replaces the lost subtree with a fresh one of the
+// same shape.
+func chaosTree(lockstep, redial bool, victim int, plan transport.FaultPlan) (*Engine, error) {
+	const branch, depth = 2, 2
+	links := make([]transport.Link, branch)
+	for i := range links {
+		links[i] = LoopbackSubtree(branch, depth)
+	}
+	links[victim] = transport.NewFaulty(links[victim], plan)
+	cfg := Config{
+		N: chaosN, K: chaosK, Seed: 5, Lockstep: lockstep,
+		RetryBackoff: time.Millisecond, Tree: Tree{Branch: branch, Depth: depth},
+	}
+	if !redial {
+		// NewLoopbackTree would install the subtree factory; a merge-only
+		// engine must explicitly decline redials.
+		return New(cfg, links)
+	}
+	cfg.Redial = func() (transport.Link, error) { return LoopbackSubtree(branch, depth), nil }
+	return New(cfg, links)
+}
+
+// TestChaosKillInteriorCoordinator kills an interior coordinator — not a
+// leaf — mid-stream, across fan-out modes and merge-vs-redial recovery:
+// the root sees the whole subtree as one dead peer, and the run must
+// either re-converge to the oracle (redial rebuilds the subtree, merge
+// folds its range into the sibling subtree) or go cleanly terminal via
+// Health — never hang and never serve stale reports past the suspect
+// window (runChaos enforces all of it).
+func TestChaosKillInteriorCoordinator(t *testing.T) {
+	for _, mode := range modes {
+		for _, redial := range []bool{false, true} {
+			name := mode.name + "/merge"
+			if redial {
+				name = mode.name + "/redial"
+			}
+			t.Run(name, func(t *testing.T) {
+				r := rng.New(0x7ee5, uint64(len(name)))
+				for trial := 0; trial < 3; trial++ {
+					killOp := int64(1 + r.Uint64n(200))
+					e, err := chaosTree(mode.lockstep, redial, int(r.Uint64n(2)), transport.FaultPlan{KillAt: killOp})
+					if err != nil {
+						continue // killed mid-handshake: clean error is the contract
+					}
+					runChaos(t, e, 80)
+					h := e.Health()
+					if h.Failures == 0 {
+						t.Fatalf("KillAt=%d never fired in 80 driven steps", killOp)
+					}
+					e.Close()
+				}
+			})
+		}
+	}
+}
+
+// TestChaosInteriorFaultMatrix drives the remaining fault flavors
+// through the root↔interior hop: drops and duplicated frames must be
+// survived (or end terminal) exactly as on a flat shard link.
+func TestChaosInteriorFaultMatrix(t *testing.T) {
+	plans := []struct {
+		name string
+		plan transport.FaultPlan
+	}{
+		{"drop", transport.FaultPlan{DropAt: 41}},
+		{"dup", transport.FaultPlan{DupAt: 42}},
+	}
+	for _, mode := range modes {
+		for _, tc := range plans {
+			t.Run(mode.name+"/"+tc.name, func(t *testing.T) {
+				e, err := chaosTree(mode.lockstep, true, 1, tc.plan)
+				if err != nil {
+					t.Fatalf("fault fired during the handshake: %v", err)
+				}
+				defer e.Close()
+				runChaos(t, e, 80)
+				if h := e.Health(); h.Failures == 0 {
+					t.Fatalf("fault plan %+v never fired in 80 driven steps", tc.plan)
+				}
+			})
+		}
+	}
+}

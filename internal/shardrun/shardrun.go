@@ -77,6 +77,28 @@
 // whole execution locally" and is answered by the one new message,
 // wire.ShardDigest.
 //
+// # Hierarchical trees
+//
+// Config.Tree generalizes the star into an arbitrary-depth coordinator
+// tree: each of the root's Branch links may lead to an interior
+// coordinator (ServeInterior) that splits its range across Branch
+// children of its own, down to Branch^Depth leaf shards. Interiors are
+// stateless relays — they route commands by child range, batch
+// sub-frames per link, and k-merge their children's digests into one
+// digest up, exactly the root's merge; because that merge is
+// associative, any tree shape is bit-identical to the flat star over
+// the same leaves in reports and the algorithm ledger, and at Depth 1
+// the engine is the flat engine. The overhead ledger keeps charging
+// only the root's own links (fan-in Branch instead of Branch^Depth);
+// each interior level's traffic lives in its own counter, polled
+// uncharged through the tree by Engine.TreeStats. With Epsilon set and
+// Depth >= 2 the Assign handshake carries a monotone ladder of
+// tightened tolerances (order.Tol.Ladder): leaves track nested
+// (1±ε·l/(d+1)) bands inside the real filter and count each band exit
+// per level (TreeStats().Absorbs) without ever changing what the
+// protocol does. See DESIGN.md "Hierarchical coordination & the
+// per-level ε budget".
+//
 // # Failure and recovery
 //
 // Shards are fail-stop and the root recovers from their loss exactly as
@@ -126,6 +148,12 @@ type Config struct {
 	// bit-identical in reports and in both ledgers; they differ only in
 	// wall-clock latency and transport framing.
 	Lockstep bool
+	// Tree declares the links to be subtree roots of a hierarchical
+	// coordinator (see Tree): New then requires exactly Tree.Branch links
+	// and at least Tree.Branch^Tree.Depth nodes, and — in the ε mode at
+	// Depth >= 2 — ships the per-level tolerance ladder to the leaves in
+	// the Assign handshake. The zero value keeps the flat star.
+	Tree Tree
 
 	// Redial, RetryBudget, RetryBackoff and OnEvent carry netrun's failover
 	// contracts, applied to shard links.
@@ -215,6 +243,11 @@ type Engine struct {
 	bbuf    []byte // reusable batch-envelope encode buffer
 	acks    []int  // per-shard deferred-command count of the current gather
 	touched []bool // shards hit by the current delta
+
+	// Hierarchical mode (Config.Tree): the per-level tolerance ladder
+	// shipped in every Assign, and the decode scratch for stats polls.
+	ladder    []uint64
+	treeStats wire.TreeStats
 }
 
 // New performs the Assign/Ready handshake over the given links — shard i
@@ -242,6 +275,30 @@ func New(cfg Config, links []transport.Link) (*Engine, error) {
 	if err != nil {
 		return fail(fmt.Errorf("shardrun: %w", err))
 	}
+	var ladder []uint64
+	if !cfg.Tree.zero() {
+		leaves, err := cfg.Tree.Leaves()
+		if err != nil {
+			return fail(err)
+		}
+		if len(links) != cfg.Tree.Branch {
+			return fail(fmt.Errorf("shardrun: tree branch %d needs exactly %d links, got %d", cfg.Tree.Branch, cfg.Tree.Branch, len(links)))
+		}
+		if leaves > cfg.N {
+			return fail(fmt.Errorf("shardrun: tree %d^%d has %d leaves for N=%d nodes", cfg.Tree.Branch, cfg.Tree.Depth, leaves, cfg.N))
+		}
+		// Per-level ε tightening: levels strictly below the root run
+		// monotonically tightened bands, widening toward the configured ε
+		// at the root. The ladder is diagnostic — leaves count per-level
+		// band exits (TreeStats) while the protocol filters stay anchored
+		// on the root tolerance — so depth 1 (and ε = 0) ships none and
+		// stays bit-identical to the flat star.
+		if cfg.Tree.Depth >= 2 {
+			for _, t := range tol.Ladder(cfg.Tree.Depth) {
+				ladder = append(ladder, t.Num())
+			}
+		}
+	}
 	e := &Engine{
 		cfg:     cfg,
 		mach:    coord.New(coord.Config{N: cfg.N, K: cfg.K, Tol: tol}),
@@ -249,6 +306,7 @@ func New(cfg Config, links []transport.Link) (*Engine, error) {
 		rrng:    rng.New(cfg.Seed, 0xbacd),
 		acks:    make([]int, len(links)),
 		touched: make([]bool, len(links)),
+		ladder:  ladder,
 	}
 	base, rem := cfg.N/len(links), cfg.N%len(links)
 	lo := 0
@@ -264,6 +322,7 @@ func New(cfg Config, links []transport.Link) (*Engine, error) {
 		e.buf = wire.Assign{
 			Lo: p.lo, Hi: p.hi, N: cfg.N, K: cfg.K,
 			Seed: cfg.Seed, EpsNum: tol.Num(), Distinct: cfg.DistinctValues,
+			Ladder: e.ladder,
 		}.Append(e.buf[:0])
 		if err := e.send(p, e.buf, "assign"); err != nil {
 			return fail(err)
@@ -1033,6 +1092,7 @@ func (e *Engine) reassignReplayReset() error {
 		e.buf = wire.Assign{
 			Lo: p.lo, Hi: p.hi, N: e.cfg.N, K: e.cfg.K,
 			Seed: e.cfg.Seed, EpsNum: tol.Num(), Distinct: e.cfg.DistinctValues,
+			Ladder: e.ladder,
 		}.Append(e.buf[:0])
 		if err := p.link.Send(e.buf); err != nil {
 			return e.fail(p, "reassign", err)

@@ -1,0 +1,187 @@
+package shardrun
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Tree configures the hierarchical coordinator: instead of the root
+// fanning out to S leaf shards directly, it talks to Branch interior
+// coordinators, each the root of its own subtree, Depth link levels deep.
+// The leaves are the only protocol participants — interiors are stateless
+// relays (ServeInterior) that re-split assignments downward and fold
+// replies upward with the same associative merges the root applies — so
+// a tree of any shape reports exactly what a flat engine over the same
+// leaf partition would, while the root's fan-in stays at Branch links
+// where the flat engine needs Branch^Depth.
+//
+// The zero Tree means flat: New treats the links as direct shard links,
+// exactly as before.
+type Tree struct {
+	// Branch is the fan-out of the root and of every interior node (>= 2).
+	Branch int
+	// Depth is the number of link levels below the root (>= 1). Depth 1
+	// is the flat star — bit-identical to not configuring a tree — and
+	// each additional level multiplies the leaf count by Branch.
+	Depth int
+}
+
+// zero reports whether no tree is configured.
+func (t Tree) zero() bool { return t == Tree{} }
+
+// Leaves returns Branch^Depth, the number of leaf shards the tree
+// serves, or an error when the shape is invalid or the count overflows.
+func (t Tree) Leaves() (int, error) {
+	if t.Branch < 2 {
+		return 0, fmt.Errorf("shardrun: tree branch %d < 2", t.Branch)
+	}
+	if t.Depth < 1 {
+		return 0, fmt.Errorf("shardrun: tree depth %d < 1", t.Depth)
+	}
+	leaves := 1
+	for i := 0; i < t.Depth; i++ {
+		if leaves > (1<<30)/t.Branch {
+			return 0, fmt.Errorf("shardrun: tree %d^%d overflows", t.Branch, t.Depth)
+		}
+		leaves *= t.Branch
+	}
+	return leaves, nil
+}
+
+// LoopbackSubtree builds one in-process subtree depth link levels deep —
+// a single leaf shard at depth 1, an interior relay over branch
+// recursively built subtrees otherwise — and returns the parent end,
+// usable as a root link, a Config.Redial factory, or a Join argument. A
+// serve goroutine that fails closes its link, which the level above
+// observes as a dead subtree.
+func LoopbackSubtree(branch, depth int) transport.Link {
+	if depth <= 1 {
+		return LoopbackLink()
+	}
+	parentEnd, serveEnd := transport.Pipe()
+	children := make([]transport.Link, branch)
+	for i := range children {
+		children[i] = LoopbackSubtree(branch, depth-1)
+	}
+	go func() {
+		if err := ServeInterior(serveEnd, children); err != nil {
+			serveEnd.Close()
+		}
+	}()
+	return parentEnd
+}
+
+// NewLoopbackTree builds an in-process hierarchical engine: the root
+// holds branch links, each to a LoopbackSubtree of depth-1 further
+// levels, serving branch^depth leaf shards in total. Unless the caller
+// supplies its own Redial, a dead subtree is redialed as a fresh subtree
+// of the same shape. It is the engine behind topk.Config.Tree and
+// topkmon -tree.
+func NewLoopbackTree(cfg Config, branch, depth int) (*Engine, error) {
+	cfg.Tree = Tree{Branch: branch, Depth: depth}
+	if _, err := cfg.Tree.Leaves(); err != nil {
+		return nil, err
+	}
+	if cfg.Redial == nil {
+		cfg.Redial = func() (transport.Link, error) {
+			return LoopbackSubtree(branch, depth), nil
+		}
+	}
+	links := make([]transport.Link, branch)
+	for i := range links {
+		links[i] = LoopbackSubtree(branch, depth)
+	}
+	return New(cfg, links)
+}
+
+// Tree returns the configured tree shape (the zero Tree when flat).
+func (e *Engine) Tree() Tree { return e.cfg.Tree }
+
+// Leaves returns the number of leaf shards the engine serves: the
+// configured tree's leaf count, or the direct link count when flat.
+func (e *Engine) Leaves() int {
+	if e.cfg.Tree.zero() {
+		return len(e.peers)
+	}
+	n, err := e.cfg.Tree.Leaves()
+	if err != nil { // validated in New; kept total for the zero value
+		return len(e.peers)
+	}
+	return n
+}
+
+// TreeStats polls the tree's diagnostic plane and returns the aggregated
+// hierarchy statistics: Absorbs[l] counts the observations that left the
+// level-l tightened band across all leaves (per-level ε mode only, see
+// order.Tol.Ladder), and Levels holds one coordination-traffic summary
+// per tree level, deepest first, with the root's own overhead ledger as
+// the last entry. The poll itself is deliberately uncharged — it rides
+// outside the protocol and the overhead ledger, visible only in
+// TransportStats — so polling does not perturb what it measures. On a
+// flat engine the result degenerates to leaf absorption counters (empty
+// without a ladder) plus the single root level.
+//
+// The engine must be quiescent — between observation steps, as for any
+// other accessor — and a pending recovery is run first, exactly as an
+// observation call would. A link failure during the poll is handled by
+// the regular failover path and reported as an error.
+func (e *Engine) TreeStats() (wire.TreeStats, error) {
+	var out wire.TreeStats
+	if e.closed {
+		return out, fmt.Errorf("shardrun: TreeStats after Close")
+	}
+	if e.err != nil {
+		return out, e.err
+	}
+	if e.pendingRecovery {
+		if err := e.recoverNow(); err != nil {
+			return out, err
+		}
+	}
+	for _, p := range e.peers {
+		e.buf = wire.AppendBare(e.buf[:0], wire.TypeStatsPoll)
+		if err := p.link.Send(e.buf); err != nil {
+			return out, e.fail(p, "stats poll", err)
+		}
+		if err := transport.Flush(p.link); err != nil {
+			return out, e.fail(p, "stats poll", err)
+		}
+		p.owed = 1
+		if p.req != nil {
+			p.req <- struct{}{}
+		}
+	}
+	for _, p := range e.peers {
+		frame, err := e.recoverRecv(p)
+		if err != nil {
+			return out, e.fail(p, "stats reply", err)
+		}
+		if err := e.treeStats.Decode(frame); err != nil {
+			return out, e.fail(p, "stats reply", err)
+		}
+		for i, a := range e.treeStats.Absorbs {
+			if i < len(out.Absorbs) {
+				out.Absorbs[i] += a
+			} else {
+				out.Absorbs = append(out.Absorbs, a)
+			}
+		}
+		for i, lv := range e.treeStats.Levels {
+			if i < len(out.Levels) {
+				out.Levels[i] = out.Levels[i].Add(lv)
+			} else {
+				out.Levels = append(out.Levels, lv)
+			}
+		}
+	}
+	out.Levels = append(out.Levels, wire.LevelIO{
+		Down:      e.overhead.Get(comm.Down),
+		Up:        e.overhead.Get(comm.Up),
+		DownBytes: e.overhead.GetBytes(comm.Down),
+		UpBytes:   e.overhead.GetBytes(comm.Up),
+	})
+	return out, nil
+}

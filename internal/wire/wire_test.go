@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"math"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -95,7 +96,9 @@ func TestAssignRoundTrip(t *testing.T) {
 	check := func(lo, hi, n, k uint16, seed uint64, epsNum uint16, distinct bool) bool {
 		in := Assign{Lo: int(lo), Hi: int(hi), N: int(n), K: int(k), Seed: seed, EpsNum: uint64(epsNum), Distinct: distinct}
 		out, err := DecodeAssign(in.Append(nil))
-		return err == nil && out == in
+		return err == nil && out.Lo == in.Lo && out.Hi == in.Hi && out.N == in.N &&
+			out.K == in.K && out.Seed == in.Seed && out.EpsNum == in.EpsNum &&
+			out.Distinct == in.Distinct && out.Ladder == nil
 	}
 	if err := quick.Check(check, nil); err != nil {
 		t.Fatal(err)
@@ -115,6 +118,106 @@ func TestAssignRejectsBadTolerance(t *testing.T) {
 	frame = Assign{Lo: 0, Hi: 4, N: 8, K: 2, Seed: 1, EpsNum: MaxTolNum - 1}.Append(nil)
 	if _, err := DecodeAssign(frame); err != nil {
 		t.Fatalf("maximal valid tolerance numerator rejected: %v", err)
+	}
+}
+
+func TestAssignLadderRoundTrip(t *testing.T) {
+	in := Assign{Lo: 0, Hi: 4, N: 16, K: 3, Seed: 7, EpsNum: 52428, Ladder: []uint64{0, 17476, 34952}}
+	frame := in.Append(nil)
+	out, err := DecodeAssign(frame)
+	if err != nil {
+		t.Fatalf("ladder assign rejected: %v", err)
+	}
+	if !reflect.DeepEqual(out.Ladder, in.Ladder) {
+		t.Fatalf("ladder round trip: got %v, want %v", out.Ladder, in.Ladder)
+	}
+	if re := out.Append(nil); !bytes.Equal(re, frame) {
+		t.Fatalf("ladder assign re-encode mismatch:\n in %x\nout %x", frame, re)
+	}
+}
+
+// TestAssignLadderBackCompat pins the byte-identity promise of the
+// flag-gated ladder: an Assign without one encodes exactly as the
+// pre-ladder format did, so flat and depth-1 engines pay nothing.
+func TestAssignLadderBackCompat(t *testing.T) {
+	m := Assign{Lo: 2, Hi: 6, N: 8, K: 2, Seed: 99, EpsNum: 1024, Distinct: true}
+	frame := m.Append(nil)
+	want := []byte{TypeAssign}
+	want = AppendUvarint(want, 2)
+	want = AppendUvarint(want, 6)
+	want = AppendUvarint(want, 8)
+	want = AppendUvarint(want, 2)
+	want = AppendUvarint(want, 99)
+	want = AppendUvarint(want, 1024)
+	want = append(want, 0x01) // flags: distinct only, no ladder bit
+	if !bytes.Equal(frame, want) {
+		t.Fatalf("ladder-free assign changed encoding:\ngot  %x\nwant %x", frame, want)
+	}
+}
+
+func TestAssignRejectsBadLadder(t *testing.T) {
+	base := Assign{Lo: 0, Hi: 4, N: 8, K: 2, Seed: 1, EpsNum: 1000}
+	cases := []struct {
+		name   string
+		ladder []uint64
+	}{
+		{"non-monotone", []uint64{500, 300}},
+		{"at root tolerance", []uint64{500, 1000}},
+		{"above root tolerance", []uint64{1500}},
+		{"too deep", make([]uint64, MaxLadder+1)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := base
+			m.Ladder = tc.ladder
+			if _, err := DecodeAssign(m.Append(nil)); !errors.Is(err, ErrMalformed) {
+				t.Fatalf("bad ladder %v decoded: %v", tc.ladder, err)
+			}
+		})
+	}
+	// A ladder with no root tolerance has nothing to widen toward.
+	m := base
+	m.EpsNum = 0
+	m.Ladder = []uint64{0}
+	if _, err := DecodeAssign(m.Append(nil)); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("ladder under exact tolerance decoded: %v", err)
+	}
+}
+
+func TestTreeStatsRoundTrip(t *testing.T) {
+	in := TreeStats{
+		Absorbs: []int64{12, 5, 0},
+		Levels: []LevelIO{
+			{Down: 40, Up: 40, DownBytes: 900, UpBytes: 410},
+			{Down: 10, Up: 10, DownBytes: 220, UpBytes: 101},
+		},
+	}
+	frame := in.Append(nil)
+	var out TreeStats
+	if err := out.Decode(frame); err != nil {
+		t.Fatalf("tree stats rejected: %v", err)
+	}
+	if !reflect.DeepEqual(out.Absorbs, in.Absorbs) || !reflect.DeepEqual(out.Levels, in.Levels) {
+		t.Fatalf("tree stats round trip: got %+v, want %+v", out, in)
+	}
+	// The empty reply of a leaf shard round-trips too.
+	var leaf TreeStats
+	frame = TreeStats{}.Append(nil)
+	if err := leaf.Decode(frame); err != nil {
+		t.Fatalf("leaf tree stats rejected: %v", err)
+	}
+	if len(leaf.Absorbs) != 0 || len(leaf.Levels) != 0 {
+		t.Fatalf("leaf tree stats not empty: %+v", leaf)
+	}
+}
+
+func TestStatsPollBare(t *testing.T) {
+	frame := AppendBare(nil, TypeStatsPoll)
+	if err := DecodeBare(frame, TypeStatsPoll); err != nil {
+		t.Fatalf("stats poll rejected: %v", err)
+	}
+	if err := DecodeBare(append(frame, 1), TypeStatsPoll); !errors.Is(err, ErrTrailingBytes) {
+		t.Fatalf("trailing bytes accepted: %v", err)
 	}
 }
 

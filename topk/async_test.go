@@ -253,6 +253,8 @@ func TestConfigErrorTyped(t *testing.T) {
 		{"Ingest.QueueDepth", Config{Nodes: 4, K: 2, Ingest: Ingest{QueueDepth: -1}}},
 		{"Ingest.Overflow", Config{Nodes: 4, K: 2, Ingest: Ingest{QueueDepth: 2, Overflow: OverflowError + 1}}},
 		{"Ingest.Overflow", Config{Nodes: 4, K: 2, Ingest: Ingest{QueueDepth: 0, Overflow: OverflowError}}},
+		{"Tree", Config{Nodes: 16, K: 2, Tree: Tree{Branch: 1, Depth: 2}}},
+		{"Tree", Config{Nodes: 16, K: 2, Tree: Tree{Branch: 2, Depth: 2}}}, // valid shape, but Transport is set below
 	}
 	for _, tc := range cases {
 		tr := &closeCountingTransport{}
@@ -289,6 +291,7 @@ func TestOrderedConfigErrorTyped(t *testing.T) {
 		{"Epsilon", Config{Nodes: 4, K: 2, Epsilon: 0.1}},
 		{"Shards", Config{Nodes: 4, K: 2, Shards: 2}},
 		{"Ingest", Config{Nodes: 4, K: 2, Ingest: Ingest{QueueDepth: 8}}},
+		{"Tree", Config{Nodes: 8, K: 2, Tree: Tree{Branch: 2, Depth: 1}}},
 	}
 	for _, tc := range cases {
 		_, err := NewOrdered(tc.cfg)

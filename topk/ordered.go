@@ -50,6 +50,9 @@ func NewOrdered(cfg Config) (*OrderedMonitor, error) {
 	if cfg.Shards != 0 {
 		return nil, badConfig(cfg, "Shards", "not supported by the ordered monitor, got %d", cfg.Shards)
 	}
+	if !cfg.Tree.zero() {
+		return nil, badConfig(cfg, "Tree", "not supported by the ordered monitor, got %d^%d", cfg.Tree.Branch, cfg.Tree.Depth)
+	}
 	if cfg.Ingest.QueueDepth != 0 || cfg.Ingest.Overflow != OverflowBlock {
 		return nil, badConfig(cfg, "Ingest", "asynchronous ingestion is not supported by the ordered monitor")
 	}

@@ -53,6 +53,15 @@
 // reports, identical message counts and identical charged bytes for the
 // same seed, and the sharded engine matches them exactly at Shards == 1
 // while staying report-exact at any shard count.
+//
+// Config.Tree generalizes the multi-coordinator engine into a
+// hierarchical coordinator tree — interior coordinators merge their
+// children's protocol digests and forward exactly one digest up, so the
+// root serves Branch^Depth leaf shards while every machine holds only
+// Branch links. Reports and all model ledgers are bit-identical to the
+// flat star over the same leaves; Monitor.TreeStats exposes each level's
+// coordination traffic and, with Epsilon set, the per-level tightened
+// band ladder's absorption counters.
 package topk
 
 import (
@@ -203,6 +212,48 @@ type Config struct {
 	// exceed Nodes and is mutually exclusive with Concurrent and
 	// Transport. Sharded monitors must be Closed.
 	Shards int
+	// Tree arranges the sharded engine's sub-coordinators as a tree of
+	// Tree.Depth levels with fan-out Tree.Branch at every node: the root
+	// talks to Branch interior coordinators, each relaying to Branch
+	// children, down to Branch^Depth leaf shards. Reports, message counts
+	// and charged bytes are identical to a flat Shards = Branch^Depth
+	// monitor — interior nodes merge associatively and make no protocol
+	// decisions — but the root's own fan-in stays at Branch links, and in
+	// the ε mode each level below the root runs a tightened tolerance
+	// band (widening monotonically toward Epsilon at the root) whose
+	// absorption profile TreeStats reports. The zero value keeps the flat
+	// layout. Branch^Depth must not exceed Nodes; Tree is mutually
+	// exclusive with Concurrent and Transport, and Shards, when also set,
+	// must equal Branch^Depth. Tree monitors must be Closed.
+	Tree Tree
+}
+
+// Tree is the hierarchical-coordinator shape of Config.Tree: Branch is
+// the fan-out of the root and of every interior coordinator (at least 2),
+// Depth the number of link levels below the root (at least 1; depth 1 is
+// the flat star). A depth-d tree serves Branch^d leaf shards while the
+// root maintains only Branch links.
+type Tree struct {
+	Branch int
+	Depth  int
+}
+
+// zero reports whether no tree is configured.
+func (t Tree) zero() bool { return t == Tree{} }
+
+// leaves returns Branch^Depth with an overflow guard.
+func (t Tree) leaves() (int, bool) {
+	if t.Branch < 2 || t.Depth < 1 {
+		return 0, false
+	}
+	n := 1
+	for i := 0; i < t.Depth; i++ {
+		if n > (1<<30)/t.Branch {
+			return 0, false
+		}
+		n *= t.Branch
+	}
+	return n, true
 }
 
 // PipelineMode selects how the networked and sharded engines drive their
@@ -277,6 +328,27 @@ func New(cfg Config) (*Monitor, error) {
 	if cfg.Shards > 0 && (cfg.Concurrent || cfg.Transport != nil) {
 		return nil, badConfig(cfg, "Shards", "mutually exclusive with Concurrent and Transport")
 	}
+	if !cfg.Tree.zero() {
+		if cfg.Tree.Branch < 2 {
+			return nil, badConfig(cfg, "Tree", "branch must be at least 2, got %d", cfg.Tree.Branch)
+		}
+		if cfg.Tree.Depth < 1 {
+			return nil, badConfig(cfg, "Tree", "depth must be at least 1, got %d", cfg.Tree.Depth)
+		}
+		leaves, ok := cfg.Tree.leaves()
+		if !ok {
+			return nil, badConfig(cfg, "Tree", "%d^%d leaves overflow", cfg.Tree.Branch, cfg.Tree.Depth)
+		}
+		if leaves > cfg.Nodes {
+			return nil, badConfig(cfg, "Tree", "%d^%d = %d leaf shards exceed Nodes=%d", cfg.Tree.Branch, cfg.Tree.Depth, leaves, cfg.Nodes)
+		}
+		if cfg.Concurrent || cfg.Transport != nil {
+			return nil, badConfig(cfg, "Tree", "mutually exclusive with Concurrent and Transport")
+		}
+		if cfg.Shards != 0 && cfg.Shards != leaves {
+			return nil, badConfig(cfg, "Tree", "Shards=%d disagrees with %d^%d = %d leaves", cfg.Shards, cfg.Tree.Branch, cfg.Tree.Depth, leaves)
+		}
+	}
 	if cfg.Pipeline > PipelineOff {
 		return nil, badConfig(cfg, "Pipeline", "unknown mode %d", cfg.Pipeline)
 	}
@@ -285,6 +357,18 @@ func New(cfg Config) (*Monitor, error) {
 	}
 	m := &Monitor{cfg: cfg, maxVal: maxValueFor(cfg.Nodes, cfg.DistinctValues)}
 	switch {
+	case !cfg.Tree.zero():
+		eng, err := shardrun.NewLoopbackTree(shardrun.Config{
+			N: cfg.Nodes, K: cfg.K, Seed: cfg.Seed,
+			DistinctValues: cfg.DistinctValues, Epsilon: cfg.Epsilon,
+			Lockstep: cfg.Pipeline == PipelineOff,
+			Redial:   cfg.redialInternal(), RetryBudget: cfg.RetryBudget,
+			RetryBackoff: cfg.RetryBackoff, OnEvent: cfg.onEventInternal(),
+		}, cfg.Tree.Branch, cfg.Tree.Depth)
+		if err != nil {
+			return nil, err
+		}
+		m.shard = eng
 	case cfg.Shards > 0:
 		eng, err := shardrun.NewLoopback(shardrun.Config{
 			N: cfg.Nodes, K: cfg.K, Seed: cfg.Seed,
@@ -680,6 +764,60 @@ func (m *Monitor) Overhead() (Counts, Bytes) {
 	c, b := m.shard.Overhead(), m.shard.OverheadBytes()
 	return Counts{Up: c.Up, Down: c.Down, Broadcast: c.Bcast},
 		Bytes{Up: b.Up, Down: b.Down, Broadcast: b.Bcast}
+}
+
+// LevelIO summarizes the coordination traffic of one coordinator-tree
+// level: frames and encoded bytes sent down to (and received up from)
+// that level's children.
+type LevelIO struct {
+	Down, Up           int64
+	DownBytes, UpBytes int64
+}
+
+// TreeStats is the diagnostic profile of a hierarchical monitor (see
+// Monitor.TreeStats).
+type TreeStats struct {
+	// Absorbs[l] counts, across all leaves, the observations that left
+	// the level-l tightened tolerance band (level 0 is the tightest, at
+	// the leaves). Absorbs[l] - Absorbs[l+1] of those exits were absorbed
+	// by the next wider band without reaching the root's ε filter; the
+	// remainder of Absorbs[len-1] escalated to a real filter violation.
+	// Empty unless the monitor runs a tree of depth >= 2 with a positive
+	// Epsilon.
+	Absorbs []int64
+	// Levels holds one coordination-traffic summary per tree level,
+	// deepest interior level first, ending with the root's own overhead
+	// ledger.
+	Levels []LevelIO
+}
+
+// TreeStats polls a sharded or tree monitor's diagnostic plane: per-level
+// band-absorption counters (ε mode at depth >= 2) and per-level
+// coordination traffic, ending with the root's own overhead ledger. The
+// poll itself is free — it is charged to no ledger, appearing only in
+// TransportStats — so polling does not perturb the numbers it reports.
+// Non-sharded monitors return the zero value; a poll interrupted by a
+// link failure returns an error and leaves recovery to the next
+// observation call.
+func (m *Monitor) TreeStats() (TreeStats, error) {
+	if m.drv != nil {
+		m.engineMu.Lock()
+		defer m.engineMu.Unlock()
+	}
+	if m.shard == nil {
+		return TreeStats{}, nil
+	}
+	ws, err := m.shard.TreeStats()
+	if err != nil {
+		return TreeStats{}, err
+	}
+	out := TreeStats{Absorbs: ws.Absorbs}
+	for _, lv := range ws.Levels {
+		out.Levels = append(out.Levels, LevelIO{
+			Down: lv.Down, Up: lv.Up, DownBytes: lv.DownBytes, UpBytes: lv.UpBytes,
+		})
+	}
+	return out, nil
 }
 
 // Stats returns behavioural counters. Every engine maintains them in the
