@@ -1,0 +1,98 @@
+// Command topklint runs the repo's custom static-analysis suite — the
+// five analyzers in internal/analysis that machine-enforce the protocol
+// invariants the paper's bounds depend on — over the module, go vet
+// style:
+//
+//	go run ./cmd/topklint ./...
+//
+// It prints one line per finding (file:line:col: analyzer: message) and
+// exits non-zero when anything fires, which is what makes the CI step
+// blocking. Intentional exceptions are annotated in the source with
+// line-scoped //lint:topk directives; topklint audits those too, so an
+// unused or reasonless suppression is itself a finding.
+//
+// Run with -list to print the analyzer inventory and the invariant each
+// one guards.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "print the analyzer inventory and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: topklint [-list] [packages]\n\nRuns the repo's invariant analyzers (default pattern ./...).\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	suite := analysis.Suite()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	root, err := moduleRoot()
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := analysis.NewModuleLoader(root)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := loader.LoadPatterns(root, patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	diags, err := analysis.RunPackages(loader.Fset, pkgs, suite)
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range diags {
+		pos := loader.Fset.Position(d.Pos)
+		rel := pos.Filename
+		if r, err := filepath.Rel(root, pos.Filename); err == nil {
+			rel = r
+		}
+		fmt.Printf("%s:%d:%d: %s: %s\n", rel, pos.Line, pos.Column, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "topklint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks up from the working directory to the enclosing go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("topklint: no go.mod above the working directory")
+		}
+		dir = parent
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "topklint:", err)
+	os.Exit(1)
+}

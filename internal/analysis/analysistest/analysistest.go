@@ -1,0 +1,119 @@
+// Package analysistest runs an analyzer over GOPATH-style fixture
+// packages and checks its diagnostics against // want annotations, the
+// same contract as golang.org/x/tools/go/analysis/analysistest but built
+// on the repo's dependency-free analysis framework.
+//
+// A fixture lives under <srcRoot>/<importpath>/ and annotates each line
+// that must produce a diagnostic with a trailing comment:
+//
+//	rand.Shuffle(n, swap) // want "unseeded randomness"
+//
+// The quoted string is a regular expression matched against the
+// diagnostic message; several want comments may share a line. Directive
+// audits (unused or malformed //lint:topk) are ordinary diagnostics and
+// are asserted the same way. Every un-matched want and every un-wanted
+// diagnostic fails the test.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// wantRe extracts the expectation patterns from a // want comment.
+var wantRe = regexp.MustCompile(`want\s+"((?:[^"\\]|\\.)*)"`)
+
+// loaders caches one fixture loader per source root so the standard
+// library is type-checked once per test binary, not once per test.
+var (
+	loadersMu sync.Mutex
+	loaders   = make(map[string]*analysis.Loader)
+)
+
+func loaderFor(srcRoot string) *analysis.Loader {
+	loadersMu.Lock()
+	defer loadersMu.Unlock()
+	l, ok := loaders[srcRoot]
+	if !ok {
+		l = analysis.NewFixtureLoader(srcRoot)
+		loaders[srcRoot] = l
+	}
+	return l
+}
+
+// Run loads the fixture packages below srcRoot, applies the analyzer
+// (with //lint:topk directive processing and auditing), and asserts the
+// diagnostics equal the fixtures' want annotations.
+func Run(t *testing.T, srcRoot string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	loader := loaderFor(srcRoot)
+	var pkgs []*analysis.Package
+	for _, path := range pkgPaths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	diags, err := analysis.RunPackages(loader.Fset, pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	type want struct {
+		re      *regexp.Regexp
+		raw     string
+		matched bool
+	}
+	wants := make(map[string][]*want) // "file:line" -> expectations
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+						re, err := regexp.Compile(m[1])
+						if err != nil {
+							t.Fatalf("bad want pattern %q: %v", m[1], err)
+						}
+						key := lineKey(loader.Fset, c.Pos())
+						wants[key] = append(wants[key], &want{re: re, raw: m[1]})
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		key := lineKey(loader.Fset, d.Pos)
+		found := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			pos := loader.Fset.Position(d.Pos)
+			t.Errorf("unexpected diagnostic at %s:%d: %s: %s", pos.Filename, pos.Line, d.Analyzer, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, w.raw)
+			}
+		}
+	}
+}
+
+// lineKey canonicalizes a position to its file:line.
+func lineKey(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	return fmt.Sprintf("%s:%d", p.Filename, p.Line)
+}

@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// Determinism guards the shared protocol core's reproducibility: the
+// cross-engine bit-identity suites (and coord's Snapshot/Restore
+// determinism) only hold if no protocol decision depends on wall clocks,
+// unseeded randomness, or Go's randomized map iteration order. Inside
+// internal/coord, internal/core, internal/order and internal/filter it
+// forbids:
+//
+//   - reading the clock (time.Now, time.Since, time.Until);
+//   - importing math/rand or math/rand/v2 — protocol randomness must come
+//     from internal/rng, whose streams are seeded, splittable and part of
+//     the snapshot state;
+//   - ranging over a map, whose iteration order is deliberately
+//     randomized by the runtime and therefore leaks nondeterminism into
+//     anything it feeds.
+//
+// A map iteration whose effect is provably order-independent (pure
+// accumulation into an order-insensitive aggregate) may be suppressed
+// with //lint:topk determinism <why order cannot leak>.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid wall clocks, unseeded randomness and map-order iteration in the deterministic protocol core",
+	Run:  runDeterminism,
+}
+
+// deterministicPackages are the protocol-core packages the bit-identity
+// suites cover; everything the coordinator machine and node banks compute
+// must replay identically from a seed.
+var deterministicPackages = []string{"coord", "core", "order", "filter"}
+
+// clockFuncs are the time package's clock reads; timer construction
+// (time.NewTimer) is equally forbidden but always reaches one of these.
+var clockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func runDeterminism(pass *Pass) error {
+	if !scoped(pass, deterministicPackages...) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(), "import of %s in the deterministic core: protocol randomness must come from internal/rng's seeded streams", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if fn := calleeFunc(pass.TypesInfo, n); fn != nil &&
+					fn.Pkg() != nil && fn.Pkg().Path() == "time" && clockFuncs[fn.Name()] {
+					pass.Reportf(n.Pos(), "time.%s in the deterministic core: protocol decisions must not read the wall clock", fn.Name())
+				}
+			case *ast.RangeStmt:
+				if n.X == nil {
+					return true
+				}
+				t := pass.TypeOf(n.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					pass.Reportf(n.Pos(), "range over a map in the deterministic core: iteration order is randomized and leaks into protocol-visible state")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

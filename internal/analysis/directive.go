@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// directive is one parsed //lint:topk suppression.
+type directive struct {
+	pos      token.Pos
+	file     string
+	line     int
+	analyzer string
+	reason   string
+	used     bool
+	bad      string // non-empty when malformed; the diagnostic message
+}
+
+// collectDirectives parses every //lint:topk directive in the package.
+// known is the set of analyzer names a directive may legally target.
+func collectDirectives(fset *token.FileSet, files []*ast.File, known map[string]bool) []*directive {
+	var out []*directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:topk")
+				if !ok {
+					continue
+				}
+				// Strip a trailing "// want ..." expectation so the
+				// analysistest fixtures can annotate the directive line
+				// itself without the marker swallowing the annotation.
+				text, _, _ = strings.Cut(text, "// want")
+				pos := fset.Position(c.Pos())
+				d := &directive{pos: c.Pos(), file: pos.Filename, line: pos.Line}
+				fields := strings.Fields(text)
+				switch {
+				case len(fields) == 0:
+					d.bad = "malformed //lint:topk directive: missing analyzer name and reason"
+				case !known[fields[0]]:
+					d.bad = "//lint:topk names unknown analyzer " + fields[0] + "; see cmd/topklint for the inventory"
+				case len(fields) == 1:
+					d.analyzer = fields[0]
+					d.bad = "//lint:topk " + fields[0] + " needs a reason: every suppression documents why the invariant is intentionally waived here"
+				default:
+					d.analyzer = fields[0]
+					d.reason = strings.Join(fields[1:], " ")
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// applyDirectives filters raw diagnostics through the suppressions. A
+// directive at line L suppresses matching diagnostics on L (end-of-line
+// form) or, if L has none, on L+1 (comment-above form); it is marked used
+// only when it actually suppressed something.
+func applyDirectives(fset *token.FileSet, raw []Diagnostic, dirs []*directive) []Diagnostic {
+	type key struct {
+		file     string
+		line     int
+		analyzer string
+	}
+	index := make(map[key][]*directive)
+	for _, d := range dirs {
+		if d.bad != "" {
+			continue
+		}
+		index[key{d.file, d.line, d.analyzer}] = append(index[key{d.file, d.line, d.analyzer}], d)
+		index[key{d.file, d.line + 1, d.analyzer}] = append(index[key{d.file, d.line + 1, d.analyzer}], d)
+	}
+	var out []Diagnostic
+	for _, diag := range raw {
+		pos := fset.Position(diag.Pos)
+		if ds := index[key{pos.Filename, pos.Line, diag.Analyzer}]; len(ds) > 0 {
+			for _, d := range ds {
+				d.used = true
+			}
+			continue
+		}
+		out = append(out, diag)
+	}
+	return out
+}

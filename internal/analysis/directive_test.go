@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// TestDirectiveAudit pins the suppression contract: malformed and unused
+// //lint:topk directives are diagnostics in their own right, so a
+// blanket or stale disable can never ride along silently. The analyzer
+// choice is irrelevant — the audit runs on every pass.
+func TestDirectiveAudit(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.Determinism, "dirs")
+}

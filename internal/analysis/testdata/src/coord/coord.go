@@ -1,0 +1,55 @@
+// Package coord is the determinism analyzer's failing fixture: the
+// analyzer scopes on the package base name, so this stands in for the
+// deterministic protocol core. It also doubles as the chargedsend
+// fixture's coordinator-machine dependency (see ../netrun).
+package coord
+
+import (
+	"math/rand" // want "protocol randomness must come from internal/rng"
+	"time"
+)
+
+// Machine mimics the coordinator state machine the chargedsend fixture
+// drives adjacent to its sends.
+type Machine struct{ steps int }
+
+// BeginStep advances the machine; calling it counts as "driving the
+// coordinator" for the chargedsend analyzer.
+func (m *Machine) BeginStep() { m.steps++ }
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want "must not read the wall clock"
+}
+
+func elapsed(since time.Time) time.Duration {
+	return time.Since(since) // want "must not read the wall clock"
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+func sum(m map[int]int) int {
+	total := 0
+	for _, v := range m { // want "range over a map"
+		total += v
+	}
+	return total
+}
+
+func sumOrderIndependent(m map[int]int) int {
+	total := 0
+	//lint:topk determinism pure accumulation into a commutative sum; iteration order cannot leak
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func sumSlice(xs []int) int {
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,16 @@
+// Package dirs exercises the //lint:topk directive audit: malformed or
+// unused suppressions are findings themselves, reported under the
+// topkdirective pseudo-analyzer and never suppressible.
+package dirs
+
+//lint:topk // want "missing analyzer name"
+var A = 1
+
+//lint:topk nosuch because reasons // want "unknown analyzer nosuch"
+var B = 2
+
+//lint:topk determinism // want "needs a reason"
+var C = 3
+
+//lint:topk determinism a perfectly documented reason with nothing to suppress // want "unused"
+var D = 4

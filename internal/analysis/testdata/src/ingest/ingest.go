@@ -1,0 +1,72 @@
+// Package ingest is the ctxsend analyzer's fixture: channel operations
+// on goroutines launched here must select on a release path, range over
+// a closable channel, or carry a non-blocking proof.
+package ingest
+
+// Driver mimics the ingestion worker's channel plumbing.
+type Driver struct {
+	ch   chan int
+	done chan struct{}
+}
+
+func (d *Driver) badSend() {
+	go func() {
+		d.ch <- 1 // want "bare channel send in an engine goroutine"
+	}()
+}
+
+func (d *Driver) badRecv() {
+	go func() {
+		<-d.ch // want "bare channel receive in an engine goroutine"
+	}()
+}
+
+// singleCase has a select, but with one clause there is no release path
+// to take: it blocks exactly like the bare form.
+func (d *Driver) singleCase() {
+	go func() {
+		select {
+		case v := <-d.ch: // want "bare channel receive in an engine goroutine"
+			_ = v
+		}
+	}()
+}
+
+func (d *Driver) good() {
+	go func() {
+		select {
+		case d.ch <- 1:
+		case <-d.done:
+		}
+	}()
+}
+
+// drain ranges over the channel; close(d.ch) is its release mechanism.
+func (d *Driver) drain() {
+	go func() {
+		for range d.ch {
+		}
+	}()
+}
+
+// suppressed carries the non-blocking argument on the line it protects.
+func (d *Driver) suppressed() {
+	go func() {
+		//lint:topk ctxsend capacity-1 channel under an owed-reply discipline; a slot is always free (fixture)
+		d.ch <- 2
+	}()
+}
+
+// worker is checked because named() launches it with go.
+func worker(ch chan int) {
+	ch <- 3 // want "bare channel send in an engine goroutine"
+}
+
+func (d *Driver) named() {
+	go worker(d.ch)
+}
+
+// synchronous is never launched with go: its bare send is out of scope.
+func (d *Driver) synchronous() {
+	d.ch <- 4
+}

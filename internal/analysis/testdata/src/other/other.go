@@ -1,0 +1,17 @@
+// Package other proves the determinism analyzer is scoped: the same
+// constructs that fire inside the protocol core are legal here.
+package other
+
+import "time"
+
+// Stamp reads the wall clock; fine outside the deterministic core.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Sum ranges over a map; fine outside the deterministic core.
+func Sum(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

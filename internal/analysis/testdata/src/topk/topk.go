@@ -1,0 +1,65 @@
+// Package topk is the typederr analyzer's fixture: error paths reachable
+// from exported New* constructors must produce typed *ConfigError values
+// or documented sentinels, never bare fmt.Errorf.
+package topk
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrClosed is a documented sentinel: package-level errors.New is the
+// legal form and is never flagged.
+var ErrClosed = errors.New("topk: monitor closed")
+
+// ConfigError reports which Config field was rejected and why.
+type ConfigError struct{ Field, Reason string }
+
+func (e *ConfigError) Error() string { return "topk: invalid Config." + e.Field + ": " + e.Reason }
+
+// Monitor is the fixture's constructed type.
+type Monitor struct{ n int }
+
+// New rejects bad configurations the wrong way.
+func New(n int) (*Monitor, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("topk: bad node count %d", n) // want "bare fmt.Errorf on a constructor path"
+	}
+	if n > 1<<20 {
+		return nil, errors.New("topk: node count too large") // want "inline errors.New on a constructor path"
+	}
+	if err := validate(n); err != nil {
+		return nil, err
+	}
+	return &Monitor{n: n}, nil
+}
+
+// validate is unexported but reachable from New, so its bare error is
+// still a constructor-path leak.
+func validate(n int) error {
+	if n%2 == 1 {
+		return fmt.Errorf("topk: odd node count") // want "bare fmt.Errorf on a constructor path"
+	}
+	return nil
+}
+
+// NewChecked rejects with the typed error, and documents its one
+// deliberate exception in place.
+func NewChecked(n int) (*Monitor, error) {
+	if n <= 0 {
+		return nil, &ConfigError{Field: "Nodes", Reason: "must be positive"}
+	}
+	if n == 7 {
+		//lint:topk typederr fixture for a deliberate, documented exception to the constructor contract
+		return nil, fmt.Errorf("topk: seven is right out")
+	}
+	return &Monitor{n: n}, nil
+}
+
+// Observe is not a constructor: runtime-path errors are out of scope.
+func (m *Monitor) Observe(vals []int64) error {
+	if len(vals) != m.n {
+		return fmt.Errorf("topk: wrong observation length")
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// TypedErr guards the public constructor contract: topk.New and
+// topk.NewOrdered document that a rejected configuration surfaces as a
+// typed *ConfigError naming the offending field (so callers can
+// errors.As on it), never as an anonymous fmt.Errorf string. The
+// analyzer computes the set of package functions reachable from the
+// exported New* constructors through intra-package calls and flags every
+// fmt.Errorf and inline errors.New inside it — on a constructor path
+// those produce exactly the untyped rejections the contract rules out.
+//
+// Package-level sentinels (var ErrX = errors.New(...)) are outside any
+// function body and therefore never flagged; they are the "documented
+// sentinel" half of the contract.
+var TypedErr = &Analyzer{
+	Name: "typederr",
+	Doc:  "constructor/config paths in topk must reject with *ConfigError or a documented sentinel, never bare fmt.Errorf",
+	Run:  runTypedErr,
+}
+
+func runTypedErr(pass *Pass) error {
+	if !scoped(pass, "topk") {
+		return nil
+	}
+
+	// Map every package function/method object to its declaration.
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+
+	// Intra-package call edges, then reachability from the New* roots.
+	reach := make(map[*types.Func]bool)
+	var visit func(fn *types.Func)
+	visit = func(fn *types.Func) {
+		if reach[fn] {
+			return
+		}
+		reach[fn] = true
+		fd := decls[fn]
+		if fd == nil || fd.Body == nil {
+			return
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if callee := calleeFunc(pass.TypesInfo, call); callee != nil {
+					if _, local := decls[callee]; local {
+						visit(callee)
+					}
+				}
+			}
+			return true
+		})
+	}
+	for fn, fd := range decls {
+		if fd.Recv == nil && fn.Exported() && strings.HasPrefix(fn.Name(), "New") {
+			visit(fn)
+		}
+	}
+
+	for fn := range reach {
+		fd := decls[fn]
+		if fd == nil || fd.Body == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(pass.TypesInfo, call)
+			if callee == nil || callee.Pkg() == nil {
+				return true
+			}
+			switch {
+			case callee.Pkg().Path() == "fmt" && callee.Name() == "Errorf":
+				pass.Reportf(call.Pos(), "bare fmt.Errorf on a constructor path (%s is reachable from an exported New*): reject with a typed *ConfigError or a documented sentinel", fn.Name())
+			case callee.Pkg().Path() == "errors" && callee.Name() == "New":
+				pass.Reportf(call.Pos(), "inline errors.New on a constructor path (%s is reachable from an exported New*): reject with a typed *ConfigError or a package-level documented sentinel", fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

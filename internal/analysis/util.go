@@ -1,0 +1,43 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// calleeFunc resolves the static target of a call expression to a
+// *types.Func, or nil for dynamic calls (function values, type
+// conversions, builtins).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// fromPackage reports whether fn is declared in a package whose base
+// import path is name. Matching on the base keeps the analyzers working
+// both on the real module packages (repro/internal/comm) and on the
+// analysistest fixtures (comm).
+func fromPackage(fn *types.Func, name string) bool {
+	return fn != nil && fn.Pkg() != nil && pkgBase(fn.Pkg().Path()) == name
+}
+
+// scoped reports whether the pass's package is one of the given package
+// base names.
+func scoped(pass *Pass, names ...string) bool {
+	base := pkgBase(pass.Pkg.Path())
+	for _, n := range names {
+		if base == n {
+			return true
+		}
+	}
+	return false
+}

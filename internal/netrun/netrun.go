@@ -343,6 +343,7 @@ func (e *Engine) startReader(p *peer) {
 	go func(p *peer) {
 		for range p.req {
 			frame, err := p.link.Recv()
+			//lint:topk ctxsend non-blocking: res has capacity 1 and the owed<=1 reply discipline guarantees a free slot; close(req) releases the loop
 			p.res <- recvResult{frame: frame, err: err}
 		}
 	}(p)
@@ -394,6 +395,7 @@ func (e *Engine) Close() {
 	for _, p := range e.peers {
 		// Best effort: a peer that already vanished is being shut down
 		// anyway.
+		//lint:topk chargedsend Shutdown is a teardown control frame outside the model; the ledgers are final once Close begins
 		_ = p.link.Send(wire.AppendBare(e.buf[:0], wire.TypeShutdown))
 		_ = transport.Flush(p.link)
 		_ = p.link.Close()
@@ -499,6 +501,7 @@ func (e *Engine) terminal(err error) {
 // lockstep data path, also used for the handshake). Every frame sent this
 // way is a command owed exactly one reply.
 func (e *Engine) send(p *peer, frame []byte, op string) error {
+	//lint:topk chargedsend pure transmit wrapper: every caller ships a frame the coord machine charged when it emitted the effect
 	if err := p.link.Send(frame); err != nil {
 		return e.fail(p, op, err)
 	}
@@ -542,6 +545,7 @@ func (e *Engine) sendCmd(pi int, frame []byte, op string) error {
 		out = e.bbuf
 		p.pendBuf, p.pendLens = p.pendBuf[:0], p.pendLens[:0]
 	}
+	//lint:topk chargedsend pure transmit wrapper: the data frame and the queued acks riding ahead of it were all charged by the machine effects that produced them
 	if err := p.link.Send(out); err != nil {
 		return e.fail(p, op, err)
 	}
@@ -680,6 +684,7 @@ func (e *Engine) drainPending() error {
 			out = e.bbuf
 		}
 		p.pendBuf, p.pendLens = p.pendBuf[:0], p.pendLens[:0]
+		//lint:topk chargedsend drains queued ack-only command frames; the machine charged each model message when the effect was emitted
 		if err := p.link.Send(out); err != nil {
 			return e.fail(p, "drain", err)
 		}

@@ -120,6 +120,7 @@ func (r *interior) entry(typ byte) *planEntry {
 // leaves exit their serve loops cleanly before the pipes go away.
 func (r *interior) shutdownKids() {
 	for _, k := range r.kids {
+		//lint:topk chargedsend Shutdown is a teardown control frame outside the model; nothing is charged once the subtree is being dismantled
 		_ = k.link.Send(wire.AppendBare(r.bbuf[:0], wire.TypeShutdown))
 		_ = transport.Flush(k.link)
 		_ = k.link.Close()
@@ -190,6 +191,7 @@ func (r *interior) reassign(m wire.Assign) error {
 // transport statistics.
 func (r *interior) pollStats() error {
 	for _, k := range r.kids {
+		//lint:topk chargedsend StatsPoll is deliberately uncharged diagnostics: polling must not perturb the ledgers it reports (see pollStats doc)
 		if err := k.link.Send(wire.AppendBare(r.bbuf[:0], wire.TypeStatsPoll)); err != nil {
 			return fmt.Errorf("shardrun: interior stats poll: %w", err)
 		}

@@ -365,6 +365,7 @@ func (e *Engine) startReader(p *shardPeer) {
 	go func(p *shardPeer) {
 		for range p.req {
 			frame, err := p.link.Recv()
+			//lint:topk ctxsend non-blocking: res has capacity 1 and the owed<=1 reply discipline guarantees a free slot; close(req) releases the loop
 			p.res <- recvResult{frame: frame, err: err}
 		}
 	}(p)
@@ -410,6 +411,7 @@ func (e *Engine) Close() {
 	}
 	e.closed = true
 	for _, p := range e.peers {
+		//lint:topk chargedsend Shutdown is a teardown control frame outside the model; the ledgers are final once Close begins
 		_ = p.link.Send(wire.AppendBare(e.buf[:0], wire.TypeShutdown))
 		_ = transport.Flush(p.link)
 		_ = p.link.Close()

@@ -3,6 +3,7 @@ package topk
 import (
 	"context"
 	"errors"
+	"strings"
 	"testing"
 	"time"
 
@@ -306,6 +307,11 @@ func TestOrderedConfigErrorTyped(t *testing.T) {
 		}
 		if ce.Field != tc.field {
 			t.Errorf("ordered config %+v: Field = %q, want %q", tc.cfg, ce.Field, tc.field)
+		}
+		// The Epsilon rejection is a carried ROADMAP item, not a bug:
+		// the error must point readers at the follow-on.
+		if tc.field == "Epsilon" && !strings.Contains(err.Error(), "ROADMAP.md") {
+			t.Errorf("ordered Epsilon rejection %q does not reference ROADMAP.md", err)
 		}
 	}
 	// The Transport rejection also closes the transport it owns.

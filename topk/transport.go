@@ -1,8 +1,6 @@
 package topk
 
 import (
-	"fmt"
-
 	"repro/internal/netrun"
 	"repro/internal/transport"
 )
@@ -93,7 +91,7 @@ func (l *loopback) Close() error {
 func newNetEngine(cfg Config) (*netrun.Engine, error) {
 	links := cfg.Transport.Links()
 	if len(links) == 0 || len(links) > cfg.Nodes {
-		return nil, fmt.Errorf("topk: transport must supply 1..Nodes links, got %d for %d nodes", len(links), cfg.Nodes)
+		return nil, badConfig(cfg, "Transport", "must supply 1..Nodes links, got %d for %d nodes", len(links), cfg.Nodes)
 	}
 	internal := make([]transport.Link, len(links))
 	for i, l := range links {
