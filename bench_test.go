@@ -651,3 +651,90 @@ func BenchmarkOracle(b *testing.B) {
 		m.EncodeAll(vals, keys)
 	}
 }
+
+// BenchmarkCheckpoint measures the durable-checkpoint layer (E23): the
+// size and write latency of a full-state frame at several node counts —
+// against the copy-only in-memory store and the fsync-backed atomic file
+// store — and the latency of topk.Restore from the newest valid frame.
+// The restored sequential monitor is bit-identical to an uninterrupted
+// twin, so re-convergence costs zero steps; the networked engines instead
+// pay one forced FILTERRESET and are oracle-exact from the first
+// post-restore step (DESIGN.md "Durable checkpointing & crash-restart").
+func BenchmarkCheckpoint(b *testing.B) {
+	const k, warm = 8, 64
+	ctx := context.Background()
+	walk := func(b *testing.B, mon *topk.Monitor, n, steps int, seed uint64) {
+		src := stream.NewSparseWalk(stream.SparseWalkConfig{
+			N: n, Changed: n / 16, MaxStep: 1 << 11, Lo: 1 << 18, Hi: 1 << 24, Seed: seed,
+		})
+		ids := make([]int, n)
+		vals := make([]int64, n)
+		for s := 0; s < steps; s++ {
+			c := src.StepDelta(ids, vals)
+			if _, err := mon.ObserveDelta(ids[:c], vals[:c]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	for _, n := range []int{256, 1024, 4096} {
+		for _, eps := range []float64{0, 0.05} {
+			cfg := topk.Config{Nodes: n, K: k, Seed: 7, Epsilon: eps}
+			stores := []struct {
+				name string
+				mk   func(b *testing.B) topk.CheckpointStore
+			}{
+				{"mem", func(b *testing.B) topk.CheckpointStore { return topk.MemCheckpoints() }},
+				{"file", func(b *testing.B) topk.CheckpointStore {
+					st, err := topk.FileCheckpoints(b.TempDir())
+					if err != nil {
+						b.Fatal(err)
+					}
+					return st
+				}},
+			}
+			for _, st := range stores {
+				b.Run(bench.F("save/%s/n=%d/eps=%g", st.name, n, eps), func(b *testing.B) {
+					c := cfg
+					c.Checkpoint = topk.Checkpoint{Store: st.mk(b)}
+					mon, err := topk.New(c)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.Cleanup(mon.Close)
+					walk(b, mon, n, warm, 6)
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if _, err := mon.Checkpoint(ctx); err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.StopTimer()
+					if _, frame, err := c.Checkpoint.Store.Load(); err == nil {
+						b.ReportMetric(float64(len(frame)), "frame-bytes")
+					}
+				})
+			}
+			b.Run(bench.F("restore/n=%d/eps=%g", n, eps), func(b *testing.B) {
+				c := cfg
+				c.Checkpoint = topk.Checkpoint{Store: topk.MemCheckpoints()}
+				mon, err := topk.New(c)
+				if err != nil {
+					b.Fatal(err)
+				}
+				walk(b, mon, n, warm, 6)
+				if _, err := mon.Checkpoint(ctx); err != nil {
+					b.Fatal(err)
+				}
+				mon.Close()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					r, err := topk.Restore(c.Checkpoint.Store, c)
+					if err != nil {
+						b.Fatal(err)
+					}
+					r.Close()
+				}
+			})
+		}
+	}
+}

@@ -25,10 +25,21 @@
 //	topkmon -serve 127.0.0.1:7070 -peers 2 -n 64 -k 4 -steps 2000
 //	topkmon -join 127.0.0.1:7070
 //	topkmon -join 127.0.0.1:7070
+//
+// Kill-and-restart demo: add -checkpoint to the coordinator and it
+// persists CRC-sealed frames while serving. Ctrl-C it mid-run, rerun
+// the same command (and fresh joins), and it restores from the newest
+// valid frame and streams only the remaining steps:
+//
+//	topkmon -serve 127.0.0.1:7070 -peers 2 -steps 2000 -checkpoint /tmp/ckpt
+//	^C                                      (coordinator dies at step ~1200)
+//	topkmon -serve 127.0.0.1:7070 -peers 2 -steps 2000 -checkpoint /tmp/ckpt
+//	restored from checkpoint generation 48 (step 1200); ...
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -38,6 +49,7 @@ import (
 	"time"
 
 	"repro/internal/baseline"
+	"repro/internal/ckpt"
 	"repro/internal/comm"
 	"repro/internal/coord"
 	"repro/internal/core"
@@ -48,6 +60,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stream"
 	"repro/internal/transport"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -74,6 +87,8 @@ func main() {
 		lockstep = flag.Bool("lockstep", false, "disable the pipelined transport fan-out of the net and sharded engines: send, flush and await every command peer by peer (bit-identical results, higher step latency)")
 		async    = flag.Bool("async", false, "decouple ingestion from protocol execution: stage observations in a bounded coalescing queue, Drain once at the end, and verify the final report against the oracle")
 		queue    = flag.Int("queue", 64, "per-node ingest queue depth for -async (capped at n)")
+		ckptDir  = flag.String("checkpoint", "", "with -serve: durable checkpoint directory; the coordinator persists CRC-sealed frames while serving and restores from the newest valid one on startup (kill-and-restart survives)")
+		ckptN    = flag.Int("ckpt-every", 25, "with -serve -checkpoint: auto-checkpoint every this many steps")
 	)
 	flag.Parse()
 
@@ -96,6 +111,15 @@ func main() {
 		}
 	}
 
+	if *ckptDir != "" {
+		if *serve == "" {
+			log.Fatal("-checkpoint requires -serve (the coordinator process is what gets checkpointed)")
+		}
+		if *ckptN < 1 {
+			log.Fatalf("-ckpt-every must be >= 1, got %d", *ckptN)
+		}
+	}
+
 	if *join != "" {
 		runJoin(*join)
 		return
@@ -114,7 +138,7 @@ func main() {
 		if *ordered {
 			log.Fatal("-ordered is not supported by the networked engine yet")
 		}
-		runServe(*serve, *peers, nn, *k, *seed, *epsilon, *lockstep, matrix)
+		runServe(*serve, *peers, nn, *k, *seed, *epsilon, *lockstep, matrix, *ckptDir, *ckptN)
 		return
 	}
 
@@ -429,11 +453,20 @@ func printTransport(ts transport.LinkStats, peers int) {
 		peers, ts.SentFrames, ts.SentBytes, ts.RecvFrames, ts.RecvBytes)
 }
 
-// runServe is the TCP coordinator: accept the peers, drive the workload,
-// report, shut down.
-func runServe(addr string, peers, n, k int, seed uint64, epsilon float64, lockstep bool, matrix [][]int64) {
+// runServe is the TCP coordinator: accept the peers, restore from the
+// checkpoint directory when one is configured and holds a valid frame,
+// drive the (remaining) workload while auto-checkpointing, report, shut
+// down.
+func runServe(addr string, peers, n, k int, seed uint64, epsilon float64, lockstep bool, matrix [][]int64, ckptDir string, ckptEvery int) {
 	if peers < 1 || peers > n {
 		log.Fatalf("-peers must be in [1, n], got %d for n=%d", peers, n)
+	}
+	var store *ckpt.File
+	if ckptDir != "" {
+		var err error
+		if store, err = ckpt.NewFile(ckptDir); err != nil {
+			log.Fatalf("checkpoint dir: %v", err)
+		}
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -447,7 +480,7 @@ func runServe(addr string, peers, n, k int, seed uint64, epsilon float64, lockst
 	if err != nil {
 		log.Fatalf("accepting peers: %v", err)
 	}
-	eng, err := netrun.New(netrun.Config{
+	necfg := netrun.Config{
 		N: n, K: k, Seed: seed + 1, Epsilon: epsilon, Lockstep: lockstep,
 		// A dead peer is replaced by the next process that runs
 		// `topkmon -join`; the coordinator blocks mid-recovery until one
@@ -463,21 +496,116 @@ func runServe(addr string, peers, n, k int, seed uint64, epsilon float64, lockst
 				fmt.Printf("failover: %s [%d, %d)\n", ev.Kind, ev.Lo, ev.Hi)
 			}
 		},
-	}, links)
-	if err != nil {
-		log.Fatalf("handshake: %v", err)
+	}
+	var eng *netrun.Engine
+	var lastGen uint64
+	if store != nil {
+		gen, frame, lerr := store.Load()
+		switch {
+		case errors.Is(lerr, ckpt.ErrNoCheckpoint):
+			fmt.Printf("checkpointing to %s every %d steps (no frame yet: fresh start)\n", ckptDir, ckptEvery)
+		case lerr != nil:
+			log.Fatalf("checkpoint load: %v", lerr)
+		default:
+			var c wire.Checkpoint
+			if err := c.Decode(frame); err != nil {
+				log.Fatalf("checkpoint generation %d: %v", gen, err)
+			}
+			if c.Engine != wire.EngineNet || c.Seed != seed+1 || c.Distinct {
+				log.Fatalf("checkpoint generation %d was not taken by this configuration (engine %d, seed %d)", gen, c.Engine, c.Seed)
+			}
+			eng, err = netrun.Restore(necfg, links, c.Machine, c.Last)
+			if err != nil {
+				log.Fatalf("restore: %v", err)
+			}
+			lastGen = gen
+			fmt.Printf("restored from checkpoint generation %d (step %d); checkpointing to %s every %d steps\n",
+				gen, eng.Stats().Steps, ckptDir, ckptEvery)
+		}
+	}
+	if eng == nil {
+		if eng, err = netrun.New(necfg, links); err != nil {
+			log.Fatalf("handshake: %v", err)
+		}
 	}
 	defer eng.Close()
-	fmt.Printf("all %d peers joined; streaming %d steps of n=%d k=%d\n", peers, len(matrix), n, k)
 
-	rep := sim.Run(eng, stream.NewTraceSource(matrix), sim.Config{Steps: len(matrix), K: k, CheckEvery: 1, Epsilon: epsilon})
+	// Resume the trace where the checkpoint left off: the restored steps
+	// were already streamed by the previous incarnation.
+	src := stream.NewTraceSource(matrix)
+	skip := int(eng.Stats().Steps)
+	if skip > len(matrix) {
+		skip = len(matrix)
+	}
+	discard := make([]int64, n)
+	for i := 0; i < skip; i++ {
+		src.Step(discard)
+	}
+	remaining := len(matrix) - skip
+	fmt.Printf("all %d peers joined; streaming %d steps of n=%d k=%d\n", peers, remaining, n, k)
+	if remaining == 0 {
+		fmt.Println("checkpoint is at the end of the workload; nothing left to stream")
+		printLedger(eng.Ledger())
+		return
+	}
+
+	alg := &ckptAlg{Engine: eng, store: store, every: ckptEvery, seed: seed + 1, gen: lastGen}
+	rep := sim.Run(alg, src, sim.Config{Steps: remaining, K: k, CheckEvery: 1, Epsilon: epsilon})
 	fmt.Println(sim.Describe("algorithm1(tcp)", rep))
 	checkEngineErr(eng)
 	if rep.Errors > 0 {
 		log.Fatalf("oracle mismatches: %d (this is a bug)", rep.Errors)
 	}
+	if store != nil {
+		fmt.Printf("checkpoints: %d written, newest generation %d in %s\n", alg.saves, alg.gen, ckptDir)
+	}
 	printLedger(eng.Ledger())
 	printTransport(eng.TransportStats(), eng.Peers())
+}
+
+// ckptAlg wraps the networked engine for sim.Run, persisting a sealed
+// checkpoint frame every `every` observed steps (no-op without a store).
+// A failed attempt — e.g. a snapshot refused while peer recovery is
+// pending — is reported and retried at the next boundary, never fatal:
+// the previous generations stay restorable.
+type ckptAlg struct {
+	*netrun.Engine
+	store *ckpt.File
+	every int
+	seed  uint64
+	gen   uint64
+	since int
+	saves int
+}
+
+func (a *ckptAlg) Observe(vals []int64) []int {
+	top := a.Engine.Observe(vals)
+	if a.store == nil {
+		return top
+	}
+	a.since++
+	if a.since >= a.every {
+		a.since = 0
+		if err := a.checkpoint(); err != nil {
+			fmt.Printf("checkpoint failed (will retry): %v\n", err)
+		}
+	}
+	return top
+}
+
+func (a *ckptAlg) checkpoint() error {
+	mach, last, err := a.Engine.Snapshot()
+	if err != nil {
+		return err
+	}
+	gen := a.gen + 1
+	frame := wire.Checkpoint{Gen: gen, Engine: wire.EngineNet, Seed: a.seed, Machine: mach, Last: last}.Append(nil)
+	if err := a.store.Save(gen, frame); err != nil {
+		return err
+	}
+	a.gen = gen
+	a.saves++
+	return nil
 }
 
 // runJoin is the TCP node host: dial the coordinator and serve its node

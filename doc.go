@@ -101,6 +101,24 @@
 // "Asynchronous ingestion & the Drain barrier"; EXPERIMENTS.md E21;
 // topkmon -async -queue N).
 //
+// # Durable checkpointing and crash-restart
+//
+// topk.Config.Checkpoint gives any engine a durable store
+// (internal/ckpt: an atomic write-temp+fsync+rename file backend, an
+// in-memory store, and a fault-injecting wrapper): the monitor persists
+// CRC-sealed, generation-numbered frames at idle step boundaries —
+// automatically every Checkpoint.Every applied steps, or on demand via
+// Monitor.Checkpoint, which drains the async queue first — and after a
+// coordinator-process crash topk.Restore rebuilds a monitor from the
+// newest frame that still validates; torn, corrupt and stale frames are
+// rejected, never half-loaded. The sequential and concurrent engines
+// restore bit-identically (frames carry the full machine and node-bank
+// state, RNG included); the networked and sharded engines re-handshake
+// their peers, replay the coordinator's value mirror and force one
+// FILTERRESET, so restored reports are oracle-exact from the first step
+// (DESIGN.md "Durable checkpointing & crash-restart"; EXPERIMENTS.md
+// E23; topkmon -serve ... -checkpoint DIR survives kill-and-restart).
+//
 // # The value-domain boundary
 //
 // No input to the public topk API can panic the monitor. Keys are the

@@ -11,9 +11,11 @@ import (
 // typed *ConfigError naming the offending field (so callers can
 // errors.As on it), never as an anonymous fmt.Errorf string. The
 // analyzer computes the set of package functions reachable from the
-// exported New* constructors through intra-package calls and flags every
-// fmt.Errorf and inline errors.New inside it — on a constructor path
-// those produce exactly the untyped rejections the contract rules out.
+// exported New* constructors — and from Restore, whose contract promises
+// typed *ConfigError / *RestoreError rejections and documented sentinels
+// the same way — through intra-package calls and flags every fmt.Errorf
+// and inline errors.New inside it — on a constructor path those produce
+// exactly the untyped rejections the contract rules out.
 //
 // Package-level sentinels (var ErrX = errors.New(...)) are outside any
 // function body and therefore never flagged; they are the "documented
@@ -67,7 +69,7 @@ func runTypedErr(pass *Pass) error {
 		})
 	}
 	for fn, fd := range decls {
-		if fd.Recv == nil && fn.Exported() && strings.HasPrefix(fn.Name(), "New") {
+		if fd.Recv == nil && fn.Exported() && (strings.HasPrefix(fn.Name(), "New") || fn.Name() == "Restore") {
 			visit(fn)
 		}
 	}
@@ -88,9 +90,9 @@ func runTypedErr(pass *Pass) error {
 			}
 			switch {
 			case callee.Pkg().Path() == "fmt" && callee.Name() == "Errorf":
-				pass.Reportf(call.Pos(), "bare fmt.Errorf on a constructor path (%s is reachable from an exported New*): reject with a typed *ConfigError or a documented sentinel", fn.Name())
+				pass.Reportf(call.Pos(), "bare fmt.Errorf on a constructor path (%s is reachable from an exported New* or Restore): reject with a typed *ConfigError or a documented sentinel", fn.Name())
 			case callee.Pkg().Path() == "errors" && callee.Name() == "New":
-				pass.Reportf(call.Pos(), "inline errors.New on a constructor path (%s is reachable from an exported New*): reject with a typed *ConfigError or a package-level documented sentinel", fn.Name())
+				pass.Reportf(call.Pos(), "inline errors.New on a constructor path (%s is reachable from an exported New* or Restore): reject with a typed *ConfigError or a package-level documented sentinel", fn.Name())
 			}
 			return true
 		})

@@ -1,0 +1,75 @@
+package ckpt
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrKilled reports a write refused by a Faulty store that has reached
+// its planned failure: the simulated coordinator crash is in effect and,
+// fail-stop, every later write is refused too.
+var ErrKilled = errors.New("ckpt: faulty store killed at planned write")
+
+// FaultPlan schedules one injected storage failure, mirroring
+// transport.FaultPlan: indices are 1-based counts of Save calls, zero
+// disables the fault.
+type FaultPlan struct {
+	// KillAt is the Save call that fails. The store is fail-stop: the
+	// failing Save and every Save after it return ErrKilled.
+	KillAt int64
+	// TornBytes persists that many leading bytes of the failing frame to
+	// the inner store before failing — a write torn exactly at the crash
+	// that still reached the medium. Zero persists nothing.
+	TornBytes int
+}
+
+// Faulty wraps a Store and injects the planned failure, driving the
+// crash-restart chaos suites: kill the coordinator mid-checkpoint (with
+// or without a torn frame on the medium) and assert the restore path
+// falls back to the last intact generation.
+type Faulty struct {
+	mu     sync.Mutex
+	inner  Store
+	plan   FaultPlan
+	saves  int64
+	killed bool
+}
+
+// NewFaulty wraps inner with plan.
+func NewFaulty(inner Store, plan FaultPlan) *Faulty {
+	return &Faulty{inner: inner, plan: plan}
+}
+
+// Save counts the call against the plan: before the planned kill it
+// delegates, at the kill it optionally persists the torn prefix and
+// fails, after it it keeps failing.
+func (s *Faulty) Save(gen uint64, frame []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.killed {
+		return ErrKilled
+	}
+	s.saves++
+	if s.plan.KillAt > 0 && s.saves == s.plan.KillAt {
+		s.killed = true
+		if s.plan.TornBytes > 0 {
+			n := min(s.plan.TornBytes, len(frame))
+			// The torn prefix reaches the medium exactly as a real crash
+			// mid-write would leave it; Load's validation must reject it.
+			_ = s.inner.Save(gen, frame[:n])
+		}
+		return ErrKilled
+	}
+	return s.inner.Save(gen, frame)
+}
+
+// Load delegates to the inner store: the restore path after the simulated
+// crash reads whatever the medium really holds.
+func (s *Faulty) Load() (uint64, []byte, error) { return s.inner.Load() }
+
+// Killed reports whether the planned failure has fired.
+func (s *Faulty) Killed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.killed
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/rng"
+)
+
+// walkVals drives a deterministic random walk over n nodes.
+func walkVals(r *rng.RNG, vals []int64) {
+	for i := range vals {
+		vals[i] += int64(r.Intn(7)) - 3
+	}
+}
+
+// TestSnapshotRestoreBitIdentical pins the core checkpoint contract: a
+// monitor restored from an idle-point snapshot resumes bit-identically —
+// reports, message and byte ledgers, stats, and the randomness streams —
+// to an uninterrupted twin, at ε=0 and ε>0.
+func TestSnapshotRestoreBitIdentical(t *testing.T) {
+	for _, eps := range []float64{0, 0.05} {
+		cfg := Config{N: 24, K: 4, Seed: 11, Epsilon: eps}
+		twin := New(cfg)
+		live := New(cfg)
+
+		wr := rng.New(99, 1)
+		vals := make([]int64, cfg.N)
+		for step := 0; step < 40; step++ {
+			walkVals(wr, vals)
+			twin.Observe(vals)
+			live.Observe(vals)
+		}
+
+		machFrame, nodesFrame, err := live.Snapshot()
+		if err != nil {
+			t.Fatalf("eps=%v: snapshot: %v", eps, err)
+		}
+		restored, err := Restore(cfg, machFrame, nodesFrame)
+		if err != nil {
+			t.Fatalf("eps=%v: restore: %v", eps, err)
+		}
+
+		for step := 0; step < 60; step++ {
+			walkVals(wr, vals)
+			want := twin.Observe(vals)
+			got := restored.Observe(vals)
+			if len(want) != len(got) {
+				t.Fatalf("eps=%v step %d: report %v, twin %v", eps, step, got, want)
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("eps=%v step %d: report %v, twin %v", eps, step, got, want)
+				}
+			}
+		}
+		if twin.Counts() != restored.Counts() || twin.Bytes() != restored.Bytes() {
+			t.Fatalf("eps=%v: ledgers diverged: twin %v/%v, restored %v/%v",
+				eps, twin.Counts(), twin.Bytes(), restored.Counts(), restored.Bytes())
+		}
+		if twin.Stats() != restored.Stats() {
+			t.Fatalf("eps=%v: stats diverged: twin %+v, restored %+v", eps, twin.Stats(), restored.Stats())
+		}
+		for _, p := range comm.Phases() {
+			if twin.Ledger().PhaseCounts(p) != restored.Ledger().PhaseCounts(p) ||
+				twin.Ledger().PhaseBytes(p) != restored.Ledger().PhaseBytes(p) {
+				t.Fatalf("eps=%v: phase %v ledger diverged", eps, p)
+			}
+		}
+	}
+}
+
+// TestRestoreRejectsMismatch pins that a frame never restores into a
+// configuration it was not taken under.
+func TestRestoreRejectsMismatch(t *testing.T) {
+	cfg := Config{N: 8, K: 2, Seed: 3}
+	m := New(cfg)
+	vals := make([]int64, cfg.N)
+	for i := range vals {
+		vals[i] = int64(i * 10)
+	}
+	m.Observe(vals)
+	mach, nodes, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{N: 9, K: 2, Seed: 3},
+		{N: 8, K: 3, Seed: 3},
+		{N: 8, K: 2, Seed: 3, Epsilon: 0.1},
+		{N: 8, K: 2, Seed: 3, DistinctValues: true},
+	}
+	for i, b := range bad {
+		if _, err := Restore(b, mach, nodes); err == nil {
+			t.Fatalf("case %d: restore accepted a mismatched config %+v", i, b)
+		}
+	}
+	if _, err := Restore(cfg, mach[:len(mach)-1], nodes); err == nil {
+		t.Fatal("restore accepted a truncated machine frame")
+	}
+	if _, err := Restore(cfg, mach, nodes[:len(nodes)-1]); err == nil {
+		t.Fatal("restore accepted a truncated nodes frame")
+	}
+}

@@ -1,0 +1,104 @@
+package netrun
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/coord"
+	"repro/internal/order"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Snapshot and Restore give the networked engine coordinator-process
+// checkpointing. The node banks live in the peers and are rebuilt from
+// scratch by the Assign handshake at any time, so a checkpoint carries
+// only the coordinator's own execution: the machine frame plus the
+// last-value mirror. Restore rebuilds the coordinator, replays the mirror
+// through the same reassign/replay/reset cycle failover uses, and forces
+// a FILTERRESET — the protocols are Las Vegas, so post-restore reports
+// match the oracle immediately while the ledgers continue from the
+// checkpoint plus the visible recovery cost (exactly as after a peer
+// failover).
+
+// Snapshot returns the machine frame and a copy of the node-value mirror,
+// taken between steps. It fails on a closed or terminal engine and while
+// recovery is pending — a checkpoint never captures a half-recovered
+// execution.
+func (e *Engine) Snapshot() (mach []byte, last []int64, err error) {
+	if e.closed {
+		return nil, nil, errors.New("netrun: snapshot after Close")
+	}
+	if e.err != nil {
+		return nil, nil, fmt.Errorf("netrun: snapshot of a terminal engine: %w", e.err)
+	}
+	if e.pendingRecovery {
+		return nil, nil, errors.New("netrun: snapshot with recovery pending")
+	}
+	machFrame, err := e.mach.Snapshot(nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return machFrame, append([]int64(nil), e.last...), nil
+}
+
+// Restore rebuilds a coordinator over links from a Snapshot taken under
+// the same configuration. The frame is validated against cfg before any
+// link is used; then the fresh engine handshakes as usual, adopts the
+// restored machine and mirror, and runs the reassign/replay/reset cycle.
+// A peer failing during that cycle leaves recovery pending (or the
+// engine cleanly terminal), exactly as a mid-run failure would; the next
+// observation call retries through the regular failover path.
+func Restore(cfg Config, links []transport.Link, machFrame []byte, last []int64) (*Engine, error) {
+	fail := func(err error) (*Engine, error) {
+		for _, l := range links {
+			l.Close()
+		}
+		return nil, err
+	}
+	tol, err := order.NewTol(cfg.Epsilon)
+	if err != nil {
+		return fail(fmt.Errorf("netrun: restore: %w", err))
+	}
+	var ms wire.MachineState
+	if err := ms.Decode(machFrame); err != nil {
+		return fail(fmt.Errorf("netrun: restore machine frame: %v", err))
+	}
+	if ms.N != cfg.N || ms.K != cfg.K {
+		return fail(fmt.Errorf("netrun: checkpoint is for n=%d k=%d, config has n=%d k=%d", ms.N, ms.K, cfg.N, cfg.K))
+	}
+	if ms.EpsNum != tol.Num() {
+		return fail(fmt.Errorf("netrun: checkpoint tolerance %d/2^20 differs from configured %d/2^20", ms.EpsNum, tol.Num()))
+	}
+	if len(last) != cfg.N {
+		return fail(fmt.Errorf("netrun: checkpoint mirror has %d values for n=%d", len(last), cfg.N))
+	}
+	mach, err := coord.RestoreMachine(machFrame)
+	if err != nil {
+		return fail(fmt.Errorf("netrun: restore machine: %v", err))
+	}
+	e, err := New(cfg, links)
+	if err != nil {
+		return nil, err
+	}
+	e.mach = mach
+	copy(e.last, last)
+	e.step = mach.Step()
+	if err := e.reassignReplayReset(); err != nil {
+		// The failing peer is marked dead and recovery is pending; the
+		// next observation call retries (or the engine is already cleanly
+		// terminal). Either way the caller holds a usable engine whose
+		// Health tells the story.
+		return e, nil
+	}
+	return e, nil
+}
+
+// RestoreLoopback is Restore over fresh loopback links, the counterpart
+// of NewLoopback for crash-restart tests and local monitors.
+func RestoreLoopback(cfg Config, peers int, machFrame []byte, last []int64) (*Engine, error) {
+	if peers < 1 || peers > cfg.N {
+		return nil, fmt.Errorf("netrun: need 1 <= peers <= N, got %d peers for N=%d", peers, cfg.N)
+	}
+	return Restore(cfg, LoopbackLinks(peers), machFrame, last)
+}

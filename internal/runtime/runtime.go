@@ -196,6 +196,7 @@ func (sh *shard) run() {
 type Runtime struct {
 	cfg       Config
 	mach      *coord.Machine
+	bank      *coord.Nodes // full-range bank; shards hold disjoint views
 	shards    []*shard
 	shardSize int
 	in        chan shardReply
@@ -222,6 +223,21 @@ func New(cfg Config) *Runtime {
 	if cfg.K < 1 || cfg.K > cfg.N {
 		panic("runtime: need 1 <= K <= N")
 	}
+	tol, err := order.NewTol(cfg.Epsilon)
+	if err != nil {
+		panic("runtime: " + err.Error())
+	}
+	// One bank construction pays the RNG split walk; shards take disjoint
+	// views of it. The stream layout matches core.New exactly; engine
+	// equivalence depends on it.
+	bank := coord.NewNodes(cfg.N, 0, cfg.N, cfg.Seed, cfg.DistinctValues, tol)
+	return assemble(cfg, coord.New(coord.Config{N: cfg.N, K: cfg.K, Tol: tol}), bank)
+}
+
+// assemble wires a machine and a full-range bank into a running Runtime:
+// it sizes the shard split, hands each shard goroutine its disjoint bank
+// view, and starts them. Both New and Restore funnel through it.
+func assemble(cfg Config, mach *coord.Machine, bank *coord.Nodes) *Runtime {
 	nshards := cfg.Shards
 	if nshards <= 0 {
 		nshards = gort.GOMAXPROCS(0)
@@ -232,22 +248,15 @@ func New(cfg Config) *Runtime {
 	shardSize := (cfg.N + nshards - 1) / nshards
 	nshards = (cfg.N + shardSize - 1) / shardSize
 
-	tol, err := order.NewTol(cfg.Epsilon)
-	if err != nil {
-		panic("runtime: " + err.Error())
-	}
 	rt := &Runtime{
 		cfg:       cfg,
-		mach:      coord.New(coord.Config{N: cfg.N, K: cfg.K, Tol: tol}),
+		mach:      mach,
+		bank:      bank,
 		shardSize: shardSize,
 		in:        make(chan shardReply, nshards),
 		replies:   make([]shardReply, nshards),
 		lastKeys:  make(map[int]order.Key),
 	}
-	// One bank construction pays the RNG split walk; shards take disjoint
-	// views of it. The stream layout matches core.New exactly; engine
-	// equivalence depends on it.
-	bank := coord.NewNodes(cfg.N, 0, cfg.N, cfg.Seed, cfg.DistinctValues, tol)
 	for s := 0; s < nshards; s++ {
 		lo := s * shardSize
 		hi := lo + shardSize

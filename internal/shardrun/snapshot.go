@@ -1,0 +1,127 @@
+package shardrun
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/coord"
+	"repro/internal/order"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Snapshot and Restore give the sharded (and hierarchical) engine
+// coordinator-process checkpointing, exactly as in netrun: the node banks
+// live behind the shard links and are rebuilt from scratch by the Assign
+// handshake, so a checkpoint carries only the root's own execution — the
+// machine frame plus the last-value mirror. Restore rebuilds the root,
+// replays the mirror through the same reassign/replay/reset cycle
+// failover uses, and forces a FILTERRESET; the Las Vegas argument makes
+// post-restore reports match the oracle immediately while the ledgers
+// continue from the checkpoint plus the visible recovery cost.
+
+// Snapshot returns the machine frame and a copy of the node-value mirror,
+// taken between steps. It fails on a closed or terminal engine and while
+// recovery is pending — a checkpoint never captures a half-recovered
+// execution.
+func (e *Engine) Snapshot() (mach []byte, last []int64, err error) {
+	if e.closed {
+		return nil, nil, errors.New("shardrun: snapshot after Close")
+	}
+	if e.err != nil {
+		return nil, nil, fmt.Errorf("shardrun: snapshot of a terminal engine: %w", e.err)
+	}
+	if e.pendingRecovery {
+		return nil, nil, errors.New("shardrun: snapshot with recovery pending")
+	}
+	machFrame, err := e.mach.Snapshot(nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return machFrame, append([]int64(nil), e.last...), nil
+}
+
+// Restore rebuilds a root over links from a Snapshot taken under the same
+// configuration (including the same Tree shape — the frame is agnostic,
+// but the mirror replay fans out over whatever links cfg declares). The
+// frame is validated against cfg before any link is used; then the fresh
+// engine handshakes as usual, adopts the restored machine and mirror, and
+// runs the reassign/replay/reset cycle. A shard failing during that cycle
+// leaves recovery pending (or the engine cleanly terminal), exactly as a
+// mid-run failure would; the next observation call retries through the
+// regular failover path.
+func Restore(cfg Config, links []transport.Link, machFrame []byte, last []int64) (*Engine, error) {
+	fail := func(err error) (*Engine, error) {
+		for _, l := range links {
+			l.Close()
+		}
+		return nil, err
+	}
+	tol, err := order.NewTol(cfg.Epsilon)
+	if err != nil {
+		return fail(fmt.Errorf("shardrun: restore: %w", err))
+	}
+	var ms wire.MachineState
+	if err := ms.Decode(machFrame); err != nil {
+		return fail(fmt.Errorf("shardrun: restore machine frame: %v", err))
+	}
+	if ms.N != cfg.N || ms.K != cfg.K {
+		return fail(fmt.Errorf("shardrun: checkpoint is for n=%d k=%d, config has n=%d k=%d", ms.N, ms.K, cfg.N, cfg.K))
+	}
+	if ms.EpsNum != tol.Num() {
+		return fail(fmt.Errorf("shardrun: checkpoint tolerance %d/2^20 differs from configured %d/2^20", ms.EpsNum, tol.Num()))
+	}
+	if len(last) != cfg.N {
+		return fail(fmt.Errorf("shardrun: checkpoint mirror has %d values for n=%d", len(last), cfg.N))
+	}
+	mach, err := coord.RestoreMachine(machFrame)
+	if err != nil {
+		return fail(fmt.Errorf("shardrun: restore machine: %v", err))
+	}
+	e, err := New(cfg, links)
+	if err != nil {
+		return nil, err
+	}
+	e.mach = mach
+	copy(e.last, last)
+	e.step = mach.Step()
+	if err := e.reassignReplayReset(); err != nil {
+		// The failing shard is marked dead and recovery is pending; the
+		// next observation call retries (or the engine is already cleanly
+		// terminal). Either way the caller holds a usable engine whose
+		// Health tells the story.
+		return e, nil
+	}
+	return e, nil
+}
+
+// RestoreLoopback is Restore over fresh loopback shard links, the
+// counterpart of NewLoopback for crash-restart tests and local monitors.
+func RestoreLoopback(cfg Config, shards int, machFrame []byte, last []int64) (*Engine, error) {
+	if shards < 1 || shards > cfg.N {
+		return nil, fmt.Errorf("shardrun: need 1 <= shards <= N, got %d shards for N=%d", shards, cfg.N)
+	}
+	return Restore(cfg, LoopbackLinks(shards), machFrame, last)
+}
+
+// RestoreLoopbackTree is Restore over fresh loopback subtrees, the
+// counterpart of NewLoopbackTree: the root holds branch links, each to a
+// LoopbackSubtree of depth-1 further levels. Unless the caller supplies
+// its own Redial, a dead subtree is redialed as a fresh subtree of the
+// same shape.
+func RestoreLoopbackTree(cfg Config, branch, depth int, machFrame []byte, last []int64) (*Engine, error) {
+	cfg.Tree = Tree{Branch: branch, Depth: depth}
+	if _, err := cfg.Tree.Leaves(); err != nil {
+		return nil, err
+	}
+	if cfg.Redial == nil {
+		cfg.Redial = func() (transport.Link, error) {
+			return LoopbackSubtree(branch, depth), nil
+		}
+	}
+	links := make([]transport.Link, branch)
+	for i := range links {
+		links[i] = LoopbackSubtree(branch, depth)
+	}
+	return Restore(cfg, links, machFrame, last)
+}

@@ -1,0 +1,155 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Checkpoint envelope. A durable coordinator checkpoint is one
+// self-describing frame: a generation number, the fingerprint of the
+// engine that took it, the embedded MachineState (and, for the local
+// engines, NodesState) snapshot frames, and the networked engines'
+// last-value mirror — everything a dead coordinator process needs to be
+// rebuilt by topk.Restore. Unlike the live protocol messages, a
+// checkpoint's threat model includes the storage medium itself: the whole
+// frame is sealed with a trailing CRC-32 (IEEE), and decoders verify the
+// checksum before reading a single field, so a torn write or a flipped
+// bit surfaces as ErrChecksum — never as a silently wrong restore.
+
+// ErrChecksum reports a checkpoint frame whose trailing CRC-32 does not
+// match its contents: the frame was torn mid-write or corrupted at rest.
+// It is distinct from ErrTruncated/ErrMalformed so stores can tell
+// storage corruption from framing bugs.
+var ErrChecksum = errors.New("wire: checkpoint checksum mismatch")
+
+// Engine fingerprints carried by Checkpoint.Engine. A checkpoint restores
+// only into the engine kind that wrote it: the local engines persist a
+// full Nodes bank, the networked engines persist the value mirror they
+// replay through the Assign handshake instead.
+const (
+	EngineSeq   uint8 = 0 // sequential engine (internal/core)
+	EngineConc  uint8 = 1 // sharded concurrent engine (internal/runtime)
+	EngineNet   uint8 = 2 // networked engine (internal/netrun)
+	EngineShard uint8 = 3 // multi-coordinator engine (internal/shardrun)
+)
+
+// Checkpoint is the wire form of one durable coordinator checkpoint.
+// Machine always holds an embedded MachineState frame. Nodes holds the
+// NodesState frame of the local engines' node bank (empty for the
+// networked engines, whose node state lives in the peers). Last holds the
+// networked engines' per-node last-value mirror (empty for the local
+// engines, which restore exact node state instead of replaying).
+type Checkpoint struct {
+	Gen      uint64
+	Engine   uint8
+	Seed     uint64
+	Distinct bool
+
+	Machine []byte
+	Nodes   []byte
+	Last    []int64
+}
+
+// crcLen is the length of the little-endian CRC-32 trailer.
+const crcLen = 4
+
+// Append encodes c after dst, sealing the frame with its CRC-32 trailer.
+// Engine must be a known fingerprint; Append panics otherwise.
+func (c Checkpoint) Append(dst []byte) []byte {
+	if c.Engine > EngineShard {
+		panic("wire: unknown checkpoint engine fingerprint")
+	}
+	start := len(dst)
+	dst = append(dst, TypeCheckpoint)
+	dst = AppendUvarint(dst, c.Gen)
+	dst = AppendUvarint(dst, uint64(c.Engine))
+	dst = AppendUvarint(dst, c.Seed)
+	var flags byte
+	if c.Distinct {
+		flags |= flagDistinct
+	}
+	dst = append(dst, flags)
+	dst = AppendUvarint(dst, uint64(len(c.Machine)))
+	dst = append(dst, c.Machine...)
+	dst = AppendUvarint(dst, uint64(len(c.Nodes)))
+	dst = append(dst, c.Nodes...)
+	dst = AppendUvarint(dst, uint64(len(c.Last)))
+	for _, v := range c.Last {
+		dst = AppendVarint(dst, v)
+	}
+	sum := crc32.ChecksumIEEE(dst[start:])
+	return append(dst, byte(sum), byte(sum>>8), byte(sum>>16), byte(sum>>24))
+}
+
+// Decode decodes a full Checkpoint frame into c, reusing slice capacity.
+// The CRC-32 trailer is verified over the whole frame before any field is
+// read; a mismatch yields ErrChecksum. The embedded Machine/Nodes frames
+// are carried opaquely — their own decoders validate them on restore.
+func (c *Checkpoint) Decode(p []byte) error {
+	if len(p) < 1+crcLen {
+		return ErrTruncated
+	}
+	body, tail := p[:len(p)-crcLen], p[len(p)-crcLen:]
+	want := uint32(tail[0]) | uint32(tail[1])<<8 | uint32(tail[2])<<16 | uint32(tail[3])<<24
+	if sum := crc32.ChecksumIEEE(body); sum != want {
+		return fmt.Errorf("%w: computed 0x%08x, frame says 0x%08x", ErrChecksum, sum, want)
+	}
+	p, err := header(body, TypeCheckpoint)
+	if err != nil {
+		return err
+	}
+	if c.Gen, p, err = uvarintField(p); err != nil {
+		return err
+	}
+	var u uint64
+	if u, p, err = uvarintField(p); err != nil {
+		return err
+	}
+	if u > uint64(EngineShard) {
+		return fmt.Errorf("%w: unknown checkpoint engine fingerprint %d", ErrMalformed, u)
+	}
+	c.Engine = uint8(u)
+	if c.Seed, p, err = uvarintField(p); err != nil {
+		return err
+	}
+	if len(p) == 0 {
+		return ErrTruncated
+	}
+	if p[0]&^flagDistinct != 0 {
+		return fmt.Errorf("%w: unknown checkpoint flags 0x%02x", ErrMalformed, p[0])
+	}
+	c.Distinct = p[0]&flagDistinct != 0
+	p = p[1:]
+	if u, p, err = uvarintField(p); err != nil {
+		return err
+	}
+	if u > uint64(len(p)) {
+		return fmt.Errorf("%w: %d machine bytes in %d-byte frame", ErrMalformed, u, len(p))
+	}
+	c.Machine = append(c.Machine[:0], p[:u]...)
+	p = p[u:]
+	if u, p, err = uvarintField(p); err != nil {
+		return err
+	}
+	if u > uint64(len(p)) {
+		return fmt.Errorf("%w: %d nodes bytes in %d-byte frame", ErrMalformed, u, len(p))
+	}
+	c.Nodes = append(c.Nodes[:0], p[:u]...)
+	p = p[u:]
+	if u, p, err = uvarintField(p); err != nil {
+		return err
+	}
+	if u > uint64(len(p)) { // every value takes >= 1 byte
+		return fmt.Errorf("%w: %d last values in %d bytes", ErrMalformed, u, len(p))
+	}
+	c.Last = c.Last[:0]
+	for i := uint64(0); i < u; i++ {
+		var v int64
+		if v, p, err = varintField(p); err != nil {
+			return err
+		}
+		c.Last = append(c.Last, v)
+	}
+	return fin(p)
+}

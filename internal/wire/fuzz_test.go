@@ -48,6 +48,7 @@ func FuzzDecode(f *testing.F) {
 			Flags: []byte{1, 2}, ViolStep: []int64{-1, 16},
 			RngState: []uint64{0xdeadbeef, 1}, RngInc: []uint64{3, 5},
 		}.Append(nil),
+		Checkpoint{Gen: 7, Engine: EngineNet, Seed: 3, Last: []int64{4, -4}}.Append(nil),
 		AppendBare(nil, TypeShutdown),
 		bytes.Repeat([]byte{0x80}, 32),
 		bytes.Repeat([]byte{0xff}, 32),
@@ -133,6 +134,11 @@ func FuzzDecode(f *testing.F) {
 			}
 		case TypeTreeStats:
 			var m TreeStats
+			if err := m.Decode(data); err == nil {
+				roundTrip(t, data, m.Append(nil))
+			}
+		case TypeCheckpoint:
+			var m Checkpoint
 			if err := m.Decode(data); err == nil {
 				roundTrip(t, data, m.Append(nil))
 			}

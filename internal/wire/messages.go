@@ -74,6 +74,12 @@ const (
 	// absorption counters plus one coordination-traffic entry per
 	// coordinator level below the sender, deepest level first.
 	TypeTreeStats byte = 0x16
+	// TypeCheckpoint is the durable checkpoint envelope: a generation
+	// number, the engine fingerprint, the embedded Machine/Nodes snapshot
+	// frames and the coordinator's last-value mirror, sealed with a CRC-32
+	// so torn or bit-rotted frames are rejected instead of restored (see
+	// checkpoint.go and internal/ckpt).
+	TypeCheckpoint byte = 0x17
 )
 
 // MaxTolNum is the exclusive upper bound on Assign.EpsNum: tolerance

@@ -136,19 +136,23 @@ func (m *Monitor) applyStep(ids []int, vals []int64) error {
 	switch {
 	case m.seq != nil:
 		m.seq.ObserveDelta(ids, vals)
-		return nil
 	case m.conc != nil:
 		m.conc.ObserveDelta(ids, vals)
-		return nil
 	case m.net != nil:
 		m.net.ObserveDelta(ids, vals)
-		return m.net.Err()
+		if err := m.net.Err(); err != nil {
+			return err
+		}
 	case m.shard != nil:
 		m.shard.ObserveDelta(ids, vals)
-		return m.shard.Err()
+		if err := m.shard.Err(); err != nil {
+			return err
+		}
 	default:
 		return errors.New("topk: monitor is closed")
 	}
+	m.maybeCheckpoint()
+	return nil
 }
 
 // enqueue stages one validated observation call on the driver,

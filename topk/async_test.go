@@ -256,6 +256,8 @@ func TestConfigErrorTyped(t *testing.T) {
 		{"Ingest.Overflow", Config{Nodes: 4, K: 2, Ingest: Ingest{QueueDepth: 0, Overflow: OverflowError}}},
 		{"Tree", Config{Nodes: 16, K: 2, Tree: Tree{Branch: 1, Depth: 2}}},
 		{"Tree", Config{Nodes: 16, K: 2, Tree: Tree{Branch: 2, Depth: 2}}}, // valid shape, but Transport is set below
+		{"Checkpoint.Every", Config{Nodes: 4, K: 2, Checkpoint: Checkpoint{Every: -1}}},
+		{"Checkpoint.Store", Config{Nodes: 4, K: 2, Checkpoint: Checkpoint{Every: 8}}},
 	}
 	for _, tc := range cases {
 		tr := &closeCountingTransport{}
@@ -293,6 +295,7 @@ func TestOrderedConfigErrorTyped(t *testing.T) {
 		{"Shards", Config{Nodes: 4, K: 2, Shards: 2}},
 		{"Ingest", Config{Nodes: 4, K: 2, Ingest: Ingest{QueueDepth: 8}}},
 		{"Tree", Config{Nodes: 8, K: 2, Tree: Tree{Branch: 2, Depth: 1}}},
+		{"Checkpoint", Config{Nodes: 4, K: 2, Checkpoint: Checkpoint{Store: MemCheckpoints()}}},
 	}
 	for _, tc := range cases {
 		_, err := NewOrdered(tc.cfg)

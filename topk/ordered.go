@@ -30,7 +30,9 @@ type OrderedMonitor struct {
 // monitors must be Closed to release their goroutines. The ordered
 // variant supports the sequential and concurrent engines only, and
 // supports neither Epsilon (ranks have no ε-approximate semantics yet;
-// see ROADMAP.md) nor asynchronous ingestion. As with New, a rejected
+// see ROADMAP.md) nor asynchronous ingestion nor durable checkpointing
+// (the order-repair layer has no snapshot form yet). As with New, a
+// rejected
 // configuration is reported as a *ConfigError naming the offending
 // field, and a Transport the constructor took ownership of is closed
 // before the error returns.
@@ -55,6 +57,9 @@ func NewOrdered(cfg Config) (*OrderedMonitor, error) {
 	}
 	if cfg.Ingest.QueueDepth != 0 || cfg.Ingest.Overflow != OverflowBlock {
 		return nil, badConfig(cfg, "Ingest", "asynchronous ingestion is not supported by the ordered monitor")
+	}
+	if cfg.Checkpoint.Store != nil || cfg.Checkpoint.Every != 0 {
+		return nil, badConfig(cfg, "Checkpoint", "durable checkpointing is not supported by the ordered monitor; see ROADMAP.md")
 	}
 	m := &OrderedMonitor{cfg: cfg, maxVal: maxValueFor(cfg.Nodes, cfg.DistinctValues)}
 	if cfg.Concurrent {

@@ -62,6 +62,13 @@
 // flat star over the same leaves; Monitor.TreeStats exposes each level's
 // coordination traffic and, with Epsilon set, the per-level tightened
 // band ladder's absorption counters.
+//
+// Config.Checkpoint adds durable crash-restart: the monitor persists
+// CRC-sealed state frames to a CheckpointStore (FileCheckpoints,
+// MemCheckpoints) at idle step boundaries, and Restore rebuilds a
+// monitor — bit-identically on the local engines, oracle-exact after a
+// forced filter reset on the networked ones — from the newest valid
+// frame after the coordinator process itself dies.
 package topk
 
 import (
@@ -226,6 +233,14 @@ type Config struct {
 	// exclusive with Concurrent and Transport, and Shards, when also set,
 	// must equal Branch^Depth. Tree monitors must be Closed.
 	Tree Tree
+	// Checkpoint configures durable checkpointing: with a Store set the
+	// monitor can persist its execution state as CRC-sealed frames —
+	// automatically every Checkpoint.Every applied steps, or on demand
+	// through Monitor.Checkpoint — and a crashed coordinator process
+	// restarts from the latest valid frame with Restore. The zero value
+	// disables checkpointing. All four engines support it; see the
+	// Checkpoint type for the durability and recovery semantics.
+	Checkpoint Checkpoint
 }
 
 // Tree is the hierarchical-coordinator shape of Config.Tree: Branch is
@@ -292,6 +307,15 @@ type Monitor struct {
 	drv      *ingest.Driver
 	engineMu sync.Mutex
 	allIDs   []int
+
+	// Durable checkpointing (Config.Checkpoint): the generation counter,
+	// the steps applied since the last automatic checkpoint, and the
+	// outcome counters CheckpointStats reports. In asynchronous mode
+	// engineMu guards them (the worker checkpoints under it); a
+	// synchronous monitor is single-threaded by contract.
+	ckptGen     uint64
+	ckptApplied int
+	ckptStats   CheckpointStats
 }
 
 // failNew rejects a configuration, releasing the Transport's links and
@@ -305,54 +329,65 @@ func failNew(cfg Config, err error) error {
 	return err
 }
 
+// validateConfig runs the full construction-time validation ladder shared
+// by New and Restore. A rejection is a typed *ConfigError naming the
+// offending field, and any Transport the configuration carries is closed
+// before the error returns (badConfig's contract).
+func validateConfig(cfg Config) error {
+	if cfg.Nodes <= 0 {
+		return badConfig(cfg, "Nodes", "must be positive, got %d", cfg.Nodes)
+	}
+	if cfg.K < 1 || cfg.K > cfg.Nodes {
+		return badConfig(cfg, "K", "must satisfy 1 <= K <= Nodes, got K=%d Nodes=%d", cfg.K, cfg.Nodes)
+	}
+	if !(cfg.Epsilon >= 0) || cfg.Epsilon >= 1 {
+		return badConfig(cfg, "Epsilon", "must satisfy 0 <= Epsilon < 1, got %v", cfg.Epsilon)
+	}
+	if cfg.Concurrent && cfg.Transport != nil {
+		return badConfig(cfg, "Transport", "mutually exclusive with Concurrent")
+	}
+	if cfg.Shards < 0 || cfg.Shards > cfg.Nodes {
+		return badConfig(cfg, "Shards", "must satisfy 0 <= Shards <= Nodes, got Shards=%d Nodes=%d", cfg.Shards, cfg.Nodes)
+	}
+	if cfg.Shards > 0 && (cfg.Concurrent || cfg.Transport != nil) {
+		return badConfig(cfg, "Shards", "mutually exclusive with Concurrent and Transport")
+	}
+	if !cfg.Tree.zero() {
+		if cfg.Tree.Branch < 2 {
+			return badConfig(cfg, "Tree", "branch must be at least 2, got %d", cfg.Tree.Branch)
+		}
+		if cfg.Tree.Depth < 1 {
+			return badConfig(cfg, "Tree", "depth must be at least 1, got %d", cfg.Tree.Depth)
+		}
+		leaves, ok := cfg.Tree.leaves()
+		if !ok {
+			return badConfig(cfg, "Tree", "%d^%d leaves overflow", cfg.Tree.Branch, cfg.Tree.Depth)
+		}
+		if leaves > cfg.Nodes {
+			return badConfig(cfg, "Tree", "%d^%d = %d leaf shards exceed Nodes=%d", cfg.Tree.Branch, cfg.Tree.Depth, leaves, cfg.Nodes)
+		}
+		if cfg.Concurrent || cfg.Transport != nil {
+			return badConfig(cfg, "Tree", "mutually exclusive with Concurrent and Transport")
+		}
+		if cfg.Shards != 0 && cfg.Shards != leaves {
+			return badConfig(cfg, "Tree", "Shards=%d disagrees with %d^%d = %d leaves", cfg.Shards, cfg.Tree.Branch, cfg.Tree.Depth, leaves)
+		}
+	}
+	if cfg.Pipeline > PipelineOff {
+		return badConfig(cfg, "Pipeline", "unknown mode %d", cfg.Pipeline)
+	}
+	if err := validateCheckpoint(cfg); err != nil {
+		return err
+	}
+	return validateIngest(cfg)
+}
+
 // New validates cfg and creates a Monitor. A rejected configuration is
 // reported as a *ConfigError naming the offending field; New never
 // panics, and a Transport it took ownership of is closed on every error
 // path.
 func New(cfg Config) (*Monitor, error) {
-	if cfg.Nodes <= 0 {
-		return nil, badConfig(cfg, "Nodes", "must be positive, got %d", cfg.Nodes)
-	}
-	if cfg.K < 1 || cfg.K > cfg.Nodes {
-		return nil, badConfig(cfg, "K", "must satisfy 1 <= K <= Nodes, got K=%d Nodes=%d", cfg.K, cfg.Nodes)
-	}
-	if !(cfg.Epsilon >= 0) || cfg.Epsilon >= 1 {
-		return nil, badConfig(cfg, "Epsilon", "must satisfy 0 <= Epsilon < 1, got %v", cfg.Epsilon)
-	}
-	if cfg.Concurrent && cfg.Transport != nil {
-		return nil, badConfig(cfg, "Transport", "mutually exclusive with Concurrent")
-	}
-	if cfg.Shards < 0 || cfg.Shards > cfg.Nodes {
-		return nil, badConfig(cfg, "Shards", "must satisfy 0 <= Shards <= Nodes, got Shards=%d Nodes=%d", cfg.Shards, cfg.Nodes)
-	}
-	if cfg.Shards > 0 && (cfg.Concurrent || cfg.Transport != nil) {
-		return nil, badConfig(cfg, "Shards", "mutually exclusive with Concurrent and Transport")
-	}
-	if !cfg.Tree.zero() {
-		if cfg.Tree.Branch < 2 {
-			return nil, badConfig(cfg, "Tree", "branch must be at least 2, got %d", cfg.Tree.Branch)
-		}
-		if cfg.Tree.Depth < 1 {
-			return nil, badConfig(cfg, "Tree", "depth must be at least 1, got %d", cfg.Tree.Depth)
-		}
-		leaves, ok := cfg.Tree.leaves()
-		if !ok {
-			return nil, badConfig(cfg, "Tree", "%d^%d leaves overflow", cfg.Tree.Branch, cfg.Tree.Depth)
-		}
-		if leaves > cfg.Nodes {
-			return nil, badConfig(cfg, "Tree", "%d^%d = %d leaf shards exceed Nodes=%d", cfg.Tree.Branch, cfg.Tree.Depth, leaves, cfg.Nodes)
-		}
-		if cfg.Concurrent || cfg.Transport != nil {
-			return nil, badConfig(cfg, "Tree", "mutually exclusive with Concurrent and Transport")
-		}
-		if cfg.Shards != 0 && cfg.Shards != leaves {
-			return nil, badConfig(cfg, "Tree", "Shards=%d disagrees with %d^%d = %d leaves", cfg.Shards, cfg.Tree.Branch, cfg.Tree.Depth, leaves)
-		}
-	}
-	if cfg.Pipeline > PipelineOff {
-		return nil, badConfig(cfg, "Pipeline", "unknown mode %d", cfg.Pipeline)
-	}
-	if err := validateIngest(cfg); err != nil {
+	if err := validateConfig(cfg); err != nil {
 		return nil, err
 	}
 	m := &Monitor{cfg: cfg, maxVal: maxValueFor(cfg.Nodes, cfg.DistinctValues)}
@@ -477,26 +512,27 @@ func (m *Monitor) Observe(vals []int64) ([]int, error) {
 	if m.drv != nil {
 		return nil, m.enqueue(m.allIDs, vals)
 	}
+	var top []int
 	switch {
 	case m.seq != nil:
-		return m.seq.Observe(vals), nil
+		top = m.seq.Observe(vals)
 	case m.conc != nil:
-		return m.conc.Observe(vals), nil
+		top = m.conc.Observe(vals)
 	case m.net != nil:
-		top := m.net.Observe(vals)
+		top = m.net.Observe(vals)
 		if err := m.net.Err(); err != nil {
 			return nil, err
 		}
-		return top, nil
 	case m.shard != nil:
-		top := m.shard.Observe(vals)
+		top = m.shard.Observe(vals)
 		if err := m.shard.Err(); err != nil {
 			return nil, err
 		}
-		return top, nil
 	default:
 		return nil, errors.New("topk: monitor is closed")
 	}
+	m.maybeCheckpoint()
+	return top, nil
 }
 
 // ObserveDelta feeds one time step in which only the streams listed in ids
@@ -535,26 +571,27 @@ func (m *Monitor) ObserveDelta(ids []int, vals []int64) ([]int, error) {
 	if m.drv != nil {
 		return nil, m.enqueue(ids, vals)
 	}
+	var top []int
 	switch {
 	case m.seq != nil:
-		return m.seq.ObserveDelta(ids, vals), nil
+		top = m.seq.ObserveDelta(ids, vals)
 	case m.conc != nil:
-		return m.conc.ObserveDelta(ids, vals), nil
+		top = m.conc.ObserveDelta(ids, vals)
 	case m.net != nil:
-		top := m.net.ObserveDelta(ids, vals)
+		top = m.net.ObserveDelta(ids, vals)
 		if err := m.net.Err(); err != nil {
 			return nil, err
 		}
-		return top, nil
 	case m.shard != nil:
-		top := m.shard.ObserveDelta(ids, vals)
+		top = m.shard.ObserveDelta(ids, vals)
 		if err := m.shard.Err(); err != nil {
 			return nil, err
 		}
-		return top, nil
 	default:
 		return nil, errors.New("topk: monitor is closed")
 	}
+	m.maybeCheckpoint()
+	return top, nil
 }
 
 // Top returns the most recently reported top-k ids without consuming a
